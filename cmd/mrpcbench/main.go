@@ -1,0 +1,53 @@
+// Command mrpcbench runs the experiment harness: every figure of the paper
+// regenerated from the implementation (E1–E5) and the performance/fault
+// characterizations that back its design claims (E6–E15). See DESIGN.md §3
+// for the experiment index.
+//
+// Usage:
+//
+//	mrpcbench              run every experiment
+//	mrpcbench -e E5        run one experiment (E1..E14, E8b)
+//	mrpcbench -seed 42     change the fault-injection seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrpc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "", "experiment id to run (E1..E14, E8b); empty = all")
+		seed = flag.Int64("seed", 7, "fault-injection seed")
+	)
+	flag.Parse()
+
+	if *exp != "" {
+		r, ok := experiments.ByID(*exp, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mrpcbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Print(r)
+		if !r.Pass {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := 0
+	for _, r := range experiments.All(*seed) {
+		fmt.Print(r)
+		fmt.Println()
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mrpcbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,179 @@
+// Command mrpcconf inspects the configuration space of the group RPC
+// service: the semantic property hierarchy (Figure 2), the structure of a
+// configured composite protocol (Figure 3), and the micro-protocol
+// dependency graph with its enumeration of legal configurations
+// (Figure 4 / the paper's §5 count of 198).
+//
+// Usage:
+//
+//	mrpcconf -properties            print Figure 2
+//	mrpcconf -registrations         print Figure 3 for a full composite
+//	mrpcconf -graph                 print Figure 4 (nodes, edges, choices)
+//	mrpcconf -enumerate             count and summarize all legal configs
+//	mrpcconf -list                  list every legal configuration
+//	mrpcconf -profile               run calls and print per-handler costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/event"
+	"mrpc/internal/experiments"
+	"mrpc/internal/trace"
+)
+
+func main() {
+	var (
+		properties    = flag.Bool("properties", false, "print the semantic property hierarchy (Figure 2)")
+		registrations = flag.Bool("registrations", false, "print a composite protocol's event/handler table (Figure 3)")
+		graph         = flag.Bool("graph", false, "print the micro-protocol dependency graph (Figure 4)")
+		enumerate     = flag.Bool("enumerate", false, "count the legal configurations (the paper's 198)")
+		list          = flag.Bool("list", false, "list every legal configuration")
+		profile       = flag.Bool("profile", false, "run 1000 calls and print per-handler dispatch costs")
+		dot           = flag.Bool("dot", false, "emit the Figure 4 dependency graph in Graphviz DOT form")
+	)
+	flag.Parse()
+
+	if !*properties && !*registrations && !*graph && !*enumerate && !*list && !*profile && !*dot {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*properties, *registrations, *graph, *enumerate, *list, *profile, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "mrpcconf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(properties, registrations, graph, enumerate, list, profile, dot bool) error {
+	if properties {
+		fmt.Print(experiments.E2Properties())
+	}
+	if registrations {
+		fmt.Print(experiments.E3Registrations())
+	}
+	if graph {
+		printGraph()
+	}
+	if enumerate {
+		fmt.Print(experiments.E4Enumeration())
+	}
+	if list {
+		for i, c := range config.Enumerate() {
+			fmt.Printf("%3d  %s  [%s]\n", i+1, c, c.FailureSemantics())
+		}
+	}
+	if profile {
+		return runProfile()
+	}
+	if dot {
+		printDot()
+	}
+	return nil
+}
+
+// printDot emits Figure 4 as Graphviz DOT: solid edges are requirements,
+// dashed red edges exclusions, clustered boxes the choice groups, and the
+// shaded nodes the minimal functional set.
+func printDot() {
+	nodes, groups := config.DependencyGraph()
+	fmt.Println("digraph figure4 {")
+	fmt.Println("  rankdir=BT;")
+	fmt.Println("  node [shape=box, fontname=\"Helvetica\"];")
+	inGroup := make(map[string]int)
+	for gi, g := range groups {
+		for _, m := range g.Members {
+			inGroup[m] = gi
+		}
+	}
+	for gi, g := range groups {
+		fmt.Printf("  subgraph cluster_%d {\n    label=%q;\n    style=bold;\n", gi, g.Name)
+		for _, m := range g.Members {
+			fmt.Printf("    %q;\n", m)
+		}
+		fmt.Println("  }")
+	}
+	for _, n := range nodes {
+		if n.Minimal {
+			fmt.Printf("  %q [style=filled, fillcolor=lightgrey];\n", n.Name)
+		} else if _, grouped := inGroup[n.Name]; !grouped {
+			fmt.Printf("  %q;\n", n.Name)
+		}
+		for _, req := range n.Requires {
+			fmt.Printf("  %q -> %q;\n", n.Name, req)
+		}
+		for _, ex := range n.Excludes {
+			fmt.Printf("  %q -> %q [style=dashed, color=red, label=\"excludes\"];\n", n.Name, ex)
+		}
+	}
+	fmt.Println("}")
+}
+
+// runProfile serves 1000 calls through an exactly-once composite with the
+// event observer installed, then prints where the dispatch time went.
+func runProfile() error {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.ExactlyOnce()
+	cfg.Bounded = true
+	cfg.TimeBound = 5 * time.Second
+	cfg.RetransTimeout = 50 * time.Millisecond
+	reg := mrpc.NewRegistry()
+	echo := reg.Register("echo", func(_ *mrpc.Thread, args []byte) []byte { return args })
+	server, err := sys.AddServer(1, cfg, func() mrpc.App { return reg })
+	if err != nil {
+		return err
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		return err
+	}
+
+	prof := trace.NewHandlerProfile()
+	observe := func(ev event.Type, handler string, d time.Duration, cancelled bool) {
+		prof.Observe(ev, handler, d, cancelled)
+	}
+	server.Composite().Framework().Bus().SetObserver(observe)
+	client.Composite().Framework().Bus().SetObserver(observe)
+
+	group := sys.Group(1)
+	for i := 0; i < 1000; i++ {
+		if _, status, err := client.Call(echo, []byte("x"), group); err != nil || status != mrpc.StatusOK {
+			return fmt.Errorf("profile call %d: %v %v", i, status, err)
+		}
+	}
+	fmt.Println("=== per-handler dispatch profile (1000 exactly-once calls, client+server)")
+	fmt.Print(prof.String())
+	return nil
+}
+
+func printGraph() {
+	nodes, groups := config.DependencyGraph()
+	fmt.Println("=== Figure 4: micro-protocol dependency graph")
+	for _, n := range nodes {
+		fmt.Printf("  %-24s", n.Name)
+		if n.Minimal {
+			fmt.Print(" [minimal set]")
+		}
+		if len(n.Requires) > 0 {
+			fmt.Printf(" requires %v", n.Requires)
+		}
+		if len(n.Excludes) > 0 {
+			fmt.Printf(" excludes %v", n.Excludes)
+		}
+		fmt.Println()
+	}
+	fmt.Println("  choice groups (at most one member each):")
+	for _, g := range groups {
+		req := ""
+		if g.Required {
+			req = " (exactly one required)"
+		}
+		fmt.Printf("    %-16s %v%s\n", g.Name, g.Members, req)
+	}
+}

@@ -1,0 +1,149 @@
+// Command mrpcdemo runs a scripted fault-injection demonstration: a
+// replicated counter service under a lossy network, with a server crash
+// and recovery mid-run, narrated step by step. It shows the configurable
+// group RPC service doing its job end to end: retransmission masking
+// loss, unique execution suppressing duplicates, total order keeping the
+// replicas identical, and the membership oracle letting acceptance adapt
+// to the failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+	"mrpc/internal/stub"
+)
+
+const opAdd mrpc.OpID = 1
+
+// counter is a replicated counter app; total order keeps replicas equal.
+type counter struct {
+	mu  sync.Mutex
+	val int64
+}
+
+func (c *counter) Pop(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+	r := stub.NewReader(args)
+	delta := r.Int64()
+	c.mu.Lock()
+	c.val += delta
+	v := c.val
+	c.mu.Unlock()
+	return stub.NewWriter(8).PutInt64(v).Bytes()
+}
+
+func (c *counter) value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "network fault seed")
+	calls := flag.Int("calls", 30, "number of increments")
+	flag.Parse()
+	if err := run(*seed, *calls); err != nil {
+		fmt.Fprintln(os.Stderr, "mrpcdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, calls int) error {
+	fmt.Println("== configurable group RPC demo: replicated counter, 3 replicas")
+	fmt.Println("   config: total order + unique execution + reliable comm + accept ALL")
+	fmt.Println("   network: 10% loss, 10% duplication, 0.2–2ms delay")
+
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{
+			Seed:     seed,
+			MinDelay: 200 * time.Microsecond,
+			MaxDelay: 2 * time.Millisecond,
+			LossProb: 0.10,
+			DupProb:  0.10,
+		},
+		Membership: mrpc.MembershipOracle,
+	})
+	defer sys.Stop()
+
+	cfg := config.ReplicatedService()
+	cfg.RetransTimeout = 5 * time.Millisecond
+	// Majority acceptance: a recovered follower rejoins the total order at
+	// its next incarnation but cannot replay the sequence it missed
+	// (state transfer is outside the paper's protocol, see DESIGN.md D4),
+	// so the client must not wait for it.
+	cfg.AcceptanceLimit = 2
+
+	group := sys.Group(1, 2, 3)
+	counters := make(map[mrpc.ProcID]*counter, len(group))
+	servers := make(map[mrpc.ProcID]*mrpc.Node, len(group))
+	for _, id := range group {
+		c := &counter{}
+		counters[id] = c
+		node, err := sys.AddServer(id, cfg, func() mrpc.App { return c })
+		if err != nil {
+			return err
+		}
+		servers[id] = node
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		return err
+	}
+
+	crashAt := calls / 3
+	recoverAt := 2 * calls / 3
+	var sum int64
+	for i := 0; i < calls; i++ {
+		if i == crashAt {
+			fmt.Printf("-- crashing replica 1 before call %d\n", i)
+			servers[1].Crash()
+		}
+		if i == recoverAt {
+			fmt.Printf("-- recovering replica 1 before call %d\n", i)
+			if err := servers[1].Recover(); err != nil {
+				return err
+			}
+		}
+		delta := int64(i + 1)
+		sum += delta
+		args := stub.NewWriter(8).PutInt64(delta).Bytes()
+		reply, status, err := client.Call(opAdd, args, group)
+		if err != nil {
+			return err
+		}
+		v := stub.NewReader(reply).Int64()
+		fmt.Printf("   call %2d: add %-3d -> status=%-7v replica-value=%d\n", i, delta, status, v)
+	}
+
+	// No Quiesce here: the recovered replica legitimately holds calls it
+	// cannot order (it missed part of the sequence), so deliveries parked
+	// behind them only drain at shutdown.
+	time.Sleep(100 * time.Millisecond)
+
+	fmt.Println("== final replica states")
+	for _, id := range group {
+		note := ""
+		if counters[id].value() != sum && id == 1 {
+			note = "  (missed the sequence while crashed; rejoining an ordered group needs state transfer)"
+		}
+		fmt.Printf("   replica %d: %d%s\n", id, counters[id].value(), note)
+	}
+	fmt.Printf("== client-observed sum of increments: %d\n", sum)
+	st := sys.Network().Stats()
+	fmt.Printf("== network: sent=%d delivered=%d lost=%d duplicated=%d\n",
+		st.Sent, st.Delivered, st.Dropped, st.Duplicated)
+
+	if counters[2].value() != sum || counters[3].value() != sum {
+		return fmt.Errorf("surviving replicas diverged: %d vs %d (want %d)",
+			counters[2].value(), counters[3].value(), sum)
+	}
+	fmt.Println("== surviving replicas agree: total order held under loss, duplication and a crash")
+	return nil
+}

@@ -1,0 +1,175 @@
+package mrpc_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+	"time"
+
+	"mrpc"
+)
+
+// Example shows the minimal end-to-end flow: one server, one client,
+// exactly-once semantics over a perfect simulated network.
+func Example() {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	reg := mrpc.NewRegistry()
+	hello := reg.Register("hello", func(_ *mrpc.Thread, args []byte) []byte {
+		return append([]byte("hello, "), args...)
+	})
+	if _, err := sys.AddServer(1, mrpc.ExactlyOnce(), func() mrpc.App { return reg }); err != nil {
+		fmt.Println(err)
+		return
+	}
+	client, err := sys.AddClient(100, mrpc.ExactlyOnce())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	reply, status, _ := client.Call(hello, []byte("world"), sys.Group(1))
+	fmt.Println(status, string(reply))
+	// Output: OK hello, world
+}
+
+// ExampleConfig_Validate shows the Figure 4 dependency graph rejecting an
+// illegal combination: total ordering requires reliable communication.
+func ExampleConfig_Validate() {
+	cfg := mrpc.Config{
+		Call:            mrpc.CallSynchronous,
+		Execution:       mrpc.ExecConcurrent,
+		Ordering:        mrpc.OrderTotal, // but Reliable is false
+		Unique:          true,
+		Orphan:          mrpc.OrphanIgnore,
+		AcceptanceLimit: 1,
+	}
+	fmt.Println(cfg.Validate() != nil)
+	cfg.Reliable = true
+	fmt.Println(cfg.Validate())
+	// Output:
+	// true
+	// <nil>
+}
+
+// ExampleConfig_FailureSemantics shows the Figure 1 classification.
+func ExampleConfig_FailureSemantics() {
+	fmt.Println(mrpc.AtLeastOnce().FailureSemantics())
+	fmt.Println(mrpc.ExactlyOnce().FailureSemantics())
+	fmt.Println(mrpc.AtMostOnce().FailureSemantics())
+	// Output:
+	// at least once
+	// exactly once
+	// at most once
+}
+
+// ExampleNode_CallAsync shows the asynchronous call flow: issue, then
+// collect the result later.
+func ExampleNode_CallAsync() {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	reg := mrpc.NewRegistry()
+	double := reg.Register("double", func(_ *mrpc.Thread, args []byte) []byte {
+		n := mrpc.NewReader(args).Int64()
+		return mrpc.NewWriter(8).PutInt64(2 * n).Bytes()
+	})
+	cfg := mrpc.ExactlyOnce()
+	cfg.Call = mrpc.CallAsynchronous
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return reg }); err != nil {
+		fmt.Println(err)
+		return
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	id, _ := client.CallAsync(double, mrpc.NewWriter(8).PutInt64(21).Bytes(), sys.Group(1))
+	// ... do other work ...
+	reply, status, _ := client.Collect(id)
+	fmt.Println(status, mrpc.NewReader(reply).Int64())
+	// Output: OK 42
+}
+
+// ExampleConfig_collation shows a user-supplied collation function
+// combining the group's replies (here: the numeric maximum).
+func ExampleConfig_collation() {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.ExactlyOnce()
+	cfg.AcceptanceLimit = mrpc.AcceptAll
+	cfg.Collate = func(accum, reply []byte) []byte {
+		if len(accum) == 0 || mrpc.NewReader(reply).Int64() > mrpc.NewReader(accum).Int64() {
+			return reply
+		}
+		return accum
+	}
+
+	// Each server reports its own id; the collated answer is the max.
+	for id := mrpc.ProcID(1); id <= 3; id++ {
+		id := id
+		reg := mrpc.NewRegistry()
+		reg.RegisterAt(1, "whoami", func(_ *mrpc.Thread, _ []byte) []byte {
+			return mrpc.NewWriter(8).PutInt64(int64(id)).Bytes()
+		})
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return reg }); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reply, _, _ := client.Call(1, nil, sys.Group(1, 2, 3))
+	fmt.Println(mrpc.NewReader(reply).Int64())
+	// Output: 3
+}
+
+// ExampleNode_Crash shows crash/recovery with bounded termination: while
+// the only server is down, calls time out instead of hanging; after
+// recovery they succeed again.
+func ExampleNode_Crash() {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.ReadOne() // bounded termination, acceptance 1
+	cfg.TimeBound = 50 * time.Millisecond
+	cfg.RetransTimeout = 10 * time.Millisecond
+	reg := mrpc.NewRegistry()
+	ping := reg.Register("ping", func(_ *mrpc.Thread, _ []byte) []byte { return []byte("pong") })
+	server, err := sys.AddServer(1, cfg, func() mrpc.App { return reg })
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	group := sys.Group(1)
+
+	_, status, _ := client.Call(ping, nil, group)
+	fmt.Println("up:", status)
+
+	server.Crash()
+	_, status, _ = client.Call(ping, nil, group)
+	fmt.Println("down:", status)
+
+	if err := server.Recover(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, status, _ = client.Call(ping, nil, group)
+	fmt.Println("recovered:", status)
+	// Output:
+	// up: OK
+	// down: TIMEOUT
+	// recovered: OK
+}

@@ -1,0 +1,134 @@
+// Orphans demonstrates the three orphan-handling options of §4.4.7 with
+// the same scripted failure: a client issues a long-running call, crashes
+// while the server is executing it (the execution becomes an orphan),
+// recovers under a new incarnation, and immediately issues a new call.
+//
+//   - ignore:             the orphan runs to completion alongside the new
+//     call — wasted work and potential interference;
+//   - avoid-interference: the new call is admitted only after the orphan
+//     drains;
+//   - terminate:          the orphan is killed the moment the server hears
+//     from the client's new incarnation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"mrpc"
+)
+
+const opWork mrpc.OpID = 1
+
+// worker executes opWork for a fixed duration, printing its lifecycle, and
+// honours cooperative kill.
+type worker struct {
+	delay time.Duration
+	mu    sync.Mutex
+	t0    time.Time
+}
+
+func (w *worker) stamp() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.t0.IsZero() {
+		w.t0 = time.Now()
+	}
+	return time.Since(w.t0).Round(time.Millisecond)
+}
+
+func (w *worker) Pop(th *mrpc.Thread, _ mrpc.OpID, args []byte) []byte {
+	tag := string(args)
+	fmt.Printf("   [%6v] server: %q starts\n", w.stamp(), tag)
+	select {
+	case <-th.Killed():
+		fmt.Printf("   [%6v] server: %q KILLED (orphan terminated)\n", w.stamp(), tag)
+		return nil
+	case <-time.After(w.delay):
+	}
+	fmt.Printf("   [%6v] server: %q done\n", w.stamp(), tag)
+	return args
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	modes := []struct {
+		name   string
+		orphan mrpc.Config
+	}{
+		{"ignore orphans", orphanConfig(mrpc.OrphanIgnore)},
+		{"interference avoidance", orphanConfig(mrpc.OrphanAvoidInterference)},
+		{"terminate orphan", orphanConfig(mrpc.OrphanTerminate)},
+	}
+	for _, mode := range modes {
+		fmt.Printf("== %s\n", mode.name)
+		if err := scenario(mode.orphan); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// orphanConfig is a reliable synchronous at-least-once service with the
+// selected orphan-handling property.
+func orphanConfig(mode mrpc.OrphanMode) mrpc.Config {
+	c := mrpc.AtLeastOnce()
+	c.RetransTimeout = 10 * time.Millisecond
+	c.Orphan = mode
+	return c
+}
+
+func scenario(cfg mrpc.Config) error {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	w := &worker{delay: 120 * time.Millisecond}
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return w }); err != nil {
+		return err
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		return err
+	}
+	group := sys.Group(1)
+
+	// 1. The soon-to-be orphan.
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		_, status, _ := client.Call(opWork, []byte("orphan-call"), group)
+		fmt.Printf("   [%6v] client: orphan call returned locally with status %v (client crashed)\n",
+			w.stamp(), status)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the server start executing
+
+	// 2. Client crashes and recovers under a new incarnation.
+	fmt.Printf("   [%6v] client: CRASH\n", w.stamp())
+	client.Crash()
+	<-released
+	if err := client.Recover(); err != nil {
+		return err
+	}
+	fmt.Printf("   [%6v] client: recovered (new incarnation)\n", w.stamp())
+
+	// 3. The new incarnation's call.
+	t0 := time.Now()
+	_, status, err := client.Call(opWork, []byte("new-call"), group)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   [%6v] client: new call finished: status=%v (took %v)\n",
+		w.stamp(), status, time.Since(t0).Round(time.Millisecond))
+
+	// 4. Let the orphan drain before tearing the system down.
+	time.Sleep(w.delay + 50*time.Millisecond)
+	return nil
+}

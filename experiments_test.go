@@ -1,0 +1,26 @@
+package mrpc_test
+
+import (
+	"testing"
+
+	"mrpc/internal/experiments"
+)
+
+// TestExperimentsPass runs every paper-figure and characterization
+// experiment and asserts its built-in pass criterion. These are the
+// repository's end-to-end reproduction checks; EXPERIMENTS.md records the
+// same outcomes in prose.
+func TestExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take several seconds")
+	}
+	const seed = 7
+	for _, r := range experiments.All(seed) {
+		t.Run(r.ID, func(t *testing.T) {
+			t.Log("\n" + r.String())
+			if !r.Pass {
+				t.Errorf("%s failed its pass criterion", r.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module mrpc
+
+go 1.22

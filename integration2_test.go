@@ -1,0 +1,343 @@
+package mrpc_test
+
+// Second round of end-to-end scenarios: the paper-text optional features
+// (delta checkpoints, orphan probing, causal order) and harsher fault
+// choreographies (partitions, leader crash).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc"
+)
+
+// deltaKV is a DeltaCheckpointable key-value app for facade-level tests.
+type deltaKV struct {
+	mu    sync.Mutex
+	data  map[string]string
+	dirty map[string]bool
+}
+
+func newDeltaKV() *deltaKV {
+	return &deltaKV{data: make(map[string]string), dirty: make(map[string]bool)}
+}
+
+func (d *deltaKV) Pop(_ *mrpc.Thread, _ mrpc.OpID, args []byte) []byte {
+	r := mrpc.NewReader(args)
+	k, v := r.String(), r.String()
+	d.mu.Lock()
+	d.data[k] = v
+	d.dirty[k] = true
+	d.mu.Unlock()
+	return args
+}
+
+func (d *deltaKV) get(k string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.data[k]
+}
+
+func (d *deltaKV) encode(m map[string]string) []byte {
+	w := mrpc.NewWriter(64)
+	w.PutUint32(uint32(len(m)))
+	for k, v := range m {
+		w.PutString(k)
+		w.PutString(v)
+	}
+	return w.Bytes()
+}
+
+func (d *deltaKV) decode(b []byte) map[string]string {
+	r := mrpc.NewReader(b)
+	n := int(r.Uint32())
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		m[k] = r.String()
+	}
+	return m
+}
+
+func (d *deltaKV) Snapshot() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = make(map[string]bool)
+	return d.encode(d.data)
+}
+
+func (d *deltaKV) Restore(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data = d.decode(data)
+	d.dirty = make(map[string]bool)
+	return nil
+}
+
+func (d *deltaKV) Delta() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	changed := make(map[string]string, len(d.dirty))
+	for k := range d.dirty {
+		changed[k] = d.data[k]
+	}
+	d.dirty = make(map[string]bool)
+	return d.encode(changed)
+}
+
+func (d *deltaKV) ApplyDelta(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k, v := range d.decode(data) {
+		d.data[k] = v
+	}
+	return nil
+}
+
+var _ mrpc.DeltaCheckpointable = (*deltaKV)(nil)
+
+func TestDeltaCheckpointsEndToEnd(t *testing.T) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.AtMostOnce()
+	cfg.RetransTimeout = 10 * time.Millisecond
+	cfg.AtomicDeltas = true
+	cfg.AtomicCompactEvery = 3
+	server, err := sys.AddServer(1, cfg, func() mrpc.App { return newDeltaKV() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := sys.Group(1)
+
+	put := func(k, v string) {
+		args := mrpc.NewWriter(32).PutString(k).PutString(v).Bytes()
+		if _, status, err := client.Call(1, args, group); err != nil || status != mrpc.StatusOK {
+			t.Fatalf("put %s=%s: %v %v", k, v, status, err)
+		}
+	}
+	// Enough writes to cross a compaction boundary (CompactEvery=3).
+	for i := 0; i < 8; i++ {
+		put(fmt.Sprintf("k%d", i%3), fmt.Sprintf("v%d", i))
+	}
+
+	server.Crash()
+	if err := server.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	app := server.App().(*deltaKV)
+	for k, want := range map[string]string{"k0": "v6", "k1": "v7", "k2": "v5"} {
+		if got := app.get(k); got != want {
+			t.Fatalf("after delta-chain recovery %s = %q, want %q", k, got, want)
+		}
+	}
+	// The recovered service keeps working and checkpointing.
+	put("k9", "v9")
+	server.Crash()
+	if err := server.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := server.App().(*deltaKV).get("k9"); got != "v9" {
+		t.Fatalf("k9 = %q after second recovery", got)
+	}
+}
+
+// slowOrphanApp runs until killed or released; used for probing tests.
+type slowOrphanApp struct {
+	started chan struct{}
+	mu      sync.Mutex
+	killed  bool
+}
+
+func (s *slowOrphanApp) Pop(th *mrpc.Thread, _ mrpc.OpID, args []byte) []byte {
+	select {
+	case s.started <- struct{}{}:
+	default:
+	}
+	select {
+	case <-th.Killed():
+		s.mu.Lock()
+		s.killed = true
+		s.mu.Unlock()
+		return nil
+	case <-time.After(5 * time.Second):
+		return args
+	}
+}
+
+func (s *slowOrphanApp) wasKilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+func TestProbingKillsOrphanOfCrashedClientWithoutRecovery(t *testing.T) {
+	// The incarnation-based detection of Terminate Orphan only fires when
+	// the client RECOVERS and calls again. Probing handles the case the
+	// paper's second option exists for: the client crashes and never comes
+	// back.
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.AtLeastOnce()
+	cfg.RetransTimeout = 10 * time.Millisecond
+	cfg.Orphan = mrpc.OrphanTerminate
+	cfg.OrphanProbeInterval = 15 * time.Millisecond
+	cfg.OrphanProbeMisses = 2
+
+	app := &slowOrphanApp{started: make(chan struct{}, 1)}
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return app }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		_, _, _ = client.Call(1, []byte("work"), sys.Group(1))
+	}()
+	<-app.started
+	client.Crash() // and never recovers
+	<-released
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !app.wasKilled() {
+		if time.Now().After(deadline) {
+			t.Fatal("orphan of silently-dead client never killed by probing")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPartitionHealingCompletesCall(t *testing.T) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.ExactlyOnce()
+	cfg.RetransTimeout = 5 * time.Millisecond
+	reg := mrpc.NewRegistry()
+	echo := reg.Register("echo", func(_ *mrpc.Thread, args []byte) []byte { return args })
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys.Network().Partition(100, 1, true)
+	done := make(chan mrpc.Status, 1)
+	go func() {
+		_, status, _ := client.Call(echo, []byte("x"), sys.Group(1))
+		done <- status
+	}()
+	select {
+	case <-done:
+		t.Fatal("call completed across a partition")
+	case <-time.After(30 * time.Millisecond):
+	}
+	sys.Network().Partition(100, 1, false)
+	select {
+	case status := <-done:
+		if status != mrpc.StatusOK {
+			t.Fatalf("status after healing = %v", status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never completed after the partition healed")
+	}
+}
+
+func TestTotalOrderLeaderCrashEndToEnd(t *testing.T) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{Membership: mrpc.MembershipOracle})
+	defer sys.Stop()
+
+	cfg := mrpc.ReplicatedService()
+	cfg.RetransTimeout = 5 * time.Millisecond
+	cfg.AcceptanceLimit = 2 // survive the leader's absence
+
+	reg := mrpc.NewRegistry()
+	echo := reg.Register("echo", func(_ *mrpc.Thread, args []byte) []byte { return args })
+	group := sys.Group(1, 2, 3)
+	servers := make(map[mrpc.ProcID]*mrpc.Node, 3)
+	for _, id := range group {
+		s, err := sys.AddServer(id, cfg, func() mrpc.App { return reg })
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[id] = s
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, status, _ := client.Call(echo, []byte{byte(i)}, group); status != mrpc.StatusOK {
+			t.Fatalf("pre-crash call %d: %v", i, status)
+		}
+	}
+	// Crash the leader (largest id).
+	servers[3].Crash()
+	for i := 3; i < 6; i++ {
+		_, status, err := client.Call(echo, []byte{byte(i)}, group)
+		if err != nil || status != mrpc.StatusOK {
+			t.Fatalf("post-leader-crash call %d: %v %v", i, status, err)
+		}
+	}
+}
+
+func TestCausalOrderEndToEndFacade(t *testing.T) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{Seed: 4, MinDelay: 100 * time.Microsecond, MaxDelay: 2 * time.Millisecond},
+	})
+	defer sys.Stop()
+
+	cfg := mrpc.ExactlyOnce()
+	cfg.Ordering = mrpc.OrderCausal
+	cfg.RetransTimeout = 10 * time.Millisecond
+	cfg.AcceptanceLimit = mrpc.AcceptAll
+
+	reg := mrpc.NewRegistry()
+	echo := reg.Register("echo", func(_ *mrpc.Thread, args []byte) []byte { return args })
+	group := sys.Group(1, 2, 3)
+	for _, id := range group {
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return reg }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.AddClient(101, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleaved traffic from two clients under reordering: every call
+	// must still complete (no causal deadlock).
+	var wg sync.WaitGroup
+	for _, c := range []*mrpc.Node{a, b} {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, status, err := c.Call(echo, []byte{byte(i)}, group); err != nil || status != mrpc.StatusOK {
+					t.Errorf("client %d call %d: %v %v", c.ID(), i, status, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+	"mrpc/internal/netsim"
+)
+
+func TestBaselineCallPerfectNetwork(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+
+	if _, err := NewServer(net, 1, func(_ msg.OpID, args []byte) []byte {
+		return append([]byte("r:"), args...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(net, clk, 100, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got := c.Call(1, []byte("x"), msg.NewGroup(1), 1)
+	if string(got) != "r:x" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestBaselineGroupAcceptance(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+
+	group := msg.NewGroup(1, 2, 3)
+	for _, id := range group {
+		if _, err := NewServer(net, id, func(_ msg.OpID, args []byte) []byte {
+			return args
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewClient(net, clk, 100, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Acceptance larger than the group is clamped; zero is clamped to 1.
+	if got := c.Call(1, []byte("a"), group, 99); string(got) != "a" {
+		t.Fatalf("reply = %q", got)
+	}
+	if got := c.Call(1, []byte("b"), group, 0); string(got) != "b" {
+		t.Fatalf("reply = %q", got)
+	}
+}
+
+func TestBaselineMasksLossViaRetransmission(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{
+		Seed: 5, LossProb: 0.3, MinDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond,
+	})
+	defer net.Stop()
+
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	if _, err := NewServer(net, 1, func(_ msg.OpID, args []byte) []byte {
+		mu.Lock()
+		execs[string(args)]++
+		mu.Unlock()
+		return args
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(net, clk, 100, 3*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	group := msg.NewGroup(1)
+	for i := 0; i < 20; i++ {
+		payload := []byte{byte(i)}
+		if got := c.Call(1, payload, group, 1); string(got) != string(payload) {
+			t.Fatalf("call %d: reply %v", i, got)
+		}
+	}
+	// Exactly-once: despite retransmissions, each call executed once.
+	mu.Lock()
+	defer mu.Unlock()
+	for k, n := range execs {
+		if n != 1 {
+			t.Fatalf("call %q executed %d times", k, n)
+		}
+	}
+	if len(execs) != 20 {
+		t.Fatalf("%d distinct calls executed, want 20", len(execs))
+	}
+}
+
+func TestBaselineClientCloseIdempotent(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+	c, err := NewClient(net, clk, 100, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+}

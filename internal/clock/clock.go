@@ -1,0 +1,228 @@
+// Package clock abstracts time for the RPC service and its substrates.
+//
+// The micro-protocols (Reliable Communication, Bounded Termination) and the
+// simulated network only ever observe time through a Clock, so tests and
+// experiments can run either against the real clock or against a simulated
+// clock that is advanced manually and deterministically.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer is a one-shot timer handle returned by Clock.AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the timer was stopped
+	// before firing.
+	Stop() bool
+}
+
+// Clock is the time source used by all timer-driven components.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules f to run once after d. f runs on its own
+	// goroutine (real clock) or on the advancing goroutine (sim clock).
+	AfterFunc(d time.Duration, f func()) Timer
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by package time.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns the real clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) Stop() bool { return r.t.Stop() }
+
+// Sim is a deterministic simulated clock. Time advances only through Advance
+// or AdvanceToNext; pending timers fire synchronously on the advancing
+// goroutine in deadline order. Sleep blocks until enough simulated time has
+// been advanced by another goroutine.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	nextID  int
+	timers  map[int]*simTimer
+	sleeper []*simSleep
+}
+
+var _ Clock = (*Sim)(nil)
+
+type simTimer struct {
+	id  int
+	at  time.Time
+	f   func()
+	sim *Sim
+}
+
+func (t *simTimer) Stop() bool {
+	t.sim.mu.Lock()
+	defer t.sim.mu.Unlock()
+	if _, ok := t.sim.timers[t.id]; ok {
+		delete(t.sim.timers, t.id)
+		return true
+	}
+	return false
+}
+
+type simSleep struct {
+	at time.Time
+	ch chan struct{}
+}
+
+// NewSim returns a simulated clock starting at a fixed epoch.
+func NewSim() *Sim {
+	return &Sim{
+		now:    time.Unix(0, 0),
+		timers: make(map[int]*simTimer),
+	}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// AfterFunc implements Clock.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &simTimer{id: s.nextID, at: s.now.Add(d), f: f, sim: s}
+	s.nextID++
+	s.timers[t.id] = t
+	return t
+}
+
+// Sleep implements Clock. It returns once simulated time has advanced past
+// the deadline. Sleeping for a non-positive duration returns immediately.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	sl := &simSleep{at: s.now.Add(d), ch: make(chan struct{})}
+	s.sleeper = append(s.sleeper, sl)
+	s.mu.Unlock()
+	<-sl.ch
+}
+
+// Advance moves simulated time forward by d, firing every timer and waking
+// every sleeper whose deadline falls within the window, in deadline order.
+// Timer callbacks run synchronously on the caller's goroutine and may
+// schedule further timers (which also fire if within the window).
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.mu.Unlock()
+	s.advanceTo(target)
+}
+
+// AdvanceToNext advances directly to the earliest pending timer or sleeper
+// deadline, firing it. It reports whether anything was pending.
+func (s *Sim) AdvanceToNext() bool {
+	s.mu.Lock()
+	var earliest time.Time
+	found := false
+	for _, t := range s.timers {
+		if !found || t.at.Before(earliest) {
+			earliest, found = t.at, true
+		}
+	}
+	for _, sl := range s.sleeper {
+		if !found || sl.at.Before(earliest) {
+			earliest, found = sl.at, true
+		}
+	}
+	s.mu.Unlock()
+	if !found {
+		return false
+	}
+	s.advanceTo(earliest)
+	return true
+}
+
+// PendingTimers returns the number of unfired timers. Intended for tests.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.timers)
+}
+
+func (s *Sim) advanceTo(target time.Time) {
+	for {
+		s.mu.Lock()
+		// Find the earliest event at or before target.
+		var (
+			bestTimer *simTimer
+			bestSleep *simSleep
+		)
+		for _, t := range s.timers {
+			if t.at.After(target) {
+				continue
+			}
+			if bestTimer == nil || t.at.Before(bestTimer.at) ||
+				(t.at.Equal(bestTimer.at) && t.id < bestTimer.id) {
+				bestTimer = t
+			}
+		}
+		sort.SliceStable(s.sleeper, func(i, j int) bool {
+			return s.sleeper[i].at.Before(s.sleeper[j].at)
+		})
+		for _, sl := range s.sleeper {
+			if !sl.at.After(target) {
+				bestSleep = sl
+				break
+			}
+		}
+
+		switch {
+		case bestTimer == nil && bestSleep == nil:
+			if target.After(s.now) {
+				s.now = target
+			}
+			s.mu.Unlock()
+			return
+		case bestTimer != nil && (bestSleep == nil || !bestSleep.at.Before(bestTimer.at)):
+			if bestTimer.at.After(s.now) {
+				s.now = bestTimer.at
+			}
+			delete(s.timers, bestTimer.id)
+			f := bestTimer.f
+			s.mu.Unlock()
+			f()
+		default:
+			if bestSleep.at.After(s.now) {
+				s.now = bestSleep.at
+			}
+			for i, sl := range s.sleeper {
+				if sl == bestSleep {
+					s.sleeper = append(s.sleeper[:i], s.sleeper[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			close(bestSleep.ch)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	clk := NewReal()
+	t0 := clk.Now()
+	fired := make(chan struct{})
+	clk.AfterFunc(5*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if clk.Now().Sub(t0) <= 0 {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	clk := NewReal()
+	fired := make(chan struct{}, 1)
+	tm := clk.AfterFunc(50*time.Millisecond, func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(80 * time.Millisecond):
+	}
+}
+
+func TestSimAdvanceFiresInOrder(t *testing.T) {
+	clk := NewSim()
+	var order []int
+	clk.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	clk.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	clk.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+
+	clk.Advance(15 * time.Millisecond)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after 15ms: fired %v, want [1]", order)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("after 115ms: fired %v, want [1 2 3]", order)
+	}
+	if got := clk.Now(); got != time.Unix(0, 0).Add(115*time.Millisecond) {
+		t.Fatalf("now = %v, want epoch+115ms", got)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	clk := NewSim()
+	fired := false
+	tm := clk.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending sim timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	clk.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped sim timer fired")
+	}
+}
+
+func TestSimTimerReschedulesWithinAdvance(t *testing.T) {
+	clk := NewSim()
+	var at []time.Duration
+	epoch := clk.Now()
+	var tick func()
+	tick = func() {
+		at = append(at, clk.Now().Sub(epoch))
+		if len(at) < 4 {
+			clk.AfterFunc(10*time.Millisecond, tick)
+		}
+	}
+	clk.AfterFunc(10*time.Millisecond, tick)
+	clk.Advance(100 * time.Millisecond)
+	want := []time.Duration{10, 20, 30, 40}
+	if len(at) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(at), len(want))
+	}
+	for i, w := range want {
+		if at[i] != w*time.Millisecond {
+			t.Fatalf("firing %d at %v, want %v", i, at[i], w*time.Millisecond)
+		}
+	}
+}
+
+func TestSimSleep(t *testing.T) {
+	clk := NewSim()
+	done := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		clk.Sleep(25 * time.Millisecond)
+		close(done)
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the sleeper register
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before time advanced")
+	default:
+	}
+	clk.Advance(30 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestSimSleepNonPositive(t *testing.T) {
+	clk := NewSim()
+	done := make(chan struct{})
+	go func() {
+		clk.Sleep(0)
+		clk.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive Sleep blocked")
+	}
+}
+
+func TestSimAdvanceToNext(t *testing.T) {
+	clk := NewSim()
+	if clk.AdvanceToNext() {
+		t.Fatal("AdvanceToNext with nothing pending returned true")
+	}
+	fired := 0
+	clk.AfterFunc(7*time.Millisecond, func() { fired++ })
+	clk.AfterFunc(3*time.Millisecond, func() { fired++ })
+	if !clk.AdvanceToNext() {
+		t.Fatal("AdvanceToNext returned false with timers pending")
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if got := clk.Now(); got != time.Unix(0, 0).Add(3*time.Millisecond) {
+		t.Fatalf("now = %v, want epoch+3ms", got)
+	}
+	clk.AdvanceToNext()
+	if fired != 2 || clk.PendingTimers() != 0 {
+		t.Fatalf("fired = %d pending = %d", fired, clk.PendingTimers())
+	}
+}
+
+func TestSimConcurrentAfterFunc(t *testing.T) {
+	clk := NewSim()
+	var mu sync.Mutex
+	fired := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clk.AfterFunc(time.Duration(i)*time.Millisecond, func() {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	clk.Advance(time.Second)
+	if fired != 50 {
+		t.Fatalf("fired = %d, want 50", fired)
+	}
+}
+
+func TestSimEqualDeadlinesFIFO(t *testing.T) {
+	clk := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		clk.AfterFunc(10*time.Millisecond, func() { order = append(order, i) })
+	}
+	clk.Advance(10 * time.Millisecond)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("equal-deadline firing order %v, want registration order", order)
+		}
+	}
+}

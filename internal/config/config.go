@@ -1,0 +1,344 @@
+// Package config models the configurable part of the group RPC service:
+// the semantic properties of §2 (Figure 2), the micro-protocol dependency
+// graph of §5 (Figure 4), validation of user-selected configurations, and
+// exhaustive enumeration of the legal configurations — reproducing the
+// paper's count of 2 (call) × 3 (orphan) × 3 (execution) × 11
+// (communication/termination/ordering/unique) = 198 possible services, with
+// acceptance and collation policies fixed as the paper does for fairness.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mrpc/internal/core"
+	"mrpc/internal/stable"
+)
+
+// CallSemantics selects synchronous or asynchronous call semantics (§2.1).
+type CallSemantics int
+
+// Call semantics variants.
+const (
+	CallSynchronous CallSemantics = iota + 1
+	CallAsynchronous
+)
+
+// String returns the variant name.
+func (c CallSemantics) String() string {
+	switch c {
+	case CallSynchronous:
+		return "synchronous"
+	case CallAsynchronous:
+		return "asynchronous"
+	default:
+		return fmt.Sprintf("call(%d)", int(c))
+	}
+}
+
+// ExecMode selects the server execution property (§4.4.5): unrestricted
+// concurrent execution, serial execution, or atomic (checkpointed, which
+// requires serial) execution.
+type ExecMode int
+
+// Execution modes.
+const (
+	ExecConcurrent ExecMode = iota + 1
+	ExecSerial
+	ExecAtomic // implies serial execution
+)
+
+// String returns the variant name.
+func (e ExecMode) String() string {
+	switch e {
+	case ExecConcurrent:
+		return "concurrent"
+	case ExecSerial:
+		return "serial"
+	case ExecAtomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("exec(%d)", int(e))
+	}
+}
+
+// OrderMode selects the ordering property (§2.2).
+type OrderMode int
+
+// Ordering modes. OrderCausal is an extension beyond the paper's Figure 4
+// (its §2.2 mentions causal order as a defined variant); it is therefore
+// excluded from Enumerate, which reproduces the paper's 198 count.
+const (
+	OrderNone OrderMode = iota + 1
+	OrderFIFO
+	OrderTotal
+	OrderCausal
+)
+
+// String returns the variant name.
+func (o OrderMode) String() string {
+	switch o {
+	case OrderNone:
+		return "none"
+	case OrderFIFO:
+		return "fifo"
+	case OrderTotal:
+		return "total"
+	case OrderCausal:
+		return "causal"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// OrphanMode selects the orphan-handling property (§2.1).
+type OrphanMode int
+
+// Orphan handling modes.
+const (
+	OrphanIgnore OrphanMode = iota + 1
+	OrphanAvoidInterference
+	OrphanTerminate
+)
+
+// String returns the variant name.
+func (o OrphanMode) String() string {
+	switch o {
+	case OrphanIgnore:
+		return "ignore"
+	case OrphanAvoidInterference:
+		return "avoid-interference"
+	case OrphanTerminate:
+		return "terminate"
+	default:
+		return fmt.Sprintf("orphan(%d)", int(o))
+	}
+}
+
+// FailureSemantics is the traditional classification subsumed by the
+// unique/atomic execution properties (Figure 1).
+type FailureSemantics int
+
+// Traditional failure semantics.
+const (
+	AtLeastOnce FailureSemantics = iota + 1
+	ExactlyOnce
+	AtMostOnce
+)
+
+// String returns the traditional name.
+func (f FailureSemantics) String() string {
+	switch f {
+	case AtLeastOnce:
+		return "at least once"
+	case ExactlyOnce:
+		return "exactly once"
+	case AtMostOnce:
+		return "at most once"
+	default:
+		return fmt.Sprintf("failure(%d)", int(f))
+	}
+}
+
+// Config selects one variant of every configurable property. The zero
+// value is not valid; start from a preset or fill every field.
+type Config struct {
+	// Call selects synchronous or asynchronous call semantics.
+	Call CallSemantics
+	// Reliable configures the Reliable Communication micro-protocol.
+	Reliable bool
+	// RetransTimeout is the retransmission period (Reliable only).
+	RetransTimeout time.Duration
+	// Bounded configures the Bounded Termination micro-protocol.
+	Bounded bool
+	// TimeBound is the per-call deadline (Bounded only).
+	TimeBound time.Duration
+	// Unique configures the Unique Execution micro-protocol.
+	Unique bool
+	// Execution selects the server execution property.
+	Execution ExecMode
+	// Ordering selects the call-ordering property.
+	Ordering OrderMode
+	// Orphan selects the orphan-handling property.
+	Orphan OrphanMode
+	// AcceptanceLimit is the number of successful server executions
+	// required (k-of-n); core.AcceptAll means every functioning member.
+	AcceptanceLimit int
+	// Collate combines group replies; nil means last-reply-wins.
+	Collate core.CollateFunc
+	// CollateInit is the initial accumulator value for Collate.
+	CollateInit []byte
+	// AtomicDeltas enables incremental checkpoints for atomic execution
+	// (the §4.4.5 optimization); the app must implement
+	// core.DeltaCheckpointable.
+	AtomicDeltas bool
+	// AtomicCompactEvery bounds the delta chain length (default 16).
+	AtomicCompactEvery int
+	// OrphanProbeInterval, when positive with OrphanTerminate, enables
+	// the paper's second orphan-detection option: servers probe clients
+	// with in-progress work and kill the computations of clients that
+	// miss OrphanProbeMisses consecutive probes.
+	OrphanProbeInterval time.Duration
+	// OrphanProbeMisses is the consecutive-miss threshold (default 3).
+	OrphanProbeMisses int
+}
+
+// Validation errors, matching the edges of Figure 4.
+var (
+	ErrOrderingNeedsReliable = errors.New("config: FIFO/total ordering requires reliable communication (Figure 2: every server must receive the same set of messages)")
+	ErrOrderingNeedsUnique   = errors.New("config: FIFO/total ordering requires unique execution (Figure 4: the ordering implementations assume each request is admitted once)")
+	ErrTotalOrderNoBounded   = errors.New("config: total ordering is incompatible with bounded termination (§4.4.6: a timed-out call would leave a hole in the total order)")
+	ErrBadCall               = errors.New("config: call semantics must be synchronous or asynchronous")
+	ErrBadExec               = errors.New("config: execution mode must be concurrent, serial or atomic")
+	ErrBadOrder              = errors.New("config: ordering must be none, fifo or total")
+	ErrBadOrphan             = errors.New("config: orphan handling must be ignore, avoid-interference or terminate")
+	ErrBadAcceptance         = errors.New("config: acceptance limit must be at least 1")
+)
+
+// Validate checks the configuration against the dependency graph of
+// Figure 4. It returns the first violated dependency.
+func (c Config) Validate() error {
+	switch c.Call {
+	case CallSynchronous, CallAsynchronous:
+	default:
+		return ErrBadCall
+	}
+	switch c.Execution {
+	case ExecConcurrent, ExecSerial, ExecAtomic:
+	default:
+		return ErrBadExec
+	}
+	switch c.Ordering {
+	case OrderNone, OrderFIFO, OrderTotal, OrderCausal:
+	default:
+		return ErrBadOrder
+	}
+	switch c.Orphan {
+	case OrphanIgnore, OrphanAvoidInterference, OrphanTerminate:
+	default:
+		return ErrBadOrphan
+	}
+	if c.AcceptanceLimit < 1 {
+		return ErrBadAcceptance
+	}
+	if c.Ordering != OrderNone {
+		if !c.Reliable {
+			return ErrOrderingNeedsReliable
+		}
+		if !c.Unique {
+			return ErrOrderingNeedsUnique
+		}
+	}
+	if c.Ordering == OrderTotal && c.Bounded {
+		return ErrTotalOrderNoBounded
+	}
+	return nil
+}
+
+// FailureSemantics classifies the configuration per Figure 1.
+func (c Config) FailureSemantics() FailureSemantics {
+	switch {
+	case c.Unique && c.Execution == ExecAtomic:
+		return AtMostOnce
+	case c.Unique:
+		return ExactlyOnce
+	default:
+		return AtLeastOnce
+	}
+}
+
+// String summarizes the selected variants.
+func (c Config) String() string {
+	return fmt.Sprintf("call=%s reliable=%t bounded=%t unique=%t exec=%s order=%s orphan=%s accept=%s",
+		c.Call, c.Reliable, c.Bounded, c.Unique, c.Execution, c.Ordering, c.Orphan, acceptString(c.AcceptanceLimit))
+}
+
+func acceptString(k int) string {
+	if k >= core.AcceptAll {
+		return "ALL"
+	}
+	return fmt.Sprintf("%d", k)
+}
+
+// BuildDeps carries the substrate objects that some micro-protocols need:
+// Atomic Execution requires stable storage, the crash-surviving checkpoint
+// cell (or, in delta mode, the checkpoint log), and the checkpointable
+// server state.
+type BuildDeps struct {
+	Store *stable.Store
+	Cell  *stable.Cell
+	Log   *stable.Log
+	State core.Checkpointable
+}
+
+// Protocols instantiates the micro-protocols selected by the configuration,
+// in canonical attachment order. It validates first.
+func (c Config) Protocols(deps BuildDeps) ([]core.MicroProtocol, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Execution == ExecAtomic && (deps.Store == nil || deps.Cell == nil || deps.State == nil) {
+		return nil, errors.New("config: atomic execution requires stable store, checkpoint cell and checkpointable state")
+	}
+
+	// The minimal functional set (the dashed region of Figure 4): RPC
+	// Main, one call-semantics protocol, Acceptance and Collation.
+	protos := []core.MicroProtocol{core.RPCMain{}}
+	if c.Call == CallSynchronous {
+		protos = append(protos, core.SynchronousCall{})
+	} else {
+		protos = append(protos, core.AsynchronousCall{})
+	}
+	protos = append(protos,
+		core.Acceptance{Limit: c.AcceptanceLimit},
+		core.Collation{Func: c.Collate, Init: c.CollateInit},
+	)
+
+	if c.Reliable {
+		protos = append(protos, core.ReliableCommunication{RetransTimeout: c.RetransTimeout})
+	}
+	if c.Bounded {
+		protos = append(protos, core.BoundedTermination{TimeBound: c.TimeBound})
+	}
+	if c.Unique {
+		protos = append(protos, core.UniqueExecution{})
+	}
+	switch c.Execution {
+	case ExecSerial:
+		protos = append(protos, core.SerialExecution{})
+	case ExecAtomic:
+		protos = append(protos,
+			core.SerialExecution{},
+			core.AtomicExecution{
+				Store:        deps.Store,
+				Cell:         deps.Cell,
+				State:        deps.State,
+				Deltas:       c.AtomicDeltas,
+				Log:          deps.Log,
+				CompactEvery: c.AtomicCompactEvery,
+			},
+		)
+	}
+	switch c.Ordering {
+	case OrderFIFO:
+		// Asynchronous clients pipeline calls, so the network can reorder
+		// a client's opening batch; strict initialization keeps FIFO live
+		// in that case (see core.FIFOOrder).
+		protos = append(protos, core.FIFOOrder{StrictInit: c.Call == CallAsynchronous})
+	case OrderTotal:
+		protos = append(protos, core.TotalOrder{})
+	case OrderCausal:
+		protos = append(protos, core.CausalOrder{})
+	}
+	switch c.Orphan {
+	case OrphanAvoidInterference:
+		protos = append(protos, core.InterferenceAvoidance{})
+	case OrphanTerminate:
+		protos = append(protos, core.TerminateOrphan{
+			ProbeInterval: c.OrphanProbeInterval,
+			ProbeMisses:   c.OrphanProbeMisses,
+		})
+	}
+	return protos, nil
+}

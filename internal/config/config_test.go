@@ -1,0 +1,336 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mrpc/internal/core"
+)
+
+func valid() Config {
+	return Config{
+		Call:            CallSynchronous,
+		Execution:       ExecConcurrent,
+		Ordering:        OrderNone,
+		Orphan:          OrphanIgnore,
+		AcceptanceLimit: 1,
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDependencies(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		want error
+	}{
+		{"fifo needs reliable", func(c *Config) {
+			c.Ordering, c.Unique = OrderFIFO, true
+		}, ErrOrderingNeedsReliable},
+		{"fifo needs unique", func(c *Config) {
+			c.Ordering, c.Reliable = OrderFIFO, true
+		}, ErrOrderingNeedsUnique},
+		{"total needs reliable", func(c *Config) {
+			c.Ordering, c.Unique = OrderTotal, true
+		}, ErrOrderingNeedsReliable},
+		{"total needs unique", func(c *Config) {
+			c.Ordering, c.Reliable = OrderTotal, true
+		}, ErrOrderingNeedsUnique},
+		{"total excludes bounded", func(c *Config) {
+			c.Ordering, c.Reliable, c.Unique, c.Bounded = OrderTotal, true, true, true
+		}, ErrTotalOrderNoBounded},
+		{"bad call", func(c *Config) { c.Call = 0 }, ErrBadCall},
+		{"bad exec", func(c *Config) { c.Execution = 99 }, ErrBadExec},
+		{"bad order", func(c *Config) { c.Ordering = 99 }, ErrBadOrder},
+		{"bad orphan", func(c *Config) { c.Orphan = 99 }, ErrBadOrphan},
+		{"bad acceptance", func(c *Config) { c.AcceptanceLimit = 0 }, ErrBadAcceptance},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := valid()
+			tt.mut(&c)
+			if err := c.Validate(); !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsLegalOrderings(t *testing.T) {
+	c := valid()
+	c.Reliable, c.Unique = true, true
+	for _, o := range []OrderMode{OrderNone, OrderFIFO, OrderTotal, OrderCausal} {
+		c.Ordering = o
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+	}
+	c.Ordering = OrderFIFO
+	c.Bounded = true // FIFO + bounded is legal (unlike total)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureSemanticsMapping(t *testing.T) {
+	// Figure 1.
+	c := valid()
+	if got := c.FailureSemantics(); got != AtLeastOnce {
+		t.Fatalf("no unique, no atomic: %v", got)
+	}
+	c.Unique = true
+	if got := c.FailureSemantics(); got != ExactlyOnce {
+		t.Fatalf("unique, no atomic: %v", got)
+	}
+	c.Execution = ExecAtomic
+	if got := c.FailureSemantics(); got != AtMostOnce {
+		t.Fatalf("unique + atomic: %v", got)
+	}
+	// Atomic without unique is still classified at-least-once (Figure 1
+	// has no row for it; execution may repeat).
+	c.Unique = false
+	if got := c.FailureSemantics(); got != AtLeastOnce {
+		t.Fatalf("atomic without unique: %v", got)
+	}
+}
+
+func TestEnumerationCount(t *testing.T) {
+	all := Enumerate()
+	if len(all) != 198 {
+		t.Fatalf("Enumerate() = %d configurations, want the paper's 198", len(all))
+	}
+	if got := Count(); got != 198 {
+		t.Fatalf("Count() = %d", got)
+	}
+	if got := CommClusterCount(); got != 11 {
+		t.Fatalf("CommClusterCount() = %d, want the paper's 11", got)
+	}
+}
+
+func TestEnumerationAllValidAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range Enumerate() {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("enumerated invalid config %s: %v", c, err)
+		}
+		key := c.String()
+		if seen[key] {
+			t.Fatalf("duplicate configuration %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnumerationMatchesGraphCheck(t *testing.T) {
+	// Independent cross-check: every enumerated configuration's selected
+	// micro-protocol set satisfies the Figure 4 graph, and mutating any
+	// valid config into an illegal one is caught by the graph too.
+	for _, c := range Enumerate() {
+		if v := CheckAgainstGraph(c.SelectedProtocols()); len(v) != 0 {
+			t.Fatalf("config %s violates graph: %v", c, v)
+		}
+	}
+	// Total order without unique execution must be flagged.
+	bad := []string{"RPC Main", "Synchronous Call", "Acceptance", "Collation",
+		"Reliable Communication", "Total Order"}
+	if v := CheckAgainstGraph(bad); len(v) == 0 {
+		t.Fatal("graph check accepted total order without unique execution")
+	}
+	// Two call-semantics protocols must be flagged.
+	bad = []string{"RPC Main", "Synchronous Call", "Asynchronous Call", "Acceptance", "Collation"}
+	if v := CheckAgainstGraph(bad); len(v) == 0 {
+		t.Fatal("graph check accepted two call-semantics protocols")
+	}
+	// Missing call semantics must be flagged.
+	bad = []string{"RPC Main", "Acceptance", "Collation"}
+	if v := CheckAgainstGraph(bad); len(v) == 0 {
+		t.Fatal("graph check accepted a config with no call semantics")
+	}
+	// Unknown protocol must be flagged.
+	if v := CheckAgainstGraph([]string{"RPC Main", "Synchronous Call", "Mystery"}); len(v) == 0 {
+		t.Fatal("graph check accepted an unknown protocol")
+	}
+}
+
+func TestEnumerationFactorization(t *testing.T) {
+	// The paper's 198 = 2 x 3 x 3 x 11: verify each factor empirically.
+	all := Enumerate()
+	calls := map[CallSemantics]int{}
+	orphans := map[OrphanMode]int{}
+	execs := map[ExecMode]int{}
+	for _, c := range all {
+		calls[c.Call]++
+		orphans[c.Orphan]++
+		execs[c.Execution]++
+	}
+	if len(calls) != 2 || len(orphans) != 3 || len(execs) != 3 {
+		t.Fatalf("factor cardinalities: calls=%d orphans=%d execs=%d", len(calls), len(orphans), len(execs))
+	}
+	for k, n := range calls {
+		if n != 99 {
+			t.Fatalf("call %v appears %d times, want 99", k, n)
+		}
+	}
+	for k, n := range orphans {
+		if n != 66 {
+			t.Fatalf("orphan %v appears %d times, want 66", k, n)
+		}
+	}
+	for k, n := range execs {
+		if n != 66 {
+			t.Fatalf("exec %v appears %d times, want 66", k, n)
+		}
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		cfg  Config
+		want FailureSemantics
+	}{
+		{"ReadOne", ReadOne(), AtLeastOnce},
+		{"AtLeastOnce", AtLeastOncePreset(), AtLeastOnce},
+		{"ExactlyOnce", ExactlyOncePreset(), ExactlyOnce},
+		{"AtMostOnce", AtMostOncePreset(), AtMostOnce},
+		{"ReplicatedService", ReplicatedService(), ExactlyOnce},
+	} {
+		if err := p.cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.name, err)
+		}
+		if got := p.cfg.FailureSemantics(); got != p.want {
+			t.Errorf("%s semantics = %v, want %v", p.name, got, p.want)
+		}
+	}
+}
+
+func TestProtocolsInstantiation(t *testing.T) {
+	c := valid()
+	c.Reliable, c.Bounded, c.Unique = true, true, true
+	c.Execution = ExecSerial
+	c.Ordering = OrderFIFO
+	c.Orphan = OrphanTerminate
+	protos, err := c.Protocols(BuildDeps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range protos {
+		names = append(names, p.Name())
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"RPC Main", "Synchronous Call", "Acceptance",
+		"Collation", "Reliable Communication", "Bounded Termination",
+		"Unique Execution", "Serial Execution", "FIFO Order", "Terminate Orphan"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("protocols %v missing %q", names, want)
+		}
+	}
+	if len(protos) != 10 {
+		t.Fatalf("got %d protocols: %v", len(protos), names)
+	}
+}
+
+func TestProtocolsAtomicRequiresDeps(t *testing.T) {
+	c := valid()
+	c.Execution = ExecAtomic
+	if _, err := c.Protocols(BuildDeps{}); err == nil {
+		t.Fatal("atomic execution without deps accepted")
+	}
+}
+
+func TestProtocolsRejectsInvalid(t *testing.T) {
+	c := valid()
+	c.Ordering = OrderTotal // missing reliable+unique
+	if _, err := c.Protocols(BuildDeps{}); err == nil {
+		t.Fatal("invalid config instantiated")
+	}
+}
+
+func TestSelectedProtocolsAsync(t *testing.T) {
+	c := valid()
+	c.Call = CallAsynchronous
+	c.Orphan = OrphanAvoidInterference
+	c.Execution = ExecAtomic
+	c.Ordering = OrderTotal
+	c.Reliable, c.Unique = true, true
+	names := strings.Join(c.SelectedProtocols(), ",")
+	for _, want := range []string{"Asynchronous Call", "Interference Avoidance",
+		"Atomic Execution", "Serial Execution", "Total Order"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("selected %q missing %q", names, want)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if CallSynchronous.String() != "synchronous" || CallAsynchronous.String() != "asynchronous" {
+		t.Error("call strings")
+	}
+	if ExecConcurrent.String() != "concurrent" || ExecSerial.String() != "serial" || ExecAtomic.String() != "atomic" {
+		t.Error("exec strings")
+	}
+	if OrderNone.String() != "none" || OrderFIFO.String() != "fifo" || OrderTotal.String() != "total" {
+		t.Error("order strings")
+	}
+	if OrphanIgnore.String() != "ignore" || OrphanAvoidInterference.String() != "avoid-interference" || OrphanTerminate.String() != "terminate" {
+		t.Error("orphan strings")
+	}
+	if AtLeastOnce.String() != "at least once" || ExactlyOnce.String() != "exactly once" || AtMostOnce.String() != "at most once" {
+		t.Error("failure strings")
+	}
+	c := valid()
+	c.AcceptanceLimit = core.AcceptAll
+	if !strings.Contains(c.String(), "accept=ALL") {
+		t.Errorf("String() = %q", c.String())
+	}
+	// Unknown enum values render diagnosably.
+	if !strings.Contains(CallSemantics(9).String(), "9") ||
+		!strings.Contains(ExecMode(9).String(), "9") ||
+		!strings.Contains(OrderMode(9).String(), "9") ||
+		!strings.Contains(OrphanMode(9).String(), "9") ||
+		!strings.Contains(FailureSemantics(9).String(), "9") {
+		t.Error("unknown enum strings")
+	}
+}
+
+func TestPropertyGraphShape(t *testing.T) {
+	props := PropertyGraph()
+	if len(props) != 9 {
+		t.Fatalf("property graph has %d nodes, want 9 (Figure 2)", len(props))
+	}
+	var ordering *PropertyNode
+	for i := range props {
+		if props[i].Name == "Ordering" {
+			ordering = &props[i]
+		}
+	}
+	if ordering == nil || len(ordering.DependsOn) == 0 {
+		t.Fatal("ordering's dependency on reliable communication missing (Figure 2)")
+	}
+}
+
+func TestDependencyGraphShape(t *testing.T) {
+	nodes, groups := DependencyGraph()
+	if len(nodes) != 16 {
+		t.Fatalf("graph has %d nodes, want 16 (Figure 4's 15 + the Causal Order extension)", len(nodes))
+	}
+	minimal := 0
+	for _, n := range nodes {
+		if n.Minimal {
+			minimal++
+		}
+	}
+	if minimal != 5 {
+		t.Fatalf("minimal set = %d nodes, want 5 (Main, 2 call semantics, Acceptance, Collation)", minimal)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("choice groups = %d, want 3", len(groups))
+	}
+}

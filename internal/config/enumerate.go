@@ -1,0 +1,138 @@
+package config
+
+import "mrpc/internal/core"
+
+// Enumerate generates every legal configuration reachable by combining
+// micro-protocol selections under the dependency graph of Figure 4, with
+// acceptance and collation policies fixed (the paper fixes them "for
+// fairness", since a group of n servers admits 2^n − 1 acceptance policies
+// and infinitely many collation functions).
+//
+// The paper's §5 tally — two call-semantics choices, three orphan
+// treatments, three execution properties, and eleven legal combinations of
+// unique execution, reliable communication, termination and ordering —
+// multiplies out to 198 services, and Enumerate returns exactly that many.
+func Enumerate() []Config {
+	var out []Config
+	for _, call := range []CallSemantics{CallSynchronous, CallAsynchronous} {
+		for _, orphan := range []OrphanMode{OrphanIgnore, OrphanAvoidInterference, OrphanTerminate} {
+			for _, exec := range []ExecMode{ExecConcurrent, ExecSerial, ExecAtomic} {
+				for _, unique := range []bool{false, true} {
+					for _, reliable := range []bool{false, true} {
+						for _, bounded := range []bool{false, true} {
+							for _, order := range []OrderMode{OrderNone, OrderFIFO, OrderTotal} {
+								c := Config{
+									Call:            call,
+									Reliable:        reliable,
+									Bounded:         bounded,
+									Unique:          unique,
+									Execution:       exec,
+									Ordering:        order,
+									Orphan:          orphan,
+									AcceptanceLimit: 1,
+								}
+								if c.Validate() == nil {
+									out = append(out, c)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of legal configurations (the paper's 198).
+func Count() int { return len(Enumerate()) }
+
+// CommClusterCount returns the number of legal combinations of unique
+// execution, reliable communication, termination and ordering alone — the
+// paper's "total of 11 possible choices".
+func CommClusterCount() int {
+	n := 0
+	for _, unique := range []bool{false, true} {
+		for _, reliable := range []bool{false, true} {
+			for _, bounded := range []bool{false, true} {
+				for _, order := range []OrderMode{OrderNone, OrderFIFO, OrderTotal} {
+					c := Config{
+						Call:            CallSynchronous,
+						Reliable:        reliable,
+						Bounded:         bounded,
+						Unique:          unique,
+						Execution:       ExecConcurrent,
+						Ordering:        order,
+						Orphan:          OrphanIgnore,
+						AcceptanceLimit: 1,
+					}
+					if c.Validate() == nil {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// --- presets ---------------------------------------------------------------
+
+// ReadOne is the §5 example: a group RPC tuned for quick response to
+// read-only requests — at-least-once semantics, acceptance 1, synchronous
+// calls, reliable communication in the RPC layer, and bounded termination.
+func ReadOne() Config {
+	return Config{
+		Call:            CallSynchronous,
+		Reliable:        true,
+		Bounded:         true,
+		Execution:       ExecConcurrent,
+		Ordering:        OrderNone,
+		Orphan:          OrphanIgnore,
+		AcceptanceLimit: 1,
+	}
+}
+
+// AtLeastOncePreset is the basic reliable synchronous group RPC: calls may
+// execute more than once under retransmission but every accepted call
+// executed at least once.
+func AtLeastOncePreset() Config {
+	return Config{
+		Call:            CallSynchronous,
+		Reliable:        true,
+		Execution:       ExecConcurrent,
+		Ordering:        OrderNone,
+		Orphan:          OrphanIgnore,
+		AcceptanceLimit: 1,
+	}
+}
+
+// ExactlyOncePreset adds unique execution: an accepted call has executed
+// exactly once at each responding server.
+func ExactlyOncePreset() Config {
+	c := AtLeastOncePreset()
+	c.Unique = true
+	return c
+}
+
+// AtMostOncePreset adds atomic (and therefore serial) execution: even an
+// unaccepted call is guaranteed to have executed atomically or not at all.
+func AtMostOncePreset() Config {
+	c := ExactlyOncePreset()
+	c.Execution = ExecAtomic
+	return c
+}
+
+// ReplicatedService is the state-machine-replication configuration: total
+// order, unique execution, all functioning members must execute.
+func ReplicatedService() Config {
+	return Config{
+		Call:            CallSynchronous,
+		Reliable:        true,
+		Unique:          true,
+		Execution:       ExecSerial,
+		Ordering:        OrderTotal,
+		Orphan:          OrphanIgnore,
+		AcceptanceLimit: core.AcceptAll,
+	}
+}

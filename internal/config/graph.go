@@ -1,0 +1,183 @@
+package config
+
+// This file encodes the two structural figures of the paper as data, so
+// the tooling can print them and the tests can check the implementation
+// against them rather than transcribing prose.
+
+// PropertyNode is one property box of Figure 2, with the properties it
+// logically depends on (an edge A → B means B must hold for A to hold).
+type PropertyNode struct {
+	Name      string
+	Category  string
+	Variants  []string
+	DependsOn []string
+}
+
+// PropertyGraph returns the semantic-property hierarchy of Figure 2.
+func PropertyGraph() []PropertyNode {
+	return []PropertyNode{
+		{Name: "Failure semantics", Category: "failure",
+			Variants: []string{"unique execution", "non-unique execution", "atomic execution", "non-atomic execution"}},
+		{Name: "Call semantics", Category: "call",
+			Variants: []string{"synchronous", "asynchronous"}},
+		{Name: "Orphan handling", Category: "orphan",
+			Variants: []string{"ignore orphans", "avoid orphan interference", "terminate orphans"}},
+		{Name: "Communication", Category: "communication",
+			Variants: []string{"reliable", "unreliable"}},
+		{Name: "Termination", Category: "termination",
+			Variants: []string{"bounded", "unbounded"}},
+		{Name: "Ordering", Category: "ordering",
+			Variants:  []string{"no order", "FIFO order", "total order"},
+			DependsOn: []string{"Communication: reliable"}},
+		{Name: "Acceptance", Category: "acceptance",
+			Variants: []string{"ONE", "...", "ALL"}},
+		{Name: "Collation", Category: "collation",
+			Variants: []string{"user-supplied function"}},
+		{Name: "Membership", Category: "membership",
+			Variants: []string{"present", "absent"}},
+	}
+}
+
+// ProtoNode is one micro-protocol box of Figure 4.
+type ProtoNode struct {
+	Name string
+	// Requires lists micro-protocols that must also be configured.
+	Requires []string
+	// Excludes lists micro-protocols that must not be configured together
+	// with this one (beyond the choice groups).
+	Excludes []string
+	// Minimal marks membership in the dashed minimal functional set.
+	Minimal bool
+}
+
+// ChoiceGroup is a bold box of Figure 4: at most one member may be chosen;
+// if Required, exactly one must be.
+type ChoiceGroup struct {
+	Name     string
+	Members  []string
+	Required bool
+}
+
+// DependencyGraph returns the micro-protocol dependency graph of Figure 4.
+func DependencyGraph() ([]ProtoNode, []ChoiceGroup) {
+	nodes := []ProtoNode{
+		{Name: "RPC Main", Minimal: true},
+		{Name: "Synchronous Call", Requires: []string{"RPC Main"}, Minimal: true},
+		{Name: "Asynchronous Call", Requires: []string{"RPC Main"}, Minimal: true},
+		{Name: "Acceptance", Requires: []string{"RPC Main"}, Minimal: true},
+		{Name: "Collation", Requires: []string{"RPC Main"}, Minimal: true},
+		{Name: "Reliable Communication", Requires: []string{"RPC Main"}},
+		{Name: "Bounded Termination", Requires: []string{"RPC Main"}},
+		{Name: "Unique Execution", Requires: []string{"RPC Main"}},
+		{Name: "Serial Execution", Requires: []string{"RPC Main"}},
+		{Name: "Atomic Execution", Requires: []string{"Serial Execution"}},
+		{Name: "FIFO Order", Requires: []string{"Reliable Communication", "Unique Execution"}},
+		{Name: "Total Order",
+			Requires: []string{"Reliable Communication", "Unique Execution"},
+			Excludes: []string{"Bounded Termination"}},
+		{Name: "Causal Order",
+			Requires: []string{"Reliable Communication", "Unique Execution"}},
+		{Name: "Interference Avoidance", Requires: []string{"RPC Main"}},
+		{Name: "Terminate Orphan", Requires: []string{"RPC Main"}},
+		{Name: "Membership Service"},
+	}
+	groups := []ChoiceGroup{
+		{Name: "call semantics", Members: []string{"Synchronous Call", "Asynchronous Call"}, Required: true},
+		{Name: "ordering", Members: []string{"FIFO Order", "Total Order", "Causal Order"}},
+		{Name: "orphan handling", Members: []string{"Interference Avoidance", "Terminate Orphan"}},
+	}
+	return nodes, groups
+}
+
+// SelectedProtocols returns the micro-protocol names a configuration
+// selects, in canonical order, for checking against the graph.
+func (c Config) SelectedProtocols() []string {
+	names := []string{"RPC Main"}
+	if c.Call == CallSynchronous {
+		names = append(names, "Synchronous Call")
+	} else {
+		names = append(names, "Asynchronous Call")
+	}
+	names = append(names, "Acceptance", "Collation")
+	if c.Reliable {
+		names = append(names, "Reliable Communication")
+	}
+	if c.Bounded {
+		names = append(names, "Bounded Termination")
+	}
+	if c.Unique {
+		names = append(names, "Unique Execution")
+	}
+	if c.Execution == ExecSerial || c.Execution == ExecAtomic {
+		names = append(names, "Serial Execution")
+	}
+	if c.Execution == ExecAtomic {
+		names = append(names, "Atomic Execution")
+	}
+	switch c.Ordering {
+	case OrderFIFO:
+		names = append(names, "FIFO Order")
+	case OrderTotal:
+		names = append(names, "Total Order")
+	case OrderCausal:
+		names = append(names, "Causal Order")
+	}
+	switch c.Orphan {
+	case OrphanAvoidInterference:
+		names = append(names, "Interference Avoidance")
+	case OrphanTerminate:
+		names = append(names, "Terminate Orphan")
+	}
+	return names
+}
+
+// CheckAgainstGraph verifies a selection of micro-protocol names against
+// the Figure 4 graph: every requirement present, no exclusion violated, and
+// every choice group respected. It reports the violations found (empty for
+// a legal selection). This is the graph-level cross-check used to validate
+// that Config.Validate and Figure 4 agree.
+func CheckAgainstGraph(selected []string) []string {
+	nodes, groups := DependencyGraph()
+	byName := make(map[string]ProtoNode, len(nodes))
+	for _, n := range nodes {
+		byName[n.Name] = n
+	}
+	has := make(map[string]bool, len(selected))
+	for _, s := range selected {
+		has[s] = true
+	}
+
+	var violations []string
+	for _, s := range selected {
+		n, ok := byName[s]
+		if !ok {
+			violations = append(violations, "unknown micro-protocol: "+s)
+			continue
+		}
+		for _, req := range n.Requires {
+			if !has[req] {
+				violations = append(violations, s+" requires "+req)
+			}
+		}
+		for _, ex := range n.Excludes {
+			if has[ex] {
+				violations = append(violations, s+" excludes "+ex)
+			}
+		}
+	}
+	for _, g := range groups {
+		count := 0
+		for _, m := range g.Members {
+			if has[m] {
+				count++
+			}
+		}
+		if count > 1 {
+			violations = append(violations, "more than one "+g.Name+" protocol selected")
+		}
+		if g.Required && count == 0 {
+			violations = append(violations, "no "+g.Name+" protocol selected")
+		}
+	}
+	return violations
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"mrpc/internal/event"
+	"mrpc/internal/member"
+	"mrpc/internal/msg"
+)
+
+// AcceptAll is an acceptance limit larger than any group, i.e. "all
+// functioning servers must respond" (the paper clamps the limit to the
+// group size).
+const AcceptAll = 1 << 30
+
+// Acceptance implements acceptance semantics (§4.4.5): a group call
+// completes successfully once Limit servers have replied. Members known to
+// be failed (per the membership service) are not waited for; with no
+// membership service the set of members is effectively constant and the
+// call completes only via enough replies or bounded termination — exactly
+// the paper's discussion.
+//
+// Deviation D2: the micro-protocol registers two network handlers, a
+// dedupe stage before Collation and a completion stage after it, so the
+// caller is never woken before the final reply has been folded in.
+type Acceptance struct {
+	Limit int
+}
+
+var _ MicroProtocol = Acceptance{}
+
+// Name implements MicroProtocol.
+func (Acceptance) Name() string { return "Acceptance" }
+
+// Attach implements MicroProtocol.
+func (a Acceptance) Attach(fw *Framework) error {
+	if a.Limit <= 0 {
+		a.Limit = 1
+	}
+
+	if err := fw.Bus().Register(event.NewRPCCall, "Acceptance.handleNewCall", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			id := o.Arg.(msg.CallID)
+			fw.LockP()
+			rec, ok := fw.ClientRec(id)
+			if !ok {
+				fw.UnlockP()
+				return
+			}
+			alive := 0
+			for p, e := range rec.Pending {
+				if fw.Membership().Down(p) {
+					e.Done = true
+				} else {
+					e.Done = false
+					alive++
+				}
+			}
+			rec.NRes = a.Limit
+			if alive < rec.NRes {
+				rec.NRes = alive
+			}
+			complete := rec.NRes <= 0 && rec.Status == msg.StatusWaiting
+			if complete {
+				// Degenerate group (every member failed): accept vacuously
+				// rather than hang a call no reply can ever complete.
+				rec.Status = msg.StatusOK
+			}
+			fw.UnlockP()
+			if complete {
+				rec.Sem.V()
+			}
+		}); err != nil {
+		return err
+	}
+
+	// Stage 1 (before Collation): filter replies that must not be folded —
+	// unknown calls, duplicate replies from the same server, and any reply
+	// arriving after the call already completed.
+	if err := fw.Bus().Register(event.MsgFromNetwork, "Acceptance.dedupe", PrioAcceptDedupe,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			if m.Type != msg.OpReply {
+				return
+			}
+			fw.LockP()
+			defer fw.UnlockP()
+			rec, ok := fw.ClientRec(m.ID)
+			if !ok || rec.Status != msg.StatusWaiting {
+				o.Cancel()
+				return
+			}
+			e, ok := rec.Pending[m.Sender]
+			if !ok || e.Done {
+				o.Cancel()
+				return
+			}
+			e.Done = true
+			rec.NRes--
+		}); err != nil {
+		return err
+	}
+
+	// Stage 2 (after Collation): if the acceptance threshold has been
+	// reached, complete the call and wake the waiting client thread.
+	if err := fw.Bus().Register(event.MsgFromNetwork, "Acceptance.complete", PrioAcceptComplete,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			if m.Type != msg.OpReply {
+				return
+			}
+			fw.LockP()
+			rec, ok := fw.ClientRec(m.ID)
+			complete := ok && rec.NRes <= 0 && rec.Status == msg.StatusWaiting
+			if complete {
+				rec.Status = msg.StatusOK
+			}
+			fw.UnlockP()
+			if complete {
+				rec.Sem.V()
+			}
+		}); err != nil {
+		return err
+	}
+
+	// A server failure may satisfy the acceptance condition for pending
+	// calls (all remaining live members have already replied).
+	return fw.Bus().Register(event.MembershipChange, "Acceptance.serverFailure", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			c := o.Arg.(member.Change)
+			if c.Kind != member.Failure {
+				return
+			}
+			var wake []*ClientRecord
+			fw.LockP()
+			fw.ClientRecs(func(rec *ClientRecord) {
+				e, ok := rec.Pending[c.Who]
+				if !ok || e.Done {
+					return
+				}
+				e.Done = true
+				rec.NRes--
+				if rec.NRes <= 0 && rec.Status == msg.StatusWaiting {
+					rec.Status = msg.StatusOK
+					wake = append(wake, rec)
+				}
+			})
+			fw.UnlockP()
+			for _, rec := range wake {
+				rec.Sem.V()
+			}
+		})
+}

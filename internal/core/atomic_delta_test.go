@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+	"mrpc/internal/stable"
+)
+
+// deltaState is a DeltaCheckpointable key-value map that tracks dirty keys.
+type deltaState struct {
+	mu    sync.Mutex
+	data  map[string]string
+	dirty map[string]bool
+}
+
+func newDeltaState() *deltaState {
+	return &deltaState{data: make(map[string]string), dirty: make(map[string]bool)}
+}
+
+func (d *deltaState) set(k, v string) {
+	d.mu.Lock()
+	d.data[k] = v
+	d.dirty[k] = true
+	d.mu.Unlock()
+}
+
+func (d *deltaState) get(k string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.data[k]
+}
+
+func encodeKV(m map[string]string) []byte {
+	var out []byte
+	for k, v := range m {
+		out = append(out, byte(len(k)))
+		out = append(out, k...)
+		out = append(out, byte(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+func decodeKV(b []byte) map[string]string {
+	m := make(map[string]string)
+	for i := 0; i < len(b); {
+		kl := int(b[i])
+		k := string(b[i+1 : i+1+kl])
+		i += 1 + kl
+		vl := int(b[i])
+		v := string(b[i+1 : i+1+vl])
+		i += 1 + vl
+		m[k] = v
+	}
+	return m
+}
+
+func (d *deltaState) Snapshot() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = make(map[string]bool) // a full snapshot subsumes pending deltas
+	return encodeKV(d.data)
+}
+
+func (d *deltaState) Restore(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.data = decodeKV(data)
+	d.dirty = make(map[string]bool)
+	return nil
+}
+
+func (d *deltaState) Delta() []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	changed := make(map[string]string, len(d.dirty))
+	for k := range d.dirty {
+		changed[k] = d.data[k]
+	}
+	d.dirty = make(map[string]bool)
+	return encodeKV(changed)
+}
+
+func (d *deltaState) ApplyDelta(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k, v := range decodeKV(data) {
+		d.data[k] = v
+	}
+	return nil
+}
+
+func deltaAtomicNode(t *testing.T, compactEvery int) (*testNode, *deltaState, *stable.Store, *stable.Log) {
+	t.Helper()
+	net := newMemNet()
+	store := stable.NewStore(clock.NewReal(), 0)
+	log := &stable.Log{}
+	state := newDeltaState()
+
+	srv := ServerFunc(func(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+		kv := decodeKV(args)
+		for k, v := range kv {
+			state.set(k, v)
+		}
+		return args
+	})
+	n := addNode(t, net, 1, nodeOpts{server: srv},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		SerialExecution{},
+		AtomicExecution{Store: store, State: state, Deltas: true, Log: log, CompactEvery: compactEvery})
+	return n, state, store, log
+}
+
+func putCall(id msg.CallID, k, v string) *msg.NetMsg {
+	return callMsg(100, id, 1, msg.NewGroup(1), string(encodeKV(map[string]string{k: v})))
+}
+
+func TestAtomicDeltaCheckpointChain(t *testing.T) {
+	n, state, store, log := deltaAtomicNode(t, 100)
+
+	n.fw.HandleNet(putCall(1, "a", "1")) // first checkpoint: full snapshot
+	n.fw.HandleNet(putCall(2, "b", "2")) // delta
+	n.fw.HandleNet(putCall(3, "a", "3")) // delta
+	if got := log.DeltaCount(); got != 2 {
+		t.Fatalf("delta count = %d, want 2 (base + 2 deltas)", got)
+	}
+	// Deltas are much smaller than snapshots would be: each wrote one key.
+	if store.Writes() != 3 {
+		t.Fatalf("writes = %d", store.Writes())
+	}
+
+	// Crash: perturb the volatile state, then recover from the chain.
+	state.set("a", "garbage")
+	state.set("b", "garbage")
+	n.site.Crash()
+	n.site.Recover()
+	n.fw.Recover()
+	if state.get("a") != "3" || state.get("b") != "2" {
+		t.Fatalf("state after chain recovery: a=%q b=%q", state.get("a"), state.get("b"))
+	}
+}
+
+func TestAtomicDeltaCompaction(t *testing.T) {
+	n, state, store, log := deltaAtomicNode(t, 2)
+
+	for i, kv := range []struct{ k, v string }{
+		{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"},
+	} {
+		n.fw.HandleNet(putCall(msg.CallID(i+1), kv.k, kv.v))
+	}
+	// Chain: full(a) ; delta(b) ; delta(c) ; compact -> full snapshot.
+	if got := log.DeltaCount(); got != 0 {
+		t.Fatalf("delta count after compaction = %d, want 0", got)
+	}
+	// Superseded chain members were released: only the live chain remains.
+	base, ok, deltas := log.Chain()
+	if !ok || len(deltas) != 0 {
+		t.Fatalf("chain = (%v, %v, %v)", base, ok, deltas)
+	}
+	if _, err := store.Load(base); err != nil {
+		t.Fatalf("live base unreadable: %v", err)
+	}
+
+	state.set("a", "garbage")
+	n.site.Crash()
+	n.site.Recover()
+	n.fw.Recover()
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"} {
+		if got := state.get(k); got != want {
+			t.Fatalf("%s = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestAtomicDeltaRequiresCapableState(t *testing.T) {
+	net := newMemNet()
+	store := stable.NewStore(clock.NewReal(), 0)
+	fwOpts := nodeOpts{server: echoServer()}
+	n := addNode(t, net, 1, fwOpts, RPCMain{})
+	// checkpointState implements Checkpointable but not DeltaCheckpointable.
+	err := AtomicExecution{
+		Store: store, State: &checkpointState{}, Deltas: true, Log: &stable.Log{},
+	}.Attach(n.fw)
+	if err == nil {
+		t.Fatal("delta mode accepted a non-delta state")
+	}
+	err = AtomicExecution{Store: store, State: newDeltaState(), Deltas: true}.Attach(n.fw)
+	if err == nil {
+		t.Fatal("delta mode accepted a nil log")
+	}
+}

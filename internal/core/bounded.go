@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// BoundedTermination guarantees that every call terminates within a
+// specified time bound (§4.4.3): if the call has not been accepted by the
+// deadline it returns to the client with status TIMEOUT.
+type BoundedTermination struct {
+	// TimeBound is the per-call deadline.
+	TimeBound time.Duration
+}
+
+var _ MicroProtocol = BoundedTermination{}
+
+// Name implements MicroProtocol.
+func (BoundedTermination) Name() string { return "Bounded Termination" }
+
+// Attach implements MicroProtocol.
+func (b BoundedTermination) Attach(fw *Framework) error {
+	if b.TimeBound <= 0 {
+		b.TimeBound = time.Second
+	}
+
+	// The paper keeps an unbounded FIFO queue of call ids and registers
+	// one TIMEOUT per call; the queue head always corresponds to the
+	// oldest armed timeout, so one dequeue per firing is exactly the
+	// paper's pairing.
+	var (
+		mu    sync.Mutex
+		queue []msg.CallID
+	)
+	return fw.Bus().Register(event.NewRPCCall, "BoundedTerm.handleNewCall", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			id := o.Arg.(msg.CallID)
+			mu.Lock()
+			queue = append(queue, id)
+			mu.Unlock()
+			fw.Bus().RegisterTimeout("BoundedTerm.handleTimeout", b.TimeBound,
+				func(*event.Occurrence) {
+					mu.Lock()
+					if len(queue) == 0 {
+						mu.Unlock()
+						return
+					}
+					qid := queue[0]
+					queue = queue[1:]
+					mu.Unlock()
+					fw.timeoutCall(qid)
+				})
+		})
+}
+
+// timeoutCall marks a still-pending call TIMEOUT and wakes its caller.
+func (fw *Framework) timeoutCall(id msg.CallID) {
+	fw.LockP()
+	rec, ok := fw.ClientRec(id)
+	pendingStatus := ok && rec.Status == msg.StatusWaiting
+	if pendingStatus {
+		rec.Status = msg.StatusTimeout
+	}
+	fw.UnlockP()
+	if pendingStatus {
+		rec.Sem.V()
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"sync"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// CausalOrder guarantees that causally related calls are executed in
+// causal order by every group member. It is an extension beyond the
+// paper's Figure 4 — §2.2 notes that "other variants such as partial or
+// causal order have also been defined" — implemented as a CBCAST-style
+// vector-clock protocol:
+//
+//   - a client's k-th call carries a timestamp T with T[client] = k and
+//     T[q] = the number of q's calls the client causally knows about
+//     (learned by merging the delivered-vectors servers attach to their
+//     replies);
+//   - a server executes the call only when T[client] is the next
+//     undelivered call of that client and every other entry of T is
+//     already delivered; otherwise the call is held.
+//
+// Causality therefore flows through replies: if client B issues a call
+// after seeing a reply that reflects client A's call, every server
+// executes A's call first. Calls with no causal relation may execute in
+// different orders at different members — strictly weaker than Total
+// Order, strictly stronger than FIFO (a client's own calls are trivially
+// causally related).
+//
+// Like FIFO and Total Order it requires Reliable Communication and Unique
+// Execution. A recovered client restarts its numbering; the server resets
+// the client's delivered count when it first hears the new incarnation,
+// dropping any held calls of dead incarnations.
+//
+// Constraint: a client of a causally ordered service must address all its
+// calls to the same group. CBCAST numbering is per-process, so a call sent
+// to a subgroup would leave gaps in the sequence the other members wait
+// for.
+type CausalOrder struct{}
+
+var _ MicroProtocol = CausalOrder{}
+
+// Name implements MicroProtocol.
+func (CausalOrder) Name() string { return "Causal Order" }
+
+type causalHeld struct {
+	vc     msg.VClock
+	client msg.ProcID
+}
+
+// Attach implements MicroProtocol.
+func (CausalOrder) Attach(fw *Framework) error {
+	fw.EnableCausal()
+	fw.SetHold(HoldCausal)
+
+	var (
+		mu   sync.Mutex
+		held = make(map[msg.CallKey]causalHeld)
+		incs = make(map[msg.ProcID]msg.Incarnation)
+	)
+
+	// popDeliverable removes and returns one held call that has become
+	// deliverable, if any.
+	popDeliverable := func() (msg.CallKey, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for key, h := range held {
+			if fw.CausalDeliverable(h.client, h.vc) {
+				delete(held, key)
+				return key, true
+			}
+		}
+		return msg.CallKey{}, false
+	}
+
+	// Client side: learn the server's delivered-vector so the next call
+	// causally follows what the reply reflects. Registered early (before
+	// Acceptance's dedupe stage) so even replies that arrive after the
+	// call completed still contribute their knowledge.
+	if err := fw.Bus().Register(event.MsgFromNetwork, "CausalOrder.replyMerge", PrioReliable+2,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			if m.Type == msg.OpReply {
+				fw.MergeVC(m.VC)
+			}
+		}); err != nil {
+		return err
+	}
+
+	if err := fw.Bus().Register(event.MsgFromNetwork, "CausalOrder.msgFromNet", PrioOrder,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			switch m.Type {
+			case msg.OpCall:
+				key := m.Key()
+				client := m.Client
+
+				mu.Lock()
+				known, seen := incs[client]
+				switch {
+				case !seen || m.Inc > known:
+					// First contact with this incarnation: its numbering
+					// starts afresh; held calls of older incarnations are
+					// dead.
+					incs[client] = m.Inc
+					var stale []msg.CallKey
+					for k, h := range held {
+						if h.client == client {
+							stale = append(stale, k)
+						}
+					}
+					for _, k := range stale {
+						delete(held, k)
+					}
+					mu.Unlock()
+					fw.ResetDelivered(client)
+					for _, k := range stale {
+						fw.DropServerCall(k)
+					}
+				case m.Inc < known:
+					mu.Unlock()
+					o.Cancel()
+					return
+				default:
+					mu.Unlock()
+				}
+
+				if fw.CausalDeliverable(client, m.VC) {
+					fw.ForwardUp(key, HoldCausal)
+					return
+				}
+				mu.Lock()
+				held[key] = causalHeld{vc: m.VC.Clone(), client: client}
+				mu.Unlock()
+				o.OnCancel(func() {
+					mu.Lock()
+					delete(held, key)
+					mu.Unlock()
+				})
+			}
+		}); err != nil {
+		return err
+	}
+
+	return fw.Bus().Register(event.ReplyFromServer, "CausalOrder.handleReply", 1,
+		func(o *event.Occurrence) {
+			key := o.Arg.(msg.CallKey)
+			fw.LockS()
+			rec, ok := fw.ServerRec(key)
+			var client msg.ProcID
+			if ok {
+				client = rec.Client
+			}
+			fw.UnlockS()
+			if !ok {
+				return
+			}
+			fw.BumpDelivered(client)
+			// Release one newly deliverable held call; its own reply event
+			// releases the next, draining any chain without recursion
+			// fan-out.
+			if next, ok := popDeliverable(); ok {
+				fw.ForwardUp(next, HoldCausal)
+			}
+		})
+}

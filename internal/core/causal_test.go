@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"mrpc/internal/msg"
+)
+
+func causalNode(t *testing.T, net *memNet, id msg.ProcID) (*testNode, *recordingServer) {
+	t.Helper()
+	srv := &recordingServer{}
+	n := addNode(t, net, id, nodeOpts{server: srv},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		UniqueExecution{}, CausalOrder{})
+	return n, srv
+}
+
+// causalCall builds a Call with an explicit vector timestamp.
+func causalCall(client msg.ProcID, id msg.CallID, inc msg.Incarnation,
+	group msg.Group, payload string, vc msg.VClock) *msg.NetMsg {
+	m := callMsg(client, id, inc, group, payload)
+	m.VC = vc
+	return m
+}
+
+func TestCausalDeliversClientSequenceInOrder(t *testing.T) {
+	net := newMemNet()
+	n, srv := causalNode(t, net, 1)
+	group := msg.NewGroup(1)
+
+	// Client 100's second call arrives first: held.
+	n.fw.HandleNet(causalCall(100, 2, 1, group, "c2", msg.VClock{100: 2}))
+	if got := srv.executed(); len(got) != 0 {
+		t.Fatalf("executed %v before causal predecessor", got)
+	}
+	// The first call arrives: both run, in order.
+	n.fw.HandleNet(causalCall(100, 1, 1, group, "c1", msg.VClock{100: 1}))
+	got := srv.executed()
+	if len(got) != 2 || got[0] != "c1" || got[1] != "c2" {
+		t.Fatalf("executed %v, want [c1 c2]", got)
+	}
+	if n.fw.PendingServerCalls() != 0 {
+		t.Fatal("held records remain")
+	}
+}
+
+func TestCausalCrossClientDependency(t *testing.T) {
+	net := newMemNet()
+	n, srv := causalNode(t, net, 1)
+	group := msg.NewGroup(1)
+
+	// Client 101's call was issued after it learned of client 100's first
+	// call (T includes 100:1), but arrives before it: held.
+	n.fw.HandleNet(causalCall(101, 1, 1, group, "b1", msg.VClock{101: 1, 100: 1}))
+	if got := srv.executed(); len(got) != 0 {
+		t.Fatalf("executed %v before cross-client dependency", got)
+	}
+	// An unrelated call from client 102 is NOT blocked (concurrent calls
+	// may interleave — weaker than total order).
+	n.fw.HandleNet(causalCall(102, 1, 1, group, "d1", msg.VClock{102: 1}))
+	if got := srv.executed(); len(got) != 1 || got[0] != "d1" {
+		t.Fatalf("executed %v, want [d1]", got)
+	}
+	// The dependency arrives: b1 drains after it.
+	n.fw.HandleNet(causalCall(100, 1, 1, group, "a1", msg.VClock{100: 1}))
+	got := srv.executed()
+	if len(got) != 3 || got[1] != "a1" || got[2] != "b1" {
+		t.Fatalf("executed %v, want [d1 a1 b1]", got)
+	}
+}
+
+func TestCausalRepliesCarryDeliveredVector(t *testing.T) {
+	net := newMemNet()
+	n, _ := causalNode(t, net, 1)
+	group := msg.NewGroup(1)
+
+	n.fw.HandleNet(causalCall(100, 1, 1, group, "a1", msg.VClock{100: 1}))
+	var replyVC msg.VClock
+	for _, s := range net.sentLog() {
+		if s.M.Type == msg.OpReply {
+			replyVC = s.M.VC
+		}
+	}
+	if replyVC.Get(100) != 1 {
+		t.Fatalf("reply VC = %v, want {100:1}", replyVC)
+	}
+}
+
+func TestCausalClientStampsAndLearns(t *testing.T) {
+	// End-to-end through two clients and one server: client B calls after
+	// observing A's reply; B's call must carry knowledge of A's call.
+	net := newMemNet()
+	causalNode(t, net, 1)
+	protos := func() []MicroProtocol {
+		return []MicroProtocol{
+			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+			UniqueExecution{}, CausalOrder{},
+		}
+	}
+	clientA := addNode(t, net, 100, nodeOpts{}, protos()...)
+	clientB := addNode(t, net, 101, nodeOpts{}, protos()...)
+	group := msg.NewGroup(1)
+
+	if um := clientA.fw.Call(1, []byte("a1"), group); um.Status != msg.StatusOK {
+		t.Fatalf("a1: %v", um.Status)
+	}
+	// B has not seen anything from A: its first call carries only itself.
+	if um := clientB.fw.Call(1, []byte("b1"), group); um.Status != msg.StatusOK {
+		t.Fatalf("b1: %v", um.Status)
+	}
+	// B's second call must causally follow a1, which B learned about from
+	// the server's reply to b1 (the server had executed a1 first).
+	var lastCallVC msg.VClock
+	for _, s := range net.sentLog() {
+		if s.M.Type == msg.OpCall && s.M.Client == 101 && s.M.ID != 0 {
+			lastCallVC = s.M.VC
+		}
+	}
+	_ = lastCallVC
+	if um := clientB.fw.Call(1, []byte("b2"), group); um.Status != msg.StatusOK {
+		t.Fatalf("b2: %v", um.Status)
+	}
+	for _, s := range net.sentLog() {
+		if s.M.Type == msg.OpCall && s.M.Client == 101 {
+			lastCallVC = s.M.VC
+		}
+	}
+	if lastCallVC.Get(100) != 1 || lastCallVC.Get(101) != 2 {
+		t.Fatalf("b2 timestamp = %v, want knowledge of a1 and own seq 2", lastCallVC)
+	}
+}
+
+func TestCausalNewIncarnationResets(t *testing.T) {
+	net := newMemNet()
+	n, srv := causalNode(t, net, 1)
+	group := msg.NewGroup(1)
+
+	n.fw.HandleNet(causalCall(100, mkID(1, 1), 1, group, "inc1-c1", msg.VClock{100: 1}))
+	// A held call of incarnation 1 (waiting for its predecessor that will
+	// never come).
+	n.fw.HandleNet(causalCall(100, mkID(1, 3), 1, group, "inc1-c3", msg.VClock{100: 3}))
+	// Incarnation 2 restarts numbering; the held inc-1 call is dead.
+	n.fw.HandleNet(causalCall(100, mkID(2, 1), 2, group, "inc2-c1", msg.VClock{100: 1}))
+	got := srv.executed()
+	if len(got) != 2 || got[0] != "inc1-c1" || got[1] != "inc2-c1" {
+		t.Fatalf("executed %v, want [inc1-c1 inc2-c1]", got)
+	}
+	// Stale incarnation afterwards: dropped.
+	n.fw.HandleNet(causalCall(100, mkID(1, 4), 1, group, "stale", msg.VClock{100: 4}))
+	if len(srv.executed()) != 2 {
+		t.Fatal("stale incarnation executed")
+	}
+	if n.fw.PendingServerCalls() != 0 {
+		t.Fatal("records left")
+	}
+}
+
+func TestCausalDuplicateDoesNotDoubleDeliver(t *testing.T) {
+	net := newMemNet()
+	n, srv := causalNode(t, net, 1)
+	group := msg.NewGroup(1)
+
+	m := causalCall(100, 1, 1, group, "c1", msg.VClock{100: 1})
+	n.fw.HandleNet(m.Clone())
+	n.fw.HandleNet(m.Clone()) // duplicate: Unique resends, causal must not bump again
+	if got := srv.executed(); len(got) != 1 {
+		t.Fatalf("executed %v", got)
+	}
+	// The successor is still deliverable exactly once.
+	n.fw.HandleNet(causalCall(100, 2, 1, group, "c2", msg.VClock{100: 2}))
+	if got := srv.executed(); len(got) != 2 || got[1] != "c2" {
+		t.Fatalf("executed %v, want [c1 c2]", got)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// CollateFunc folds one server reply into the accumulated result
+// (cum_func in §4.4.4). It must not retain either slice.
+type CollateFunc func(accum, reply []byte) []byte
+
+// LastReply is the identity collation of the paper's §5 example: the
+// accumulated result is simply the most recent reply.
+func LastReply(_, reply []byte) []byte { return reply }
+
+// Collation implements collation semantics (§4.4.4): the user-provided
+// function combines the replies of the group members into the single result
+// returned to the caller, starting from Init.
+type Collation struct {
+	Func CollateFunc
+	Init []byte
+}
+
+var _ MicroProtocol = Collation{}
+
+// Name implements MicroProtocol.
+func (Collation) Name() string { return "Collation" }
+
+// Attach implements MicroProtocol.
+func (c Collation) Attach(fw *Framework) error {
+	if c.Func == nil {
+		c.Func = LastReply
+	}
+
+	if err := fw.Bus().Register(event.NewRPCCall, "Collation.handleNewCall", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			id := o.Arg.(msg.CallID)
+			fw.LockP()
+			if rec, ok := fw.ClientRec(id); ok {
+				rec.Args = c.Init
+			}
+			fw.UnlockP()
+		}); err != nil {
+		return err
+	}
+
+	// Runs after Acceptance's dedupe stage (which cancels duplicate
+	// replies) and before its completion stage (which wakes the caller),
+	// so each distinct reply is folded exactly once and the caller never
+	// races the fold — deviation D2.
+	return fw.Bus().Register(event.MsgFromNetwork, "Collation.msgFromNet", PrioCollation,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			if m.Type != msg.OpReply {
+				return
+			}
+			fw.LockP()
+			if rec, ok := fw.ClientRec(m.ID); ok {
+				rec.Args = c.Func(rec.Args, m.Args)
+			}
+			fw.UnlockP()
+		})
+}

@@ -1,0 +1,55 @@
+package core
+
+import "fmt"
+
+// MicroProtocol is a software module implementing one well-defined property
+// of the RPC service. Attach registers its event handlers with the
+// framework; a configured set of micro-protocols linked with one Framework
+// forms a composite protocol.
+type MicroProtocol interface {
+	// Name returns the micro-protocol's name as used in the paper.
+	Name() string
+	// Attach registers the micro-protocol's event handlers and initializes
+	// its shared-state contributions (HOLD slots, semaphores).
+	Attach(fw *Framework) error
+}
+
+// Composite is a fully assembled composite protocol: the framework plus its
+// configured micro-protocols.
+type Composite struct {
+	fw     *Framework
+	protos []MicroProtocol
+}
+
+// NewComposite links the given micro-protocols with a fresh framework. The
+// order of protos determines registration order, which breaks priority ties
+// deterministically.
+func NewComposite(opts Options, protos ...MicroProtocol) (*Composite, error) {
+	fw, err := NewFramework(opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range protos {
+		if err := p.Attach(fw); err != nil {
+			fw.Close()
+			return nil, fmt.Errorf("attach %s: %w", p.Name(), err)
+		}
+	}
+	return &Composite{fw: fw, protos: protos}, nil
+}
+
+// Framework returns the composite's framework.
+func (c *Composite) Framework() *Framework { return c.fw }
+
+// Protocols returns the names of the configured micro-protocols in
+// registration order.
+func (c *Composite) Protocols() []string {
+	names := make([]string, len(c.protos))
+	for i, p := range c.protos {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// Close shuts the composite down (see Framework.Close).
+func (c *Composite) Close() { c.fw.Close() }

@@ -1,0 +1,658 @@
+// Package core implements the paper's primary contribution: the gRPC
+// composite protocol — an event-driven framework holding the shared call
+// tables, plus the thirteen micro-protocols that each realize one semantic
+// property of (group) RPC and are configured together into a service
+// (Hiltunen & Schlichting, TR 94-28, §3–§5).
+//
+// A Framework instance is one site's half of the composite protocol. It is
+// deliberately symmetric: the same configured composite runs at clients and
+// servers, with the client-side tables (pRPC) and server-side tables (sRPC)
+// simply remaining empty on sites that play only one role — exactly the
+// structure of the pseudocode, where each micro-protocol contains both its
+// client- and server-side handlers.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mrpc/internal/event"
+	"mrpc/internal/member"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+	"mrpc/internal/sem"
+)
+
+// HoldIndex names a slot of the HOLD array (ready_index in the paper):
+// a property that must be satisfied before a call may be passed up to the
+// server. RPC Main always holds; the ordering micro-protocols add theirs.
+type HoldIndex int
+
+// HOLD array slots.
+const (
+	HoldMain HoldIndex = iota
+	HoldFIFO
+	HoldTotal
+	HoldCausal
+	numHold
+)
+
+// Handler priorities for MSG_FROM_NETWORK, ascending = earlier. The values
+// implement the ordering discussed in DESIGN.md §4 (including deviations
+// D2 and D3 relative to the paper's numbers).
+const (
+	PrioAssignOrder    = 5   // Total Order: leader assigns sequence numbers
+	PrioReliable       = 10  // Reliable Communication: ack bookkeeping (first, as in the paper)
+	PrioOrphan         = 15  // Interference Avoidance / Terminate Orphan
+	PrioUnique         = 20  // Unique Execution: drop duplicates
+	PrioMain           = 30  // RPC Main: table maintenance, forwarding
+	PrioAcceptDedupe   = 35  // Acceptance: duplicate-reply filtering (D2)
+	PrioCollation      = 40  // Collation: fold the reply into the result
+	PrioAcceptComplete = 45  // Acceptance: completion + waking the caller (D2)
+	PrioOrder          = 100 // FIFO / Total Order: delivery ordering
+)
+
+// Transport is the underlying communication protocol ("Net" in the paper):
+// unreliable, unordered point-to-point and multicast sends.
+// netsim.Endpoint implements it.
+type Transport interface {
+	Push(to msg.ProcID, m *msg.NetMsg)
+	Multicast(group msg.Group, m *msg.NetMsg)
+}
+
+// Server is the user protocol above gRPC on the server side. Pop executes
+// the remote procedure (the x-kernel Server.pop): it receives the thread
+// token for cooperative kill (may be consulted for cancellation), the
+// operation id, and the marshalled arguments, and returns the marshalled
+// result. Pop is called synchronously on the goroutine driving the call.
+type Server interface {
+	Pop(th *proc.Thread, op msg.OpID, args []byte) []byte
+}
+
+// ServerFunc adapts a function to the Server interface.
+type ServerFunc func(th *proc.Thread, op msg.OpID, args []byte) []byte
+
+// Pop implements Server.
+func (f ServerFunc) Pop(th *proc.Thread, op msg.OpID, args []byte) []byte {
+	return f(th, op, args)
+}
+
+// PendingEntry tracks one server's progress on one client call
+// (waiting_list entries: acked by Reliable Communication, done by
+// Acceptance).
+type PendingEntry struct {
+	Acked bool
+	Done  bool
+}
+
+// ClientRecord is a pending remote procedure call at the client
+// (Client_Record).
+type ClientRecord struct {
+	ID       msg.CallID
+	Op       msg.OpID
+	CallArgs []byte // input parameters, as sent (and resent) to the group
+	Args     []byte // collated output parameters
+	Server   msg.Group
+	Sem      *sem.Sem // the client thread waits here
+	NRes     int      // number of responses still required
+	Pending  map[msg.ProcID]*PendingEntry
+	Status   msg.Status
+	VC       msg.VClock // causal timestamp of the call (Causal Order only)
+}
+
+// ServerRecord is a pending client call at a server (Server_Record).
+type ServerRecord struct {
+	Key    msg.CallKey
+	Op     msg.OpID
+	Args   []byte
+	Server msg.Group
+	Client msg.ProcID
+	Inc    msg.Incarnation
+	Thread *proc.Thread
+
+	hold      [numHold]bool
+	executing bool
+}
+
+// NetEvent is the argument of MSG_FROM_NETWORK occurrences: the delivered
+// message plus, for Call messages, the thread token under which the
+// procedure will execute.
+type NetEvent struct {
+	Msg    *msg.NetMsg
+	Thread *proc.Thread
+}
+
+// Options configures a Framework.
+type Options struct {
+	Site       *proc.Site // identity + incarnation source (required)
+	Bus        *event.Bus // event framework (required)
+	Net        Transport  // communication substrate (required)
+	Server     Server     // user protocol; nil on pure clients
+	Membership member.Service
+}
+
+// Framework is the composite-protocol framework: shared data structures,
+// the HOLD array, and the control-flow plumbing shared by all
+// micro-protocols.
+type Framework struct {
+	site       *proc.Site
+	bus        *event.Bus
+	net        Transport
+	server     Server
+	membership member.Service
+	threads    *proc.Threads
+
+	// Client side (pRPC table, §4.2). pmu is the paper's pRPC_mutex.
+	pmu     sync.Mutex
+	pRPC    map[msg.CallID]*ClientRecord
+	nextSeq int64
+
+	// Server side (sRPC table). smu is the paper's sRPC_mutex.
+	smu  sync.Mutex
+	sRPC map[msg.CallKey]*ServerRecord
+
+	hold [numHold]bool // HOLD array: properties every call must satisfy
+
+	// Causal Order state (extension; see causal.go). vc is the CBCAST
+	// vector: this process's own entry counts calls it has issued, other
+	// entries count calls delivered (executed) from those clients.
+	causal bool
+	vcMu   sync.Mutex
+	vc     msg.VClock
+
+	// Serial Execution state (deviation D3): when serialMode is set,
+	// eligible calls execute one at a time through a drain queue rather
+	// than the paper's semaphore around delivery — which, as written,
+	// acquires the slot in admission order and therefore deadlocks when an
+	// ordering protocol schedules an earlier-admitted call after a
+	// later-admitted one.
+	serialMode bool
+	serialMu   sync.Mutex
+	serialBusy bool
+	serialQ    []msg.CallKey
+
+	// inc caches the current incarnation (updated by RPC Main's recovery
+	// handler, read when stamping outgoing calls).
+	imu sync.Mutex
+	inc msg.Incarnation
+
+	unsubscribe func()
+	closed      bool
+	cmu         sync.Mutex
+}
+
+// NewFramework constructs the framework. Micro-protocols are then attached
+// via their Attach functions, after which the composite is live.
+func NewFramework(opts Options) (*Framework, error) {
+	if opts.Site == nil || opts.Bus == nil || opts.Net == nil {
+		return nil, fmt.Errorf("core: site, bus and net are required")
+	}
+	ms := opts.Membership
+	if ms == nil {
+		ms = member.NewStatic()
+	}
+	fw := &Framework{
+		site:       opts.Site,
+		bus:        opts.Bus,
+		net:        opts.Net,
+		server:     opts.Server,
+		membership: ms,
+		threads:    proc.NewThreads(),
+		pRPC:       make(map[msg.CallID]*ClientRecord),
+		nextSeq:    1,
+		sRPC:       make(map[msg.CallKey]*ServerRecord),
+		inc:        opts.Site.Inc(),
+	}
+	fw.unsubscribe = ms.Subscribe(func(c member.Change) {
+		fw.bus.Trigger(event.MembershipChange, c)
+	})
+	return fw, nil
+}
+
+// Self returns this site's process id.
+func (fw *Framework) Self() msg.ProcID { return fw.site.ID() }
+
+// Bus returns the event framework.
+func (fw *Framework) Bus() *event.Bus { return fw.bus }
+
+// Net returns the communication substrate.
+func (fw *Framework) Net() Transport { return fw.net }
+
+// Membership returns the membership service.
+func (fw *Framework) Membership() member.Service { return fw.membership }
+
+// Threads returns the server-thread registry.
+func (fw *Framework) Threads() *proc.Threads { return fw.threads }
+
+// Inc returns the incarnation number stamped on outgoing calls.
+func (fw *Framework) Inc() msg.Incarnation {
+	fw.imu.Lock()
+	defer fw.imu.Unlock()
+	return fw.inc
+}
+
+// SetInc updates the cached incarnation (RPC Main's recovery handler).
+func (fw *Framework) SetInc(i msg.Incarnation) {
+	fw.imu.Lock()
+	fw.inc = i
+	fw.imu.Unlock()
+}
+
+// SetHold marks index as a property every call must satisfy before being
+// passed to the server (HOLD[index] = true at micro-protocol init).
+func (fw *Framework) SetHold(index HoldIndex) { fw.hold[index] = true }
+
+// EnableSerial switches the framework to serial execution: eligible calls
+// are executed one at a time, in eligibility order.
+func (fw *Framework) EnableSerial() { fw.serialMode = true }
+
+// --- Causal Order support (extension; see causal.go) ---------------------
+
+// EnableCausal switches on causal timestamping: outgoing calls carry a
+// vector clock and replies carry the server's delivered-vector.
+func (fw *Framework) EnableCausal() {
+	fw.causal = true
+	fw.vc = make(msg.VClock)
+}
+
+// CausalEnabled reports whether causal timestamping is on.
+func (fw *Framework) CausalEnabled() bool { return fw.causal }
+
+// StampOutgoingCall advances this process's own entry and returns the
+// vector timestamp for a new call (CBCAST send rule).
+func (fw *Framework) StampOutgoingCall() msg.VClock {
+	fw.vcMu.Lock()
+	defer fw.vcMu.Unlock()
+	fw.vc[fw.Self()]++
+	return fw.vc.Clone()
+}
+
+// MergeVC folds a received timestamp into the local vector (clients learn
+// about other clients' executed calls from reply timestamps).
+func (fw *Framework) MergeVC(o msg.VClock) {
+	if len(o) == 0 {
+		return
+	}
+	fw.vcMu.Lock()
+	fw.vc = fw.vc.Merge(o)
+	fw.vcMu.Unlock()
+}
+
+// VCSnapshot returns a copy of the local vector.
+func (fw *Framework) VCSnapshot() msg.VClock {
+	fw.vcMu.Lock()
+	defer fw.vcMu.Unlock()
+	return fw.vc.Clone()
+}
+
+// CausalDeliverable applies the CBCAST delivery condition for a call from
+// client with timestamp t: t[client] is the next undelivered call of that
+// client and every other dependency is already delivered.
+func (fw *Framework) CausalDeliverable(client msg.ProcID, t msg.VClock) bool {
+	fw.vcMu.Lock()
+	defer fw.vcMu.Unlock()
+	if t.Get(client) != fw.vc.Get(client)+1 {
+		return false
+	}
+	for q, n := range t {
+		if q == client {
+			continue
+		}
+		if n > fw.vc.Get(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// BumpDelivered records the delivery (execution) of one more call from
+// client.
+func (fw *Framework) BumpDelivered(client msg.ProcID) {
+	fw.vcMu.Lock()
+	fw.vc[client]++
+	fw.vcMu.Unlock()
+}
+
+// ResetDelivered zeroes the delivered count for client (a recovered
+// client's fresh incarnation restarts its call numbering).
+func (fw *Framework) ResetDelivered(client msg.ProcID) {
+	fw.vcMu.Lock()
+	delete(fw.vc, client)
+	fw.vcMu.Unlock()
+}
+
+// SerialEnabled reports whether serial execution is configured.
+func (fw *Framework) SerialEnabled() bool { return fw.serialMode }
+
+// --- pRPC table (client side) -------------------------------------------
+
+// LockP acquires the pRPC mutex.
+func (fw *Framework) LockP() { fw.pmu.Lock() }
+
+// UnlockP releases the pRPC mutex.
+func (fw *Framework) UnlockP() { fw.pmu.Unlock() }
+
+// ClientRec returns the pending call record for id. Callers must hold the
+// pRPC mutex.
+func (fw *Framework) ClientRec(id msg.CallID) (*ClientRecord, bool) {
+	r, ok := fw.pRPC[id]
+	return r, ok
+}
+
+// ClientRecs invokes f for every pending call record. Callers must hold the
+// pRPC mutex; f must not acquire it.
+func (fw *Framework) ClientRecs(f func(*ClientRecord)) {
+	for _, r := range fw.pRPC {
+		f(r)
+	}
+}
+
+// NewClientRec allocates a call id and inserts a pending record for a call
+// to group. Callers must hold the pRPC mutex.
+func (fw *Framework) NewClientRec(op msg.OpID, args []byte, group msg.Group) *ClientRecord {
+	// Call ids embed the incarnation number in their upper bits (deviation
+	// D9): a recovered client's fresh calls can therefore never collide
+	// with its pre-crash calls in server-side tables, while ids stay dense
+	// within one incarnation (which FIFO Order's id+1 arithmetic needs).
+	// The paper leaves id freshness across recoveries unspecified.
+	id := msg.CallID(int64(fw.Inc())<<32 | fw.nextSeq)
+	// The input args double as the initial output value, matching the
+	// paper's single args field; Collation replaces them with its init
+	// value before any reply arrives (deviation D7: retransmissions use
+	// CallArgs so the collation accumulator never leaks onto the wire).
+	rec := &ClientRecord{
+		ID:       id,
+		Op:       op,
+		CallArgs: args,
+		Args:     args,
+		Server:   group.Clone(),
+		Sem:      sem.New(0),
+		Pending:  make(map[msg.ProcID]*PendingEntry, len(group)),
+		Status:   msg.StatusWaiting,
+	}
+	fw.nextSeq++
+	for _, p := range group {
+		rec.Pending[p] = &PendingEntry{}
+	}
+	fw.pRPC[rec.ID] = rec
+	return rec
+}
+
+// RemoveClientRec deletes the record for id. Callers must hold the pRPC
+// mutex.
+func (fw *Framework) RemoveClientRec(id msg.CallID) { delete(fw.pRPC, id) }
+
+// PendingCalls returns the number of outstanding client calls.
+func (fw *Framework) PendingCalls() int {
+	fw.pmu.Lock()
+	defer fw.pmu.Unlock()
+	return len(fw.pRPC)
+}
+
+// --- sRPC table (server side) ---------------------------------------------
+
+// LockS acquires the sRPC mutex.
+func (fw *Framework) LockS() { fw.smu.Lock() }
+
+// UnlockS releases the sRPC mutex.
+func (fw *Framework) UnlockS() { fw.smu.Unlock() }
+
+// ServerRec returns the pending call record for key. Callers must hold the
+// sRPC mutex.
+func (fw *Framework) ServerRec(key msg.CallKey) (*ServerRecord, bool) {
+	r, ok := fw.sRPC[key]
+	return r, ok
+}
+
+// PutServerRec inserts rec. Callers must hold the sRPC mutex.
+func (fw *Framework) PutServerRec(rec *ServerRecord) { fw.sRPC[rec.Key] = rec }
+
+// RemoveServerRec deletes the record for key. Callers must hold the sRPC
+// mutex.
+func (fw *Framework) RemoveServerRec(key msg.CallKey) { delete(fw.sRPC, key) }
+
+// ServerRecs invokes f for every held call record. Callers must hold the
+// sRPC mutex; f must not acquire it.
+func (fw *Framework) ServerRecs(f func(*ServerRecord)) {
+	for _, r := range fw.sRPC {
+		f(r)
+	}
+}
+
+// PendingServerCalls returns the number of calls held at this server.
+func (fw *Framework) PendingServerCalls() int {
+	fw.smu.Lock()
+	defer fw.smu.Unlock()
+	return len(fw.sRPC)
+}
+
+// DropServerCall removes a held call that an ordering or orphan
+// micro-protocol has decided to discard (duplicate of an executed call,
+// stale generation, ...): the record is deleted and its thread finished.
+func (fw *Framework) DropServerCall(key msg.CallKey) {
+	fw.smu.Lock()
+	rec, ok := fw.sRPC[key]
+	if ok {
+		delete(fw.sRPC, key)
+	}
+	fw.smu.Unlock()
+	if !ok {
+		return
+	}
+	if rec.Thread != nil {
+		rec.Thread.Kill()
+		fw.threads.Finish(rec.Thread)
+	}
+}
+
+// --- control flow ---------------------------------------------------------
+
+// ForwardUp records that property index is satisfied for the call and, once
+// every property in HOLD is satisfied, executes the procedure and sends the
+// reply — the forward_up procedure exported by RPC Main (§4.4.1). With
+// Serial Execution configured, eligible calls are instead queued and
+// executed one at a time in eligibility order (deviation D3).
+func (fw *Framework) ForwardUp(key msg.CallKey, index HoldIndex) {
+	fw.smu.Lock()
+	rec, ok := fw.sRPC[key]
+	if !ok {
+		fw.smu.Unlock()
+		return
+	}
+	rec.hold[index] = true
+	execute := true
+	for i := HoldIndex(0); i < numHold; i++ {
+		if fw.hold[i] && !rec.hold[i] {
+			execute = false
+		}
+	}
+	if !execute || rec.executing {
+		fw.smu.Unlock()
+		return
+	}
+	rec.executing = true
+	fw.smu.Unlock()
+
+	if !fw.serialMode {
+		fw.executeCall(key)
+		return
+	}
+
+	fw.serialMu.Lock()
+	if fw.serialBusy {
+		fw.serialQ = append(fw.serialQ, key)
+		fw.serialMu.Unlock()
+		return
+	}
+	fw.serialBusy = true
+	fw.serialMu.Unlock()
+
+	fw.executeCall(key)
+	for {
+		fw.serialMu.Lock()
+		if len(fw.serialQ) == 0 {
+			fw.serialBusy = false
+			fw.serialMu.Unlock()
+			return
+		}
+		next := fw.serialQ[0]
+		fw.serialQ = fw.serialQ[1:]
+		fw.serialMu.Unlock()
+		fw.executeCall(next)
+	}
+}
+
+// executeCall runs the procedure for an eligible call and sends the reply.
+func (fw *Framework) executeCall(key msg.CallKey) {
+	fw.smu.Lock()
+	rec, ok := fw.sRPC[key]
+	if !ok {
+		// Dropped (orphan sweep, stale duplicate) after becoming eligible.
+		fw.smu.Unlock()
+		return
+	}
+	args := rec.Args
+	op := rec.Op
+	th := rec.Thread
+	fw.smu.Unlock()
+
+	var result []byte
+	if fw.server != nil && (th == nil || !th.IsKilled()) {
+		result = fw.server.Pop(th, op, args)
+	}
+
+	if th != nil && th.IsKilled() {
+		// Terminate Orphan (or a crash) killed the computation: suppress
+		// the reply.
+		fw.smu.Lock()
+		delete(fw.sRPC, key)
+		fw.smu.Unlock()
+		fw.threads.Finish(th)
+		return
+	}
+
+	fw.smu.Lock()
+	rec.Args = result
+	client := rec.Client
+	server := rec.Server
+	fw.smu.Unlock()
+
+	// REPLY_FROM_SERVER runs while the record is still in sRPC (Unique
+	// Execution and the ordering protocols read it); then the record is
+	// removed and the reply pushed — the paper's order, with its
+	// read-after-delete slip fixed.
+	fw.bus.Trigger(event.ReplyFromServer, key)
+
+	reply := &msg.NetMsg{
+		Type:   msg.OpReply,
+		ID:     key.ID,
+		Client: key.Client,
+		Op:     op,
+		Args:   result,
+		Server: server,
+		Sender: fw.Self(),
+		Inc:    fw.Inc(),
+	}
+	if fw.causal {
+		// The reply carries the server's delivered-vector (which already
+		// includes this call): merging it at the client makes subsequent
+		// calls causally follow everything executed before this reply.
+		reply.VC = fw.VCSnapshot()
+	}
+	fw.smu.Lock()
+	delete(fw.sRPC, key)
+	fw.smu.Unlock()
+	if th != nil {
+		fw.threads.Finish(th)
+	}
+	fw.net.Push(client, reply)
+}
+
+// HandleNet is the delivery entry point wired to the transport: it turns an
+// arriving message into a MSG_FROM_NETWORK occurrence. For Call messages a
+// thread token is created first, so the orphan micro-protocols can track
+// and kill the computation.
+func (fw *Framework) HandleNet(m *msg.NetMsg) {
+	fw.cmu.Lock()
+	if fw.closed {
+		fw.cmu.Unlock()
+		return
+	}
+	fw.cmu.Unlock()
+
+	ev := &NetEvent{Msg: m}
+	if m.Type == msg.OpCall {
+		ev.Thread = fw.threads.Spawn(m.Client)
+	}
+	completed := fw.bus.Trigger(event.MsgFromNetwork, ev)
+	if !completed && ev.Thread != nil {
+		// The occurrence was cancelled (duplicate, stale generation, ...):
+		// retire this delivery's token unless a stored record adopted it.
+		fw.smu.Lock()
+		rec, ok := fw.sRPC[m.Key()]
+		owned := ok && rec.Thread == ev.Thread
+		fw.smu.Unlock()
+		if !owned {
+			fw.threads.Finish(ev.Thread)
+		}
+	}
+}
+
+// Call issues a synchronous (or, with Asynchronous Call configured,
+// asynchronous) RPC to group. It triggers CALL_FROM_USER and returns the
+// user message, whose ID, Args and Status fields have been filled in by the
+// configured call-semantics micro-protocol.
+func (fw *Framework) Call(op msg.OpID, args []byte, group msg.Group) *msg.UserMsg {
+	um := &msg.UserMsg{Type: msg.UserCall, Op: op, Args: args, Server: group}
+	fw.bus.Trigger(event.CallFromUser, um)
+	return um
+}
+
+// Request retrieves the result of a previously issued asynchronous call,
+// blocking until it is available (Asynchronous Call micro-protocol).
+func (fw *Framework) Request(id msg.CallID) *msg.UserMsg {
+	um := &msg.UserMsg{Type: msg.UserRequest, ID: id}
+	fw.bus.Trigger(event.CallFromUser, um)
+	return um
+}
+
+// Recover delivers the RECOVERY event with the site's new incarnation.
+func (fw *Framework) Recover() {
+	fw.SetInc(fw.site.Inc())
+	fw.bus.Trigger(event.Recovery, fw.site.Inc())
+}
+
+// Close shuts the composite down: pending client calls are aborted (their
+// waiters wake with StatusAborted), live server threads are killed, timers
+// are stopped, and the membership subscription is dropped.
+func (fw *Framework) Close() {
+	fw.cmu.Lock()
+	if fw.closed {
+		fw.cmu.Unlock()
+		return
+	}
+	fw.closed = true
+	fw.cmu.Unlock()
+
+	if fw.unsubscribe != nil {
+		fw.unsubscribe()
+	}
+	fw.bus.Close()
+
+	fw.pmu.Lock()
+	recs := make([]*ClientRecord, 0, len(fw.pRPC))
+	for _, r := range fw.pRPC {
+		recs = append(recs, r)
+	}
+	fw.pmu.Unlock()
+	for _, r := range recs {
+		fw.pmu.Lock()
+		if r.Status == msg.StatusWaiting {
+			r.Status = msg.StatusAborted
+		}
+		fw.pmu.Unlock()
+		r.Sem.V()
+	}
+
+	fw.threads.KillAll()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// InterferenceAvoidance implements the first orphan-handling option
+// (§4.4.7): when a client recovers and issues calls under a new incarnation
+// number, execution of the new-generation calls is deferred until every
+// pending call of the old generation (the orphans) has finished. Rather
+// than queueing the new calls, they are dropped and the client's
+// retransmission eventually delivers them — so Reliable Communication is a
+// dependency (Figure 4).
+//
+// Paper-fidelity note: the pseudocode, after deciding a call belongs to a
+// blocked new generation, neither counts nor cancels it, which would let
+// RPC Main execute it anyway; the prose ("simply dropping them") makes the
+// intent clear, so this implementation cancels such calls explicitly.
+type InterferenceAvoidance struct{}
+
+var _ MicroProtocol = InterferenceAvoidance{}
+
+type iaEntry struct {
+	inc     msg.Incarnation // current generation; maxInc while draining
+	count   int             // old-generation calls still in progress
+	nextInc msg.Incarnation // generation to admit once drained
+}
+
+const maxInc = msg.Incarnation(math.MaxInt32)
+
+// Name implements MicroProtocol.
+func (InterferenceAvoidance) Name() string { return "Interference Avoidance" }
+
+// Attach implements MicroProtocol.
+func (InterferenceAvoidance) Attach(fw *Framework) error {
+	var (
+		mu   sync.Mutex
+		info = make(map[msg.ProcID]*iaEntry)
+	)
+
+	unblockIfDrained := func(ci *iaEntry) {
+		if ci.count == 0 && ci.inc == maxInc {
+			ci.inc = ci.nextInc
+		}
+	}
+
+	if err := fw.Bus().Register(event.MsgFromNetwork, "InterferenceAvoid.msgFromNet", PrioOrphan,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			if m.Type != msg.OpCall {
+				return
+			}
+			client := m.Client
+			mu.Lock()
+			ci, ok := info[client]
+			if !ok {
+				ci = &iaEntry{inc: m.Inc, nextInc: m.Inc}
+				info[client] = ci
+			}
+			if ci.inc > m.Inc {
+				// Old generation (or draining): drop; retransmission will
+				// redeliver new-generation calls once drained.
+				mu.Unlock()
+				o.Cancel()
+				return
+			}
+			if ci.inc < m.Inc {
+				ci.nextInc = m.Inc
+				if ci.count == 0 {
+					ci.inc = m.Inc
+				} else {
+					// Enter draining state: no more old-generation calls
+					// are admitted either (starvation avoidance).
+					ci.inc = maxInc
+					mu.Unlock()
+					o.Cancel()
+					return
+				}
+			}
+			// ci.inc == m.Inc: admit and count.
+			ci.count++
+			mu.Unlock()
+			o.OnCancel(func() {
+				// A later handler dropped the call (duplicate, ordering):
+				// it will never produce a reply, so uncount it.
+				mu.Lock()
+				ci.count--
+				unblockIfDrained(ci)
+				mu.Unlock()
+			})
+		}); err != nil {
+		return err
+	}
+
+	return fw.Bus().Register(event.ReplyFromServer, "InterferenceAvoid.handleReply", 1,
+		func(o *event.Occurrence) {
+			key := o.Arg.(msg.CallKey)
+			mu.Lock()
+			if ci, ok := info[key.Client]; ok {
+				ci.count--
+				unblockIfDrained(ci)
+			}
+			mu.Unlock()
+		})
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// probedNode builds a server with probing Terminate Orphan on a sim clock.
+func probedNode(t *testing.T, net *memNet, clk *clock.Sim) (*testNode, *gateServer) {
+	t.Helper()
+	gate := newGateServer()
+	n := addNode(t, net, 1, nodeOpts{server: gate, clk: clk},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		TerminateOrphan{ProbeInterval: 10 * time.Millisecond, ProbeMisses: 2})
+	return n, gate
+}
+
+func TestProbeKillsSilentClient(t *testing.T) {
+	clk := clock.NewSim()
+	net := newMemNet()
+	net.async = true
+	n, gate := probedNode(t, net, clk)
+	group := msg.NewGroup(1)
+
+	// A call from client 100 starts executing; the client then goes
+	// silent (no node 100 is attached, so probes go unanswered).
+	go n.fw.HandleNet(callMsg(100, mkID(1, 1), 1, group, "work"))
+	<-gate.entered
+
+	// Three probe intervals: probes at t=10,20 count misses 1,2; at t=30
+	// the threshold (2) is exceeded and the computation is killed.
+	for i := 0; i < 4; i++ {
+		clk.Advance(10 * time.Millisecond)
+		net.wait()
+	}
+	waitUntil(t, func() bool { return len(gate.killedTags()) == 1 })
+	if got := gate.killedTags(); got[0] != "work" {
+		t.Fatalf("killed %v", got)
+	}
+	if probes := net.countSent(msg.OpProbe, 100); probes < 2 {
+		t.Fatalf("probes sent = %d, want >= 2", probes)
+	}
+	net.wait()
+	if n.fw.PendingServerCalls() != 0 {
+		t.Fatal("killed call left a record")
+	}
+}
+
+func TestProbeAckKeepsClientAlive(t *testing.T) {
+	clk := clock.NewSim()
+	net := newMemNet()
+	net.async = true
+	n, gate := probedNode(t, net, clk)
+
+	// The client node answers probes (its own Terminate Orphan registers
+	// the responder).
+	addNode(t, net, 100, nodeOpts{clk: clk},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		TerminateOrphan{ProbeInterval: 10 * time.Millisecond, ProbeMisses: 2})
+
+	group := msg.NewGroup(1)
+	go n.fw.HandleNet(callMsg(100, mkID(1, 1), 1, group, "work"))
+	<-gate.entered
+
+	// Many probe rounds: the live client acks each, so no kill.
+	for i := 0; i < 10; i++ {
+		clk.Advance(10 * time.Millisecond)
+		net.wait()
+	}
+	if got := gate.killedTags(); len(got) != 0 {
+		t.Fatalf("live client's computation killed: %v", got)
+	}
+	if acks := net.countSent(msg.OpProbeAck, 1); acks == 0 {
+		t.Fatal("no probe acks observed")
+	}
+
+	gate.release <- struct{}{}
+	waitUntil(t, func() bool { return len(gate.completed()) == 1 })
+	net.wait()
+}
+
+func TestProbeStopsWhenNoWorkPending(t *testing.T) {
+	clk := clock.NewSim()
+	net := newMemNet()
+	n, _ := probedNode(t, net, clk)
+	_ = n
+
+	// No client work at all: intervals pass, no probes are sent.
+	for i := 0; i < 5; i++ {
+		clk.Advance(10 * time.Millisecond)
+	}
+	if probes := net.countSent(msg.OpProbe, 0); probes != 0 {
+		t.Fatalf("probes sent with no pending work: %d", probes)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// ReliableCommunication implements reliable communication (§4.4.3) by
+// retransmitting each call to every group member that has neither replied
+// nor acknowledged it. Combined with RPC Main it yields unbounded
+// termination: the client keeps trying until it hears back.
+//
+// Deviation D11: the paper drives retransmission off the pRPC record,
+// which the call-semantics micro-protocol deletes as soon as the call is
+// accepted — so with acceptance < ALL, a member that lost the call would
+// never receive it, breaking the "every server receives the same set of
+// messages" property the ordering protocols rely on (Figure 2). Here the
+// micro-protocol owns its transmission state independently of the call's
+// lifetime: servers acknowledge receipt of every Call (the paper's "some
+// other form of acknowledgment"), and the client retransmits until every
+// member has acknowledged — lingering past the call's local completion,
+// bounded by LingerRounds for calls the client has abandoned.
+type ReliableCommunication struct {
+	// RetransTimeout is the retransmission period (default 20ms).
+	RetransTimeout time.Duration
+	// LingerRounds bounds how many retransmission rounds an entry
+	// survives after its call record is gone (completed or timed out);
+	// members still unacked then are presumed crashed (default 128).
+	LingerRounds int
+}
+
+var _ MicroProtocol = ReliableCommunication{}
+
+// relEntry is one call's transmission state. Two acknowledgement levels
+// matter: received (the member has the call — it acknowledged receipt or
+// replied) and replied (the member's response arrived here). While the
+// call is pending, retransmission continues to members that have not
+// REPLIED, because a retransmitted call is also how a lost reply is
+// recovered (Unique Execution resends the retained result; without it the
+// call re-executes, which is what at-least-once means). Once the caller
+// has moved on, the lingering phase only needs every member to have
+// RECEIVED the call (the ordering protocols' same-set property).
+type relEntry struct {
+	id       msg.CallID
+	op       msg.OpID
+	args     []byte
+	group    msg.Group
+	vc       msg.VClock
+	received map[msg.ProcID]bool
+	replied  map[msg.ProcID]bool
+	linger   int
+}
+
+// Name implements MicroProtocol.
+func (ReliableCommunication) Name() string { return "Reliable Communication" }
+
+// Attach implements MicroProtocol.
+func (r ReliableCommunication) Attach(fw *Framework) error {
+	if r.RetransTimeout <= 0 {
+		r.RetransTimeout = 20 * time.Millisecond
+	}
+	if r.LingerRounds <= 0 {
+		r.LingerRounds = 128
+	}
+
+	var (
+		mu   sync.Mutex
+		live = make(map[msg.CallID]*relEntry)
+		seen = make(map[msg.CallKey]bool) // server side: calls already received
+	)
+
+	mark := func(id msg.CallID, from msg.ProcID, reply bool) {
+		mu.Lock()
+		if e, ok := live[id]; ok {
+			e.received[from] = true
+			if reply {
+				e.replied[from] = true
+			}
+		}
+		mu.Unlock()
+	}
+
+	if err := fw.Bus().Register(event.NewRPCCall, "ReliableComm.handleNewCall", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			id := o.Arg.(msg.CallID)
+			fw.LockP()
+			rec, ok := fw.ClientRec(id)
+			if !ok {
+				fw.UnlockP()
+				return
+			}
+			e := &relEntry{
+				id:       rec.ID,
+				op:       rec.Op,
+				args:     rec.CallArgs, // original input args (deviation D7)
+				group:    rec.Server.Clone(),
+				vc:       rec.VC, // retransmissions carry the original timestamp
+				received: make(map[msg.ProcID]bool, len(rec.Server)),
+				replied:  make(map[msg.ProcID]bool, len(rec.Server)),
+			}
+			for _, entry := range rec.Pending {
+				entry.Acked = false
+			}
+			fw.UnlockP()
+			mu.Lock()
+			live[id] = e
+			mu.Unlock()
+		}); err != nil {
+		return err
+	}
+
+	if err := fw.Bus().Register(event.MsgFromNetwork, "ReliableComm.msgFromNet", PrioReliable,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			switch m.Type {
+			case msg.OpCall:
+				// Server side: acknowledge receipt of a REdelivered call
+				// (a duplicate means the client is still retransmitting to
+				// us) so the client can settle this member even while
+				// execution is deferred by an ordering protocol. The first
+				// delivery is not acknowledged: on the fast path the reply
+				// itself settles the member, keeping the extra message off
+				// the common case.
+				key := m.Key()
+				mu.Lock()
+				dup := seen[key]
+				if !dup {
+					seen[key] = true
+				}
+				mu.Unlock()
+				if dup {
+					fw.Net().Push(m.Sender, &msg.NetMsg{
+						Type:   msg.OpCallAck,
+						Client: m.Client,
+						Server: m.Server,
+						Sender: fw.Self(),
+						Inc:    fw.Inc(),
+						AckID:  m.ID,
+					})
+				}
+			case msg.OpReply:
+				mark(m.ID, m.Sender, true)
+				fw.LockP()
+				if rec, ok := fw.ClientRec(m.ID); ok {
+					if e, ok := rec.Pending[m.Sender]; ok {
+						e.Acked = true
+					}
+				}
+				fw.UnlockP()
+			case msg.OpCallAck:
+				// A member acknowledged receipt of our Call.
+				mark(m.AckID, m.Sender, false)
+				fw.LockP()
+				if rec, ok := fw.ClientRec(m.AckID); ok {
+					if e, ok := rec.Pending[m.Sender]; ok {
+						e.Acked = true
+					}
+				}
+				fw.UnlockP()
+			}
+		}); err != nil {
+		return err
+	}
+
+	// Periodic retransmission: a TIMEOUT handler that re-registers itself,
+	// the paper's idiom for repetition.
+	var handleTimeout event.Handler
+	handleTimeout = func(*event.Occurrence) {
+		type resend struct {
+			to msg.ProcID
+			m  *msg.NetMsg
+		}
+		var out []resend
+		mu.Lock()
+		for id, e := range live {
+			fw.LockP()
+			_, pending := fw.ClientRec(id)
+			fw.UnlockP()
+			// While pending, a member is settled only once it replied;
+			// afterwards, receipt suffices (see relEntry).
+			settled := e.replied
+			if !pending {
+				settled = e.received
+				// The caller has moved on (accepted or timed out); keep
+				// redelivering for a bounded while so slow members still
+				// receive the call, then presume the rest crashed.
+				e.linger++
+				if e.linger > r.LingerRounds {
+					delete(live, id)
+					continue
+				}
+			}
+			done := true
+			for _, p := range e.group {
+				if !settled[p] {
+					done = false
+					break
+				}
+			}
+			if done {
+				delete(live, id)
+				continue
+			}
+			for _, p := range e.group {
+				if settled[p] {
+					continue
+				}
+				out = append(out, resend{to: p, m: &msg.NetMsg{
+					Type:   msg.OpCall,
+					ID:     e.id,
+					Client: fw.Self(),
+					Op:     e.op,
+					Args:   e.args,
+					Server: e.group,
+					Sender: fw.Self(),
+					Inc:    fw.Inc(),
+					VC:     e.vc,
+				}})
+			}
+		}
+		mu.Unlock()
+		for _, rs := range out {
+			fw.Net().Push(rs.to, rs.m)
+		}
+		fw.Bus().RegisterTimeout("ReliableComm.handleTimeout", r.RetransTimeout, handleTimeout)
+	}
+	fw.Bus().RegisterTimeout("ReliableComm.handleTimeout", r.RetransTimeout, handleTimeout)
+	return nil
+}

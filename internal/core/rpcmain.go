@@ -1,0 +1,172 @@
+package core
+
+import (
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// RPCMain handles the main control flow of an RPC on both the client and
+// server sides (§4.4.1): it stores call requests in the tables, sends
+// requests and replies over the network, and drives procedure execution via
+// ForwardUp. It does not block user threads — that is the job of the
+// call-semantics micro-protocols.
+type RPCMain struct{}
+
+var _ MicroProtocol = RPCMain{}
+
+// Name implements MicroProtocol.
+func (RPCMain) Name() string { return "RPC Main" }
+
+// Attach implements MicroProtocol.
+func (RPCMain) Attach(fw *Framework) error {
+	fw.SetHold(HoldMain)
+
+	// Server side: a Call arriving from the network is recorded in sRPC and
+	// offered to forward_up under the MAIN property.
+	if err := fw.Bus().Register(event.MsgFromNetwork, "RPCMain.msgFromNet", PrioMain,
+		func(o *event.Occurrence) {
+			ev := o.Arg.(*NetEvent)
+			m := ev.Msg
+			if m.Type != msg.OpCall {
+				return
+			}
+			key := m.Key()
+			rec := &ServerRecord{
+				Key:    key,
+				Op:     m.Op,
+				Args:   m.Args,
+				Server: m.Server.Clone(),
+				Client: m.Client,
+				Inc:    m.Inc,
+				Thread: ev.Thread,
+			}
+			fw.LockS()
+			if _, dup := fw.ServerRec(key); dup {
+				// Already held (e.g. a retransmission racing the original
+				// while an ordering protocol defers it). Without Unique
+				// Execution nothing else filters this; drop the copy to
+				// keep the table consistent.
+				fw.UnlockS()
+				o.Cancel()
+				return
+			}
+			fw.PutServerRec(rec)
+			fw.UnlockS()
+			o.OnCancel(func() { fw.DropServerCall(key) })
+			fw.ForwardUp(key, HoldMain)
+		}); err != nil {
+		return err
+	}
+
+	// Client side: a Call from the user protocol is recorded in pRPC,
+	// announced via NEW_RPC_CALL, and multicast to the server group.
+	if err := fw.Bus().Register(event.CallFromUser, "RPCMain.msgFromUser", 1,
+		func(o *event.Occurrence) {
+			um := o.Arg.(*msg.UserMsg)
+			if um.Type != msg.UserCall {
+				return
+			}
+			fw.LockP()
+			rec := fw.NewClientRec(um.Op, um.Args, um.Server)
+			if fw.CausalEnabled() {
+				rec.VC = fw.StampOutgoingCall()
+			}
+			fw.UnlockP()
+			um.ID = rec.ID
+			um.Status = msg.StatusWaiting
+
+			fw.Bus().Trigger(event.NewRPCCall, rec.ID)
+
+			call := &msg.NetMsg{
+				Type:   msg.OpCall,
+				ID:     rec.ID,
+				Client: fw.Self(),
+				Op:     rec.Op,
+				Args:   um.Args,
+				Server: rec.Server,
+				Sender: fw.Self(),
+				Inc:    fw.Inc(),
+				VC:     rec.VC,
+			}
+			fw.Net().Multicast(rec.Server, call)
+		}); err != nil {
+		return err
+	}
+
+	return fw.Bus().Register(event.Recovery, "RPCMain.handleRecovery", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			fw.SetInc(o.Arg.(msg.Incarnation))
+		})
+}
+
+// SynchronousCall implements synchronous RPC semantics (§4.4.2): the
+// calling thread blocks on the call's semaphore until the call completes
+// (accepted, timed out, or aborted), then collects the result.
+type SynchronousCall struct{}
+
+var _ MicroProtocol = SynchronousCall{}
+
+// Name implements MicroProtocol.
+func (SynchronousCall) Name() string { return "Synchronous Call" }
+
+// Attach implements MicroProtocol.
+func (SynchronousCall) Attach(fw *Framework) error {
+	// Default priority: runs after RPC Main has created the record and
+	// sent the request.
+	return fw.Bus().Register(event.CallFromUser, "SynchronousCall.msgFromUser", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			um := o.Arg.(*msg.UserMsg)
+			if um.Type != msg.UserCall {
+				return
+			}
+			fw.LockP()
+			rec, ok := fw.ClientRec(um.ID)
+			fw.UnlockP()
+			if !ok {
+				return
+			}
+			rec.Sem.P()
+			fw.LockP()
+			um.Args = rec.Args
+			um.Status = rec.Status
+			fw.RemoveClientRec(um.ID)
+			fw.UnlockP()
+		})
+}
+
+// AsynchronousCall implements asynchronous RPC semantics (§4.4.2): the
+// caller is not blocked when the call is issued; it later retrieves the
+// result with a Request message, blocking only then if the result is not
+// yet available.
+type AsynchronousCall struct{}
+
+var _ MicroProtocol = AsynchronousCall{}
+
+// Name implements MicroProtocol.
+func (AsynchronousCall) Name() string { return "Asynchronous Call" }
+
+// Attach implements MicroProtocol.
+func (AsynchronousCall) Attach(fw *Framework) error {
+	return fw.Bus().Register(event.CallFromUser, "AsynchronousCall.msgFromUser", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			um := o.Arg.(*msg.UserMsg)
+			if um.Type != msg.UserRequest {
+				return
+			}
+			fw.LockP()
+			rec, ok := fw.ClientRec(um.ID)
+			fw.UnlockP()
+			if !ok {
+				// Unknown or already-collected call.
+				um.Status = msg.StatusAborted
+				return
+			}
+			rec.Sem.P()
+			fw.LockP()
+			um.Args = rec.Args
+			um.Status = rec.Status
+			um.Op = rec.Op
+			fw.RemoveClientRec(um.ID)
+			fw.UnlockP()
+		})
+}

@@ -1,0 +1,25 @@
+package core
+
+// SerialExecution forces the server to process calls one at a time
+// (§4.4.5), a prerequisite of the checkpoint-based Atomic Execution.
+//
+// Deviation D3: the paper wraps a semaphore around message delivery (and,
+// as written, registers the P at the lowest priority — after the call has
+// already executed). Acquiring the slot in admission order also deadlocks
+// when an ordering micro-protocol schedules an earlier-admitted call after
+// a later-admitted one: the slot's holder waits for a call that is stuck
+// behind the slot. Here the property is instead enforced at execution time:
+// ForwardUp queues eligible calls and executes them strictly one at a time
+// in eligibility order, which composes with FIFO and Total Order.
+type SerialExecution struct{}
+
+var _ MicroProtocol = SerialExecution{}
+
+// Name implements MicroProtocol.
+func (SerialExecution) Name() string { return "Serial Execution" }
+
+// Attach implements MicroProtocol.
+func (SerialExecution) Attach(fw *Framework) error {
+	fw.EnableSerial()
+	return nil
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+)
+
+// TerminateOrphan implements the second orphan-handling option (§4.4.7):
+// orphans are killed as soon as they are detected. The paper names two
+// detection approaches and both are implemented:
+//
+//  1. incarnation detection (always on): receiving a message from a newer
+//     incarnation of a client proves the previous incarnation died, so
+//     every thread still executing that client's old calls is killed and
+//     its held calls dropped;
+//  2. probing (enabled by ProbeInterval > 0): while a client has work in
+//     progress the server probes it periodically; a client that misses
+//     ProbeMisses consecutive probes is presumed crashed and its
+//     computations are killed. A live client's composite answers probes
+//     automatically (this micro-protocol registers the responder on both
+//     sides, like every other micro-protocol in the symmetric composite).
+//
+// Deviation D5: Go threads are killed cooperatively — the thread token is
+// marked killed, the execution slot and tables are cleaned up immediately,
+// and the running procedure observes the kill at its next cancellation
+// point; its reply is suppressed either way.
+type TerminateOrphan struct {
+	// ProbeInterval enables probing detection when positive.
+	ProbeInterval time.Duration
+	// ProbeMisses is how many consecutive unanswered probes declare the
+	// client dead (default 3).
+	ProbeMisses int
+}
+
+var _ MicroProtocol = TerminateOrphan{}
+
+type toEntry struct {
+	inc     msg.Incarnation
+	threads map[int64]*proc.Thread
+	missed  int // consecutive unanswered probes
+}
+
+// Name implements MicroProtocol.
+func (TerminateOrphan) Name() string { return "Terminate Orphan" }
+
+// Attach implements MicroProtocol.
+func (to TerminateOrphan) Attach(fw *Framework) error {
+	var (
+		mu   sync.Mutex
+		info = make(map[msg.ProcID]*toEntry)
+	)
+	if to.ProbeMisses <= 0 {
+		to.ProbeMisses = 3
+	}
+
+	if err := fw.Bus().Register(event.MsgFromNetwork, "TerminateOrphan.msgFromNet", PrioOrphan,
+		func(o *event.Occurrence) {
+			ev := o.Arg.(*NetEvent)
+			m := ev.Msg
+			if m.Type != msg.OpCall || ev.Thread == nil {
+				return
+			}
+			client := m.Client
+			th := ev.Thread
+
+			mu.Lock()
+			ci, ok := info[client]
+			if !ok {
+				ci = &toEntry{inc: m.Inc, threads: make(map[int64]*proc.Thread)}
+				info[client] = ci
+			}
+			switch {
+			case ci.inc > m.Inc:
+				// The call itself is an orphan of a dead incarnation.
+				mu.Unlock()
+				o.Cancel()
+				return
+			case ci.inc < m.Inc:
+				// Newer incarnation detected: everything running for the
+				// old one is an orphan. Kill it.
+				orphans := ci.threads
+				ci.inc = m.Inc
+				ci.threads = map[int64]*proc.Thread{th.ID(): th}
+				mu.Unlock()
+				for _, t := range orphans {
+					t.Kill()
+				}
+				fw.dropCallsOlderThan(client, m.Inc)
+			default:
+				ci.threads[th.ID()] = th
+				mu.Unlock()
+			}
+			o.OnCancel(func() {
+				mu.Lock()
+				delete(ci.threads, th.ID())
+				mu.Unlock()
+			})
+		}); err != nil {
+		return err
+	}
+
+	if err := fw.Bus().Register(event.ReplyFromServer, "TerminateOrphan.handleReply", 1,
+		func(o *event.Occurrence) {
+			key := o.Arg.(msg.CallKey)
+			fw.LockS()
+			rec, ok := fw.ServerRec(key)
+			var th *proc.Thread
+			if ok {
+				th = rec.Thread
+			}
+			fw.UnlockS()
+			if th == nil {
+				return
+			}
+			mu.Lock()
+			if ci, ok := info[key.Client]; ok {
+				delete(ci.threads, th.ID())
+			}
+			mu.Unlock()
+		}); err != nil {
+		return err
+	}
+
+	// Probing detection (§4.4.7, second option).
+	if err := fw.Bus().Register(event.MsgFromNetwork, "TerminateOrphan.probes", PrioOrphan,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			switch m.Type {
+			case msg.OpProbe:
+				// Client side: prove liveness.
+				fw.Net().Push(m.Sender, &msg.NetMsg{
+					Type:   msg.OpProbeAck,
+					Sender: fw.Self(),
+					Inc:    fw.Inc(),
+				})
+			case msg.OpProbeAck:
+				mu.Lock()
+				if ci, ok := info[m.Sender]; ok {
+					ci.missed = 0
+				}
+				mu.Unlock()
+			}
+		}); err != nil {
+		return err
+	}
+	if to.ProbeInterval <= 0 {
+		return nil
+	}
+	var probe event.Handler
+	probe = func(*event.Occurrence) {
+		var (
+			targets []msg.ProcID
+			dead    []msg.ProcID
+			orphans []*proc.Thread
+		)
+		mu.Lock()
+		for client, ci := range info {
+			if len(ci.threads) == 0 {
+				ci.missed = 0
+				continue
+			}
+			ci.missed++
+			if ci.missed > to.ProbeMisses {
+				// Presumed crashed: kill its computations. If the client
+				// is in fact alive (false suspicion), its retransmissions
+				// re-execute the calls later.
+				for _, t := range ci.threads {
+					orphans = append(orphans, t)
+				}
+				ci.threads = make(map[int64]*proc.Thread)
+				ci.missed = 0
+				dead = append(dead, client)
+				continue
+			}
+			targets = append(targets, client)
+		}
+		mu.Unlock()
+		for _, t := range orphans {
+			t.Kill()
+		}
+		for _, client := range targets {
+			fw.Net().Push(client, &msg.NetMsg{
+				Type:   msg.OpProbe,
+				Sender: fw.Self(),
+				Inc:    fw.Inc(),
+			})
+		}
+		for _, client := range dead {
+			fw.dropCallsOlderThan(client, maxInc)
+		}
+		fw.Bus().RegisterTimeout("TerminateOrphan.probe", to.ProbeInterval, probe)
+	}
+	fw.Bus().RegisterTimeout("TerminateOrphan.probe", to.ProbeInterval, probe)
+	return nil
+}
+
+// dropCallsOlderThan removes every held call of client with an incarnation
+// older than inc, killing its thread and releasing its execution slot —
+// the cleanup companion of Terminate Orphan's kill sweep.
+func (fw *Framework) dropCallsOlderThan(client msg.ProcID, inc msg.Incarnation) {
+	var keys []msg.CallKey
+	fw.LockS()
+	fw.ServerRecs(func(r *ServerRecord) {
+		if r.Client == client && r.Inc < inc {
+			keys = append(keys, r.Key)
+		}
+	})
+	fw.UnlockS()
+	for _, k := range keys {
+		fw.DropServerCall(k)
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrpc/internal/event"
+	"mrpc/internal/member"
+	"mrpc/internal/msg"
+	"mrpc/internal/stub"
+)
+
+// TotalOrder guarantees that the calls of all clients are processed in the
+// same total order by every group member (§4.4.6). One member — the leader,
+// defined as the non-failed server with the largest identifier — assigns
+// sequence numbers to calls and disseminates them in ORDER messages; every
+// member executes calls strictly in sequence-number order.
+//
+// The paper's implementation assumes Reliable Communication and Unique
+// Execution are configured and Bounded Termination is not; the dependency
+// graph in internal/config enforces this.
+//
+// Leader change implements the agreement phase the paper omits "for
+// brevity" (§4.4.6): the new leader queries the surviving members for the
+// assignments they have seen (ORDER_QUERY/ORDER_INFO), merges their order
+// tables, adopts a sequence number above everything reported, and
+// re-disseminates the merged assignments — so an assignment the failed
+// leader managed to deliver to any surviving member is preserved rather
+// than renumbered divergently. Fresh assignments are deferred for
+// AgreementDelay while the query round completes. This is crash-stop
+// agreement over fair-lossy links (the query round itself is retried by
+// the nudge timer), not partition-tolerant consensus; see DESIGN.md D4.
+type TotalOrder struct {
+	// NudgeInterval is how often a follower re-forwards calls that are
+	// still waiting for a sequence number to the current leader (default
+	// 20ms). The paper relies on client retransmissions to trigger this
+	// forwarding; with receipt-acknowledged reliable communication (D11)
+	// those stop, so order-message loss is recovered by the group itself.
+	NudgeInterval time.Duration
+	// AgreementDelay is how long a new leader collects ORDER_INFO replies
+	// before assigning fresh sequence numbers (default 3x NudgeInterval).
+	AgreementDelay time.Duration
+}
+
+var _ MicroProtocol = TotalOrder{}
+
+// Name implements MicroProtocol.
+func (TotalOrder) Name() string { return "Total Order" }
+
+type totalState struct {
+	mu        sync.Mutex
+	oldOrders map[msg.CallKey]int64       // assigned sequence numbers seen
+	waiting   map[msg.CallKey]*msg.NetMsg // full call, for re-forwarding
+	ready     map[int64]msg.CallKey
+	nextOrder int64                // leader: next number to assign
+	nextEntry int64                // all: next number allowed to execute
+	groups    map[string]msg.Group // groups observed, for leader takeover
+	syncing   bool                 // new leader collecting ORDER_INFO; defer assignments
+}
+
+// encodeOrders serializes a (key -> order) table for ORDER_INFO.
+func encodeOrders(orders map[msg.CallKey]int64) []byte {
+	w := stub.NewWriter(16 * len(orders))
+	w.PutUint32(uint32(len(orders)))
+	for k, ord := range orders {
+		w.PutUint32(uint32(k.Client))
+		w.PutInt64(int64(k.ID))
+		w.PutInt64(ord)
+	}
+	return w.Bytes()
+}
+
+// decodeOrders parses an ORDER_INFO payload.
+func decodeOrders(data []byte) map[msg.CallKey]int64 {
+	r := stub.NewReader(data)
+	n := int(r.Uint32())
+	out := make(map[msg.CallKey]int64, n)
+	for i := 0; i < n; i++ {
+		client := msg.ProcID(r.Uint32())
+		id := msg.CallID(r.Int64())
+		ord := r.Int64()
+		if r.Err() != nil {
+			return out
+		}
+		out[msg.CallKey{Client: client, ID: id}] = ord
+	}
+	return out
+}
+
+func groupKey(g msg.Group) string { return fmt.Sprint(g) }
+
+// leader computes the group leader, treating members the membership
+// service reports failed as down.
+func (fw *Framework) totalLeader(g msg.Group) msg.ProcID {
+	down := make(map[msg.ProcID]bool)
+	for _, p := range g {
+		if fw.Membership().Down(p) {
+			down[p] = true
+		}
+	}
+	return g.Leader(down)
+}
+
+// Attach implements MicroProtocol.
+func (to TotalOrder) Attach(fw *Framework) error {
+	fw.SetHold(HoldTotal)
+	if to.NudgeInterval <= 0 {
+		to.NudgeInterval = 20 * time.Millisecond
+	}
+	if to.AgreementDelay <= 0 {
+		to.AgreementDelay = 3 * to.NudgeInterval
+	}
+
+	st := &totalState{
+		oldOrders: make(map[msg.CallKey]int64),
+		waiting:   make(map[msg.CallKey]*msg.NetMsg),
+		ready:     make(map[int64]msg.CallKey),
+		nextOrder: 1,
+		nextEntry: 1,
+		groups:    make(map[string]msg.Group),
+	}
+
+	assign := func(key msg.CallKey, group msg.Group) {
+		st.mu.Lock()
+		ord, ok := st.oldOrders[key]
+		if !ok {
+			ord = st.nextOrder
+			st.oldOrders[key] = ord
+			st.nextOrder++
+		}
+		st.mu.Unlock()
+		fw.Net().Multicast(group, &msg.NetMsg{
+			Type:   msg.OpOrder,
+			ID:     key.ID,
+			Client: key.Client,
+			Server: group,
+			Sender: fw.Self(),
+			Inc:    fw.Inc(),
+			Order:  ord,
+		})
+	}
+
+	// The leader assigns sequence numbers as soon as a Call arrives
+	// (before any other processing); followers holding an unordered call
+	// nudge the leader when the client retransmits.
+	if err := fw.Bus().Register(event.MsgFromNetwork, "TotalOrder.assignOrder", PrioAssignOrder,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			if m.Type != msg.OpCall {
+				return
+			}
+			key := m.Key()
+			st.mu.Lock()
+			st.groups[groupKey(m.Server)] = m.Server.Clone()
+			st.mu.Unlock()
+
+			if fw.totalLeader(m.Server) == fw.Self() {
+				st.mu.Lock()
+				syncing := st.syncing
+				st.mu.Unlock()
+				if !syncing {
+					assign(key, m.Server)
+				}
+				// While syncing, assignment is deferred; the follower
+				// nudge timers re-deliver the call once the agreement
+				// round is over.
+			} else {
+				st.mu.Lock()
+				_, isWaiting := st.waiting[key]
+				st.mu.Unlock()
+				if isWaiting {
+					fw.Net().Push(fw.totalLeader(m.Server), m.Clone())
+				}
+			}
+			// Unlike the paper, duplicates of already-executed calls are
+			// NOT cancelled here: doing so (before Unique Execution's
+			// handler) would suppress the retained-response resend that
+			// recovers from a lost reply (deviation D8). The ordered
+			// handler below drops them after Unique has had its chance.
+		}); err != nil {
+		return err
+	}
+
+	// applyOrder records an assignment and releases/drops a held call
+	// accordingly (the body of the paper's ORDER handling).
+	applyOrder := func(key msg.CallKey, order int64) {
+		st.mu.Lock()
+		if st.nextOrder < order+1 {
+			st.nextOrder = order + 1
+		}
+		if _, ok := st.oldOrders[key]; !ok {
+			st.oldOrders[key] = order
+		}
+		if _, held := st.waiting[key]; !held {
+			st.mu.Unlock()
+			return
+		}
+		delete(st.waiting, key)
+		switch {
+		case order == st.nextEntry:
+			st.mu.Unlock()
+			fw.ForwardUp(key, HoldTotal)
+		case order < st.nextEntry:
+			st.mu.Unlock()
+			fw.DropServerCall(key)
+		default:
+			st.ready[order] = key
+			st.mu.Unlock()
+		}
+	}
+
+	if err := fw.Bus().Register(event.MsgFromNetwork, "TotalOrder.msgFromNet", PrioOrder,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			switch m.Type {
+			case msg.OpCall:
+				key := m.Key()
+				st.mu.Lock()
+				ord, ok := st.oldOrders[key]
+				if !ok {
+					st.waiting[key] = m.Clone()
+					st.mu.Unlock()
+					o.OnCancel(func() {
+						st.mu.Lock()
+						delete(st.waiting, key)
+						st.mu.Unlock()
+					})
+					return
+				}
+				switch {
+				case ord < st.nextEntry:
+					st.mu.Unlock()
+					o.Cancel()
+				case ord == st.nextEntry:
+					st.mu.Unlock()
+					fw.ForwardUp(key, HoldTotal)
+				default:
+					st.ready[ord] = key
+					st.mu.Unlock()
+				}
+
+			case msg.OpOrder:
+				applyOrder(m.Key(), m.Order)
+
+			case msg.OpOrderQuery:
+				// A new leader is collecting assignments: report ours.
+				st.mu.Lock()
+				payload := encodeOrders(st.oldOrders)
+				st.mu.Unlock()
+				fw.Net().Push(m.Sender, &msg.NetMsg{
+					Type:   msg.OpOrderInfo,
+					Server: m.Server,
+					Sender: fw.Self(),
+					Inc:    fw.Inc(),
+					Args:   payload,
+				})
+
+			case msg.OpOrderInfo:
+				// Merge a member's assignments; re-disseminate anything we
+				// learned so every member converges on the merged table.
+				reported := decodeOrders(m.Args)
+				var learned []msg.CallKey
+				st.mu.Lock()
+				for k, ord := range reported {
+					if st.nextOrder < ord+1 {
+						st.nextOrder = ord + 1
+					}
+					if _, ok := st.oldOrders[k]; !ok {
+						st.oldOrders[k] = ord
+						learned = append(learned, k)
+					}
+				}
+				orders := make(map[msg.CallKey]int64, len(learned))
+				for _, k := range learned {
+					orders[k] = st.oldOrders[k]
+				}
+				st.mu.Unlock()
+				for _, k := range learned {
+					fw.Net().Multicast(m.Server, &msg.NetMsg{
+						Type:   msg.OpOrder,
+						ID:     k.ID,
+						Client: k.Client,
+						Server: m.Server,
+						Sender: fw.Self(),
+						Inc:    fw.Inc(),
+						Order:  orders[k],
+					})
+					applyOrder(k, orders[k])
+				}
+			}
+		}); err != nil {
+		return err
+	}
+
+	if err := fw.Bus().Register(event.ReplyFromServer, "TotalOrder.handleReply", 1,
+		func(o *event.Occurrence) {
+			st.mu.Lock()
+			st.nextEntry++
+			key, ok := st.ready[st.nextEntry]
+			if ok {
+				delete(st.ready, st.nextEntry)
+			}
+			st.mu.Unlock()
+			if ok {
+				fw.ForwardUp(key, HoldTotal)
+			}
+		}); err != nil {
+		return err
+	}
+
+	// A follower holding unordered calls periodically re-forwards them to
+	// the current leader, recovering lost ORDER messages (and lost
+	// leader-bound calls) without relying on client retransmission.
+	var nudge event.Handler
+	nudge = func(*event.Occurrence) {
+		st.mu.Lock()
+		var resend []*msg.NetMsg
+		for _, m := range st.waiting {
+			resend = append(resend, m)
+		}
+		st.mu.Unlock()
+		for _, m := range resend {
+			leader := fw.totalLeader(m.Server)
+			if leader != 0 && leader != fw.Self() {
+				fw.Net().Push(leader, m.Clone())
+			}
+		}
+		fw.Bus().RegisterTimeout("TotalOrder.nudge", to.NudgeInterval, nudge)
+	}
+	fw.Bus().RegisterTimeout("TotalOrder.nudge", to.NudgeInterval, nudge)
+
+	// Leader takeover with the agreement phase the paper omits (see the
+	// type comment): the new leader first queries survivors for their
+	// assignments, then — after AgreementDelay — assigns fresh numbers to
+	// whatever is still unordered.
+	return fw.Bus().Register(event.MembershipChange, "TotalOrder.leaderChange", event.DefaultPriority,
+		func(o *event.Occurrence) {
+			c := o.Arg.(member.Change)
+			if c.Kind != member.Failure {
+				return
+			}
+			st.mu.Lock()
+			groups := make([]msg.Group, 0, len(st.groups))
+			for _, g := range st.groups {
+				groups = append(groups, g)
+			}
+			maxAssigned := int64(0)
+			for _, ord := range st.oldOrders {
+				if ord > maxAssigned {
+					maxAssigned = ord
+				}
+			}
+			if st.nextOrder <= maxAssigned {
+				st.nextOrder = maxAssigned + 1
+			}
+			st.mu.Unlock()
+
+			var leading []msg.Group
+			for _, g := range groups {
+				if g.Contains(c.Who) && fw.totalLeader(g) == fw.Self() {
+					leading = append(leading, g)
+				}
+			}
+			if len(leading) == 0 {
+				return
+			}
+
+			// Agreement round: collect the survivors' order tables before
+			// assigning anything new.
+			st.mu.Lock()
+			st.syncing = true
+			st.mu.Unlock()
+			for _, g := range leading {
+				fw.Net().Multicast(g, &msg.NetMsg{
+					Type:   msg.OpOrderQuery,
+					Server: g,
+					Sender: fw.Self(),
+					Inc:    fw.Inc(),
+				})
+			}
+			fw.Bus().RegisterTimeout("TotalOrder.agreementDone", to.AgreementDelay,
+				func(*event.Occurrence) {
+					st.mu.Lock()
+					st.syncing = false
+					type pend struct {
+						key msg.CallKey
+						grp msg.Group
+					}
+					var pending []pend
+					for k, m := range st.waiting {
+						pending = append(pending, pend{key: k, grp: m.Server})
+					}
+					st.mu.Unlock()
+					for _, g := range leading {
+						for _, p := range pending {
+							if p.grp.Equal(g) {
+								assign(p.key, g)
+							}
+						}
+					}
+				})
+		})
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// UniqueExecution guarantees that a call is not executed more than once at
+// each server (§4.4.5): the server remembers calls it has seen (OldCalls)
+// and retains its response (OldResults) until the client acknowledges it; a
+// duplicate request is answered from the stored response or, if execution
+// is in progress, simply discarded. Combined with Reliable Communication
+// this lifts "at least once" to "exactly once" semantics.
+//
+// As in the paper, OldCalls entries are retained indefinitely so that a
+// straggler duplicate arriving after the acknowledgement is still
+// recognized as old; the table is bounded by the number of distinct calls
+// served in the incarnation.
+type UniqueExecution struct{}
+
+var _ MicroProtocol = UniqueExecution{}
+
+// Name implements MicroProtocol.
+func (UniqueExecution) Name() string { return "Unique Execution" }
+
+// Attach implements MicroProtocol.
+func (UniqueExecution) Attach(fw *Framework) error {
+	var (
+		mu         sync.Mutex
+		oldCalls   = make(map[msg.CallKey]bool)
+		oldResults = make(map[msg.CallKey][]byte)
+	)
+
+	// Retain the response until the client's ACK (priority 1: before
+	// Atomic Execution's checkpoint on the same event).
+	if err := fw.Bus().Register(event.ReplyFromServer, "UniqueExec.handleReply", 1,
+		func(o *event.Occurrence) {
+			key := o.Arg.(msg.CallKey)
+			fw.LockS()
+			rec, ok := fw.ServerRec(key)
+			var args []byte
+			if ok {
+				args = rec.Args
+			}
+			fw.UnlockS()
+			if ok {
+				mu.Lock()
+				oldResults[key] = args
+				mu.Unlock()
+			}
+		}); err != nil {
+		return err
+	}
+
+	return fw.Bus().Register(event.MsgFromNetwork, "UniqueExec.msgFromNet", PrioUnique,
+		func(o *event.Occurrence) {
+			m := o.Arg.(*NetEvent).Msg
+			switch m.Type {
+			case msg.OpCall:
+				key := m.Key()
+				mu.Lock()
+				if res, done := oldResults[key]; done {
+					mu.Unlock()
+					// Already executed and unacknowledged: resend the
+					// retained response.
+					fw.Net().Push(m.Sender, &msg.NetMsg{
+						Type:   msg.OpReply,
+						ID:     m.ID,
+						Client: m.Client,
+						Op:     m.Op,
+						Args:   res,
+						Server: m.Server,
+						Sender: fw.Self(),
+						Inc:    fw.Inc(),
+					})
+					o.Cancel()
+					return
+				}
+				if oldCalls[key] {
+					mu.Unlock()
+					// Execution in progress (or acknowledged): discard.
+					o.Cancel()
+					return
+				}
+				oldCalls[key] = true
+				mu.Unlock()
+				// If a later handler cancels this delivery (the call never
+				// executes now), forget it so a retransmission can succeed
+				// (deviation D6).
+				o.OnCancel(func() {
+					mu.Lock()
+					delete(oldCalls, key)
+					mu.Unlock()
+				})
+
+			case msg.OpReply:
+				// Client side: acknowledge the response so the server can
+				// release it.
+				fw.Net().Push(m.Sender, &msg.NetMsg{
+					Type:   msg.OpAck,
+					Client: m.Client,
+					Server: m.Server,
+					Sender: fw.Self(),
+					Inc:    fw.Inc(),
+					AckID:  m.ID,
+				})
+
+			case msg.OpAck:
+				mu.Lock()
+				delete(oldResults, msg.CallKey{Client: m.Client, ID: m.AckID})
+				mu.Unlock()
+			}
+		})
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"mrpc/internal/msg"
+)
+
+// uniqueServerNode builds a server with Unique Execution and a recording
+// app, returning both.
+func uniqueServerNode(t *testing.T, net *memNet) (*testNode, *recordingServer) {
+	t.Helper()
+	srv := &recordingServer{}
+	n := addNode(t, net, 1, nodeOpts{server: srv},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		UniqueExecution{})
+	return n, srv
+}
+
+func TestUniqueExecutionDropsDuplicateInProgressAndExecuted(t *testing.T) {
+	net := newMemNet()
+	n, srv := uniqueServerNode(t, net)
+	group := msg.NewGroup(1)
+
+	m := callMsg(100, 1, 1, group, "a")
+	n.fw.HandleNet(m.Clone()) // executes synchronously
+	if got := srv.executed(); len(got) != 1 {
+		t.Fatalf("executed %v", got)
+	}
+
+	// Duplicate after execution: answered from the retained result, not
+	// re-executed.
+	before := net.countSent(msg.OpReply, 100)
+	n.fw.HandleNet(m.Clone())
+	if got := srv.executed(); len(got) != 1 {
+		t.Fatalf("duplicate re-executed: %v", got)
+	}
+	if got := net.countSent(msg.OpReply, 100); got != before+1 {
+		t.Fatalf("retained result not resent: %d replies, want %d", got, before+1)
+	}
+}
+
+func TestUniqueExecutionReleasesResultOnAck(t *testing.T) {
+	net := newMemNet()
+	n, srv := uniqueServerNode(t, net)
+	group := msg.NewGroup(1)
+
+	m := callMsg(100, 1, 1, group, "a")
+	n.fw.HandleNet(m.Clone())
+
+	// The client acknowledges; the retained result is released.
+	n.fw.HandleNet(&msg.NetMsg{Type: msg.OpAck, Client: 100, Sender: 100, AckID: 1})
+
+	// A straggler duplicate now hits OldCalls: discarded silently (no
+	// reply, no execution).
+	before := net.countSent(msg.OpReply, 100)
+	n.fw.HandleNet(m.Clone())
+	if got := srv.executed(); len(got) != 1 {
+		t.Fatalf("straggler duplicate re-executed: %v", got)
+	}
+	if got := net.countSent(msg.OpReply, 100); got != before {
+		t.Fatalf("straggler duplicate answered: %d replies", got)
+	}
+}
+
+func TestUniqueExecutionClientAcksReplies(t *testing.T) {
+	net := newMemNet()
+	addNode(t, net, 1, nodeOpts{server: echoServer()},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		UniqueExecution{})
+	client := addNode(t, net, 100, nodeOpts{},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		UniqueExecution{})
+
+	um := client.fw.Call(1, []byte("x"), msg.NewGroup(1))
+	if um.Status != msg.StatusOK {
+		t.Fatalf("status = %v", um.Status)
+	}
+	if got := net.countSent(msg.OpAck, 1); got != 1 {
+		t.Fatalf("ACKs sent = %d, want 1", got)
+	}
+}
+
+func TestUniqueExecutionDistinctClientsSameID(t *testing.T) {
+	// Two different clients may use the same call id (deviation D1): the
+	// server must treat them as distinct calls.
+	net := newMemNet()
+	n, srv := uniqueServerNode(t, net)
+	group := msg.NewGroup(1)
+
+	n.fw.HandleNet(callMsg(100, 1, 1, group, "from-100"))
+	n.fw.HandleNet(callMsg(101, 1, 1, group, "from-101"))
+	if got := srv.executed(); len(got) != 2 {
+		t.Fatalf("executed %v, want both clients' calls", got)
+	}
+}
+
+func TestUniqueExecutionCompensatesOnLaterCancel(t *testing.T) {
+	// If a later handler cancels the delivery (here: a stale incarnation
+	// dropped by Terminate Orphan at the orphan priority — wait, orphan
+	// runs BEFORE unique; use FIFO's stale-call drop instead), the
+	// OldCalls entry must be removed so a retransmission can execute.
+	net := newMemNet()
+	srv := &recordingServer{}
+	n := addNode(t, net, 1, nodeOpts{server: srv},
+		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
+		UniqueExecution{}, FIFOOrder{})
+	group := msg.NewGroup(1)
+
+	// Establish FIFO state: call 5 executes (next becomes 6).
+	n.fw.HandleNet(callMsg(100, 5, 1, group, "five"))
+	if got := srv.executed(); len(got) != 1 {
+		t.Fatalf("executed %v", got)
+	}
+
+	// Call 4 arrives late: FIFO drops it (id < next) — cancelling the
+	// occurrence AFTER Unique Execution recorded it. The compensation must
+	// remove it from OldCalls; verify by checking the server sends nothing
+	// and the call is NOT remembered as in-progress (a second delivery
+	// behaves identically rather than being swallowed as a duplicate).
+	m4 := callMsg(100, 4, 1, group, "four")
+	n.fw.HandleNet(m4.Clone())
+	n.fw.HandleNet(m4.Clone())
+	if got := srv.executed(); len(got) != 1 {
+		t.Fatalf("stale call executed: %v", got)
+	}
+	if n.fw.PendingServerCalls() != 0 {
+		t.Fatal("dropped call left a server record")
+	}
+}

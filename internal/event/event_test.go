@@ -1,0 +1,294 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+)
+
+func TestTriggerPriorityOrder(t *testing.T) {
+	b := New(clock.NewReal())
+	var order []string
+	add := func(name string, prio int) {
+		if err := b.Register(MsgFromNetwork, name, prio, func(*Occurrence) {
+			order = append(order, name)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("c", 30)
+	add("a", 10)
+	add("d", DefaultPriority)
+	add("b", 20)
+	if !b.Trigger(MsgFromNetwork, nil) {
+		t.Fatal("Trigger reported cancellation")
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTriggerTieBreakByRegistration(t *testing.T) {
+	b := New(clock.NewReal())
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		if err := b.Register(CallFromUser, name, 5, func(*Occurrence) {
+			order = append(order, name)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Trigger(CallFromUser, nil)
+	if order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("tie-break order %v, want registration order", order)
+	}
+}
+
+func TestCancelSkipsRemaining(t *testing.T) {
+	b := New(clock.NewReal())
+	ran := map[string]bool{}
+	b.Register(MsgFromNetwork, "one", 1, func(o *Occurrence) { ran["one"] = true })
+	b.Register(MsgFromNetwork, "two", 2, func(o *Occurrence) {
+		ran["two"] = true
+		o.Cancel()
+	})
+	b.Register(MsgFromNetwork, "three", 3, func(o *Occurrence) { ran["three"] = true })
+	if b.Trigger(MsgFromNetwork, nil) {
+		t.Fatal("Trigger did not report cancellation")
+	}
+	if !ran["one"] || !ran["two"] || ran["three"] {
+		t.Fatalf("ran = %v, want one+two only", ran)
+	}
+}
+
+func TestOnCancelCompensationReverseOrder(t *testing.T) {
+	b := New(clock.NewReal())
+	var cleanups []string
+	b.Register(MsgFromNetwork, "a", 1, func(o *Occurrence) {
+		o.OnCancel(func() { cleanups = append(cleanups, "a") })
+	})
+	b.Register(MsgFromNetwork, "b", 2, func(o *Occurrence) {
+		o.OnCancel(func() { cleanups = append(cleanups, "b") })
+	})
+	b.Register(MsgFromNetwork, "c", 3, func(o *Occurrence) { o.Cancel() })
+	b.Trigger(MsgFromNetwork, nil)
+	if len(cleanups) != 2 || cleanups[0] != "b" || cleanups[1] != "a" {
+		t.Fatalf("cleanups = %v, want [b a] (reverse order)", cleanups)
+	}
+}
+
+func TestOnCancelNotRunOnCompletion(t *testing.T) {
+	b := New(clock.NewReal())
+	ran := false
+	b.Register(MsgFromNetwork, "a", 1, func(o *Occurrence) {
+		o.OnCancel(func() { ran = true })
+	})
+	b.Trigger(MsgFromNetwork, nil)
+	if ran {
+		t.Fatal("OnCancel ran although the occurrence completed")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	b := New(clock.NewReal())
+	count := 0
+	b.Register(Recovery, "h", 1, func(*Occurrence) { count++ })
+	b.Trigger(Recovery, nil)
+	b.Deregister(Recovery, "h")
+	b.Deregister(Recovery, "h") // idempotent
+	b.Trigger(Recovery, nil)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	b := New(clock.NewReal())
+	if err := b.Register(Recovery, "h", 1, func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Recovery, "h", 2, func(*Occurrence) {}); err == nil {
+		t.Fatal("duplicate (event, name) registration accepted")
+	}
+	// Same name on a different event is fine.
+	if err := b.Register(CallFromUser, "h", 1, func(*Occurrence) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterTimeoutViaRegisterRejected(t *testing.T) {
+	b := New(clock.NewReal())
+	if err := b.Register(Timeout, "h", 1, func(*Occurrence) {}); err == nil {
+		t.Fatal("Register accepted TIMEOUT")
+	}
+}
+
+func TestTimeoutFiresOnce(t *testing.T) {
+	clk := clock.NewSim()
+	b := New(clk)
+	count := 0
+	b.RegisterTimeout("t", 10*time.Millisecond, func(o *Occurrence) {
+		if o.Type != Timeout {
+			t.Errorf("occurrence type = %v, want TIMEOUT", o.Type)
+		}
+		count++
+	})
+	if b.PendingTimeouts() != 1 {
+		t.Fatalf("pending = %d, want 1", b.PendingTimeouts())
+	}
+	clk.Advance(50 * time.Millisecond)
+	if count != 1 {
+		t.Fatalf("count = %d, want exactly one firing", count)
+	}
+	if b.PendingTimeouts() != 0 {
+		t.Fatalf("pending = %d after firing, want 0", b.PendingTimeouts())
+	}
+}
+
+func TestTimeoutPeriodicByReRegistration(t *testing.T) {
+	clk := clock.NewSim()
+	b := New(clk)
+	count := 0
+	var handler Handler
+	handler = func(*Occurrence) {
+		count++
+		if count < 3 {
+			b.RegisterTimeout("t", 10*time.Millisecond, handler)
+		}
+	}
+	b.RegisterTimeout("t", 10*time.Millisecond, handler)
+	clk.Advance(time.Second)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (periodic by re-registration)", count)
+	}
+}
+
+func TestTimeoutCancel(t *testing.T) {
+	clk := clock.NewSim()
+	b := New(clk)
+	fired := false
+	cancel := b.RegisterTimeout("t", 10*time.Millisecond, func(*Occurrence) { fired = true })
+	cancel()
+	cancel() // idempotent
+	clk.Advance(time.Second)
+	if fired {
+		t.Fatal("cancelled timeout fired")
+	}
+	if b.PendingTimeouts() != 0 {
+		t.Fatal("cancelled timeout still pending")
+	}
+}
+
+func TestCloseStopsTimeoutsAndRegistrations(t *testing.T) {
+	clk := clock.NewSim()
+	b := New(clk)
+	fired := false
+	b.RegisterTimeout("t", 10*time.Millisecond, func(*Occurrence) { fired = true })
+	b.Close()
+	b.Close() // idempotent
+	clk.Advance(time.Second)
+	if fired {
+		t.Fatal("timeout fired after Close")
+	}
+	if err := b.Register(Recovery, "late", 1, func(*Occurrence) {}); err == nil {
+		t.Fatal("Register accepted after Close")
+	}
+	if c := b.RegisterTimeout("late", time.Millisecond, func(*Occurrence) {}); c == nil {
+		t.Fatal("RegisterTimeout returned nil cancel after Close")
+	}
+}
+
+func TestRegistrationsSnapshot(t *testing.T) {
+	b := New(clock.NewReal())
+	b.Register(MsgFromNetwork, "x", 7, func(*Occurrence) {})
+	b.Register(MsgFromNetwork, "y", 3, func(*Occurrence) {})
+	regs := b.Registrations()
+	rs := regs[MsgFromNetwork]
+	if len(rs) != 2 || rs[0].Name != "y" || rs[1].Name != "x" {
+		t.Fatalf("registrations = %+v, want [y x] in dispatch order", rs)
+	}
+	if rs[0].Priority != 3 {
+		t.Fatalf("priority = %d, want 3", rs[0].Priority)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		CallFromUser:     "CALL_FROM_USER",
+		NewRPCCall:       "NEW_RPC_CALL",
+		ReplyFromServer:  "REPLY_FROM_SERVER",
+		MsgFromNetwork:   "MSG_FROM_NETWORK",
+		Recovery:         "RECOVERY",
+		MembershipChange: "MEMBERSHIP_CHANGE",
+		Timeout:          "TIMEOUT",
+		Type(99):         "EVENT(99)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(typ), got, want)
+		}
+	}
+}
+
+func TestTriggerArgDelivery(t *testing.T) {
+	b := New(clock.NewReal())
+	var got any
+	b.Register(NewRPCCall, "h", 1, func(o *Occurrence) { got = o.Arg })
+	b.Trigger(NewRPCCall, 42)
+	if got != 42 {
+		t.Fatalf("arg = %v, want 42", got)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	b := New(clock.NewReal())
+	type obs struct {
+		ev        Type
+		handler   string
+		cancelled bool
+	}
+	var seen []obs
+	b.SetObserver(func(ev Type, handler string, _ time.Duration, cancelled bool) {
+		seen = append(seen, obs{ev, handler, cancelled})
+	})
+	b.Register(Recovery, "first", 1, func(*Occurrence) {})
+	b.Register(Recovery, "second", 2, func(o *Occurrence) { o.Cancel() })
+	b.Register(Recovery, "third", 3, func(*Occurrence) {})
+	b.Trigger(Recovery, nil)
+	if len(seen) != 2 {
+		t.Fatalf("observed %v, want 2 invocations (third skipped)", seen)
+	}
+	if seen[0].handler != "first" || seen[0].cancelled ||
+		seen[1].handler != "second" || !seen[1].cancelled {
+		t.Fatalf("observed %v", seen)
+	}
+	b.SetObserver(nil) // removable
+	b.Trigger(Recovery, nil)
+	if len(seen) != 2 {
+		t.Fatal("observer ran after removal")
+	}
+}
+
+func TestHandlerMayRegisterDuringDispatch(t *testing.T) {
+	// A handler registering another handler for the same event must not
+	// affect the in-flight dispatch (snapshot semantics) but must take
+	// effect for the next trigger.
+	b := New(clock.NewReal())
+	lateRuns := 0
+	b.Register(Recovery, "first", 1, func(*Occurrence) {
+		b.Register(Recovery, "late", 2, func(*Occurrence) { lateRuns++ })
+	})
+	b.Trigger(Recovery, nil)
+	if lateRuns != 0 {
+		t.Fatal("handler registered mid-dispatch ran in the same occurrence")
+	}
+	b.Trigger(Recovery, nil)
+	if lateRuns != 1 {
+		t.Fatalf("lateRuns = %d, want 1", lateRuns)
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+	"mrpc/internal/stub"
+)
+
+// Operation ids shared by the experiment apps (stable across nodes).
+const (
+	opEcho  mrpc.OpID = 1
+	opInc   mrpc.OpID = 2
+	opPair  mrpc.OpID = 3
+	opTrace mrpc.OpID = 4
+	opSlow  mrpc.OpID = 5
+)
+
+// echoApp returns its arguments; the basic latency workload.
+type echoApp struct{}
+
+func (echoApp) Pop(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+	return append([]byte(nil), args...)
+}
+
+// countingApp counts executions per distinct payload — the unique-execution
+// probe of E1. One shared instance persists across the experiment (the
+// servers never crash in the unique test).
+type countingApp struct {
+	mu      sync.Mutex
+	perCall map[string]int
+	total   int
+}
+
+func newCountingApp() *countingApp {
+	return &countingApp{perCall: make(map[string]int)}
+}
+
+func (c *countingApp) Pop(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+	c.mu.Lock()
+	c.perCall[string(args)]++
+	c.total++
+	c.mu.Unlock()
+	return args
+}
+
+// maxExecutions returns the largest execution count over distinct calls,
+// and the total number of executions.
+func (c *countingApp) maxExecutions() (maxPer, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.perCall {
+		if n > maxPer {
+			maxPer = n
+		}
+	}
+	return maxPer, c.total
+}
+
+// Snapshot implements mrpc.Checkpointable (so the app can run under atomic
+// execution configurations).
+func (c *countingApp) Snapshot() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := stub.NewWriter(64)
+	w.PutInt64(int64(c.total))
+	w.PutUint32(uint32(len(c.perCall)))
+	for k, v := range c.perCall {
+		w.PutString(k)
+		w.PutInt64(int64(v))
+	}
+	return w.Bytes()
+}
+
+// Restore implements mrpc.Checkpointable.
+func (c *countingApp) Restore(data []byte) error {
+	r := stub.NewReader(data)
+	total := int(r.Int64())
+	n := int(r.Uint32())
+	perCall := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		perCall[k] = int(r.Int64())
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.total = total
+	c.perCall = perCall
+	c.mu.Unlock()
+	return nil
+}
+
+// durable is stable application state that survives crashes (modelling
+// data the server has already written to disk), shared between successive
+// app incarnations of one node.
+type durable struct {
+	mu   sync.Mutex
+	a, b int64
+}
+
+func (d *durable) read() (int64, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.a, d.b
+}
+
+// pairApp is the atomicity probe of E1: the pair operation performs two
+// durable writes (a++ then b++) whose invariant is a == b at every call
+// boundary. Arming crashPoint makes the next pair call signal the
+// experiment between the writes and park until killed — the moment the
+// experiment crashes the server — leaving a == b+1 durably unless Atomic
+// Execution rolls the state back.
+type pairApp struct {
+	d *durable
+
+	mu         sync.Mutex
+	armed      bool
+	reached    chan struct{} // signalled when the crash point is reached
+	maxParking time.Duration
+}
+
+func newPairApp(d *durable) *pairApp {
+	return &pairApp{d: d, maxParking: 5 * time.Second}
+}
+
+// arm makes the next pair call stop at the crash point; the returned
+// channel is closed when it gets there.
+func (p *pairApp) arm() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.armed = true
+	p.reached = make(chan struct{})
+	return p.reached
+}
+
+func (p *pairApp) Pop(th *proc.Thread, op msg.OpID, args []byte) []byte {
+	if op != opPair {
+		return nil
+	}
+	p.d.mu.Lock()
+	p.d.a++
+	p.d.mu.Unlock()
+
+	p.mu.Lock()
+	armed := p.armed
+	var reached chan struct{}
+	if armed {
+		p.armed = false
+		reached = p.reached
+	}
+	p.mu.Unlock()
+	if armed {
+		close(reached)
+		// Park at the crash point until the experiment crashes the node
+		// (observed as a thread kill). The second write never happens in
+		// this incarnation — exactly a crash between two disk writes.
+		if th != nil {
+			select {
+			case <-th.Killed():
+			case <-time.After(p.maxParking):
+			}
+			return nil
+		}
+		time.Sleep(p.maxParking)
+		return nil
+	}
+
+	p.d.mu.Lock()
+	p.d.b++
+	p.d.mu.Unlock()
+	return []byte("ok")
+}
+
+// Snapshot implements mrpc.Checkpointable over the durable state.
+func (p *pairApp) Snapshot() []byte {
+	a, b := p.d.read()
+	return stub.NewWriter(16).PutInt64(a).PutInt64(b).Bytes()
+}
+
+// Restore implements mrpc.Checkpointable: recovery rolls the durable state
+// back to the checkpoint (the paper's load()).
+func (p *pairApp) Restore(data []byte) error {
+	r := stub.NewReader(data)
+	a := r.Int64()
+	b := r.Int64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	p.d.mu.Lock()
+	p.d.a, p.d.b = a, b
+	p.d.mu.Unlock()
+	return nil
+}
+
+// traceApp appends each executed call's payload (a "client:seq" tag) to a
+// per-server log — the ordering probe of E7.
+type traceApp struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (t *traceApp) Pop(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+	t.mu.Lock()
+	t.log = append(t.log, string(args))
+	t.mu.Unlock()
+	return args
+}
+
+func (t *traceApp) snapshot() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.log...)
+}
+
+// slowEvent is one lifecycle event of a slowApp execution.
+type slowEvent struct {
+	tag  string // payload tag
+	kind string // "start", "end", "killed"
+	at   time.Time
+}
+
+// slowApp executes calls with a fixed service time, records start/end/kill
+// events, and honours cooperative kill — the orphan probe of E11.
+type slowApp struct {
+	delay time.Duration
+
+	mu     sync.Mutex
+	events []slowEvent
+}
+
+func newSlowApp(delay time.Duration) *slowApp {
+	return &slowApp{delay: delay}
+}
+
+func (s *slowApp) record(tag, kind string) {
+	s.mu.Lock()
+	s.events = append(s.events, slowEvent{tag: tag, kind: kind, at: time.Now()})
+	s.mu.Unlock()
+}
+
+func (s *slowApp) Pop(th *proc.Thread, _ msg.OpID, args []byte) []byte {
+	tag := string(args)
+	s.record(tag, "start")
+	deadline := time.After(s.delay)
+	if th != nil {
+		select {
+		case <-th.Killed():
+			s.record(tag, "killed")
+			return nil
+		case <-deadline:
+		}
+	} else {
+		<-deadline
+	}
+	s.record(tag, "end")
+	return args
+}
+
+func (s *slowApp) snapshot() []slowEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]slowEvent(nil), s.events...)
+}
+
+// find returns the first event with the given tag and kind.
+func findEvent(events []slowEvent, tag, kind string) (slowEvent, bool) {
+	for _, e := range events {
+		if e.tag == tag && e.kind == kind {
+			return e, true
+		}
+	}
+	return slowEvent{}, false
+}

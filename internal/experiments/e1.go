@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+)
+
+// E1FailureSemantics regenerates Figure 1: the traditional failure
+// semantics (at least once / exactly once / at most once) arise as
+// combinations of the unique-execution and atomic-execution properties.
+//
+// Two probes per configuration:
+//
+//   - unique probe: a duplicate-inducing network (loss + duplication +
+//     aggressive retransmission) drives distinct calls at a counting
+//     server; the max executions per call shows whether unique execution
+//     holds.
+//   - atomic probe: a server crash is injected between the two durable
+//     writes of a pair operation whose invariant is a == b at call
+//     boundaries; whether the invariant holds after recovery shows whether
+//     atomic execution holds.
+func E1FailureSemantics(seed int64) *Report {
+	r := &Report{ID: "E1", Title: "Figure 1: failure semantics as {unique, atomic} combinations"}
+
+	rows := []struct {
+		name       string
+		cfg        mrpc.Config
+		wantUnique bool
+		wantAtomic bool
+	}{
+		{"at least once", config.AtLeastOncePreset(), false, false},
+		{"exactly once", config.ExactlyOncePreset(), true, false},
+		{"at most once", config.AtMostOncePreset(), true, true},
+	}
+
+	r.addf("%-15s %-12s %-12s %-14s %-10s", "semantics", "unique-exec", "atomic-exec", "max-exec/call", "invariant")
+	r.Pass = true
+	for _, row := range rows {
+		maxPer, total, calls := uniqueProbe(row.cfg, seed)
+		violated := atomicProbe(row.cfg)
+
+		gotUnique := maxPer <= 1
+		gotAtomic := !violated
+		ok := gotUnique == row.wantUnique && gotAtomic == row.wantAtomic
+		if !ok {
+			r.Pass = false
+		}
+		inv := "holds"
+		if violated {
+			inv = "broken"
+		}
+		r.addf("%-15s %-12s %-12s %-14d %-10s %s",
+			row.name, yesNo(row.wantUnique), yesNo(row.wantAtomic), maxPer, inv, passMark(ok))
+		r.notef("%s: %d executions for %d distinct calls", row.name, total, calls)
+	}
+	return r
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "YES"
+	}
+	return "NO"
+}
+
+func passMark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "MISMATCH"
+}
+
+// uniqueProbe returns the maximum executions observed for any single call,
+// the total executions, and the number of distinct calls issued.
+func uniqueProbe(cfg mrpc.Config, seed int64) (maxPer, total, calls int) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{
+			Seed:     seed,
+			MinDelay: 500 * time.Microsecond,
+			MaxDelay: 6 * time.Millisecond,
+			LossProb: 0.25,
+			DupProb:  0.30,
+		},
+	})
+	defer sys.Stop()
+
+	app := newCountingApp()
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return app }); err != nil {
+		panic(err)
+	}
+	ccfg := cfg
+	// Retransmit faster than the delay spread so duplicates are guaranteed
+	// even without the network's own duplication.
+	ccfg.RetransTimeout = 2 * time.Millisecond
+	client, err := sys.AddClient(100, ccfg)
+	if err != nil {
+		panic(err)
+	}
+
+	const n = 25
+	group := sys.Group(1)
+	for i := 0; i < n; i++ {
+		if _, status, err := client.Call(opInc, []byte(fmt.Sprintf("call-%d", i)), group); err != nil || status != mrpc.StatusOK {
+			panic(fmt.Sprintf("uniqueProbe: call %d: status=%v err=%v", i, status, err))
+		}
+	}
+	// Let straggler duplicates drain before reading the counters.
+	sys.Quiesce()
+	time.Sleep(20 * time.Millisecond)
+	sys.Quiesce()
+	maxPer, total = app.maxExecutions()
+	return maxPer, total, n
+}
+
+// atomicProbe crashes the server between the two durable writes of a pair
+// call and reports whether the a == b invariant is broken after recovery
+// and the call's eventual completion.
+func atomicProbe(cfg mrpc.Config) bool {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	d := &durable{}
+	scfg := cfg
+	server, err := sys.AddServer(1, scfg, func() mrpc.App { return newPairApp(d) })
+	if err != nil {
+		panic(err)
+	}
+	ccfg := cfg
+	// Slow retransmission: no duplicate may slip in between arming the
+	// crash point and the crash itself.
+	ccfg.RetransTimeout = 50 * time.Millisecond
+	client, err := sys.AddClient(100, ccfg)
+	if err != nil {
+		panic(err)
+	}
+	group := sys.Group(1)
+
+	for i := 0; i < 3; i++ {
+		if _, status, err := client.Call(opPair, nil, group); err != nil || status != mrpc.StatusOK {
+			panic(fmt.Sprintf("atomicProbe: warmup call %d: status=%v err=%v", i, status, err))
+		}
+	}
+
+	app, ok := server.App().(*pairApp)
+	if !ok {
+		panic("atomicProbe: unexpected app type")
+	}
+	reached := app.arm()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// This call parks at the crash point, dies with the server, and
+		// completes via retransmission after recovery.
+		_, _, _ = client.Call(opPair, nil, group)
+	}()
+	<-reached
+	server.Crash()
+	if err := server.Recover(); err != nil {
+		panic(err)
+	}
+	<-done
+
+	sys.Quiesce()
+	a, b := d.read()
+	return a != b
+}

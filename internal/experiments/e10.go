@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/trace"
+)
+
+// E10Acceptance sweeps the acceptance limit k over a 5-member group with
+// heterogeneous server latencies: the call latency of acceptance-k tracks
+// the k-th fastest member, quantifying the acceptance spectrum between the
+// paper's ONE and ALL endpoints.
+func E10Acceptance(seed int64) *Report {
+	r := &Report{ID: "E10", Title: "acceptance policy sweep: k-of-5 latency under heterogeneous delays"}
+	r.addf("%-6s %-12s %-12s %-12s", "k", "mean", "p50", "p95")
+
+	var means []time.Duration
+	for k := 1; k <= 5; k++ {
+		rec := acceptanceRun(seed, k)
+		means = append(means, rec.Mean())
+		r.addf("%-6d %-12v %-12v %-12v", k,
+			rec.Mean().Round(time.Microsecond),
+			rec.Percentile(50).Round(time.Microsecond),
+			rec.Percentile(95).Round(time.Microsecond))
+	}
+	// Directional check: k=5 must be materially slower than k=1 and the
+	// endpoints must bracket the middle.
+	r.Pass = means[0] < means[4] && means[0] <= means[2] && means[2] <= means[4]*2
+	r.notef("server i one-way delay = (2i+1)ms, i=0..4")
+	return r
+}
+
+func acceptanceRun(seed int64, k int) *trace.Recorder {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{Seed: seed},
+	})
+	defer sys.Stop()
+
+	cfg := config.ExactlyOncePreset()
+	cfg.RetransTimeout = 200 * time.Millisecond
+	cfg.AcceptanceLimit = k
+
+	group := sys.Group(1, 2, 3, 4, 5)
+	for _, id := range group {
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return echoApp{} }); err != nil {
+			panic(err)
+		}
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for i, id := range group {
+		d := time.Duration(2*i+1) * time.Millisecond
+		sys.Network().SetLinkDelay(client.ID(), id, d, d)
+	}
+
+	rec := trace.NewRecorder("latency")
+	for i := 0; i < 25; i++ {
+		t0 := time.Now()
+		_, status, err := client.Call(opEcho, nil, group)
+		if err != nil || status != mrpc.StatusOK {
+			panic("acceptanceRun: unexpected call failure")
+		}
+		rec.Add(time.Since(t0))
+	}
+	return rec
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+)
+
+// E11Orphans exercises the three orphan-handling options (§4.4.7) with the
+// same scripted failure: a client issues a slow call, crashes while the
+// server is executing it (creating an orphan), recovers under a new
+// incarnation, and issues a fresh call.
+//
+//   - ignore orphans:         the new call may run concurrently with the
+//     orphan (interference), which completes and is wasted work;
+//   - interference avoidance: the new call executes only after the orphan
+//     has drained;
+//   - terminate orphan:       the orphan is killed on detection of the new
+//     incarnation.
+func E11Orphans() *Report {
+	r := &Report{ID: "E11", Title: "orphan handling: ignore vs avoid-interference vs terminate"}
+	r.Pass = true
+	r.addf("%-22s %-16s %-14s %-12s", "policy", "orphan outcome", "interference", "expected")
+
+	for _, mode := range []config.OrphanMode{config.OrphanIgnore, config.OrphanAvoidInterference, config.OrphanTerminate} {
+		killed, interfered, completed := orphanRun(mode)
+
+		outcome := "completed"
+		if killed {
+			outcome = "killed"
+		} else if !completed {
+			outcome = "lost"
+		}
+		var ok bool
+		switch mode {
+		case config.OrphanIgnore:
+			ok = completed && interfered
+		case config.OrphanAvoidInterference:
+			ok = completed && !interfered
+		case config.OrphanTerminate:
+			ok = killed
+		}
+		if !ok {
+			r.Pass = false
+		}
+		r.addf("%-22s %-16s %-14s %-12s", mode, outcome, yesNo(interfered), passMark(ok))
+	}
+	r.notef("orphan service time 80ms; client crashes ~0ms into it and immediately recovers")
+	return r
+}
+
+// orphanRun returns whether the orphan was killed, whether the new call's
+// execution overlapped the orphan's, and whether the orphan ran to
+// completion.
+func orphanRun(mode config.OrphanMode) (killed, interfered, completed bool) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.Config{
+		Call:            config.CallSynchronous,
+		Reliable:        true,
+		RetransTimeout:  10 * time.Millisecond,
+		Execution:       config.ExecConcurrent,
+		Ordering:        config.OrderNone,
+		Orphan:          mode,
+		AcceptanceLimit: 1,
+	}
+
+	app := newSlowApp(80 * time.Millisecond)
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return app }); err != nil {
+		panic(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		panic(err)
+	}
+	group := sys.Group(1)
+
+	// 1. Issue the soon-to-be-orphan call; it is aborted locally when the
+	// client crashes but keeps executing at the server.
+	released := make(chan struct{})
+	go func() {
+		defer close(released)
+		_, _, _ = client.Call(opSlow, []byte("orphan"), group)
+	}()
+	if !waitFor(func() bool {
+		_, ok := findEvent(app.snapshot(), "orphan", "start")
+		return ok
+	}, time.Second) {
+		panic("orphanRun: orphan never started")
+	}
+
+	// 2. Crash and immediately recover the client.
+	client.Crash()
+	<-released
+	if err := client.Recover(); err != nil {
+		panic(err)
+	}
+
+	// 3. Issue the new-incarnation call; synchronous, so this returns when
+	// it has executed.
+	if _, status, err := client.Call(opSlow, []byte("new"), group); err != nil || status != mrpc.StatusOK {
+		panic(fmt.Sprintf("orphanRun(%v): new call failed: status=%v err=%v", mode, status, err))
+	}
+
+	// 4. Let the orphan drain (complete or observe its kill).
+	waitFor(func() bool {
+		ev := app.snapshot()
+		_, ended := findEvent(ev, "orphan", "end")
+		_, wasKilled := findEvent(ev, "orphan", "killed")
+		return ended || wasKilled
+	}, time.Second)
+
+	events := app.snapshot()
+	_, killed = findEvent(events, "orphan", "killed")
+	orphanEnd, completed := findEvent(events, "orphan", "end")
+	newStart, newStarted := findEvent(events, "new", "start")
+	if completed && newStarted {
+		interfered = newStart.at.Before(orphanEnd.at)
+	}
+	return killed, interfered, completed
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(cond func() bool, limit time.Duration) bool {
+	deadline := time.Now().Add(limit)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/trace"
+)
+
+// E12Bounded sweeps the Bounded Termination deadline against a server with
+// a fixed 20ms service time: deadlines shorter than the service time must
+// return TIMEOUT within roughly the bound; longer deadlines must succeed.
+func E12Bounded() *Report {
+	r := &Report{ID: "E12", Title: "bounded termination: deadline sweep vs 20ms service time"}
+	r.addf("%-10s %-6s %-9s %-14s", "bound", "ok", "timeout", "mean-latency")
+
+	type outcome struct {
+		bound    time.Duration
+		ok, tout int
+		mean     time.Duration
+	}
+	var outs []outcome
+	for _, bound := range []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond,
+		40 * time.Millisecond, 80 * time.Millisecond,
+	} {
+		ok, tout, rec := boundedRun(bound)
+		outs = append(outs, outcome{bound: bound, ok: ok, tout: tout, mean: rec.Mean()})
+		r.addf("%-10v %-6d %-9d %-14v", bound, ok, tout, rec.Mean().Round(time.Microsecond))
+	}
+	// Bounds below the service time must time out; bounds above must
+	// succeed, and every timed-out call must return near its bound.
+	r.Pass = outs[0].tout > 0 && outs[0].ok == 0 &&
+		outs[len(outs)-1].ok > 0 && outs[len(outs)-1].tout == 0
+	r.notef("a timed-out call returns with status TIMEOUT; the server's execution is not recalled (at-least-once)")
+	return r
+}
+
+func boundedRun(bound time.Duration) (ok, tout int, rec *trace.Recorder) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := config.ReadOne()
+	cfg.TimeBound = bound
+	cfg.RetransTimeout = 100 * time.Millisecond
+
+	app := newSlowApp(20 * time.Millisecond)
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return app }); err != nil {
+		panic(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		panic(err)
+	}
+	group := sys.Group(1)
+
+	rec = trace.NewRecorder("latency")
+	for i := 0; i < 10; i++ {
+		t0 := time.Now()
+		_, status, err := client.Call(opSlow, []byte{byte(i)}, group)
+		if err != nil {
+			panic(err)
+		}
+		rec.Add(time.Since(t0))
+		switch status {
+		case mrpc.StatusOK:
+			ok++
+		case mrpc.StatusTimeout:
+			tout++
+		}
+	}
+	return ok, tout, rec
+}

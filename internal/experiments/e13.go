@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+)
+
+// E13Causal demonstrates the Causal Order extension (DESIGN.md): client A
+// writes, client B reads until it observes A's write (creating a causal
+// chain through the reply), then B writes. Every replica must then execute
+// A's write before B's — a guarantee no-ordering cannot give under message
+// reordering, and that total order gives only at the price of a sequencer.
+//
+// The experiment counts causality violations per replica over many rounds
+// for none / causal / total configurations.
+func E13Causal(seed int64) *Report {
+	r := &Report{ID: "E13", Title: "causal order (extension): cross-client causality under reordering"}
+	r.Pass = true
+
+	const rounds = 20
+	r.addf("%-8s %-12s %-12s", "order", "violations", "tput-ish(calls)")
+	for _, mode := range []config.OrderMode{config.OrderNone, config.OrderCausal, config.OrderTotal} {
+		violations, calls := causalRun(seed, mode, rounds)
+		switch mode {
+		case config.OrderCausal, config.OrderTotal:
+			if violations != 0 {
+				r.Pass = false
+			}
+		}
+		r.addf("%-8s %-12d %-12d", mode, violations, calls)
+	}
+	r.notef("%d rounds of A-write -> B-read-until-observed -> B-write; 3 replicas, 0.1–3ms delays", rounds)
+	r.notef("violations under 'none' are expected (and show the hazard); causal and total must have none")
+	return r
+}
+
+// causalBoard is a register + execution log: writes record their tag,
+// reads return the latest A-stream tag; the log records write tags in
+// execution order.
+type causalBoard struct {
+	mu    sync.Mutex
+	lastA string
+	log   []string
+}
+
+const (
+	opBoardWrite msg.OpID = 11
+	opBoardRead  msg.OpID = 12
+)
+
+func (b *causalBoard) Pop(_ *proc.Thread, op msg.OpID, args []byte) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch op {
+	case opBoardWrite:
+		tag := string(args)
+		if len(tag) > 0 && tag[0] == 'A' {
+			b.lastA = tag
+		}
+		b.log = append(b.log, tag)
+		return args
+	case opBoardRead:
+		return []byte(b.lastA)
+	default:
+		return nil
+	}
+}
+
+func (b *causalBoard) executed() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.log...)
+}
+
+func causalRun(seed int64, mode config.OrderMode, rounds int) (violations, calls int) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{
+			Seed:     seed,
+			MinDelay: 100 * time.Microsecond,
+			MaxDelay: 3 * time.Millisecond,
+		},
+	})
+	defer sys.Stop()
+
+	cfg := mrpc.Config{
+		Call:            config.CallSynchronous,
+		Reliable:        true,
+		RetransTimeout:  20 * time.Millisecond,
+		Unique:          true,
+		Execution:       config.ExecConcurrent,
+		Ordering:        mode,
+		Orphan:          config.OrphanIgnore,
+		AcceptanceLimit: 1,
+	}
+
+	group := sys.Group(1, 2, 3)
+	boards := make([]*causalBoard, 0, len(group))
+	for _, id := range group {
+		b := &causalBoard{}
+		boards = append(boards, b)
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return b }); err != nil {
+			panic(err)
+		}
+	}
+	clientA, err := sys.AddClient(100, cfg)
+	if err != nil {
+		panic(err)
+	}
+	// B reads with acceptance ALL and a freshest-tag collation, so one
+	// round of reads observes A's write as soon as any replica executed
+	// it, and the reply VCs of every replica are merged (the causal edge).
+	// All of B's calls address the full group: CBCAST numbering is
+	// per-process, so a causally ordered service must keep one group.
+	bCfg := cfg
+	bCfg.AcceptanceLimit = mrpc.AcceptAll
+	bCfg.Collate = freshestTag
+	clientB, err := sys.AddClient(101, bCfg)
+	if err != nil {
+		panic(err)
+	}
+	// Asymmetric links make the hazard reliable: A's writes crawl toward
+	// replica 3 while B's reach it almost instantly, so without ordering
+	// B's causally-later write overtakes A's there nearly every round.
+	sys.Network().SetLinkDelay(clientA.ID(), 3, 6*time.Millisecond, 9*time.Millisecond)
+	sys.Network().SetLinkDelay(clientB.ID(), 3, 100*time.Microsecond, 200*time.Microsecond)
+
+	mustCall := func(c *mrpc.Node, op msg.OpID, args []byte, g mrpc.Group) []byte {
+		reply, status, err := c.Call(op, args, g)
+		if err != nil || status != mrpc.StatusOK {
+			panic(fmt.Sprintf("causalRun: call failed: %v %v", status, err))
+		}
+		calls++
+		return reply
+	}
+
+	for i := 0; i < rounds; i++ {
+		aTag := fmt.Sprintf("A:%d", i)
+		mustCall(clientA, opBoardWrite, []byte(aTag), group)
+		// B reads until it observes A's write: the reply that showed it
+		// carries the causal dependency.
+		for string(mustCall(clientB, opBoardRead, nil, group)) != aTag {
+		}
+		mustCall(clientB, opBoardWrite, []byte(fmt.Sprintf("B:%d", i)), group)
+	}
+
+	// Drain: every replica eventually executes all 2*rounds writes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, b := range boards {
+			if len(b.executed()) < 2*rounds {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	for _, b := range boards {
+		log := b.executed()
+		pos := make(map[string]int, len(log))
+		for i, tag := range log {
+			pos[tag] = i
+		}
+		for i := 0; i < rounds; i++ {
+			a, aok := pos[fmt.Sprintf("A:%d", i)]
+			bb, bok := pos[fmt.Sprintf("B:%d", i)]
+			if !aok || !bok || a > bb {
+				violations++
+			}
+		}
+	}
+	return violations, calls
+}
+
+// freshestTag keeps the tag with the larger sequence suffix ("A:7" beats
+// "A:3"); empty replies never win.
+func freshestTag(accum, reply []byte) []byte {
+	if len(reply) == 0 {
+		return accum
+	}
+	if len(accum) == 0 {
+		return reply
+	}
+	return maxTagBytes(accum, reply)
+}
+
+func maxTagBytes(a, b []byte) []byte {
+	var na, nb int
+	fmt.Sscanf(string(a[2:]), "%d", &na)
+	fmt.Sscanf(string(b[2:]), "%d", &nb)
+	if nb >= na {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/config"
+	"mrpc/internal/msg"
+	"mrpc/internal/netsim"
+	"mrpc/internal/p2p"
+	"mrpc/internal/proc"
+)
+
+// E14PointToPoint quantifies the paper's §4.1 remark that point-to-point
+// RPC "would likely be implemented separately to obtain a more compact and
+// efficient protocol": the compact p2p specialization (same exactly-once
+// semantics, fused code) against the full composite protocol serving a
+// single server, over the same zero-delay network.
+func E14PointToPoint() *Report {
+	r := &Report{ID: "E14", Title: "§4.1 point-to-point specialization vs group composite (1 server)"}
+	const calls = 2000
+
+	compact := p2pCallCost(calls)
+	cfg := config.ExactlyOncePreset()
+	cfg.RetransTimeout = 50 * time.Millisecond
+	composite := AblationCall(cfg, calls)
+
+	r.addf("%-38s %-12s", "implementation", "us/call")
+	r.addf("%-38s %-12.1f", "compact p2p (fused, exactly-once)", float64(compact.Nanoseconds())/1e3)
+	r.addf("%-38s %-12.1f", "composite gRPC (1-member group)", float64(composite.Nanoseconds())/1e3)
+	if compact > 0 {
+		r.notef("specialization speedup: %.2fx — the efficiency the paper trades for generality", float64(composite)/float64(compact))
+	}
+	r.Pass = compact < composite
+	return r
+}
+
+func p2pCallCost(calls int) time.Duration {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+
+	opts := p2p.Options{Reliable: true, Unique: true, RetransTimeout: 50 * time.Millisecond}
+	srv, err := p2p.NewServer(net, 1, opts, func(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+		return args
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	client, err := p2p.NewClient(net, clk, 100, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 50; i++ {
+		client.Call(1, 1, nil)
+	}
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, status := client.Call(1, 1, nil); status != msg.StatusOK {
+			panic("p2pCallCost: call failed")
+		}
+	}
+	return time.Since(t0) / time.Duration(calls)
+}

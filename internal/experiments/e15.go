@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/workload"
+)
+
+// E15Saturation drives the exactly-once composite with an open-loop
+// arrival process at increasing rates: unlike the closed-loop experiments,
+// this exposes queueing — beyond the service's capacity, latency and shed
+// arrivals grow instead of throughput.
+func E15Saturation() *Report {
+	r := &Report{ID: "E15", Title: "open-loop saturation: offered rate vs completed rate and latency"}
+	r.addf("%-12s %-12s %-12s %-12s %-8s", "offered/s", "completed/s", "mean", "p95", "shed")
+
+	type point struct {
+		offered float64
+		tput    float64
+	}
+	var pts []point
+	for _, rate := range []float64{2000, 16000, 64000, 256000} {
+		res := saturationRun(rate)
+		r.addf("%-12.0f %-12.0f %-12v %-12v %-8d", rate, res.Throughput(),
+			res.Latency.Mean().Round(time.Microsecond),
+			res.Latency.Percentile(95).Round(time.Microsecond), res.Shed)
+		pts = append(pts, point{offered: rate, tput: res.Throughput()})
+	}
+	// Directional check: completed rate tracks low offered rates and falls
+	// below the highest offered rate (the service saturates).
+	r.Pass = pts[0].tput > pts[0].offered*0.5 && pts[len(pts)-1].tput < pts[len(pts)-1].offered
+	r.notef("1 server, exactly-once, 4 client processes, 300ms of arrivals per point")
+	return r
+}
+
+func saturationRun(rate float64) *workload.OpenResult {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := config.ExactlyOncePreset()
+	cfg.RetransTimeout = 100 * time.Millisecond
+	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return echoApp{} }); err != nil {
+		panic(err)
+	}
+	clients := make([]*mrpc.Node, 0, 4)
+	for i := 0; i < 4; i++ {
+		c, err := sys.AddClient(mrpc.ProcID(100+i), cfg)
+		if err != nil {
+			panic(err)
+		}
+		clients = append(clients, c)
+	}
+
+	return workload.OpenLoop{
+		Op:          opEcho,
+		Group:       sys.Group(1),
+		Rate:        rate,
+		Duration:    300 * time.Millisecond,
+		MaxInFlight: 256,
+	}.Run(clients)
+}

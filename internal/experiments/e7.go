@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/workload"
+)
+
+// E7Ordering compares the three ordering configurations under concurrent
+// multi-client load and checks the ordering property each one promises:
+//
+//   - none:  no cross-server guarantee (divergence is expected and
+//     reported, not asserted — a lucky schedule may agree);
+//   - fifo:  every server executes each client's calls in issue order;
+//   - total: every server executes all calls in the same total order.
+func E7Ordering(seed int64) *Report {
+	r := &Report{ID: "E7", Title: "ordering: none vs FIFO vs total (consistency + throughput)"}
+	r.Pass = true
+
+	const (
+		nClients = 4
+		nCalls   = 25
+	)
+	r.addf("%-8s %-12s %-16s %-16s", "order", "tput/s", "fifo-consistent", "totally-ordered")
+
+	for _, mode := range []config.OrderMode{config.OrderNone, config.OrderFIFO, config.OrderTotal} {
+		logs, res := orderingRun(seed, mode, nClients, nCalls)
+		fifoOK := checkFIFO(logs, nClients, nCalls)
+		totalOK := checkTotal(logs)
+
+		switch mode {
+		case config.OrderFIFO:
+			if !fifoOK {
+				r.Pass = false
+			}
+		case config.OrderTotal:
+			if !fifoOK || !totalOK {
+				r.Pass = false
+			}
+		}
+		r.addf("%-8s %-12.0f %-16s %-16s", mode, res.Throughput(), yesNo(fifoOK), yesNo(totalOK))
+	}
+	r.notef("%d clients x %d calls, 3 servers; every server executes every call", nClients, nCalls)
+	return r
+}
+
+func orderingRun(seed int64, mode config.OrderMode, nClients, nCalls int) ([][]string, *workload.Result) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{
+			Seed:     seed,
+			MinDelay: 100 * time.Microsecond,
+			MaxDelay: 2 * time.Millisecond,
+		},
+	})
+	defer sys.Stop()
+
+	cfg := mrpc.Config{
+		Call:           config.CallSynchronous,
+		Reliable:       true,
+		RetransTimeout: 20 * time.Millisecond,
+		Unique:         true,
+		Execution:      config.ExecConcurrent,
+		Ordering:       mode,
+		Orphan:         config.OrphanIgnore,
+		// Acceptance ONE: the client races ahead of the slower servers, so
+		// later calls genuinely overtake earlier ones in the network — the
+		// contention the ordering protocols exist to resolve.
+		AcceptanceLimit: 1,
+	}
+
+	group := sys.Group(1, 2, 3)
+	apps := make([]*traceApp, 0, len(group))
+	for _, id := range group {
+		app := &traceApp{}
+		apps = append(apps, app)
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return app }); err != nil {
+			panic(err)
+		}
+	}
+	clients := make([]*mrpc.Node, 0, nClients)
+	for i := 0; i < nClients; i++ {
+		c, err := sys.AddClient(mrpc.ProcID(100+i), cfg)
+		if err != nil {
+			panic(err)
+		}
+		clients = append(clients, c)
+	}
+
+	res := workload.ClosedLoop{
+		Op:      opTrace,
+		Group:   group,
+		Calls:   nCalls,
+		Payload: workload.SeqPayload(),
+	}.Run(clients)
+
+	// Wait until every server has executed every call (with acceptance ONE
+	// the slower servers are still draining when the clients finish).
+	deadline := time.Now().Add(5 * time.Second)
+	want := nClients * nCalls
+	for {
+		done := true
+		for _, a := range apps {
+			if len(a.snapshot()) < want {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	logs := make([][]string, len(apps))
+	for i, a := range apps {
+		logs[i] = a.snapshot()
+	}
+	return logs, res
+}
+
+// checkFIFO verifies each client's calls appear in issue order (0,1,2,...)
+// in every server log.
+func checkFIFO(logs [][]string, nClients, nCalls int) bool {
+	for _, log := range logs {
+		next := make(map[string]int, nClients)
+		for _, entry := range log {
+			parts := strings.SplitN(entry, ":", 2)
+			if len(parts) != 2 {
+				return false
+			}
+			client := parts[0]
+			var seq int
+			fmt.Sscanf(parts[1], "%d", &seq)
+			if seq != next[client] {
+				return false
+			}
+			next[client] = seq + 1
+		}
+		for _, n := range next {
+			if n != nCalls {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkTotal verifies all server logs are identical sequences.
+func checkTotal(logs [][]string) bool {
+	if len(logs) == 0 {
+		return true
+	}
+	first := logs[0]
+	for _, log := range logs[1:] {
+		if len(log) != len(first) {
+			return false
+		}
+		for i := range log {
+			if log[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"time"
+
+	"mrpc"
+	"mrpc/internal/baseline"
+	"mrpc/internal/clock"
+	"mrpc/internal/config"
+	"mrpc/internal/msg"
+	"mrpc/internal/netsim"
+)
+
+// E8Monolithic measures the cost of configurability: the composite
+// protocol (exactly-once, acceptance 1, synchronous) against a monolithic
+// RPC with the identical semantics fused into two tight loops, over the
+// same zero-delay simulated network.
+func E8Monolithic() *Report {
+	r := &Report{ID: "E8", Title: "composition overhead vs monolithic baseline (same semantics)"}
+	const calls = 2000
+
+	mono := monolithicCall(calls)
+	cfg := config.ExactlyOncePreset()
+	cfg.RetransTimeout = 50 * time.Millisecond
+	comp := AblationCall(cfg, calls)
+
+	r.addf("%-34s %-12s", "implementation", "us/call")
+	r.addf("%-34s %-12.1f", "monolithic (fused)", float64(mono.Nanoseconds())/1e3)
+	r.addf("%-34s %-12.1f", "composite (micro-protocols)", float64(comp.Nanoseconds())/1e3)
+	if mono > 0 {
+		r.notef("composition overhead: %.2fx", float64(comp)/float64(mono))
+	}
+	// The composite should cost more, but within a small constant factor;
+	// an order of magnitude would contradict the paper's practicality
+	// claim.
+	r.Pass = comp < 20*mono
+	return r
+}
+
+func monolithicCall(calls int) time.Duration {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+
+	_, err := baseline.NewServer(net, 1, func(_ msg.OpID, args []byte) []byte {
+		return append([]byte(nil), args...)
+	})
+	if err != nil {
+		panic(err)
+	}
+	client, err := baseline.NewClient(net, clk, 100, 50*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	group := msg.NewGroup(1)
+	for i := 0; i < 50; i++ {
+		client.Call(opEcho, nil, group, 1)
+	}
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		client.Call(opEcho, nil, group, 1)
+	}
+	return time.Since(t0) / time.Duration(calls)
+}
+
+// E8GroupThroughput is the group-size sweep companion: calls/s of the
+// composite vs the baseline for 1, 3 and 5 servers, acceptance ALL.
+func E8GroupThroughput() *Report {
+	r := &Report{ID: "E8b", Title: "composite vs monolithic: group-size sweep (acceptance ALL)"}
+	const calls = 500
+	r.addf("%-8s %-16s %-16s %-10s", "servers", "mono us/call", "composite us/call", "ratio")
+	for _, n := range []int{1, 3, 5} {
+		mono := monolithicGroupCall(n, calls)
+		comp := compositeGroupCall(n, calls)
+		ratio := 0.0
+		if mono > 0 {
+			ratio = float64(comp) / float64(mono)
+		}
+		r.addf("%-8d %-16.1f %-16.1f %.2fx", n,
+			float64(mono.Nanoseconds())/1e3, float64(comp.Nanoseconds())/1e3, ratio)
+	}
+	r.Pass = true
+	return r
+}
+
+func monolithicGroupCall(n, calls int) time.Duration {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+	ids := make([]msg.ProcID, n)
+	for i := range ids {
+		ids[i] = msg.ProcID(i + 1)
+		if _, err := baseline.NewServer(net, ids[i], func(_ msg.OpID, args []byte) []byte {
+			return args
+		}); err != nil {
+			panic(err)
+		}
+	}
+	client, err := baseline.NewClient(net, clk, 100, 50*time.Millisecond)
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+	group := msg.NewGroup(ids...)
+	for i := 0; i < 20; i++ {
+		client.Call(opEcho, nil, group, n)
+	}
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		client.Call(opEcho, nil, group, n)
+	}
+	return time.Since(t0) / time.Duration(calls)
+}
+
+func compositeGroupCall(n, calls int) time.Duration {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+	cfg := config.ExactlyOncePreset()
+	cfg.RetransTimeout = 50 * time.Millisecond
+	cfg.AcceptanceLimit = mrpc.AcceptAll
+	ids := make([]mrpc.ProcID, n)
+	for i := range ids {
+		ids[i] = mrpc.ProcID(i + 1)
+		if _, err := sys.AddServer(ids[i], cfg, func() mrpc.App { return echoApp{} }); err != nil {
+			panic(err)
+		}
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		panic(err)
+	}
+	group := sys.Group(ids...)
+	for i := 0; i < 20; i++ {
+		if _, status, err := client.Call(opEcho, nil, group); err != nil || status != mrpc.StatusOK {
+			panic("compositeGroupCall: warmup failure")
+		}
+	}
+	t0 := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, status, err := client.Call(opEcho, nil, group); err != nil || status != mrpc.StatusOK {
+			panic("compositeGroupCall: call failure")
+		}
+	}
+	return time.Since(t0) / time.Duration(calls)
+}

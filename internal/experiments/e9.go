@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"time"
+
+	"mrpc"
+	"mrpc/internal/config"
+	"mrpc/internal/trace"
+)
+
+// E9Loss sweeps the message-loss probability and measures completion
+// latency and the retransmission traffic of Reliable Communication — the
+// behaviour that turns an unreliable substrate into reliable RPC.
+func E9Loss(seed int64) *Report {
+	r := &Report{ID: "E9", Title: "loss-rate sweep: latency and retransmissions (Reliable Communication)"}
+	r.addf("%-8s %-12s %-12s %-12s %-14s", "loss", "mean", "p95", "max", "msgs/call")
+
+	var means []time.Duration
+	for _, loss := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		rec, msgsPerCall := lossRun(seed, loss)
+		means = append(means, rec.Mean())
+		r.addf("%-8.2f %-12v %-12v %-12v %-14.1f", loss,
+			rec.Mean().Round(time.Microsecond), rec.Percentile(95).Round(time.Microsecond),
+			rec.Max().Round(time.Microsecond), msgsPerCall)
+	}
+	// Directional check: heavy loss must cost materially more than no loss.
+	r.Pass = means[len(means)-1] > means[0]
+	r.notef("3 servers, acceptance ALL, retransmit every 5ms")
+	return r
+}
+
+func lossRun(seed int64, loss float64) (*trace.Recorder, float64) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{
+			Seed:     seed,
+			MinDelay: 200 * time.Microsecond,
+			MaxDelay: 1 * time.Millisecond,
+			LossProb: loss,
+		},
+	})
+	defer sys.Stop()
+
+	cfg := config.ExactlyOncePreset()
+	cfg.RetransTimeout = 5 * time.Millisecond
+	cfg.AcceptanceLimit = mrpc.AcceptAll
+
+	group := sys.Group(1, 2, 3)
+	for _, id := range group {
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return echoApp{} }); err != nil {
+			panic(err)
+		}
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	const calls = 50
+	rec := trace.NewRecorder("latency")
+	for i := 0; i < calls; i++ {
+		t0 := time.Now()
+		_, status, err := client.Call(opEcho, []byte("x"), group)
+		if err != nil || status != mrpc.StatusOK {
+			panic("lossRun: unexpected call failure")
+		}
+		rec.Add(time.Since(t0))
+	}
+	stats := sys.Network().Stats()
+	return rec, float64(stats.Sent) / float64(calls)
+}

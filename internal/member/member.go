@@ -1,0 +1,298 @@
+// Package member provides the membership service assumed by the Acceptance
+// and Total Order micro-protocols: it tracks which processes of a group are
+// up and notifies subscribers of failures and recoveries, which the
+// composite protocol turns into MEMBERSHIP_CHANGE events.
+//
+// Three implementations are provided, matching the paper's discussion:
+//
+//   - Static: no membership service at all. Members never change, so (per
+//     §4.4.5) MEMBERSHIP_CHANGE is never triggered and a call terminates
+//     only when enough responses arrive or bounded termination fires.
+//   - Oracle: a perfect membership service driven by the test/experiment
+//     orchestrator, which knows exactly when it crashes a site.
+//   - Detector: a heartbeat failure detector running over the (unreliable)
+//     network substrate, which can therefore be late or — under partitions —
+//     wrong, exactly like a real asynchronous-system detector.
+package member
+
+import (
+	"sync"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// Kind distinguishes the two membership changes (Mem_Change in the paper).
+type Kind uint8
+
+// Membership change kinds.
+const (
+	Failure Kind = iota + 1
+	Recovery
+)
+
+// String returns the paper's name for the change kind.
+func (k Kind) String() string {
+	switch k {
+	case Failure:
+		return "FAILURE"
+	case Recovery:
+		return "RECOVERY"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Change is one membership event.
+type Change struct {
+	Who  msg.ProcID
+	Kind Kind
+}
+
+// Listener receives membership changes. Listeners are invoked synchronously
+// on the goroutine that detected the change and must not block for long.
+type Listener func(Change)
+
+// Service is the membership interface consumed by the micro-protocols.
+type Service interface {
+	// Down reports whether p is currently considered failed.
+	Down(p msg.ProcID) bool
+	// Subscribe registers l for future changes; the returned function
+	// unsubscribes it.
+	Subscribe(l Listener) (unsubscribe func())
+}
+
+// hub implements listener bookkeeping shared by the implementations.
+type hub struct {
+	mu        sync.Mutex
+	nextID    int
+	listeners map[int]Listener
+}
+
+func (h *hub) subscribe(l Listener) func() {
+	h.mu.Lock()
+	if h.listeners == nil {
+		h.listeners = make(map[int]Listener)
+	}
+	id := h.nextID
+	h.nextID++
+	h.listeners[id] = l
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		delete(h.listeners, id)
+		h.mu.Unlock()
+	}
+}
+
+func (h *hub) notify(c Change) {
+	h.mu.Lock()
+	ls := make([]Listener, 0, len(h.listeners))
+	for _, l := range h.listeners {
+		ls = append(ls, l)
+	}
+	h.mu.Unlock()
+	for _, l := range ls {
+		l(c)
+	}
+}
+
+// Static is the absence of a membership service: nothing is ever reported
+// down and no changes are ever delivered.
+type Static struct{ hub }
+
+var _ Service = (*Static)(nil)
+
+// NewStatic returns the no-op membership service.
+func NewStatic() *Static { return &Static{} }
+
+// Down implements Service; it is always false.
+func (*Static) Down(msg.ProcID) bool { return false }
+
+// Subscribe implements Service; listeners are retained but never called.
+func (s *Static) Subscribe(l Listener) func() { return s.subscribe(l) }
+
+// Oracle is a perfect membership service driven explicitly by the
+// orchestrator that injects the crashes.
+type Oracle struct {
+	hub
+
+	mu   sync.Mutex
+	down map[msg.ProcID]bool
+}
+
+var _ Service = (*Oracle)(nil)
+
+// NewOracle returns an oracle with every process up.
+func NewOracle() *Oracle {
+	return &Oracle{down: make(map[msg.ProcID]bool)}
+}
+
+// Down implements Service.
+func (o *Oracle) Down(p msg.ProcID) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.down[p]
+}
+
+// Subscribe implements Service.
+func (o *Oracle) Subscribe(l Listener) func() { return o.subscribe(l) }
+
+// Fail reports p failed, notifying subscribers. Idempotent.
+func (o *Oracle) Fail(p msg.ProcID) {
+	o.mu.Lock()
+	if o.down[p] {
+		o.mu.Unlock()
+		return
+	}
+	o.down[p] = true
+	o.mu.Unlock()
+	o.notify(Change{Who: p, Kind: Failure})
+}
+
+// Recover reports p recovered, notifying subscribers. Idempotent.
+func (o *Oracle) Recover(p msg.ProcID) {
+	o.mu.Lock()
+	if !o.down[p] {
+		o.mu.Unlock()
+		return
+	}
+	delete(o.down, p)
+	o.mu.Unlock()
+	o.notify(Change{Who: p, Kind: Recovery})
+}
+
+// Detector is a heartbeat failure detector. Every Interval it invokes send
+// for each monitored peer; a peer not heard from within SuspectAfter is
+// declared failed, and declared recovered on the next heartbeat received.
+type Detector struct {
+	hub
+
+	clk          clock.Clock
+	self         msg.ProcID
+	interval     time.Duration
+	suspectAfter time.Duration
+	send         func(to msg.ProcID)
+
+	mu       sync.Mutex
+	peers    map[msg.ProcID]time.Time // last heard
+	down     map[msg.ProcID]bool
+	running  bool
+	stopped  chan struct{}
+	stopOnce sync.Once
+	timer    clock.Timer
+}
+
+var _ Service = (*Detector)(nil)
+
+// NewDetector creates a detector for self monitoring peers. send transmits
+// one heartbeat to a peer (typically an Endpoint.Push of an OpHeartbeat
+// message); it must not block.
+func NewDetector(clk clock.Clock, self msg.ProcID, peers []msg.ProcID,
+	interval, suspectAfter time.Duration, send func(to msg.ProcID)) *Detector {
+	d := &Detector{
+		clk:          clk,
+		self:         self,
+		interval:     interval,
+		suspectAfter: suspectAfter,
+		send:         send,
+		peers:        make(map[msg.ProcID]time.Time, len(peers)),
+		down:         make(map[msg.ProcID]bool),
+		stopped:      make(chan struct{}),
+	}
+	now := clk.Now()
+	for _, p := range peers {
+		if p != self {
+			d.peers[p] = now
+		}
+	}
+	return d
+}
+
+// Start begins heartbeating and monitoring. Stop must be called to release
+// the timer.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.running {
+		d.mu.Unlock()
+		return
+	}
+	d.running = true
+	d.mu.Unlock()
+	d.tick()
+}
+
+// Stop halts the detector. Idempotent.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stopped) })
+	d.mu.Lock()
+	d.running = false
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	d.mu.Unlock()
+}
+
+// Observe records a heartbeat (or any message) received from p. The
+// composite protocol calls it for OpHeartbeat messages; calling it for all
+// traffic makes the detector strictly more accurate.
+func (d *Detector) Observe(p msg.ProcID) {
+	d.mu.Lock()
+	if _, monitored := d.peers[p]; !monitored {
+		d.mu.Unlock()
+		return
+	}
+	d.peers[p] = d.clk.Now()
+	wasDown := d.down[p]
+	if wasDown {
+		delete(d.down, p)
+	}
+	d.mu.Unlock()
+	if wasDown {
+		d.notify(Change{Who: p, Kind: Recovery})
+	}
+}
+
+// Down implements Service.
+func (d *Detector) Down(p msg.ProcID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down[p]
+}
+
+// Subscribe implements Service.
+func (d *Detector) Subscribe(l Listener) func() { return d.subscribe(l) }
+
+func (d *Detector) tick() {
+	select {
+	case <-d.stopped:
+		return
+	default:
+	}
+
+	d.mu.Lock()
+	if !d.running {
+		d.mu.Unlock()
+		return
+	}
+	now := d.clk.Now()
+	var newlyDown []msg.ProcID
+	targets := make([]msg.ProcID, 0, len(d.peers))
+	for p, last := range d.peers {
+		targets = append(targets, p)
+		if !d.down[p] && now.Sub(last) > d.suspectAfter {
+			d.down[p] = true
+			newlyDown = append(newlyDown, p)
+		}
+	}
+	d.timer = d.clk.AfterFunc(d.interval, d.tick)
+	d.mu.Unlock()
+
+	for _, p := range targets {
+		d.send(p)
+	}
+	for _, p := range newlyDown {
+		d.notify(Change{Who: p, Kind: Failure})
+	}
+}

@@ -1,0 +1,188 @@
+package member
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+func TestStaticNeverReportsDown(t *testing.T) {
+	s := NewStatic()
+	if s.Down(1) {
+		t.Fatal("static membership reported a failure")
+	}
+	fired := false
+	unsub := s.Subscribe(func(Change) { fired = true })
+	unsub()
+	if fired {
+		t.Fatal("static membership delivered a change")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle()
+	var got []Change
+	unsub := o.Subscribe(func(c Change) { got = append(got, c) })
+	defer unsub()
+
+	o.Fail(3)
+	o.Fail(3) // idempotent
+	if !o.Down(3) || o.Down(4) {
+		t.Fatal("Down wrong after Fail")
+	}
+	o.Recover(3)
+	o.Recover(3) // idempotent
+	if o.Down(3) {
+		t.Fatal("Down wrong after Recover")
+	}
+	o.Recover(5) // recover of an up process: no-op
+
+	want := []Change{{Who: 3, Kind: Failure}, {Who: 3, Kind: Recovery}}
+	if len(got) != len(want) {
+		t.Fatalf("changes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("changes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOracleUnsubscribe(t *testing.T) {
+	o := NewOracle()
+	count := 0
+	unsub := o.Subscribe(func(Change) { count++ })
+	o.Fail(1)
+	unsub()
+	o.Fail(2)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Failure.String() != "FAILURE" || Recovery.String() != "RECOVERY" || Kind(9).String() != "UNKNOWN" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+// detectorHarness runs a Detector on a simulated clock with a recorded
+// send function.
+type detectorHarness struct {
+	clk *clock.Sim
+	det *Detector
+
+	mu      sync.Mutex
+	sent    map[msg.ProcID]int
+	changes []Change
+}
+
+func newDetectorHarness(peers []msg.ProcID, interval, suspect time.Duration) *detectorHarness {
+	h := &detectorHarness{clk: clock.NewSim(), sent: make(map[msg.ProcID]int)}
+	h.det = NewDetector(h.clk, 1, peers, interval, suspect, func(to msg.ProcID) {
+		h.mu.Lock()
+		h.sent[to]++
+		h.mu.Unlock()
+	})
+	h.det.Subscribe(func(c Change) {
+		h.mu.Lock()
+		h.changes = append(h.changes, c)
+		h.mu.Unlock()
+	})
+	return h
+}
+
+func (h *detectorHarness) sentTo(p msg.ProcID) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sent[p]
+}
+
+func (h *detectorHarness) changeLog() []Change {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Change(nil), h.changes...)
+}
+
+func TestDetectorHeartbeatsPeers(t *testing.T) {
+	h := newDetectorHarness([]msg.ProcID{1, 2, 3}, 10*time.Millisecond, 50*time.Millisecond)
+	h.det.Start()
+	defer h.det.Stop()
+
+	h.clk.Advance(35 * time.Millisecond)
+	// Ticks at t=0 (Start), 10, 20, 30 → 4 heartbeats per peer.
+	if got := h.sentTo(2); got != 4 {
+		t.Fatalf("heartbeats to 2 = %d, want 4", got)
+	}
+	if got := h.sentTo(1); got != 0 {
+		t.Fatalf("detector heartbeats itself: %d", got)
+	}
+}
+
+func TestDetectorSuspectsSilentPeer(t *testing.T) {
+	h := newDetectorHarness([]msg.ProcID{2, 3}, 10*time.Millisecond, 45*time.Millisecond)
+	h.det.Start()
+	defer h.det.Stop()
+
+	// Peer 3 keeps talking; peer 2 stays silent.
+	for i := 0; i < 10; i++ {
+		h.clk.Advance(10 * time.Millisecond)
+		h.det.Observe(3)
+	}
+	if !h.det.Down(2) {
+		t.Fatal("silent peer 2 not suspected")
+	}
+	if h.det.Down(3) {
+		t.Fatal("talking peer 3 suspected")
+	}
+	log := h.changeLog()
+	if len(log) != 1 || log[0].Who != 2 || log[0].Kind != Failure {
+		t.Fatalf("changes = %v, want one failure of 2", log)
+	}
+}
+
+func TestDetectorRecoversOnHeartbeat(t *testing.T) {
+	h := newDetectorHarness([]msg.ProcID{2}, 10*time.Millisecond, 25*time.Millisecond)
+	h.det.Start()
+	defer h.det.Stop()
+
+	h.clk.Advance(100 * time.Millisecond)
+	if !h.det.Down(2) {
+		t.Fatal("peer 2 not suspected")
+	}
+	h.det.Observe(2)
+	if h.det.Down(2) {
+		t.Fatal("peer 2 still down after heartbeat")
+	}
+	log := h.changeLog()
+	if len(log) != 2 || log[1].Kind != Recovery {
+		t.Fatalf("changes = %v, want failure then recovery", log)
+	}
+}
+
+func TestDetectorIgnoresUnknownPeers(t *testing.T) {
+	h := newDetectorHarness([]msg.ProcID{2}, 10*time.Millisecond, 25*time.Millisecond)
+	h.det.Start()
+	defer h.det.Stop()
+	h.det.Observe(99) // not monitored; must not panic or add state
+	h.clk.Advance(100 * time.Millisecond)
+	if h.det.Down(99) {
+		t.Fatal("unmonitored peer reported down")
+	}
+}
+
+func TestDetectorStopHaltsTicks(t *testing.T) {
+	h := newDetectorHarness([]msg.ProcID{2}, 10*time.Millisecond, 25*time.Millisecond)
+	h.det.Start()
+	h.clk.Advance(15 * time.Millisecond)
+	before := h.sentTo(2)
+	h.det.Stop()
+	h.det.Stop() // idempotent
+	h.clk.Advance(100 * time.Millisecond)
+	if got := h.sentTo(2); got != before {
+		t.Fatalf("heartbeats after Stop: %d -> %d", before, got)
+	}
+}

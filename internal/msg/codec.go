@@ -1,0 +1,142 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Wire format (big-endian):
+//
+//	byte    version (1)
+//	byte    type
+//	int64   id
+//	int32   client
+//	uint32  op
+//	int32   sender
+//	int32   inc
+//	int64   ackid
+//	int64   order
+//	uint16  len(server) followed by int32 members
+//	uint32  len(args)   followed by raw bytes
+//	uint16  len(vc)     followed by (int32 proc, uint64 counter) pairs
+//
+// The codec exists so the simulated network can optionally carry encoded
+// bytes (exercising the same marshalling work a real transport would), and
+// so the stub layer has a stable contract to test against.
+
+const wireVersion = 1
+
+// Encoding errors.
+var (
+	ErrShortMessage = errors.New("msg: short message")
+	ErrBadVersion   = errors.New("msg: unknown wire version")
+)
+
+const fixedHeaderLen = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 2 + 4 + 2
+
+// EncodedLen returns the exact encoded size of m.
+func (m *NetMsg) EncodedLen() int {
+	return fixedHeaderLen + 4*len(m.Server) + len(m.Args) + 12*len(m.VC)
+}
+
+// Encode serializes m into a fresh buffer.
+func (m *NetMsg) Encode() []byte {
+	buf := make([]byte, 0, m.EncodedLen())
+	return m.AppendEncode(buf)
+}
+
+// AppendEncode serializes m, appending to buf and returning the result.
+func (m *NetMsg) AppendEncode(buf []byte) []byte {
+	buf = append(buf, wireVersion, byte(m.Type))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.ID))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Client))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Op))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Sender))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Inc))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.AckID))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Order))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Server)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Args)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.VC)))
+	for _, p := range m.Server {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	buf = append(buf, m.Args...)
+	if len(m.VC) > 0 {
+		procs := make([]ProcID, 0, len(m.VC))
+		for p := range m.VC {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		for _, p := range procs {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(m.VC[p]))
+		}
+	}
+	return buf
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(buf []byte) (*NetMsg, error) {
+	if len(buf) < fixedHeaderLen {
+		return nil, ErrShortMessage
+	}
+	if buf[0] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
+	}
+	m := &NetMsg{Type: NetOp(buf[1])}
+	if m.Type < OpCall || m.Type > OpOrderInfo {
+		return nil, fmt.Errorf("msg: invalid message type %d", buf[1])
+	}
+	off := 2
+	m.ID = CallID(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	m.Client = ProcID(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	m.Op = OpID(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	m.Sender = ProcID(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	m.Inc = Incarnation(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	m.AckID = CallID(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	m.Order = int64(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	nGroup := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	nArgs := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	nVC := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if len(buf) != off+4*nGroup+nArgs+12*nVC {
+		return nil, fmt.Errorf("%w: have %d want %d bytes", ErrShortMessage,
+			len(buf), off+4*nGroup+nArgs+12*nVC)
+	}
+	if nGroup > 0 {
+		m.Server = make(Group, nGroup)
+		for i := 0; i < nGroup; i++ {
+			m.Server[i] = ProcID(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	if nArgs > 0 {
+		m.Args = append([]byte(nil), buf[off:off+nArgs]...)
+		off += nArgs
+	}
+	if nVC > 0 {
+		m.VC = make(VClock, nVC)
+		for i := 0; i < nVC; i++ {
+			p := ProcID(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+			if _, dup := m.VC[p]; dup {
+				return nil, fmt.Errorf("msg: duplicate vector-clock entry for process %d", p)
+			}
+			m.VC[p] = int64(binary.BigEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return m, nil
+}

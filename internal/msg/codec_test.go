@@ -1,0 +1,149 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMsg() *NetMsg {
+	return &NetMsg{
+		Type:   OpReply,
+		ID:     1<<40 | 17,
+		Client: 12345,
+		Op:     678,
+		Args:   []byte("the quick brown fox"),
+		Server: NewGroup(1, 2, 3),
+		Sender: 54321,
+		Inc:    9,
+		AckID:  -1,
+		Order:  1 << 50,
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	m := sampleMsg()
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", m, got)
+	}
+}
+
+func TestCodecEmptyFields(t *testing.T) {
+	m := &NetMsg{Type: OpAck}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Args != nil || got.Server != nil {
+		t.Fatalf("empty fields decoded non-nil: %+v", got)
+	}
+	if got.Type != OpAck {
+		t.Fatalf("type = %v", got.Type)
+	}
+}
+
+func TestEncodedLenExact(t *testing.T) {
+	for _, m := range []*NetMsg{sampleMsg(), {Type: OpCall}, {Type: OpHeartbeat, Args: make([]byte, 1000)}} {
+		if got := len(m.Encode()); got != m.EncodedLen() {
+			t.Fatalf("EncodedLen = %d, actual %d", m.EncodedLen(), got)
+		}
+	}
+}
+
+func TestAppendEncode(t *testing.T) {
+	prefix := []byte("prefix")
+	m := sampleMsg()
+	out := m.AppendEncode(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("AppendEncode clobbered the prefix")
+	}
+	got, err := Decode(out[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID {
+		t.Fatal("AppendEncode payload corrupt")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("nil: err = %v, want ErrShortMessage", err)
+	}
+	if _, err := Decode(make([]byte, 10)); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short: err = %v, want ErrShortMessage", err)
+	}
+
+	good := sampleMsg().Encode()
+	bad := append([]byte(nil), good...)
+	bad[0] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: err = %v, want ErrBadVersion", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[1] = 0 // invalid type
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("invalid message type accepted")
+	}
+
+	// Truncated payload.
+	if _, err := Decode(good[:len(good)-1]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated: err = %v, want ErrShortMessage", err)
+	}
+	// Trailing junk.
+	if _, err := Decode(append(append([]byte(nil), good...), 0)); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("trailing junk: err = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(typ uint8, id int64, client int32, op uint32, sender int32,
+		inc int32, ackid int64, order int64, args []byte, members []int32) bool {
+		m := &NetMsg{
+			Type:   NetOp(typ%5) + OpCall,
+			ID:     CallID(id),
+			Client: ProcID(client),
+			Op:     OpID(op),
+			Sender: ProcID(sender),
+			Inc:    Incarnation(inc),
+			AckID:  CallID(ackid),
+			Order:  order,
+		}
+		if len(args) > 0 {
+			m.Args = args
+		}
+		if len(members) > 0 {
+			if len(members) > 100 {
+				members = members[:100]
+			}
+			g := make(Group, len(members))
+			for i, p := range members {
+				g[i] = ProcID(p)
+			}
+			m.Server = g
+		}
+		got, err := Decode(m.Encode())
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Arbitrary bytes must produce an error or a message, never a panic.
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode ensures arbitrary bytes never panic the wire decoder, and
+// that anything it accepts re-encodes to the identical byte string
+// (decode∘encode is the identity on valid messages).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sampleMsg().Encode())
+	withVC := sampleMsg()
+	withVC.VC = VClock{1: 2, 3: 4}
+	f.Add(withVC.Encode())
+	f.Add((&NetMsg{Type: OpHeartbeat}).Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := m.Encode()
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != input %d", len(re), len(data))
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode/encode not idempotent:\n %+v\n %+v", m, m2)
+		}
+	})
+}

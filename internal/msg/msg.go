@@ -1,0 +1,225 @@
+// Package msg defines the message and identifier types exchanged between
+// the user protocol, the gRPC composite protocol, and the underlying
+// communication substrate, mirroring the Net_Msgtype / User_Msgtype
+// definitions in §4.2 of Hiltunen & Schlichting (TR 94-28).
+//
+// One deliberate deviation from the paper (D1 in DESIGN.md): call
+// identifiers are client-local, so every server-side table is keyed by the
+// (client, id) pair. NetMsg therefore carries the originating client
+// explicitly, which also lets a message be forwarded (e.g. to the total
+// order leader) without losing the identity of the caller.
+package msg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a process (site). Zero is not a valid process.
+type ProcID int32
+
+// OpID identifies a remote operation registered with the server stub.
+type OpID uint32
+
+// CallID is a client-local call identifier; (client, CallID) is globally
+// unique within an incarnation sequence.
+type CallID int64
+
+// Incarnation numbers client lifetimes across crashes: a recovered client
+// uses a strictly larger incarnation, which the orphan-handling
+// micro-protocols use to partition calls into generations.
+type Incarnation int32
+
+// CallKey is the global identity of a call (deviation D1).
+type CallKey struct {
+	Client ProcID
+	ID     CallID
+}
+
+// String renders the key as client:id.
+func (k CallKey) String() string { return fmt.Sprintf("%d:%d", k.Client, k.ID) }
+
+// Group identifies a server group by its member processes. The paper treats
+// group_id as opaque; here the membership is carried explicitly so the
+// substrate can multicast and Total Order can compute the leader.
+type Group []ProcID
+
+// NewGroup returns a normalized (sorted, deduplicated) group.
+func NewGroup(members ...ProcID) Group {
+	g := make(Group, 0, len(members))
+	seen := make(map[ProcID]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			g = append(g, m)
+		}
+	}
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	return g
+}
+
+// Contains reports whether p is a member of the group.
+func (g Group) Contains(p ProcID) bool {
+	for _, m := range g {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Leader returns the member with the largest identifier, excluding any
+// members in down — the paper's leader rule for Total Order ("the server
+// with the largest unique identifier of all non-failed servers"). It
+// returns 0 if no member is up.
+func (g Group) Leader(down map[ProcID]bool) ProcID {
+	var best ProcID
+	for _, m := range g {
+		if down[m] {
+			continue
+		}
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// Clone returns an independent copy of the group.
+func (g Group) Clone() Group {
+	out := make(Group, len(g))
+	copy(out, g)
+	return out
+}
+
+// Equal reports whether two normalized groups have identical membership.
+func (g Group) Equal(o Group) bool {
+	if len(g) != len(o) {
+		return false
+	}
+	for i := range g {
+		if g[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NetOp is the network message type (Net_Optype in the paper, plus a
+// heartbeat type used by the membership substrate).
+type NetOp uint8
+
+// Network message types. CALL/REPLY/ACK/ORDER are the paper's
+// Net_Optype; HEARTBEAT carries the membership detector; PROBE/PROBE_ACK
+// implement the paper's second orphan-detection option (periodically
+// probing the client, §4.4.7).
+const (
+	OpCall NetOp = iota + 1
+	OpReply
+	OpAck // acknowledges a Reply (client -> server, Unique Execution)
+	OpOrder
+	OpHeartbeat
+	OpProbe
+	OpProbeAck
+	OpCallAck // acknowledges receipt of a Call (server -> client, Reliable Communication)
+
+	// OpOrderQuery and OpOrderInfo implement the leader-change agreement
+	// phase the paper omits from Total Order (§4.4.6): a new leader asks
+	// the surviving members for the assignments they know, and they reply
+	// with their order tables serialized in Args.
+	OpOrderQuery
+	OpOrderInfo
+)
+
+var netOpNames = [...]string{"", "CALL", "REPLY", "ACK", "ORDER", "HEARTBEAT", "PROBE", "PROBE_ACK", "CALL_ACK", "ORDER_QUERY", "ORDER_INFO"}
+
+// String returns the paper's name for the message type.
+func (o NetOp) String() string {
+	if int(o) < len(netOpNames) && o > 0 {
+		return netOpNames[o]
+	}
+	return fmt.Sprintf("NETOP(%d)", uint8(o))
+}
+
+// NetMsg is the message exchanged between gRPC instances over the
+// communication substrate (Net_Msgtype).
+type NetMsg struct {
+	Type   NetOp
+	ID     CallID
+	Client ProcID // originating client of the call (deviation D1)
+	Op     OpID
+	Args   []byte
+	Server Group       // identity of the server group
+	Sender ProcID      // sender of this message
+	Inc    Incarnation // sender's incarnation number (clients)
+	AckID  CallID      // id of a call being acknowledged (ACK)
+	Order  int64       // total order sequence number (ORDER)
+	VC     VClock      // causal timestamp (Causal Order extension)
+}
+
+// Key returns the global call key the message refers to.
+func (m *NetMsg) Key() CallKey { return CallKey{Client: m.Client, ID: m.ID} }
+
+// Clone returns a deep copy (the simulated network duplicates and delays
+// messages; sharing Args across deliveries would be a hidden channel).
+func (m *NetMsg) Clone() *NetMsg {
+	c := *m
+	c.Server = m.Server.Clone()
+	c.VC = m.VC.Clone()
+	if m.Args != nil {
+		c.Args = append([]byte(nil), m.Args...)
+	}
+	return &c
+}
+
+// String renders a compact human-readable form for traces.
+func (m *NetMsg) String() string {
+	return fmt.Sprintf("%s key=%s op=%d from=%d inc=%d ack=%d ord=%d |args|=%d",
+		m.Type, m.Key(), m.Op, m.Sender, m.Inc, m.AckID, m.Order, len(m.Args))
+}
+
+// UserOp is the message type between the user protocol and gRPC
+// (User_Optype).
+type UserOp uint8
+
+// User message types: Call issues an RPC, Request retrieves the result of a
+// previously issued asynchronous call.
+const (
+	UserCall UserOp = iota + 1
+	UserRequest
+)
+
+// Status is the return status of a call (Status_type).
+type Status uint8
+
+// Call statuses. A call is WAITING until accepted (OK) or timed out;
+// ABORTED marks calls released when the local composite shuts down or the
+// site crashes (not in the paper, which leaves local-crash cleanup implicit).
+const (
+	StatusWaiting Status = iota + 1
+	StatusOK
+	StatusTimeout
+	StatusAborted
+)
+
+var statusNames = [...]string{"", "WAITING", "OK", "TIMEOUT", "ABORTED"}
+
+// String returns the paper's name for the status.
+func (s Status) String() string {
+	if int(s) < len(statusNames) && s > 0 {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("STATUS(%d)", uint8(s))
+}
+
+// UserMsg is the message exchanged between the user protocol and gRPC
+// (User_Msgtype). For a synchronous Call the composite fills Args and Status
+// in place before returning to the caller.
+type UserMsg struct {
+	Type   UserOp
+	ID     CallID
+	Op     OpID
+	Args   []byte
+	Server Group
+	Status Status
+}

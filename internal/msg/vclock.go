@@ -1,0 +1,79 @@
+package msg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VClock is a vector clock mapping a process to the number of its causally
+// known calls. It supports the Causal Order micro-protocol — an extension
+// beyond the paper's Figure 4 (the paper's §2.2 notes that "other variants
+// such as partial or causal order have also been defined").
+type VClock map[ProcID]int64
+
+// Clone returns an independent copy (nil stays nil).
+func (v VClock) Clone() VClock {
+	if v == nil {
+		return nil
+	}
+	out := make(VClock, len(v))
+	for p, n := range v {
+		out[p] = n
+	}
+	return out
+}
+
+// Get returns the counter for p (0 when absent or nil).
+func (v VClock) Get(p ProcID) int64 { return v[p] }
+
+// Merge folds o into v entry-wise with max, returning v (allocating if v
+// is nil).
+func (v VClock) Merge(o VClock) VClock {
+	if len(o) == 0 {
+		return v
+	}
+	if v == nil {
+		v = make(VClock, len(o))
+	}
+	for p, n := range o {
+		if n > v[p] {
+			v[p] = n
+		}
+	}
+	return v
+}
+
+// Equal reports entry-wise equality, treating absent entries as zero.
+func (v VClock) Equal(o VClock) bool {
+	for p, n := range v {
+		if o.Get(p) != n {
+			return false
+		}
+	}
+	for p, n := range o {
+		if v.Get(p) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clock deterministically for traces.
+func (v VClock) String() string {
+	ps := make([]ProcID, 0, len(v))
+	for p := range v {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", p, v[p])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,319 @@
+// Package netsim provides the unreliable communication substrate beneath
+// the gRPC composite protocol — the "Net" protocol of the paper's protocol
+// stack, reimplemented as an in-process simulated network.
+//
+// The paper assumes an asynchronous system whose communication layer can
+// experience omission and performance failures. netsim therefore injects,
+// under a seeded random source: message loss, duplication, variable delay
+// (which also yields reordering), and link partitions. Endpoints can be
+// taken down and brought back up to model site crashes.
+//
+// Substitution note (DESIGN.md §2): the micro-protocols observe the network
+// only through push operations and message-arrival events, so an
+// adversarial simulated transport exercises the same — in fact strictly
+// more — failure-handling code paths as the authors' LAN.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// Params configures the fault and delay model of a Network.
+type Params struct {
+	// Seed initializes the fault-injection random source.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniform per-message delivery delay.
+	MinDelay, MaxDelay time.Duration
+	// LossProb is the probability a given delivery is dropped.
+	LossProb float64
+	// DupProb is the probability a given delivery is duplicated once.
+	DupProb float64
+	// EncodeOnWire, when set, round-trips every message through the binary
+	// codec, exercising marshalling exactly as a byte transport would.
+	EncodeOnWire bool
+}
+
+// Stats counts network-level events since the network was created.
+type Stats struct {
+	Sent       int64 // messages offered to the network (per destination)
+	Delivered  int64
+	Dropped    int64 // lost to injected omission failures
+	Duplicated int64
+	Partition  int64 // drops due to partitions
+	DownDrops  int64 // drops due to a crashed endpoint
+}
+
+// Handler receives a delivered message. Each delivery runs on its own
+// goroutine, matching the composite protocol's assumption that message
+// arrivals are independent event triggers.
+type Handler func(*msg.NetMsg)
+
+type link struct{ a, b msg.ProcID }
+
+func linkKey(a, b msg.ProcID) link {
+	if a > b {
+		a, b = b, a
+	}
+	return link{a, b}
+}
+
+// dirLink is a directed link for one-way partitions.
+type dirLink struct{ from, to msg.ProcID }
+
+type linkDelay struct{ min, max time.Duration }
+
+// Network is a simulated network connecting endpoints by process id.
+type Network struct {
+	clk    clock.Clock
+	params Params
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	eps         map[msg.ProcID]*Endpoint
+	partitioned map[link]bool
+	oneWay      map[dirLink]bool
+	delays      map[link]linkDelay
+	stopped     bool
+
+	wg sync.WaitGroup
+
+	sent, delivered, dropped, duplicated, partition, downDrops atomic.Int64
+}
+
+// New creates a network with the given fault model, using clk for delays.
+func New(clk clock.Clock, p Params) *Network {
+	if p.MaxDelay < p.MinDelay {
+		p.MaxDelay = p.MinDelay
+	}
+	return &Network{
+		clk:         clk,
+		params:      p,
+		rng:         rand.New(rand.NewSource(p.Seed)),
+		eps:         make(map[msg.ProcID]*Endpoint),
+		partitioned: make(map[link]bool),
+		oneWay:      make(map[dirLink]bool),
+		delays:      make(map[link]linkDelay),
+	}
+}
+
+// Endpoint is one process's attachment point; it provides the x-kernel-style
+// push operations used by the micro-protocols.
+type Endpoint struct {
+	net *Network
+	id  msg.ProcID
+
+	mu      sync.Mutex
+	handler Handler
+	up      bool
+}
+
+// Attach connects process id to the network with h as its delivery handler.
+// Attaching an id twice is an error.
+func (n *Network) Attach(id msg.ProcID, h Handler) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.eps[id]; ok {
+		return nil, fmt.Errorf("netsim: process %d already attached", id)
+	}
+	e := &Endpoint{net: n, id: id, handler: h, up: true}
+	n.eps[id] = e
+	return e, nil
+}
+
+// ID returns the endpoint's process id.
+func (e *Endpoint) ID() msg.ProcID { return e.id }
+
+// SetHandler replaces the delivery handler (used on process recovery, when
+// a fresh composite protocol instance takes over the endpoint).
+func (e *Endpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// SetUp marks the endpoint up or down. A down endpoint neither sends nor
+// receives: messages in flight toward it are dropped at delivery time,
+// modelling a crashed site.
+func (e *Endpoint) SetUp(up bool) {
+	e.mu.Lock()
+	e.up = up
+	e.mu.Unlock()
+}
+
+// Up reports whether the endpoint is up.
+func (e *Endpoint) Up() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.up
+}
+
+// Push sends m to a single destination (Net.push of the paper). The message
+// is cloned, so the caller may reuse it.
+func (e *Endpoint) Push(to msg.ProcID, m *msg.NetMsg) {
+	e.net.send(e, to, m)
+}
+
+// Multicast sends m to every member of the group, including the sender's
+// own process if it is a member (the paper's Net.push(server_group, msg)).
+func (e *Endpoint) Multicast(group msg.Group, m *msg.NetMsg) {
+	for _, to := range group {
+		e.net.send(e, to, m)
+	}
+}
+
+// Partition blocks (or with blocked=false, unblocks) direct communication
+// between a and b in both directions.
+func (n *Network) Partition(a, b msg.ProcID, blocked bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if blocked {
+		n.partitioned[linkKey(a, b)] = true
+	} else {
+		delete(n.partitioned, linkKey(a, b))
+	}
+}
+
+// PartitionOneWay blocks (or unblocks) messages from "from" to "to" only;
+// traffic in the opposite direction is unaffected. One-way partitions
+// model asymmetric failures (a dead uplink, a misconfigured route) that
+// make failure detection genuinely hard.
+func (n *Network) PartitionOneWay(from, to msg.ProcID, blocked bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if blocked {
+		n.oneWay[dirLink{from: from, to: to}] = true
+	} else {
+		delete(n.oneWay, dirLink{from: from, to: to})
+	}
+}
+
+// SetLinkDelay overrides the delay bounds on the (a, b) link in both
+// directions; used by experiments with heterogeneous server latencies.
+func (n *Network) SetLinkDelay(a, b msg.ProcID, min, max time.Duration) {
+	if max < min {
+		max = min
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delays[linkKey(a, b)] = linkDelay{min: min, max: max}
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:       n.sent.Load(),
+		Delivered:  n.delivered.Load(),
+		Dropped:    n.dropped.Load(),
+		Duplicated: n.duplicated.Load(),
+		Partition:  n.partition.Load(),
+		DownDrops:  n.downDrops.Load(),
+	}
+}
+
+// Stop shuts the network down and waits for all in-flight deliveries to
+// finish. Further sends are silently discarded.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Quiesce waits for all deliveries currently in flight to complete without
+// stopping the network. Tests use it to reach a stable state.
+func (n *Network) Quiesce() {
+	n.wg.Wait()
+}
+
+func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
+	from.mu.Lock()
+	senderUp := from.up
+	from.mu.Unlock()
+	if !senderUp {
+		return // a crashed site sends nothing
+	}
+
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.sent.Add(1)
+	if n.partitioned[linkKey(from.id, to)] || n.oneWay[dirLink{from: from.id, to: to}] {
+		n.partition.Add(1)
+		n.mu.Unlock()
+		return
+	}
+	dest, ok := n.eps[to]
+	if !ok {
+		n.downDrops.Add(1)
+		n.mu.Unlock()
+		return
+	}
+
+	copies := 1
+	if n.rng.Float64() < n.params.LossProb {
+		copies = 0
+		n.dropped.Add(1)
+	} else if n.rng.Float64() < n.params.DupProb {
+		copies = 2
+		n.duplicated.Add(1)
+	}
+	d := n.delays[linkKey(from.id, to)]
+	if d.max == 0 && d.min == 0 {
+		d = linkDelay{min: n.params.MinDelay, max: n.params.MaxDelay}
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		delays[i] = d.min
+		if span := d.max - d.min; span > 0 {
+			delays[i] += time.Duration(n.rng.Int63n(int64(span) + 1))
+		}
+	}
+	n.mu.Unlock()
+
+	for _, delay := range delays {
+		n.scheduleDelivery(dest, m.Clone(), delay)
+	}
+}
+
+func (n *Network) scheduleDelivery(dest *Endpoint, m *msg.NetMsg, delay time.Duration) {
+	n.wg.Add(1)
+	deliver := func() {
+		defer n.wg.Done()
+		if n.params.EncodeOnWire {
+			decoded, err := msg.Decode(m.Encode())
+			if err != nil {
+				// A codec failure is a bug, not a simulated fault; surface
+				// it loudly rather than silently dropping.
+				panic(fmt.Sprintf("netsim: wire codec round-trip: %v", err))
+			}
+			m = decoded
+		}
+		dest.mu.Lock()
+		h, up := dest.handler, dest.up
+		dest.mu.Unlock()
+		if !up || h == nil {
+			n.downDrops.Add(1)
+			return
+		}
+		n.delivered.Add(1)
+		h(m)
+	}
+	if delay <= 0 {
+		go deliver()
+		return
+	}
+	n.clk.AfterFunc(delay, func() {
+		// Handlers may block (serial execution, semaphores); never run them
+		// on the clock's timer goroutine.
+		go deliver()
+	})
+}

@@ -1,0 +1,337 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// collector accumulates delivered messages for one endpoint.
+type collector struct {
+	mu   sync.Mutex
+	msgs []*msg.NetMsg
+}
+
+func (c *collector) handle(m *msg.NetMsg) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func attach(t *testing.T, n *Network, id msg.ProcID) (*Endpoint, *collector) {
+	t.Helper()
+	c := &collector{}
+	ep, err := n.Attach(id, c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep, c
+}
+
+func call(id msg.CallID) *msg.NetMsg {
+	return &msg.NetMsg{Type: msg.OpCall, ID: id, Client: 1, Sender: 1}
+}
+
+func TestPerfectDelivery(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+
+	for i := 0; i < 10; i++ {
+		a.Push(2, call(msg.CallID(i)))
+	}
+	n.Quiesce()
+	if cb.count() != 10 {
+		t.Fatalf("delivered %d, want 10", cb.count())
+	}
+	st := n.Stats()
+	if st.Sent != 10 || st.Delivered != 10 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateAttachRejected(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	attach(t, n, 1)
+	if _, err := n.Attach(1, nil); err == nil {
+		t.Fatal("second Attach of id 1 accepted")
+	}
+}
+
+func TestMessagesAreCloned(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+
+	m := call(1)
+	m.Args = []byte{1, 2, 3}
+	a.Push(2, m)
+	m.Args[0] = 99 // mutate after send
+	n.Quiesce()
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if cb.msgs[0].Args[0] != 1 {
+		t.Fatal("delivery shares the sender's Args buffer")
+	}
+}
+
+func TestLossIsInjected(t *testing.T) {
+	n := New(clock.NewReal(), Params{Seed: 1, LossProb: 0.5})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		a.Push(2, call(msg.CallID(i)))
+	}
+	n.Quiesce()
+	got := cb.count()
+	if got == sent || got == 0 {
+		t.Fatalf("delivered %d of %d with 50%% loss", got, sent)
+	}
+	// Rough binomial bounds: 400 trials, p=0.5 → expect 200 ± 60.
+	if got < 140 || got > 260 {
+		t.Fatalf("delivered %d of %d, far from 50%%", got, sent)
+	}
+	st := n.Stats()
+	if st.Dropped != int64(sent-got) {
+		t.Fatalf("dropped = %d, want %d", st.Dropped, sent-got)
+	}
+}
+
+func TestDuplicationIsInjected(t *testing.T) {
+	n := New(clock.NewReal(), Params{Seed: 2, DupProb: 0.5})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		a.Push(2, call(msg.CallID(i)))
+	}
+	n.Quiesce()
+	st := n.Stats()
+	if st.Duplicated == 0 {
+		t.Fatal("no duplicates with 50% dup probability")
+	}
+	if got := cb.count(); got != sent+int(st.Duplicated) {
+		t.Fatalf("delivered %d, want %d + %d dups", got, sent, st.Duplicated)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		n := New(clock.NewReal(), Params{Seed: 42, LossProb: 0.3, DupProb: 0.2})
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		attach(t, n, 2)
+		for i := 0; i < 300; i++ {
+			a.Push(2, call(msg.CallID(i)))
+		}
+		n.Quiesce()
+		st := n.Stats()
+		return st.Dropped, st.Duplicated
+	}
+	d1, p1 := run()
+	d2, p2 := run()
+	if d1 != d2 || p1 != p2 {
+		t.Fatalf("same seed, different fault pattern: (%d,%d) vs (%d,%d)", d1, p1, d2, p2)
+	}
+}
+
+func TestMulticastReachesAllMembersIncludingSender(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, ca := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+	_, cc := attach(t, n, 3)
+
+	a.Multicast(msg.NewGroup(1, 2, 3), call(1))
+	n.Quiesce()
+	if ca.count() != 1 || cb.count() != 1 || cc.count() != 1 {
+		t.Fatalf("multicast delivered %d/%d/%d, want 1/1/1", ca.count(), cb.count(), cc.count())
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, ca := attach(t, n, 1)
+	b, cb := attach(t, n, 2)
+
+	n.Partition(1, 2, true)
+	a.Push(2, call(1))
+	b.Push(1, call(2))
+	n.Quiesce()
+	if ca.count() != 0 || cb.count() != 0 {
+		t.Fatal("partitioned link delivered")
+	}
+	if st := n.Stats(); st.Partition != 2 {
+		t.Fatalf("partition drops = %d, want 2", st.Partition)
+	}
+
+	n.Partition(1, 2, false)
+	a.Push(2, call(3))
+	n.Quiesce()
+	if cb.count() != 1 {
+		t.Fatal("healed partition did not deliver")
+	}
+}
+
+func TestPartitionOneWay(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, ca := attach(t, n, 1)
+	b, cb := attach(t, n, 2)
+
+	n.PartitionOneWay(1, 2, true)
+	a.Push(2, call(1)) // blocked direction
+	b.Push(1, call(2)) // open direction
+	n.Quiesce()
+	if cb.count() != 0 {
+		t.Fatal("blocked direction delivered")
+	}
+	if ca.count() != 1 {
+		t.Fatal("open direction did not deliver")
+	}
+
+	n.PartitionOneWay(1, 2, false)
+	a.Push(2, call(3))
+	n.Quiesce()
+	if cb.count() != 1 {
+		t.Fatal("healed one-way partition did not deliver")
+	}
+}
+
+func TestDownEndpointNeitherSendsNorReceives(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	b, cb := attach(t, n, 2)
+
+	b.SetUp(false)
+	if b.Up() {
+		t.Fatal("Up() after SetUp(false)")
+	}
+	a.Push(2, call(1)) // toward down endpoint: dropped
+	b.Push(1, call(2)) // from down endpoint: dropped
+	n.Quiesce()
+	if cb.count() != 0 {
+		t.Fatal("down endpoint received")
+	}
+	st := n.Stats()
+	if st.DownDrops != 1 {
+		t.Fatalf("down drops = %d, want 1 (send from down endpoint is silent)", st.DownDrops)
+	}
+
+	b.SetUp(true)
+	a.Push(2, call(3))
+	n.Quiesce()
+	if cb.count() != 1 {
+		t.Fatal("recovered endpoint did not receive")
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	a.Push(99, call(1))
+	n.Quiesce()
+	if st := n.Stats(); st.DownDrops != 1 {
+		t.Fatalf("stats = %+v, want one down-drop", st)
+	}
+}
+
+func TestDelaysAreApplied(t *testing.T) {
+	n := New(clock.NewReal(), Params{Seed: 1, MinDelay: 10 * time.Millisecond, MaxDelay: 15 * time.Millisecond})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	done := make(chan time.Time, 1)
+	if _, err := n.Attach(2, func(*msg.NetMsg) { done <- time.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	a.Push(2, call(1))
+	at := <-done
+	if d := at.Sub(t0); d < 10*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 10ms", d)
+	}
+}
+
+func TestLinkDelayOverride(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	done := make(chan time.Time, 1)
+	if _, err := n.Attach(2, func(*msg.NetMsg) { done <- time.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkDelay(1, 2, 20*time.Millisecond, 20*time.Millisecond)
+	t0 := time.Now()
+	a.Push(2, call(1))
+	at := <-done
+	if d := at.Sub(t0); d < 20*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= 20ms (link override)", d)
+	}
+}
+
+func TestEncodeOnWire(t *testing.T) {
+	n := New(clock.NewReal(), Params{EncodeOnWire: true})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+
+	m := call(7)
+	m.Args = []byte("payload")
+	m.Server = msg.NewGroup(1, 2)
+	a.Push(2, m)
+	n.Quiesce()
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	got := cb.msgs[0]
+	if got.ID != 7 || string(got.Args) != "payload" || !got.Server.Equal(m.Server) {
+		t.Fatalf("wire round trip corrupted message: %+v", got)
+	}
+}
+
+func TestSendAfterStopDiscarded(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+	n.Stop()
+	a.Push(2, call(1))
+	if cb.count() != 0 {
+		t.Fatal("message delivered after Stop")
+	}
+}
+
+func TestSetHandlerReplaces(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	ep, old := attach(t, n, 2)
+	fresh := &collector{}
+	ep.SetHandler(fresh.handle)
+	a.Push(2, call(1))
+	n.Quiesce()
+	if old.count() != 0 || fresh.count() != 1 {
+		t.Fatalf("old=%d fresh=%d, want 0/1", old.count(), fresh.count())
+	}
+	if ep.ID() != 2 {
+		t.Fatalf("ID = %d", ep.ID())
+	}
+}

@@ -1,0 +1,318 @@
+// Package p2p is the compact point-to-point RPC specialization the paper
+// anticipates in §4.1: "Point-to-point RPC can be seen as a special case
+// in this implementation, although in practice it would likely be
+// implemented separately to obtain a more compact and efficient protocol."
+//
+// It keeps the configurable *semantics* — reliable communication, bounded
+// termination, unique execution — but fuses them into straight-line code:
+// no event bus, no handler priorities, no group tables. Ordering,
+// acceptance, collation and membership make no sense with a single server
+// and are omitted, exactly the specialization the paper describes.
+// Experiment E14 measures what the fusion buys over the full composite.
+package p2p
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+	"mrpc/internal/netsim"
+	"mrpc/internal/proc"
+)
+
+// Options selects the semantics of a point-to-point endpoint pair. The
+// zero value is an unreliable, unbounded, at-least-once client.
+type Options struct {
+	// Reliable enables retransmission until a reply (or ack) arrives.
+	Reliable bool
+	// RetransTimeout is the retransmission period (default 20ms).
+	RetransTimeout time.Duration
+	// Bounded enables per-call deadlines.
+	Bounded bool
+	// TimeBound is the per-call deadline (default 1s).
+	TimeBound time.Duration
+	// Unique enables duplicate suppression at the server (exactly-once
+	// together with Reliable).
+	Unique bool
+}
+
+// Handler executes one operation at a p2p server.
+type Handler func(th *proc.Thread, op msg.OpID, args []byte) []byte
+
+// Server is the compact point-to-point server.
+type Server struct {
+	id      msg.ProcID
+	ep      *netsim.Endpoint
+	handler Handler
+	unique  bool
+
+	mu         sync.Mutex
+	oldCalls   map[msg.CallKey]bool
+	oldResults map[msg.CallKey][]byte
+	threads    *proc.Threads
+}
+
+// NewServer attaches a compact server for id to the network.
+func NewServer(net *netsim.Network, id msg.ProcID, opts Options, h Handler) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("p2p: handler is required")
+	}
+	s := &Server{
+		id:         id,
+		handler:    h,
+		unique:     opts.Unique,
+		oldCalls:   make(map[msg.CallKey]bool),
+		oldResults: make(map[msg.CallKey][]byte),
+		threads:    proc.NewThreads(),
+	}
+	ep, err := net.Attach(id, s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.ep = ep
+	return s, nil
+}
+
+// Close kills in-flight executions (their replies are suppressed).
+func (s *Server) Close() { s.threads.KillAll() }
+
+func (s *Server) handle(m *msg.NetMsg) {
+	switch m.Type {
+	case msg.OpCall:
+		s.handleCall(m)
+	case msg.OpAck:
+		if s.unique {
+			s.mu.Lock()
+			delete(s.oldResults, msg.CallKey{Client: m.Client, ID: m.AckID})
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) handleCall(m *msg.NetMsg) {
+	key := m.Key()
+	if s.unique {
+		s.mu.Lock()
+		if res, done := s.oldResults[key]; done {
+			s.mu.Unlock()
+			s.reply(m, res)
+			return
+		}
+		if s.oldCalls[key] {
+			s.mu.Unlock()
+			return // in progress: drop the duplicate
+		}
+		s.oldCalls[key] = true
+		s.mu.Unlock()
+	}
+
+	th := s.threads.Spawn(m.Client)
+	res := s.handler(th, m.Op, m.Args)
+	killed := th.IsKilled()
+	s.threads.Finish(th)
+	if killed {
+		if s.unique {
+			s.mu.Lock()
+			delete(s.oldCalls, key)
+			s.mu.Unlock()
+		}
+		return
+	}
+
+	if s.unique {
+		s.mu.Lock()
+		s.oldResults[key] = res
+		s.mu.Unlock()
+	}
+	s.reply(m, res)
+}
+
+func (s *Server) reply(call *msg.NetMsg, res []byte) {
+	s.ep.Push(call.Sender, &msg.NetMsg{
+		Type:   msg.OpReply,
+		ID:     call.ID,
+		Client: call.Client,
+		Op:     call.Op,
+		Args:   res,
+		Sender: s.id,
+	})
+}
+
+type p2pCall struct {
+	op      msg.OpID
+	args    []byte
+	to      msg.ProcID
+	acked   bool
+	result  []byte
+	status  msg.Status
+	done    chan struct{}
+	once    sync.Once
+	expired clock.Timer
+}
+
+func (c *p2pCall) complete(status msg.Status, result []byte) {
+	c.once.Do(func() {
+		c.status = status
+		c.result = result
+		close(c.done)
+	})
+}
+
+// Client is the compact point-to-point client.
+type Client struct {
+	id   msg.ProcID
+	ep   *netsim.Endpoint
+	clk  clock.Clock
+	opts Options
+
+	mu      sync.Mutex
+	nextID  msg.CallID
+	pending map[msg.CallID]*p2pCall
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+}
+
+// NewClient attaches a compact client for id to the network.
+func NewClient(net *netsim.Network, clk clock.Clock, id msg.ProcID, opts Options) (*Client, error) {
+	if opts.RetransTimeout <= 0 {
+		opts.RetransTimeout = 20 * time.Millisecond
+	}
+	if opts.TimeBound <= 0 {
+		opts.TimeBound = time.Second
+	}
+	c := &Client{
+		id:       id,
+		clk:      clk,
+		opts:     opts,
+		nextID:   1,
+		pending:  make(map[msg.CallID]*p2pCall),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	ep, err := net.Attach(id, c.handle)
+	if err != nil {
+		return nil, err
+	}
+	c.ep = ep
+	if opts.Reliable {
+		go c.retransmitLoop()
+	} else {
+		close(c.loopDone)
+	}
+	return c, nil
+}
+
+// Close stops the client. Pending calls complete with StatusAborted.
+func (c *Client) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.loopDone
+	c.mu.Lock()
+	calls := make([]*p2pCall, 0, len(c.pending))
+	for _, pc := range c.pending {
+		calls = append(calls, pc)
+	}
+	c.pending = make(map[msg.CallID]*p2pCall)
+	c.mu.Unlock()
+	for _, pc := range calls {
+		pc.complete(msg.StatusAborted, nil)
+	}
+}
+
+// Call synchronously invokes op at the server and returns the result and
+// status (OK, TIMEOUT with Bounded, or ABORTED after Close).
+func (c *Client) Call(server msg.ProcID, op msg.OpID, args []byte) ([]byte, msg.Status) {
+	pc := &p2pCall{
+		op:   op,
+		args: args,
+		to:   server,
+		done: make(chan struct{}),
+	}
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = pc
+	c.mu.Unlock()
+
+	if c.opts.Bounded {
+		pc.expired = c.clk.AfterFunc(c.opts.TimeBound, func() {
+			pc.complete(msg.StatusTimeout, nil)
+		})
+	}
+	c.ep.Push(server, c.buildCall(id, pc))
+
+	<-pc.done
+	if pc.expired != nil {
+		pc.expired.Stop()
+	}
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+	return pc.result, pc.status
+}
+
+func (c *Client) buildCall(id msg.CallID, pc *p2pCall) *msg.NetMsg {
+	return &msg.NetMsg{
+		Type:   msg.OpCall,
+		ID:     id,
+		Client: c.id,
+		Op:     pc.op,
+		Args:   pc.args,
+		Sender: c.id,
+	}
+}
+
+func (c *Client) handle(m *msg.NetMsg) {
+	if m.Type != msg.OpReply {
+		return
+	}
+	if c.opts.Unique {
+		c.ep.Push(m.Sender, &msg.NetMsg{
+			Type:   msg.OpAck,
+			Client: c.id,
+			Sender: c.id,
+			AckID:  m.ID,
+		})
+	}
+	c.mu.Lock()
+	pc, ok := c.pending[m.ID]
+	if ok {
+		pc.acked = true
+	}
+	c.mu.Unlock()
+	if ok {
+		pc.complete(msg.StatusOK, m.Args)
+	}
+}
+
+func (c *Client) retransmitLoop() {
+	defer close(c.loopDone)
+	for {
+		timer := make(chan struct{})
+		t := c.clk.AfterFunc(c.opts.RetransTimeout, func() { close(timer) })
+		select {
+		case <-c.stop:
+			t.Stop()
+			return
+		case <-timer:
+		}
+		type resend struct {
+			to msg.ProcID
+			m  *msg.NetMsg
+		}
+		var out []resend
+		c.mu.Lock()
+		for id, pc := range c.pending {
+			if !pc.acked {
+				out = append(out, resend{to: pc.to, m: c.buildCall(id, pc)})
+			}
+		}
+		c.mu.Unlock()
+		for _, rs := range out {
+			c.ep.Push(rs.to, rs.m)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package p2p
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+	"mrpc/internal/netsim"
+	"mrpc/internal/proc"
+)
+
+func pair(t *testing.T, p netsim.Params, opts Options, h Handler) (*Client, *netsim.Network) {
+	t.Helper()
+	clk := clock.NewReal()
+	net := netsim.New(clk, p)
+	t.Cleanup(net.Stop)
+	srv, err := NewServer(net, 1, opts, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := NewClient(net, clk, 100, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, net
+}
+
+func echo(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+	return append([]byte("r:"), args...)
+}
+
+func TestP2PCall(t *testing.T) {
+	c, _ := pair(t, netsim.Params{}, Options{}, echo)
+	res, status := c.Call(1, 7, []byte("x"))
+	if status != msg.StatusOK || string(res) != "r:x" {
+		t.Fatalf("call: %v %q", status, res)
+	}
+}
+
+func TestP2PReliableMasksLoss(t *testing.T) {
+	opts := Options{Reliable: true, Unique: true, RetransTimeout: 2 * time.Millisecond}
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	c, _ := pair(t, netsim.Params{
+		Seed: 3, LossProb: 0.3,
+		MinDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond,
+	}, opts, func(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+		mu.Lock()
+		execs[string(args)]++
+		mu.Unlock()
+		return args
+	})
+
+	for i := 0; i < 25; i++ {
+		payload := []byte(fmt.Sprintf("c%d", i))
+		res, status := c.Call(1, 1, payload)
+		if status != msg.StatusOK || string(res) != string(payload) {
+			t.Fatalf("call %d: %v %q", i, status, res)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(execs) != 25 {
+		t.Fatalf("%d distinct calls executed", len(execs))
+	}
+	for k, n := range execs {
+		if n != 1 {
+			t.Fatalf("%s executed %d times (unique execution violated)", k, n)
+		}
+	}
+}
+
+func TestP2PWithoutUniqueMayDuplicate(t *testing.T) {
+	opts := Options{Reliable: true, RetransTimeout: time.Millisecond}
+	var mu sync.Mutex
+	total := 0
+	c, _ := pair(t, netsim.Params{
+		Seed: 7, DupProb: 0.5,
+		MinDelay: 500 * time.Microsecond, MaxDelay: 4 * time.Millisecond,
+	}, opts, func(_ *proc.Thread, _ msg.OpID, args []byte) []byte {
+		mu.Lock()
+		total++
+		mu.Unlock()
+		return args
+	})
+
+	const calls = 15
+	for i := 0; i < calls; i++ {
+		if _, status := c.Call(1, 1, []byte{byte(i)}); status != msg.StatusOK {
+			t.Fatalf("call %d: %v", i, status)
+		}
+	}
+	// Allow stragglers to execute.
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if total <= calls {
+		t.Fatalf("executions = %d, want > %d (at-least-once duplicates expected)", total, calls)
+	}
+}
+
+func TestP2PBoundedTimeout(t *testing.T) {
+	opts := Options{Bounded: true, TimeBound: 20 * time.Millisecond}
+	c, _ := pair(t, netsim.Params{}, opts, func(th *proc.Thread, _ msg.OpID, args []byte) []byte {
+		select {
+		case <-th.Killed():
+		case <-time.After(200 * time.Millisecond):
+		}
+		return args
+	})
+	t0 := time.Now()
+	_, status := c.Call(1, 1, []byte("slow"))
+	if status != msg.StatusTimeout {
+		t.Fatalf("status = %v, want TIMEOUT", status)
+	}
+	if elapsed := time.Since(t0); elapsed > 150*time.Millisecond {
+		t.Fatalf("bounded call took %v", elapsed)
+	}
+}
+
+func TestP2PCloseAborts(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+	// No server attached: the call hangs until Close.
+	c, err := NewClient(net, clk, 100, Options{Reliable: true, RetransTimeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan msg.Status, 1)
+	go func() {
+		_, status := c.Call(1, 1, nil)
+		done <- status
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case status := <-done:
+		if status != msg.StatusAborted {
+			t.Fatalf("status = %v, want ABORTED", status)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not abort the pending call")
+	}
+}
+
+func TestP2PServerRequiresHandler(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+	if _, err := NewServer(net, 1, Options{}, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestP2PConcurrentClients(t *testing.T) {
+	clk := clock.NewReal()
+	net := netsim.New(clk, netsim.Params{})
+	defer net.Stop()
+	srv, err := NewServer(net, 1, Options{Unique: true}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		id := msg.ProcID(100 + i)
+		c, err := NewClient(net, clk, id, Options{Reliable: true, Unique: true, RetransTimeout: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, status := c.Call(1, 1, []byte{byte(j)}); status != msg.StatusOK {
+					t.Errorf("client call %d: %v", j, status)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,138 @@
+// Package sem provides counting semaphores with the P/V interface used by
+// the micro-protocol pseudocode in Hiltunen & Schlichting (TR 94-28).
+//
+// The zero value is a semaphore with count 0 (every P blocks until a V).
+// Semaphores are safe for concurrent use and never copied after first use.
+package sem
+
+import (
+	"sync"
+	"time"
+)
+
+// Sem is a counting semaphore. P decrements the count, blocking while it is
+// zero; V increments it, waking one waiter if any. Unlike a mutex, V may be
+// called by a goroutine other than the one that called P, which is exactly
+// how the RPC micro-protocols hand a blocked client thread its reply.
+type Sem struct {
+	mu    sync.Mutex
+	count int
+	wait  []chan struct{}
+}
+
+// New returns a semaphore initialized to count. Count 1 behaves as a mutex;
+// count 0 as a pure signal.
+func New(count int) *Sem {
+	return &Sem{count: count}
+}
+
+// P acquires one unit, blocking until the count is positive.
+func (s *Sem) P() {
+	s.mu.Lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.wait = append(s.wait, ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// TryP acquires one unit without blocking. It reports whether it succeeded.
+func (s *Sem) TryP() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// PTimeout acquires one unit, giving up after d. It reports whether the unit
+// was acquired. A timed-out waiter consumes no unit.
+func (s *Sem) PTimeout(d time.Duration) bool {
+	s.mu.Lock()
+	if s.count > 0 {
+		s.count--
+		s.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	s.wait = append(s.wait, ch)
+	s.mu.Unlock()
+
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+	}
+
+	// Timed out: remove our channel from the wait list, unless a V raced us
+	// and already handed over a unit.
+	s.mu.Lock()
+	for i, w := range s.wait {
+		if w == ch {
+			s.wait = append(s.wait[:i], s.wait[i+1:]...)
+			s.mu.Unlock()
+			return false
+		}
+	}
+	s.mu.Unlock()
+	// Not on the list: a V selected us concurrently with the timeout. The
+	// handoff channel is buffered by the send in V completing only after the
+	// waiter is removed, so the unit is ours.
+	select {
+	case <-ch:
+	default:
+	}
+	return true
+}
+
+// V releases one unit, waking the longest-waiting P if any.
+func (s *Sem) V() {
+	s.mu.Lock()
+	if len(s.wait) > 0 {
+		ch := s.wait[0]
+		s.wait = s.wait[1:]
+		s.mu.Unlock()
+		close(ch)
+		return
+	}
+	s.count++
+	s.mu.Unlock()
+}
+
+// Reset forcibly sets the count to n and drops all waiters without waking
+// them is never safe; instead Reset wakes every current waiter (their P
+// returns) and then sets the count. It models the paper's crash-recovery
+// idiom of reinitializing a semaphore (e.g. "sRPC mutex = 0").
+func (s *Sem) Reset(n int) {
+	s.mu.Lock()
+	waiters := s.wait
+	s.wait = nil
+	s.count = n
+	s.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// Count returns the current unit count (waiters imply 0). Intended for tests
+// and introspection, not for synchronization decisions.
+func (s *Sem) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Waiters returns the number of goroutines currently blocked in P.
+func (s *Sem) Waiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.wait)
+}

@@ -1,0 +1,220 @@
+package sem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPVBasic(t *testing.T) {
+	s := New(2)
+	s.P()
+	s.P()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+	s.V()
+	if got := s.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	s.P() // must not block
+}
+
+func TestPBlocksUntilV(t *testing.T) {
+	s := New(0)
+	acquired := make(chan struct{})
+	go func() {
+		s.P()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("P returned without a V")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.V()
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("P did not return after V")
+	}
+}
+
+func TestVWakesFIFO(t *testing.T) {
+	s := New(0)
+	const n = 8
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			s.P()
+			order <- i
+		}()
+		// Wait until this waiter is enqueued before starting the next, so
+		// the wait-list order is exactly 0..n-1.
+		for s.Waiters() != i+1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Release one at a time and observe who wakes.
+	for i := 0; i < n; i++ {
+		s.V()
+		select {
+		case got := <-order:
+			if got != i {
+				t.Fatalf("V %d woke waiter %d (want FIFO)", i, got)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("V %d woke nobody", i)
+		}
+	}
+}
+
+func TestTryP(t *testing.T) {
+	s := New(1)
+	if !s.TryP() {
+		t.Fatal("TryP on count 1 failed")
+	}
+	if s.TryP() {
+		t.Fatal("TryP on count 0 succeeded")
+	}
+	s.V()
+	if !s.TryP() {
+		t.Fatal("TryP after V failed")
+	}
+}
+
+func TestPTimeout(t *testing.T) {
+	s := New(0)
+	t0 := time.Now()
+	if s.PTimeout(20 * time.Millisecond) {
+		t.Fatal("PTimeout acquired a unit that was never released")
+	}
+	if elapsed := time.Since(t0); elapsed < 15*time.Millisecond {
+		t.Fatalf("PTimeout returned after %v, want ~20ms", elapsed)
+	}
+
+	s.V()
+	if !s.PTimeout(20 * time.Millisecond) {
+		t.Fatal("PTimeout failed with a unit available")
+	}
+
+	// A timed-out waiter must not consume a later V: the unit must remain
+	// for the next P.
+	if s.PTimeout(time.Millisecond) {
+		t.Fatal("unexpected acquisition")
+	}
+	s.V()
+	if !s.TryP() {
+		t.Fatal("the V after a timed-out waiter was lost")
+	}
+}
+
+func TestPTimeoutRace(t *testing.T) {
+	// Hammer the V-races-timeout path: no unit may be lost or duplicated.
+	for i := 0; i < 200; i++ {
+		s := New(0)
+		res := make(chan bool, 1)
+		go func() { res <- s.PTimeout(50 * time.Microsecond) }()
+		time.Sleep(50 * time.Microsecond)
+		s.V()
+		got := <-res
+		if got {
+			// Waiter took the unit: none may remain.
+			if s.TryP() {
+				t.Fatal("unit duplicated in V/timeout race")
+			}
+		} else {
+			// Waiter timed out: the unit must remain.
+			if !s.TryP() {
+				t.Fatal("unit lost in V/timeout race")
+			}
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(0)
+	done := make(chan struct{})
+	var released atomic.Int32
+	for i := 0; i < 3; i++ {
+		go func() {
+			s.P()
+			released.Add(1)
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if s.Waiters() != 3 {
+		t.Fatalf("waiters = %d, want 3", s.Waiters())
+	}
+	s.Reset(1)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("Reset did not wake all waiters")
+		}
+	}
+	if got := s.Count(); got != 1 {
+		t.Fatalf("count after Reset(1) = %d, want 1", got)
+	}
+}
+
+func TestConcurrentPV(t *testing.T) {
+	// With equal numbers of P and V, every P must eventually return and
+	// the final count must equal the initial count.
+	const workers = 16
+	const rounds = 200
+	s := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.V()
+				s.P()
+			}
+		}()
+	}
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent P/V deadlocked")
+	}
+	if got := s.Count(); got != 0 {
+		t.Fatalf("final count = %d, want 0", got)
+	}
+}
+
+func TestQuickSemaphoreConservation(t *testing.T) {
+	// Property: for any initial count c (0..8) and sequence of V counts,
+	// after performing all Vs and then exactly c + sum(vs) Ps, the count
+	// is 0 and no P blocked.
+	f := func(c uint8, vs []uint8) bool {
+		init := int(c % 8)
+		s := New(init)
+		total := init
+		for _, v := range vs {
+			n := int(v % 4)
+			for i := 0; i < n; i++ {
+				s.V()
+			}
+			total += n
+		}
+		for i := 0; i < total; i++ {
+			if !s.TryP() {
+				return false
+			}
+		}
+		return s.Count() == 0 && !s.TryP()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

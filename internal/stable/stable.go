@@ -1,0 +1,172 @@
+// Package stable provides the stable storage substrate required by the
+// Atomic Execution micro-protocol: checkpoint() writes a snapshot of server
+// state to storage that survives crashes, and load() restores it.
+//
+// Substitution note (DESIGN.md §2): the paper assumes a disk; here storage
+// is a crash-surviving in-memory store with an optional simulated write
+// latency. Atomic Execution depends only on checkpoints outliving the wipe
+// of volatile state on crash, which this preserves: a Site crash discards
+// the composite protocol and the server's in-memory state but never touches
+// the Store.
+package stable
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mrpc/internal/clock"
+)
+
+// ErrNoCheckpoint is returned by Load when the address has never been
+// written (e.g. recovery before the first checkpoint).
+var ErrNoCheckpoint = errors.New("stable: no checkpoint at address")
+
+// Addr addresses a checkpoint in stable storage, as returned by Checkpoint.
+type Addr int64
+
+// Store is a stable storage device shared by the processes of one simulated
+// system. It is safe for concurrent use.
+type Store struct {
+	clk          clock.Clock
+	writeLatency time.Duration
+
+	mu     sync.Mutex
+	next   Addr
+	blocks map[Addr][]byte
+	writes int64
+	bytes  int64
+}
+
+// NewStore returns a store whose writes take writeLatency of simulated time
+// (0 for instantaneous storage).
+func NewStore(clk clock.Clock, writeLatency time.Duration) *Store {
+	return &Store{
+		clk:          clk,
+		writeLatency: writeLatency,
+		next:         1,
+		blocks:       make(map[Addr][]byte),
+	}
+}
+
+// Checkpoint durably writes state and returns its address (the paper's
+// checkpoint() operation). The data is copied; the caller may reuse it.
+func (s *Store) Checkpoint(state []byte) Addr {
+	if s.writeLatency > 0 {
+		s.clk.Sleep(s.writeLatency)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr := s.next
+	s.next++
+	s.blocks[addr] = append([]byte(nil), state...)
+	s.writes++
+	s.bytes += int64(len(state))
+	return addr
+}
+
+// Load reads the checkpoint at addr (the paper's load(address)).
+func (s *Store) Load(addr Addr) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[addr]
+	if !ok {
+		return nil, ErrNoCheckpoint
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Release frees the checkpoint at addr; Atomic Execution calls it for the
+// superseded checkpoint after a new one is written (the paper's old/new
+// address rotation).
+func (s *Store) Release(addr Addr) {
+	s.mu.Lock()
+	delete(s.blocks, addr)
+	s.mu.Unlock()
+}
+
+// Writes returns the number of checkpoints written, and BytesWritten the
+// total payload volume — the cost metrics for the atomic-execution ablation.
+func (s *Store) Writes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// BytesWritten returns the total bytes checkpointed.
+func (s *Store) BytesWritten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Log is a crash-surviving checkpoint chain: one base checkpoint address
+// plus the addresses of the deltas written since, in order. It backs the
+// delta-checkpoint optimization of Atomic Execution (§4.4.5: "storing the
+// changes ('deltas') from one checkpoint to the next"). The zero value is
+// an empty chain.
+type Log struct {
+	mu     sync.Mutex
+	base   Addr
+	hasB   bool
+	deltas []Addr
+}
+
+// Reset makes base the chain's new full checkpoint and clears the deltas,
+// returning the superseded addresses so the caller can release them.
+func (l *Log) Reset(base Addr) (released []Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hasB {
+		released = append(released, l.base)
+	}
+	released = append(released, l.deltas...)
+	l.base = base
+	l.hasB = true
+	l.deltas = nil
+	return released
+}
+
+// Append adds a delta checkpoint to the chain.
+func (l *Log) Append(a Addr) {
+	l.mu.Lock()
+	l.deltas = append(l.deltas, a)
+	l.mu.Unlock()
+}
+
+// Chain returns the base (if any) and the delta addresses in write order.
+func (l *Log) Chain() (base Addr, ok bool, deltas []Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base, l.hasB, append([]Addr(nil), l.deltas...)
+}
+
+// DeltaCount returns the number of deltas since the last full checkpoint.
+func (l *Log) DeltaCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.deltas)
+}
+
+// Cell is a single crash-surviving variable (the paper's "stable address"
+// variables old and new in Atomic Execution). The zero value holds no
+// address.
+type Cell struct {
+	mu   sync.Mutex
+	addr Addr
+	set  bool
+}
+
+// Set atomically assigns the cell.
+func (c *Cell) Set(a Addr) {
+	c.mu.Lock()
+	c.addr, c.set = a, true
+	c.mu.Unlock()
+}
+
+// Get returns the stored address, if any.
+func (c *Cell) Get() (Addr, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr, c.set
+}

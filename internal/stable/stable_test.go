@@ -1,0 +1,136 @@
+package stable
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+)
+
+func TestCheckpointLoad(t *testing.T) {
+	s := NewStore(clock.NewReal(), 0)
+	a1 := s.Checkpoint([]byte("state-1"))
+	a2 := s.Checkpoint([]byte("state-2"))
+	if a1 == a2 {
+		t.Fatal("addresses collide")
+	}
+	got, err := s.Load(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state-1" {
+		t.Fatalf("loaded %q", got)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	s := NewStore(clock.NewReal(), 0)
+	if _, err := s.Load(42); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointCopiesData(t *testing.T) {
+	s := NewStore(clock.NewReal(), 0)
+	buf := []byte("abc")
+	a := s.Checkpoint(buf)
+	buf[0] = 'z'
+	got, _ := s.Load(a)
+	if string(got) != "abc" {
+		t.Fatal("checkpoint shares caller's buffer")
+	}
+	// And Load's result is a copy too.
+	got[0] = 'q'
+	again, _ := s.Load(a)
+	if string(again) != "abc" {
+		t.Fatal("Load exposes internal storage")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := NewStore(clock.NewReal(), 0)
+	a := s.Checkpoint([]byte("x"))
+	s.Release(a)
+	if _, err := s.Load(a); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatal("released checkpoint still loadable")
+	}
+	s.Release(a) // idempotent
+}
+
+func TestWriteAccounting(t *testing.T) {
+	s := NewStore(clock.NewReal(), 0)
+	s.Checkpoint(make([]byte, 10))
+	s.Checkpoint(make([]byte, 5))
+	if s.Writes() != 2 || s.BytesWritten() != 15 {
+		t.Fatalf("writes=%d bytes=%d, want 2/15", s.Writes(), s.BytesWritten())
+	}
+}
+
+func TestWriteLatencyUsesClock(t *testing.T) {
+	clk := clock.NewSim()
+	s := NewStore(clk, 5*time.Millisecond)
+	done := make(chan Addr, 1)
+	go func() { done <- s.Checkpoint([]byte("x")) }()
+	select {
+	case <-done:
+		t.Fatal("checkpoint returned before simulated latency elapsed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	clk.Advance(5 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("checkpoint never completed")
+	}
+}
+
+func TestLogChain(t *testing.T) {
+	var l Log
+	if _, ok, _ := l.Chain(); ok {
+		t.Fatal("zero log has a base")
+	}
+	if released := l.Reset(1); len(released) != 0 {
+		t.Fatalf("first Reset released %v", released)
+	}
+	l.Append(2)
+	l.Append(3)
+	if l.DeltaCount() != 2 {
+		t.Fatalf("delta count = %d", l.DeltaCount())
+	}
+	base, ok, deltas := l.Chain()
+	if !ok || base != 1 || len(deltas) != 2 || deltas[0] != 2 || deltas[1] != 3 {
+		t.Fatalf("chain = (%v,%v,%v)", base, ok, deltas)
+	}
+	// Chain snapshot is a copy.
+	deltas[0] = 99
+	if _, _, again := l.Chain(); again[0] != 2 {
+		t.Fatal("Chain aliases internal storage")
+	}
+
+	released := l.Reset(10)
+	if len(released) != 3 || released[0] != 1 || released[1] != 2 || released[2] != 3 {
+		t.Fatalf("Reset released %v, want [1 2 3]", released)
+	}
+	if l.DeltaCount() != 0 {
+		t.Fatal("deltas survive Reset")
+	}
+	if base, _, _ := l.Chain(); base != 10 {
+		t.Fatalf("base = %v", base)
+	}
+}
+
+func TestCell(t *testing.T) {
+	var c Cell
+	if _, ok := c.Get(); ok {
+		t.Fatal("zero cell holds an address")
+	}
+	c.Set(7)
+	if a, ok := c.Get(); !ok || a != 7 {
+		t.Fatalf("cell = (%d,%t), want (7,true)", a, ok)
+	}
+	c.Set(9)
+	if a, _ := c.Get(); a != 9 {
+		t.Fatalf("cell = %d after second Set", a)
+	}
+}

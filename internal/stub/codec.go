@@ -1,0 +1,150 @@
+package stub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Writer packs typed values into the untyped argument field of an RPC.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity preallocated.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the packed buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// PutUint64 appends an unsigned 64-bit integer.
+func (w *Writer) PutUint64(v uint64) *Writer {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+// PutInt64 appends a signed 64-bit integer.
+func (w *Writer) PutInt64(v int64) *Writer { return w.PutUint64(uint64(v)) }
+
+// PutUint32 appends an unsigned 32-bit integer.
+func (w *Writer) PutUint32(v uint32) *Writer {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+// PutFloat64 appends a float64.
+func (w *Writer) PutFloat64(v float64) *Writer {
+	return w.PutUint64(math.Float64bits(v))
+}
+
+// PutBool appends a boolean.
+func (w *Writer) PutBool(v bool) *Writer {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+	return w
+}
+
+// PutString appends a length-prefixed string.
+func (w *Writer) PutString(s string) *Writer {
+	w.PutUint32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (w *Writer) PutBytes(b []byte) *Writer {
+	w.PutUint32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+	return w
+}
+
+// ErrShortBuffer is recorded by a Reader that runs past the end of input.
+var ErrShortBuffer = errors.New("stub: short buffer")
+
+// Reader unpacks values written by a Writer. After use check Err: reads
+// past the end return zero values and set the error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d",
+			ErrShortBuffer, n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Uint64 reads an unsigned 64-bit integer.
+func (r *Reader) Uint64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 reads a signed 64-bit integer.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Uint32 reads an unsigned 32-bit integer.
+func (r *Reader) Uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Float64 reads a float64.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uint32()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice (copied).
+func (r *Reader) Bytes() []byte {
+	n := r.Uint32()
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,127 @@
+package stub
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.PutUint64(math.MaxUint64).
+		PutInt64(-42).
+		PutUint32(7).
+		PutFloat64(3.5).
+		PutBool(true).
+		PutBool(false).
+		PutString("héllo").
+		PutBytes([]byte{0, 1, 2})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Fatalf("uint64 = %d", got)
+	}
+	if got := r.Int64(); got != -42 {
+		t.Fatalf("int64 = %d", got)
+	}
+	if got := r.Uint32(); got != 7 {
+		t.Fatalf("uint32 = %d", got)
+	}
+	if got := r.Float64(); got != 3.5 {
+		t.Fatalf("float64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools wrong")
+	}
+	if got := r.String(); got != "héllo" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := r.Bytes(); len(got) != 3 || got[2] != 2 {
+		t.Fatalf("bytes = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatalf("err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.Uint64(); got != 0 {
+		t.Fatalf("short read returned %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Error is sticky: further reads return zero values.
+	if r.Uint32() != 0 || r.String() != "" || r.Bytes() != nil || r.Bool() {
+		t.Fatal("reads after error returned non-zero values")
+	}
+}
+
+func TestReaderBytesCopies(t *testing.T) {
+	w := NewWriter(8)
+	w.PutBytes([]byte("abc"))
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes()
+	got[0] = 'z'
+	if buf[4] == 'z' { // 4-byte length prefix, then payload
+		t.Fatal("Reader.Bytes aliases the input buffer")
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(ss []string, ns []int64, fs []float64) bool {
+		w := NewWriter(0)
+		for _, s := range ss {
+			w.PutString(s)
+		}
+		for _, n := range ns {
+			w.PutInt64(n)
+		}
+		for _, x := range fs {
+			w.PutFloat64(x)
+		}
+		r := NewReader(w.Bytes())
+		for _, s := range ss {
+			if r.String() != s {
+				return false
+			}
+		}
+		for _, n := range ns {
+			if r.Int64() != n {
+				return false
+			}
+		}
+		for _, x := range fs {
+			got := r.Float64()
+			if got != x && !(math.IsNaN(got) && math.IsNaN(x)) {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		r := NewReader(data)
+		_ = r.Uint64()
+		_ = r.String()
+		_ = r.Bytes()
+		_ = r.Bool()
+		_ = r.Uint32()
+		_ = r.Float64()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package stub
+
+import (
+	"testing"
+
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+)
+
+func TestRegisterAndDispatch(t *testing.T) {
+	r := NewRegistry()
+	op := r.Register("double", func(_ *proc.Thread, args []byte) []byte {
+		return append(args, args...)
+	})
+	got := r.Pop(nil, op, []byte("ab"))
+	if string(got) != "abab" {
+		t.Fatalf("result = %q", got)
+	}
+}
+
+func TestRegisterSameNameReplacesHandler(t *testing.T) {
+	r := NewRegistry()
+	op1 := r.Register("f", func(_ *proc.Thread, _ []byte) []byte { return []byte("v1") })
+	op2 := r.Register("f", func(_ *proc.Thread, _ []byte) []byte { return []byte("v2") })
+	if op1 != op2 {
+		t.Fatalf("re-registration changed op id: %d vs %d", op1, op2)
+	}
+	if got := r.Pop(nil, op1, nil); string(got) != "v2" {
+		t.Fatalf("result = %q, want v2", got)
+	}
+}
+
+func TestRegisterAt(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterAt(100, "pinned", func(_ *proc.Thread, _ []byte) []byte { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterAt(100, "other", nil); err == nil {
+		t.Fatal("op id reuse with a different name accepted")
+	}
+	if err := r.RegisterAt(101, "pinned", nil); err == nil {
+		t.Fatal("name reuse with a different op id accepted")
+	}
+	// Auto-assigned ids must not collide with pinned ones.
+	auto := r.Register("auto", func(_ *proc.Thread, _ []byte) []byte { return nil })
+	if auto == 100 {
+		t.Fatal("auto-assigned id collided with pinned id")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	r := NewRegistry()
+	op := r.Register("x", func(_ *proc.Thread, _ []byte) []byte { return nil })
+	if got, ok := r.Op("x"); !ok || got != op {
+		t.Fatal("Op lookup failed")
+	}
+	if name, ok := r.Name(op); !ok || name != "x" {
+		t.Fatal("Name lookup failed")
+	}
+	if _, ok := r.Op("missing"); ok {
+		t.Fatal("Op lookup of missing name succeeded")
+	}
+	r.Register("a", nil)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "x" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestUnknownOpReturnsNil(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Pop(nil, msg.OpID(999), []byte("x")); got != nil {
+		t.Fatalf("unknown op returned %q", got)
+	}
+}

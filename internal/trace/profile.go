@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HandlerProfile aggregates per-handler dispatch statistics collected from
+// an event.Bus observer: how often each micro-protocol handler ran, how
+// long it took, and how often it cancelled the occurrence. Install with
+//
+//	bus.SetObserver(profile.Observe)
+type HandlerProfile struct {
+	mu    sync.Mutex
+	stats map[string]*handlerStat
+}
+
+type handlerStat struct {
+	calls     int64
+	cancels   int64
+	totalTime time.Duration
+	maxTime   time.Duration
+}
+
+// NewHandlerProfile returns an empty profile.
+func NewHandlerProfile() *HandlerProfile {
+	return &HandlerProfile{stats: make(map[string]*handlerStat)}
+}
+
+// Observe records one handler invocation; its signature matches
+// event.Observer (taking the event type as a fmt.Stringer keeps this
+// package free of an event dependency).
+func (p *HandlerProfile) Observe(ev fmt.Stringer, handler string, d time.Duration, cancelled bool) {
+	key := ev.String() + "/" + handler
+	p.mu.Lock()
+	s, ok := p.stats[key]
+	if !ok {
+		s = &handlerStat{}
+		p.stats[key] = s
+	}
+	s.calls++
+	if cancelled {
+		s.cancels++
+	}
+	s.totalTime += d
+	if d > s.maxTime {
+		s.maxTime = d
+	}
+	p.mu.Unlock()
+}
+
+// HandlerStat is one row of the profile report.
+type HandlerStat struct {
+	Handler string
+	Calls   int64
+	Cancels int64
+	Mean    time.Duration
+	Max     time.Duration
+}
+
+// Stats returns the profile rows sorted by total time, descending.
+func (p *HandlerProfile) Stats() []HandlerStat {
+	p.mu.Lock()
+	type row struct {
+		key   string
+		stat  handlerStat
+		total time.Duration
+	}
+	rows := make([]row, 0, len(p.stats))
+	for k, s := range p.stats {
+		rows = append(rows, row{key: k, stat: *s, total: s.totalTime})
+	}
+	p.mu.Unlock()
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	out := make([]HandlerStat, len(rows))
+	for i, r := range rows {
+		mean := time.Duration(0)
+		if r.stat.calls > 0 {
+			mean = r.stat.totalTime / time.Duration(r.stat.calls)
+		}
+		out[i] = HandlerStat{
+			Handler: r.key,
+			Calls:   r.stat.calls,
+			Cancels: r.stat.cancels,
+			Mean:    mean,
+			Max:     r.stat.maxTime,
+		}
+	}
+	return out
+}
+
+// String renders the profile as a table.
+func (p *HandlerProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-50s %8s %8s %10s %10s\n", "event/handler", "calls", "cancels", "mean", "max")
+	for _, s := range p.Stats() {
+		fmt.Fprintf(&b, "%-50s %8d %8d %10v %10v\n",
+			s.Handler, s.Calls, s.Cancels,
+			s.Mean.Round(time.Nanosecond), s.Max.Round(time.Nanosecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package mrpc_test
+
+// End-to-end invariant tests: for a sweep of fault-injection seeds, the
+// semantic properties selected by the configuration must hold exactly —
+// the repository's property-based companion to the E1 figure check.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc"
+)
+
+// countingServer counts executions per distinct payload across the group.
+type countingServer struct {
+	mu      sync.Mutex
+	perCall map[string]int
+}
+
+func newCountingServer() *countingServer {
+	return &countingServer{perCall: make(map[string]int)}
+}
+
+func (c *countingServer) Pop(_ *mrpc.Thread, _ mrpc.OpID, args []byte) []byte {
+	c.mu.Lock()
+	c.perCall[string(args)]++
+	c.mu.Unlock()
+	return args
+}
+
+func (c *countingServer) counts() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.perCall))
+	for k, v := range c.perCall {
+		out[k] = v
+	}
+	return out
+}
+
+func TestExactlyOnceInvariantUnderRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep")
+	}
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sys := mrpc.NewSystem(mrpc.SystemOptions{
+				Net: mrpc.NetParams{
+					Seed:     seed,
+					MinDelay: 100 * time.Microsecond,
+					MaxDelay: 4 * time.Millisecond,
+					LossProb: 0.15,
+					DupProb:  0.15,
+				},
+			})
+			defer sys.Stop()
+
+			cfg := mrpc.ExactlyOnce()
+			cfg.RetransTimeout = 2 * time.Millisecond // aggressive: force duplicates
+			cfg.AcceptanceLimit = mrpc.AcceptAll
+
+			group := sys.Group(1, 2, 3)
+			servers := make([]*countingServer, 0, 3)
+			for _, id := range group {
+				s := newCountingServer()
+				servers = append(servers, s)
+				if _, err := sys.AddServer(id, cfg, func() mrpc.App { return s }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			client, err := sys.AddClient(100, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const calls = 30
+			for i := 0; i < calls; i++ {
+				payload := []byte(fmt.Sprintf("call-%d", i))
+				_, status, err := client.Call(1, payload, group)
+				if err != nil || status != mrpc.StatusOK {
+					t.Fatalf("call %d: %v %v", i, status, err)
+				}
+			}
+			// Let straggler duplicates drain, then check the invariant.
+			sys.Quiesce()
+			time.Sleep(20 * time.Millisecond)
+			sys.Quiesce()
+
+			dups := sys.Network().Stats().Duplicated
+			if dups == 0 {
+				t.Logf("seed %d produced no duplicates; invariant still checked", seed)
+			}
+			for si, s := range servers {
+				counts := s.counts()
+				if len(counts) != calls {
+					t.Fatalf("server %d executed %d distinct calls, want %d", si+1, len(counts), calls)
+				}
+				for call, n := range counts {
+					if n != 1 {
+						t.Fatalf("server %d executed %s %d times (exactly-once violated)", si+1, call, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAtLeastOnceNeverLosesAcceptedCalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep")
+	}
+	for _, seed := range []int64{4, 9, 16} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sys := mrpc.NewSystem(mrpc.SystemOptions{
+				Net: mrpc.NetParams{
+					Seed:     seed,
+					MinDelay: 100 * time.Microsecond,
+					MaxDelay: 3 * time.Millisecond,
+					LossProb: 0.25,
+				},
+			})
+			defer sys.Stop()
+
+			cfg := mrpc.AtLeastOnce()
+			cfg.RetransTimeout = 2 * time.Millisecond
+			s := newCountingServer()
+			if _, err := sys.AddServer(1, cfg, func() mrpc.App { return s }); err != nil {
+				t.Fatal(err)
+			}
+			client, err := sys.AddClient(100, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const calls = 40
+			for i := 0; i < calls; i++ {
+				payload := []byte(fmt.Sprintf("c%d", i))
+				if _, status, err := client.Call(1, payload, sys.Group(1)); err != nil || status != mrpc.StatusOK {
+					t.Fatalf("call %d: %v %v", i, status, err)
+				}
+			}
+			sys.Quiesce()
+			for call, n := range s.counts() {
+				if n < 1 {
+					t.Fatalf("%s executed %d times", call, n)
+				}
+			}
+			if got := len(s.counts()); got != calls {
+				t.Fatalf("%d distinct calls executed, want %d (at-least-once)", got, calls)
+			}
+		})
+	}
+}
+
+func TestBoundedAsyncCollectTimesOut(t *testing.T) {
+	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+	defer sys.Stop()
+
+	cfg := mrpc.AtLeastOnce()
+	cfg.Call = mrpc.CallAsynchronous
+	cfg.Bounded = true
+	cfg.TimeBound = 30 * time.Millisecond
+	cfg.RetransTimeout = 5 * time.Millisecond
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No server 1 exists: the call can never complete; the bound fires.
+	id, err := client.CallAsync(1, []byte("x"), sys.Group(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	_, status, err := client.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != mrpc.StatusTimeout {
+		t.Fatalf("status = %v, want TIMEOUT", status)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("collect took %v", elapsed)
+	}
+}

@@ -1,0 +1,562 @@
+// Package mrpc is a configurable group RPC service: a from-scratch Go
+// implementation of Hiltunen & Schlichting, "Constructing a Configurable
+// Group RPC Service" (Univ. of Arizona TR 94-28 / ICDCS 1995).
+//
+// Instead of one RPC system per combination of semantics, mrpc composes a
+// service from micro-protocols, each implementing a single semantic
+// property — call synchrony, reliable communication, bounded termination,
+// unique/atomic execution, FIFO/total ordering, k-of-n acceptance, reply
+// collation, and orphan handling — linked by an event-driven framework
+// into a composite protocol.
+//
+// # Quickstart
+//
+//	sys := mrpc.NewSystem(mrpc.SystemOptions{})
+//	defer sys.Stop()
+//
+//	reg := mrpc.NewRegistry()
+//	echo := reg.Register("echo", func(th *mrpc.Thread, args []byte) []byte {
+//		return args
+//	})
+//	for id := mrpc.ProcID(1); id <= 3; id++ {
+//		sys.AddServer(id, mrpc.ExactlyOnce(), func() mrpc.App { return reg })
+//	}
+//	client, _ := sys.AddClient(100, mrpc.ExactlyOnce())
+//
+//	reply, status, _ := client.Call(echo, []byte("hi"), sys.Group(1, 2, 3))
+//	// status == mrpc.StatusOK, reply == []byte("hi")
+//
+// The full semantic space (198 legal configurations — the paper's count)
+// is described by Config; presets for the common points are provided.
+package mrpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/config"
+	"mrpc/internal/core"
+	"mrpc/internal/event"
+	"mrpc/internal/member"
+	"mrpc/internal/msg"
+	"mrpc/internal/netsim"
+	"mrpc/internal/proc"
+	"mrpc/internal/stable"
+	"mrpc/internal/stub"
+)
+
+// Re-exported identifier and message types.
+type (
+	// ProcID identifies a process (site).
+	ProcID = msg.ProcID
+	// OpID identifies a registered remote operation.
+	OpID = msg.OpID
+	// CallID identifies an asynchronous call for later collection.
+	CallID = msg.CallID
+	// Group identifies a server group by its members.
+	Group = msg.Group
+	// Status is the completion status of a call.
+	Status = msg.Status
+	// Thread is the killable token under which a procedure executes.
+	Thread = proc.Thread
+	// Registry dispatches operations on the server side.
+	Registry = stub.Registry
+	// Config selects one variant of every configurable property.
+	Config = config.Config
+	// CallMode selects synchronous or asynchronous call semantics.
+	CallMode = config.CallSemantics
+	// ExecMode selects the server execution property.
+	ExecMode = config.ExecMode
+	// OrderMode selects the ordering property.
+	OrderMode = config.OrderMode
+	// OrphanMode selects the orphan-handling property.
+	OrphanMode = config.OrphanMode
+	// CollateFunc folds one server reply into the accumulated result.
+	CollateFunc = core.CollateFunc
+	// Checkpointable is server state Atomic Execution can snapshot.
+	Checkpointable = core.Checkpointable
+	// DeltaCheckpointable additionally supports incremental checkpoints
+	// (Config.AtomicDeltas).
+	DeltaCheckpointable = core.DeltaCheckpointable
+	// NetParams is the simulated network's fault and delay model.
+	NetParams = netsim.Params
+	// NetStats are the simulated network's counters.
+	NetStats = netsim.Stats
+	// Writer packs typed values into RPC argument bytes.
+	Writer = stub.Writer
+	// Reader unpacks RPC argument bytes.
+	Reader = stub.Reader
+)
+
+// Call statuses.
+const (
+	StatusOK      = msg.StatusOK
+	StatusTimeout = msg.StatusTimeout
+	StatusAborted = msg.StatusAborted
+)
+
+// AcceptAll makes Acceptance wait for every functioning group member.
+const AcceptAll = core.AcceptAll
+
+// Re-exported configuration enums, so applications can assemble a Config
+// from the public API alone.
+const (
+	CallSynchronous  = config.CallSynchronous
+	CallAsynchronous = config.CallAsynchronous
+
+	ExecConcurrent = config.ExecConcurrent
+	ExecSerial     = config.ExecSerial
+	ExecAtomic     = config.ExecAtomic
+
+	OrderNone  = config.OrderNone
+	OrderFIFO  = config.OrderFIFO
+	OrderTotal = config.OrderTotal
+	// OrderCausal is an extension beyond the paper's Figure 4.
+	OrderCausal = config.OrderCausal
+
+	OrphanIgnore            = config.OrphanIgnore
+	OrphanAvoidInterference = config.OrphanAvoidInterference
+	OrphanTerminate         = config.OrphanTerminate
+)
+
+// NewWriter returns an argument packer with the given capacity hint.
+func NewWriter(capacity int) *Writer { return stub.NewWriter(capacity) }
+
+// NewReader returns an argument unpacker over buf.
+func NewReader(buf []byte) *Reader { return stub.NewReader(buf) }
+
+// Configuration presets (see internal/config for the full space).
+var (
+	// AtLeastOnce is reliable synchronous group RPC without duplicate
+	// suppression.
+	AtLeastOnce = config.AtLeastOncePreset
+	// ExactlyOnce adds unique execution.
+	ExactlyOnce = config.ExactlyOncePreset
+	// AtMostOnce adds atomic (checkpointed, serial) execution.
+	AtMostOnce = config.AtMostOncePreset
+	// ReadOne is the paper's §5 read-optimized configuration.
+	ReadOne = config.ReadOne
+	// ReplicatedService is the total-order, respond-all configuration.
+	ReplicatedService = config.ReplicatedService
+)
+
+// NewRegistry returns an empty operation registry.
+func NewRegistry() *Registry { return stub.NewRegistry() }
+
+// NewGroup returns a normalized group of the given members.
+func NewGroup(members ...ProcID) Group { return msg.NewGroup(members...) }
+
+// App is the server-side user protocol: it executes operations. A stub
+// Registry is an App; so is anything implementing Pop. Apps used with
+// atomic execution must also implement Checkpointable.
+type App = core.Server
+
+// MembershipMode selects how the system tracks server failures.
+type MembershipMode int
+
+// Membership modes.
+const (
+	// MembershipNone runs without a membership service: group membership
+	// is effectively constant and calls complete only via enough replies
+	// or bounded termination (the paper's default assumption).
+	MembershipNone MembershipMode = iota
+	// MembershipOracle delivers exact failure/recovery notifications when
+	// the test harness crashes or recovers a node.
+	MembershipOracle
+	// MembershipDetector runs a heartbeat failure detector per node over
+	// the simulated (lossy) network. A node's detector monitors the nodes
+	// that exist when it is added, so add the observers (typically the
+	// clients) last.
+	MembershipDetector
+)
+
+// SystemOptions configures a simulated distributed system.
+type SystemOptions struct {
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Net is the network fault/delay model (default: perfect, zero delay).
+	Net NetParams
+	// Membership selects the membership service (default: none).
+	Membership MembershipMode
+	// HeartbeatInterval and SuspectAfter tune MembershipDetector.
+	HeartbeatInterval time.Duration
+	SuspectAfter      time.Duration
+	// StableWriteLatency is the simulated checkpoint write cost.
+	StableWriteLatency time.Duration
+}
+
+// System is a simulated distributed system: a network, a stable store, an
+// optional membership service, and a set of nodes running configured
+// composite protocols.
+type System struct {
+	clk    clock.Clock
+	net    *netsim.Network
+	store  *stable.Store
+	opts   SystemOptions
+	oracle *member.Oracle
+
+	mu    sync.Mutex
+	nodes map[ProcID]*Node
+}
+
+// NewSystem creates a system with the given options.
+func NewSystem(opts SystemOptions) *System {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 5 * opts.HeartbeatInterval
+	}
+	s := &System{
+		clk:   opts.Clock,
+		net:   netsim.New(opts.Clock, opts.Net),
+		store: stable.NewStore(opts.Clock, opts.StableWriteLatency),
+		opts:  opts,
+		nodes: make(map[ProcID]*Node),
+	}
+	if opts.Membership == MembershipOracle {
+		s.oracle = member.NewOracle()
+	}
+	return s
+}
+
+// Group returns a normalized group; every id must already be a node.
+func (s *System) Group(ids ...ProcID) Group { return msg.NewGroup(ids...) }
+
+// Network returns the underlying simulated network (fault injection,
+// statistics).
+func (s *System) Network() *netsim.Network { return s.net }
+
+// Store returns the shared stable storage.
+func (s *System) Store() *stable.Store { return s.store }
+
+// Clock returns the system clock.
+func (s *System) Clock() clock.Clock { return s.clk }
+
+// AddClient adds a node with no server role.
+func (s *System) AddClient(id ProcID, cfg Config) (*Node, error) {
+	return s.AddNode(id, cfg, nil)
+}
+
+// AddServer adds a node whose app executes incoming calls. newApp is
+// invoked once now and again after every recovery, modelling the loss of
+// volatile state on a crash; with atomic execution configured, the
+// RECOVERY event then restores the last checkpoint into the fresh app.
+func (s *System) AddServer(id ProcID, cfg Config, newApp func() App) (*Node, error) {
+	if newApp == nil {
+		return nil, fmt.Errorf("mrpc: AddServer(%d): newApp is required", id)
+	}
+	return s.AddNode(id, cfg, newApp)
+}
+
+// AddNode adds a node; newApp may be nil for a pure client.
+func (s *System) AddNode(id ProcID, cfg Config, newApp func() App) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		sys:    s,
+		id:     id,
+		site:   proc.NewSite(id),
+		cfg:    cfg,
+		newApp: newApp,
+		cell:   &stable.Cell{},
+		cklog:  &stable.Log{},
+	}
+
+	s.mu.Lock()
+	if _, dup := s.nodes[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("mrpc: node %d already exists", id)
+	}
+	ep, err := s.net.Attach(id, nil)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	n.ep = ep
+	// Register before starting so a detector's peer snapshot includes
+	// this node; start happens outside the lock (it reads the node map
+	// through membershipFor).
+	s.nodes[id] = n
+	s.mu.Unlock()
+
+	if err := n.start(false); err != nil {
+		s.mu.Lock()
+		delete(s.nodes, id)
+		s.mu.Unlock()
+		n.ep.SetUp(false)
+		return nil, err
+	}
+	return n, nil
+}
+
+// Node returns the node with the given id, if present.
+func (s *System) Node(id ProcID) (*Node, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[id]
+	return n, ok
+}
+
+// Quiesce waits for in-flight network deliveries to complete.
+func (s *System) Quiesce() { s.net.Quiesce() }
+
+// Stop shuts down every node and the network.
+func (s *System) Stop() {
+	s.mu.Lock()
+	nodes := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		nodes = append(nodes, n)
+	}
+	s.mu.Unlock()
+	for _, n := range nodes {
+		n.shutdown()
+	}
+	s.net.Stop()
+}
+
+func (s *System) membershipFor(n *Node) member.Service {
+	switch s.opts.Membership {
+	case MembershipOracle:
+		return s.oracle
+	case MembershipDetector:
+		peers := make([]ProcID, 0, 8)
+		s.mu.Lock()
+		for id := range s.nodes {
+			peers = append(peers, id)
+		}
+		s.mu.Unlock()
+		peers = append(peers, n.id)
+		det := member.NewDetector(s.clk, n.id, peers,
+			s.opts.HeartbeatInterval, s.opts.SuspectAfter,
+			func(to ProcID) {
+				n.ep.Push(to, &msg.NetMsg{
+					Type:   msg.OpHeartbeat,
+					Sender: n.id,
+					Inc:    n.site.Inc(),
+				})
+			})
+		n.detector = det
+		return det
+	default:
+		return member.NewStatic()
+	}
+}
+
+// Node is one process of the system, running a configured composite
+// protocol. Its methods are safe for concurrent use; Call may be invoked
+// from many goroutines at once (each models one client thread).
+type Node struct {
+	sys    *System
+	id     ProcID
+	site   *proc.Site
+	ep     *netsim.Endpoint
+	cfg    Config
+	newApp func() App
+	cell   *stable.Cell
+	cklog  *stable.Log
+
+	mu       sync.Mutex
+	comp     *core.Composite
+	app      App
+	detector *member.Detector
+	down     bool
+}
+
+// start builds (or rebuilds, on recovery) the composite protocol.
+// The caller guarantees no concurrent start/crash.
+func (n *Node) start(isRecovery bool) error {
+	var app App
+	if n.newApp != nil {
+		app = n.newApp()
+	}
+	deps := config.BuildDeps{Store: n.sys.store, Cell: n.cell, Log: n.cklog}
+	if cp, ok := app.(Checkpointable); ok {
+		deps.State = cp
+	}
+	cfg := n.cfg
+	if n.newApp == nil {
+		// Pure client: the execution-property micro-protocols (serial,
+		// atomic) act only on calls arriving at a server and would demand
+		// checkpointable state this node does not have. Drop them here;
+		// the node's advertised Config is unchanged.
+		cfg.Execution = config.ExecConcurrent
+	}
+	protos, err := cfg.Protocols(deps)
+	if err != nil {
+		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
+	}
+
+	bus := event.New(n.sys.clk)
+	comp, err := core.NewComposite(core.Options{
+		Site:       n.site,
+		Bus:        bus,
+		Net:        n.ep,
+		Server:     app,
+		Membership: n.sys.membershipFor(n),
+	}, protos...)
+	if err != nil {
+		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
+	}
+
+	n.mu.Lock()
+	n.comp = comp
+	n.app = app
+	n.down = false
+	n.mu.Unlock()
+
+	n.ep.SetHandler(func(m *msg.NetMsg) {
+		if n.detector != nil {
+			n.detector.Observe(m.Sender)
+		}
+		if m.Type == msg.OpHeartbeat {
+			return
+		}
+		comp.Framework().HandleNet(m)
+	})
+	n.ep.SetUp(true)
+	if n.detector != nil {
+		n.detector.Start()
+	}
+	if isRecovery {
+		comp.Framework().Recover()
+	}
+	return nil
+}
+
+// ID returns the node's process id.
+func (n *Node) ID() ProcID { return n.id }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// App returns the node's current application instance (nil for clients).
+func (n *Node) App() App {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.app
+}
+
+// Composite returns the node's composite protocol (introspection: event
+// registrations, pending-table sizes).
+func (n *Node) Composite() *core.Composite {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.comp
+}
+
+// Call issues an RPC to group and returns the collated reply and status.
+// With synchronous call semantics it blocks until the call completes; with
+// asynchronous semantics it returns immediately with StatusWaiting — use
+// CallAsync/Collect for the asynchronous flow instead.
+func (n *Node) Call(op OpID, args []byte, group Group) ([]byte, Status, error) {
+	n.mu.Lock()
+	comp, down := n.comp, n.down
+	n.mu.Unlock()
+	if down {
+		return nil, StatusAborted, fmt.Errorf("mrpc: node %d is down", n.id)
+	}
+	um := comp.Framework().Call(op, args, group)
+	return um.Args, um.Status, nil
+}
+
+// CallAsync issues an asynchronous RPC and returns its call id. The node
+// must be configured with asynchronous call semantics.
+func (n *Node) CallAsync(op OpID, args []byte, group Group) (CallID, error) {
+	if n.cfg.Call != config.CallAsynchronous {
+		return 0, fmt.Errorf("mrpc: node %d is not configured for asynchronous calls", n.id)
+	}
+	n.mu.Lock()
+	comp, down := n.comp, n.down
+	n.mu.Unlock()
+	if down {
+		return 0, fmt.Errorf("mrpc: node %d is down", n.id)
+	}
+	um := comp.Framework().Call(op, args, group)
+	return um.ID, nil
+}
+
+// Collect blocks until the asynchronous call id completes and returns its
+// collated reply and status.
+func (n *Node) Collect(id CallID) ([]byte, Status, error) {
+	n.mu.Lock()
+	comp, down := n.comp, n.down
+	n.mu.Unlock()
+	if down {
+		return nil, StatusAborted, fmt.Errorf("mrpc: node %d is down", n.id)
+	}
+	um := comp.Framework().Request(id)
+	return um.Args, um.Status, nil
+}
+
+// Crash fails the node: its endpoint goes silent, volatile state (pending
+// tables, app memory) is lost, in-progress calls at other sites see only
+// silence. With an oracle membership service the failure is announced.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return
+	}
+	n.down = true
+	comp := n.comp
+	n.mu.Unlock()
+
+	n.ep.SetUp(false)
+	if n.detector != nil {
+		n.detector.Stop()
+		n.detector = nil
+	}
+	n.site.Crash()
+	comp.Close()
+	if n.sys.oracle != nil {
+		n.sys.oracle.Fail(n.id)
+	}
+}
+
+// Recover restarts the node under a new incarnation: a fresh composite
+// protocol and a fresh app instance (initial state), after which the
+// RECOVERY event runs — restoring the last checkpoint when atomic
+// execution is configured. With an oracle membership service the recovery
+// is announced.
+func (n *Node) Recover() error {
+	n.mu.Lock()
+	if !n.down {
+		n.mu.Unlock()
+		return fmt.Errorf("mrpc: node %d is not down", n.id)
+	}
+	n.mu.Unlock()
+
+	n.site.Recover()
+	if err := n.start(true); err != nil {
+		return err
+	}
+	if n.sys.oracle != nil {
+		n.sys.oracle.Recover(n.id)
+	}
+	return nil
+}
+
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+func (n *Node) shutdown() {
+	n.mu.Lock()
+	comp := n.comp
+	n.mu.Unlock()
+	n.ep.SetUp(false)
+	if n.detector != nil {
+		n.detector.Stop()
+	}
+	comp.Close()
+}

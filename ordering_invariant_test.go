@@ -1,0 +1,224 @@
+package mrpc_test
+
+// Ordering property tests under randomized fault schedules: the guarantees
+// of §4.4.6 must hold for every seed, not just the experiment's.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc"
+)
+
+// seqApp records executed payloads in order.
+type seqApp struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (s *seqApp) Pop(_ *mrpc.Thread, _ mrpc.OpID, args []byte) []byte {
+	s.mu.Lock()
+	s.log = append(s.log, string(args))
+	s.mu.Unlock()
+	return args
+}
+
+func (s *seqApp) executed() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+func TestTotalOrderInvariantUnderRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep")
+	}
+	for _, seed := range []int64{2, 7, 19, 41} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sys := mrpc.NewSystem(mrpc.SystemOptions{
+				Net: mrpc.NetParams{
+					Seed:     seed,
+					MinDelay: 100 * time.Microsecond,
+					MaxDelay: 3 * time.Millisecond,
+					LossProb: 0.10,
+					DupProb:  0.10,
+				},
+			})
+			defer sys.Stop()
+
+			cfg := mrpc.ReplicatedService()
+			cfg.RetransTimeout = 5 * time.Millisecond
+			cfg.AcceptanceLimit = 1 // clients race far ahead of slow replicas
+
+			group := sys.Group(1, 2, 3)
+			apps := make([]*seqApp, 0, 3)
+			for _, id := range group {
+				a := &seqApp{}
+				apps = append(apps, a)
+				if _, err := sys.AddServer(id, cfg, func() mrpc.App { return a }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var clients []*mrpc.Node
+			for i := 0; i < 3; i++ {
+				c, err := sys.AddClient(mrpc.ProcID(100+i), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+
+			const perClient = 15
+			var wg sync.WaitGroup
+			for _, c := range clients {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						payload := []byte(fmt.Sprintf("%d:%d", c.ID(), i))
+						if _, status, err := c.Call(1, payload, group); err != nil || status != mrpc.StatusOK {
+							t.Errorf("client %d call %d: %v %v", c.ID(), i, status, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			// Every replica eventually executes every call, in the same
+			// total order.
+			want := len(clients) * perClient
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				done := true
+				for _, a := range apps {
+					if len(a.executed()) < want {
+						done = false
+					}
+				}
+				if done || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			ref := apps[0].executed()
+			if len(ref) != want {
+				t.Fatalf("replica 1 executed %d of %d", len(ref), want)
+			}
+			for ri, a := range apps[1:] {
+				got := a.executed()
+				if len(got) != len(ref) {
+					t.Fatalf("replica %d executed %d, replica 1 executed %d", ri+2, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("replica %d diverged at %d: %q vs %q (seed %d)", ri+2, i, got[i], ref[i], seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCausalPerClientOrderUnderRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep")
+	}
+	// Causal order implies each client's own calls execute in issue order
+	// at every replica (a client's calls are causally chained).
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sys := mrpc.NewSystem(mrpc.SystemOptions{
+				Net: mrpc.NetParams{
+					Seed:     seed,
+					MinDelay: 100 * time.Microsecond,
+					MaxDelay: 3 * time.Millisecond,
+					LossProb: 0.10,
+				},
+			})
+			defer sys.Stop()
+
+			cfg := mrpc.ExactlyOnce()
+			cfg.Ordering = mrpc.OrderCausal
+			cfg.RetransTimeout = 5 * time.Millisecond
+			cfg.AcceptanceLimit = 1
+
+			group := sys.Group(1, 2)
+			apps := make([]*seqApp, 0, 2)
+			for _, id := range group {
+				a := &seqApp{}
+				apps = append(apps, a)
+				if _, err := sys.AddServer(id, cfg, func() mrpc.App { return a }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var clients []*mrpc.Node
+			for i := 0; i < 2; i++ {
+				c, err := sys.AddClient(mrpc.ProcID(100+i), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+
+			const perClient = 15
+			var wg sync.WaitGroup
+			for _, c := range clients {
+				c := c
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perClient; i++ {
+						payload := []byte(fmt.Sprintf("%d:%d", c.ID(), i))
+						if _, status, err := c.Call(1, payload, group); err != nil || status != mrpc.StatusOK {
+							t.Errorf("client %d call %d: %v %v", c.ID(), i, status, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			want := len(clients) * perClient
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				done := true
+				for _, a := range apps {
+					if len(a.executed()) < want {
+						done = false
+					}
+				}
+				if done || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			for ri, a := range apps {
+				log := a.executed()
+				if len(log) != want {
+					t.Fatalf("replica %d executed %d of %d", ri+1, len(log), want)
+				}
+				next := map[string]int{}
+				for _, entry := range log {
+					var client, seq int
+					fmt.Sscanf(entry, "%d:%d", &client, &seq)
+					key := fmt.Sprint(client)
+					if seq != next[key] {
+						t.Fatalf("replica %d: client %d executed seq %d, want %d (per-client order violated)",
+							ri+1, client, seq, next[key])
+					}
+					next[key] = seq + 1
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package mrpc
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newEchoRegistry() (*Registry, OpID) {
+	reg := NewRegistry()
+	echo := reg.Register("echo", func(_ *Thread, args []byte) []byte {
+		return append([]byte("echo:"), args...)
+	})
+	return reg, echo
+}
+
+func TestSmokeSingleServer(t *testing.T) {
+	sys := NewSystem(SystemOptions{})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	if _, err := sys.AddServer(1, ExactlyOnce(), func() App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, ExactlyOnce())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reply, status, err := client.Call(echo, []byte("hi"), sys.Group(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusOK {
+		t.Fatalf("status = %v, want OK", status)
+	}
+	if string(reply) != "echo:hi" {
+		t.Fatalf("reply = %q, want %q", reply, "echo:hi")
+	}
+}
+
+func TestSmokeGroupLossyNetwork(t *testing.T) {
+	sys := NewSystem(SystemOptions{
+		Net: NetParams{
+			Seed:     42,
+			MinDelay: 100 * time.Microsecond,
+			MaxDelay: 2 * time.Millisecond,
+			LossProb: 0.2,
+			DupProb:  0.1,
+		},
+	})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	group := sys.Group(1, 2, 3)
+	for _, id := range group {
+		if _, err := sys.AddServer(id, ExactlyOnce(), func() App { return reg }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := ExactlyOnce()
+	cfg.AcceptanceLimit = AcceptAll
+	cfg.RetransTimeout = 5 * time.Millisecond
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		payload := []byte(fmt.Sprintf("m%d", i))
+		reply, status, err := client.Call(echo, payload, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("call %d: status = %v, want OK", i, status)
+		}
+		if want := "echo:" + string(payload); string(reply) != want {
+			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
+		}
+	}
+}
