@@ -9,6 +9,7 @@ package mrpc_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -271,6 +272,43 @@ func BenchmarkE14PointToPoint(b *testing.B) {
 		if _, status := client.Call(1, 1, nil); status != mrpc.StatusOK {
 			b.Fatal(status)
 		}
+	}
+}
+
+// BenchmarkTableContention measures call throughput as concurrent caller
+// goroutines contend for the framework's call tables: every call inserts and
+// removes a pRPC record at the client and an sRPC record at the server, so
+// with many callers the table layer itself is the shared hot path. The
+// caller counts sweep past typical core counts to expose lock contention.
+func BenchmarkTableContention(b *testing.B) {
+	for _, callers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("callers%d", callers), func(b *testing.B) {
+			cfg := mrpc.ExactlyOnce()
+			cfg.RetransTimeout = 50 * time.Millisecond
+			_, client, group, op := benchSystem(b, cfg, 1, mrpc.NetParams{})
+			payload := []byte("x")
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / callers
+			if per == 0 {
+				per = 1
+			}
+			for c := 0; c < callers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						_, status, err := client.Call(op, payload, group)
+						if err != nil || status != mrpc.StatusOK {
+							b.Errorf("call: %v %v", status, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"mrpc/internal/event"
 	"mrpc/internal/member"
 	"mrpc/internal/msg"
+	"mrpc/internal/sem"
 )
 
 // AcceptAll is an acceptance limit larger than any group, i.e. "all
@@ -39,34 +40,33 @@ func (a Acceptance) Attach(fw *Framework) error {
 	if err := fw.Bus().Register(event.NewRPCCall, "Acceptance.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			id := o.Arg.(msg.CallID)
-			fw.LockP()
-			rec, ok := fw.ClientRec(id)
-			if !ok {
-				fw.UnlockP()
-				return
-			}
-			alive := 0
-			for p, e := range rec.Pending {
-				if fw.Membership().Down(p) {
-					e.Done = true
-				} else {
-					e.Done = false
-					alive++
+			complete := false
+			var s *sem.Sem
+			fw.WithClient(id, func(rec *ClientRecord) {
+				alive := 0
+				for p, e := range rec.Pending {
+					if fw.Membership().Down(p) {
+						e.Done = true
+					} else {
+						e.Done = false
+						alive++
+					}
+					rec.Pending[p] = e
 				}
-			}
-			rec.NRes = a.Limit
-			if alive < rec.NRes {
-				rec.NRes = alive
-			}
-			complete := rec.NRes <= 0 && rec.Status == msg.StatusWaiting
+				rec.NRes = a.Limit
+				if alive < rec.NRes {
+					rec.NRes = alive
+				}
+				complete = rec.NRes <= 0 && rec.Status == msg.StatusWaiting
+				if complete {
+					// Degenerate group (every member failed): accept vacuously
+					// rather than hang a call no reply can ever complete.
+					rec.Status = msg.StatusOK
+					s = rec.Sem
+				}
+			})
 			if complete {
-				// Degenerate group (every member failed): accept vacuously
-				// rather than hang a call no reply can ever complete.
-				rec.Status = msg.StatusOK
-			}
-			fw.UnlockP()
-			if complete {
-				rec.Sem.V()
+				s.V()
 			}
 		}); err != nil {
 		return err
@@ -81,20 +81,23 @@ func (a Acceptance) Attach(fw *Framework) error {
 			if m.Type != msg.OpReply {
 				return
 			}
-			fw.LockP()
-			defer fw.UnlockP()
-			rec, ok := fw.ClientRec(m.ID)
-			if !ok || rec.Status != msg.StatusWaiting {
+			fold := false
+			fw.WithClient(m.ID, func(rec *ClientRecord) {
+				if rec.Status != msg.StatusWaiting {
+					return
+				}
+				e, ok := rec.Pending[m.Sender]
+				if !ok || e.Done {
+					return
+				}
+				e.Done = true
+				rec.Pending[m.Sender] = e
+				rec.NRes--
+				fold = true
+			})
+			if !fold {
 				o.Cancel()
-				return
 			}
-			e, ok := rec.Pending[m.Sender]
-			if !ok || e.Done {
-				o.Cancel()
-				return
-			}
-			e.Done = true
-			rec.NRes--
 		}); err != nil {
 		return err
 	}
@@ -107,15 +110,17 @@ func (a Acceptance) Attach(fw *Framework) error {
 			if m.Type != msg.OpReply {
 				return
 			}
-			fw.LockP()
-			rec, ok := fw.ClientRec(m.ID)
-			complete := ok && rec.NRes <= 0 && rec.Status == msg.StatusWaiting
+			complete := false
+			var s *sem.Sem
+			fw.WithClient(m.ID, func(rec *ClientRecord) {
+				complete = rec.NRes <= 0 && rec.Status == msg.StatusWaiting
+				if complete {
+					rec.Status = msg.StatusOK
+					s = rec.Sem
+				}
+			})
 			if complete {
-				rec.Status = msg.StatusOK
-			}
-			fw.UnlockP()
-			if complete {
-				rec.Sem.V()
+				s.V()
 			}
 		}); err != nil {
 		return err
@@ -129,21 +134,25 @@ func (a Acceptance) Attach(fw *Framework) error {
 			if c.Kind != member.Failure {
 				return
 			}
+			// The failure must count against every pending call exactly once,
+			// including calls racing in concurrently — a cross-record sweep,
+			// so it runs as a Tx rather than shard by shard.
 			var wake []*ClientRecord
-			fw.LockP()
-			fw.ClientRecs(func(rec *ClientRecord) {
-				e, ok := rec.Pending[c.Who]
-				if !ok || e.Done {
-					return
-				}
-				e.Done = true
-				rec.NRes--
-				if rec.NRes <= 0 && rec.Status == msg.StatusWaiting {
-					rec.Status = msg.StatusOK
-					wake = append(wake, rec)
-				}
+			fw.ClientTx(func(tx ClientTx) {
+				tx.Each(func(rec *ClientRecord) {
+					e, ok := rec.Pending[c.Who]
+					if !ok || e.Done {
+						return
+					}
+					e.Done = true
+					rec.Pending[c.Who] = e
+					rec.NRes--
+					if rec.NRes <= 0 && rec.Status == msg.StatusWaiting {
+						rec.Status = msg.StatusOK
+						wake = append(wake, rec)
+					}
+				})
 			})
-			fw.UnlockP()
 			for _, rec := range wake {
 				rec.Sem.V()
 			}

@@ -6,6 +6,7 @@ import (
 
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
+	"mrpc/internal/sem"
 )
 
 // BoundedTermination guarantees that every call terminates within a
@@ -58,14 +59,14 @@ func (b BoundedTermination) Attach(fw *Framework) error {
 
 // timeoutCall marks a still-pending call TIMEOUT and wakes its caller.
 func (fw *Framework) timeoutCall(id msg.CallID) {
-	fw.LockP()
-	rec, ok := fw.ClientRec(id)
-	pendingStatus := ok && rec.Status == msg.StatusWaiting
-	if pendingStatus {
-		rec.Status = msg.StatusTimeout
-	}
-	fw.UnlockP()
-	if pendingStatus {
-		rec.Sem.V()
+	var s *sem.Sem
+	fw.WithClient(id, func(rec *ClientRecord) {
+		if rec.Status == msg.StatusWaiting {
+			rec.Status = msg.StatusTimeout
+			s = rec.Sem
+		}
+	})
+	if s != nil {
+		s.V()
 	}
 }

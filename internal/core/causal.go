@@ -146,14 +146,8 @@ func (CausalOrder) Attach(fw *Framework) error {
 	return fw.Bus().Register(event.ReplyFromServer, "CausalOrder.handleReply", 1,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
-			fw.LockS()
-			rec, ok := fw.ServerRec(key)
 			var client msg.ProcID
-			if ok {
-				client = rec.Client
-			}
-			fw.UnlockS()
-			if !ok {
+			if !fw.WithServer(key, func(rec *ServerRecord) { client = rec.Client }) {
 				return
 			}
 			fw.BumpDelivered(client)

@@ -35,11 +35,9 @@ func (c Collation) Attach(fw *Framework) error {
 	if err := fw.Bus().Register(event.NewRPCCall, "Collation.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			id := o.Arg.(msg.CallID)
-			fw.LockP()
-			if rec, ok := fw.ClientRec(id); ok {
+			fw.WithClient(id, func(rec *ClientRecord) {
 				rec.Args = c.Init
-			}
-			fw.UnlockP()
+			})
 		}); err != nil {
 		return err
 	}
@@ -54,10 +52,8 @@ func (c Collation) Attach(fw *Framework) error {
 			if m.Type != msg.OpReply {
 				return
 			}
-			fw.LockP()
-			if rec, ok := fw.ClientRec(m.ID); ok {
+			fw.WithClient(m.ID, func(rec *ClientRecord) {
 				rec.Args = c.Func(rec.Args, m.Args)
-			}
-			fw.UnlockP()
+			})
 		})
 }

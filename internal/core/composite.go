@@ -35,6 +35,7 @@ func NewComposite(opts Options, protos ...MicroProtocol) (*Composite, error) {
 			return nil, fmt.Errorf("attach %s: %w", p.Name(), err)
 		}
 	}
+	fw.Start()
 	return &Composite{fw: fw, protos: protos}, nil
 }
 

@@ -75,16 +75,20 @@ func TestNewFrameworkRequiredOptions(t *testing.T) {
 	}
 }
 
-func TestRemoveServerRec(t *testing.T) {
+func TestTakeServerRec(t *testing.T) {
 	net := newMemNet()
 	n := addNode(t, net, 1, nodeOpts{server: echoServer()}, RPCMain{})
 	key := msg.CallKey{Client: 9, ID: 9}
-	n.fw.LockS()
-	n.fw.PutServerRec(&ServerRecord{Key: key})
-	n.fw.RemoveServerRec(key)
-	_, ok := n.fw.ServerRec(key)
-	n.fw.UnlockS()
-	if ok {
-		t.Fatal("record survived RemoveServerRec")
+	if !n.fw.PutServerRec(&ServerRecord{Key: key}) {
+		t.Fatal("PutServerRec rejected a fresh key")
+	}
+	if n.fw.PutServerRec(&ServerRecord{Key: key}) {
+		t.Fatal("PutServerRec accepted a duplicate key")
+	}
+	if _, ok := n.fw.TakeServer(key); !ok {
+		t.Fatal("TakeServer missed the stored record")
+	}
+	if n.fw.WithServer(key, func(*ServerRecord) {}) {
+		t.Fatal("record survived TakeServer")
 	}
 }

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mrpc/internal/event"
 	"mrpc/internal/member"
@@ -94,8 +95,11 @@ type ClientRecord struct {
 	Args     []byte // collated output parameters
 	Server   msg.Group
 	Sem      *sem.Sem // the client thread waits here
-	NRes     int      // number of responses still required
-	Pending  map[msg.ProcID]*PendingEntry
+	NRes     int // number of responses still required
+	// Pending holds entries by value — update with Pending[p] = e, not
+	// through a retained pointer — so a group call costs one allocation
+	// for the map instead of one per member.
+	Pending map[msg.ProcID]PendingEntry
 	Status   msg.Status
 	VC       msg.VClock // causal timestamp of the call (Causal Order only)
 }
@@ -134,6 +138,17 @@ type Options struct {
 // Framework is the composite-protocol framework: shared data structures,
 // the HOLD array, and the control-flow plumbing shared by all
 // micro-protocols.
+//
+// Shared state falls into three regimes:
+//
+//   - the call tables (clients/servers), sharded and reached only through
+//     the scoped API in table.go;
+//   - configuration (hold, causal, serialMode), written by micro-protocol
+//     Attach calls and frozen by Start — configure-before-start,
+//     immutable-after, so runtime reads need no synchronization;
+//   - runtime scalars with their own discipline (nextSeq and inc are
+//     atomics; the causal vector and the serial drain queue keep dedicated
+//     mutexes because they are genuinely mutated on the hot path).
 type Framework struct {
 	site       *proc.Site
 	bus        *event.Bus
@@ -142,16 +157,16 @@ type Framework struct {
 	membership member.Service
 	threads    *proc.Threads
 
-	// Client side (pRPC table, §4.2). pmu is the paper's pRPC_mutex.
-	pmu     sync.Mutex
-	pRPC    map[msg.CallID]*ClientRecord
-	nextSeq int64
-
-	// Server side (sRPC table). smu is the paper's sRPC_mutex.
-	smu  sync.Mutex
-	sRPC map[msg.CallKey]*ServerRecord
+	// Call tables (pRPC and sRPC, §4.2), sharded; see table.go.
+	clients clientTable
+	servers serverTable
+	nextSeq atomic.Int64
 
 	hold [numHold]bool // HOLD array: properties every call must satisfy
+
+	// started flips when configuration freezes (Start); the configuration
+	// mutators refuse to run after it.
+	started atomic.Bool
 
 	// Causal Order state (extension; see causal.go). vc is the CBCAST
 	// vector: this process's own entry counts calls it has issued, other
@@ -173,8 +188,7 @@ type Framework struct {
 
 	// inc caches the current incarnation (updated by RPC Main's recovery
 	// handler, read when stamping outgoing calls).
-	imu sync.Mutex
-	inc msg.Incarnation
+	inc atomic.Int32
 
 	unsubscribe func()
 	closed      bool
@@ -198,15 +212,28 @@ func NewFramework(opts Options) (*Framework, error) {
 		server:     opts.Server,
 		membership: ms,
 		threads:    proc.NewThreads(),
-		pRPC:       make(map[msg.CallID]*ClientRecord),
-		nextSeq:    1,
-		sRPC:       make(map[msg.CallKey]*ServerRecord),
-		inc:        opts.Site.Inc(),
 	}
+	fw.clients.init()
+	fw.servers.init()
+	fw.nextSeq.Store(1)
+	fw.inc.Store(int32(opts.Site.Inc()))
 	fw.unsubscribe = ms.Subscribe(func(c member.Change) {
 		fw.bus.Trigger(event.MembershipChange, c)
 	})
 	return fw, nil
+}
+
+// Start freezes the framework's configuration: the configure-before-start
+// mutators (SetHold, EnableSerial, EnableCausal) panic from here on, which
+// is what lets the hot path read hold/causal/serialMode without locks.
+// NewComposite calls it after the last Attach.
+func (fw *Framework) Start() { fw.started.Store(true) }
+
+// mustConfigure guards the configure-before-start mutators.
+func (fw *Framework) mustConfigure(what string) {
+	if fw.started.Load() {
+		panic("core: " + what + " after Start — micro-protocol configuration is immutable once the composite is live")
+	}
 }
 
 // Self returns this site's process id.
@@ -226,31 +253,37 @@ func (fw *Framework) Threads() *proc.Threads { return fw.threads }
 
 // Inc returns the incarnation number stamped on outgoing calls.
 func (fw *Framework) Inc() msg.Incarnation {
-	fw.imu.Lock()
-	defer fw.imu.Unlock()
-	return fw.inc
+	return msg.Incarnation(fw.inc.Load())
 }
 
 // SetInc updates the cached incarnation (RPC Main's recovery handler).
 func (fw *Framework) SetInc(i msg.Incarnation) {
-	fw.imu.Lock()
-	fw.inc = i
-	fw.imu.Unlock()
+	fw.inc.Store(int32(i))
 }
 
 // SetHold marks index as a property every call must satisfy before being
 // passed to the server (HOLD[index] = true at micro-protocol init).
-func (fw *Framework) SetHold(index HoldIndex) { fw.hold[index] = true }
+// Configure-before-start only.
+func (fw *Framework) SetHold(index HoldIndex) {
+	fw.mustConfigure("SetHold")
+	fw.hold[index] = true
+}
 
 // EnableSerial switches the framework to serial execution: eligible calls
-// are executed one at a time, in eligibility order.
-func (fw *Framework) EnableSerial() { fw.serialMode = true }
+// are executed one at a time, in eligibility order. Configure-before-start
+// only.
+func (fw *Framework) EnableSerial() {
+	fw.mustConfigure("EnableSerial")
+	fw.serialMode = true
+}
 
 // --- Causal Order support (extension; see causal.go) ---------------------
 
 // EnableCausal switches on causal timestamping: outgoing calls carry a
 // vector clock and replies carry the server's delivered-vector.
+// Configure-before-start only.
 func (fw *Framework) EnableCausal() {
+	fw.mustConfigure("EnableCausal")
 	fw.causal = true
 	fw.vc = make(msg.VClock)
 }
@@ -326,36 +359,17 @@ func (fw *Framework) SerialEnabled() bool { return fw.serialMode }
 
 // --- pRPC table (client side) -------------------------------------------
 
-// LockP acquires the pRPC mutex.
-func (fw *Framework) LockP() { fw.pmu.Lock() }
-
-// UnlockP releases the pRPC mutex.
-func (fw *Framework) UnlockP() { fw.pmu.Unlock() }
-
-// ClientRec returns the pending call record for id. Callers must hold the
-// pRPC mutex.
-func (fw *Framework) ClientRec(id msg.CallID) (*ClientRecord, bool) {
-	r, ok := fw.pRPC[id]
-	return r, ok
-}
-
-// ClientRecs invokes f for every pending call record. Callers must hold the
-// pRPC mutex; f must not acquire it.
-func (fw *Framework) ClientRecs(f func(*ClientRecord)) {
-	for _, r := range fw.pRPC {
-		f(r)
-	}
-}
-
-// NewClientRec allocates a call id and inserts a pending record for a call
-// to group. Callers must hold the pRPC mutex.
-func (fw *Framework) NewClientRec(op msg.OpID, args []byte, group msg.Group) *ClientRecord {
+// NewClientRec allocates a call id and inserts a fully initialized pending
+// record for a call to group; vc is the call's causal timestamp (nil
+// without Causal Order). The record is built before it becomes reachable,
+// so no caller-side locking is needed.
+func (fw *Framework) NewClientRec(op msg.OpID, args []byte, group msg.Group, vc msg.VClock) *ClientRecord {
 	// Call ids embed the incarnation number in their upper bits (deviation
 	// D9): a recovered client's fresh calls can therefore never collide
 	// with its pre-crash calls in server-side tables, while ids stay dense
 	// within one incarnation (which FIFO Order's id+1 arithmetic needs).
 	// The paper leaves id freshness across recoveries unspecified.
-	id := msg.CallID(int64(fw.Inc())<<32 | fw.nextSeq)
+	id := msg.CallID(int64(fw.Inc())<<32 | (fw.nextSeq.Add(1) - 1))
 	// The input args double as the initial output value, matching the
 	// paper's single args field; Collation replaces them with its init
 	// value before any reply arrives (deviation D7: retransmissions use
@@ -367,75 +381,55 @@ func (fw *Framework) NewClientRec(op msg.OpID, args []byte, group msg.Group) *Cl
 		Args:     args,
 		Server:   group.Clone(),
 		Sem:      sem.New(0),
-		Pending:  make(map[msg.ProcID]*PendingEntry, len(group)),
+		Pending:  make(map[msg.ProcID]PendingEntry, len(group)),
 		Status:   msg.StatusWaiting,
+		VC:       vc,
 	}
-	fw.nextSeq++
 	for _, p := range group {
-		rec.Pending[p] = &PendingEntry{}
+		rec.Pending[p] = PendingEntry{}
 	}
-	fw.pRPC[rec.ID] = rec
+	fw.clients.put(rec)
 	return rec
 }
 
-// RemoveClientRec deletes the record for id. Callers must hold the pRPC
-// mutex.
-func (fw *Framework) RemoveClientRec(id msg.CallID) { delete(fw.pRPC, id) }
+// TakeClient removes and returns the record for id, transferring ownership:
+// the record is unreachable afterwards, so the caller may read its fields
+// without further locking.
+func (fw *Framework) TakeClient(id msg.CallID) (*ClientRecord, bool) {
+	return fw.clients.take(id)
+}
+
+// HasClient reports whether a pending call record for id exists.
+func (fw *Framework) HasClient(id msg.CallID) bool {
+	return fw.clients.with(id, func(*ClientRecord) {})
+}
 
 // PendingCalls returns the number of outstanding client calls.
-func (fw *Framework) PendingCalls() int {
-	fw.pmu.Lock()
-	defer fw.pmu.Unlock()
-	return len(fw.pRPC)
-}
+func (fw *Framework) PendingCalls() int { return fw.clients.len() }
 
 // --- sRPC table (server side) ---------------------------------------------
 
-// LockS acquires the sRPC mutex.
-func (fw *Framework) LockS() { fw.smu.Lock() }
-
-// UnlockS releases the sRPC mutex.
-func (fw *Framework) UnlockS() { fw.smu.Unlock() }
-
-// ServerRec returns the pending call record for key. Callers must hold the
-// sRPC mutex.
-func (fw *Framework) ServerRec(key msg.CallKey) (*ServerRecord, bool) {
-	r, ok := fw.sRPC[key]
-	return r, ok
+// PutServerRec inserts rec unless a record with its key is already held,
+// and reports whether the insert happened (false = duplicate). rec must be
+// fully initialized: it is reachable by other goroutines on return.
+func (fw *Framework) PutServerRec(rec *ServerRecord) bool {
+	return fw.servers.putIfAbsent(rec)
 }
 
-// PutServerRec inserts rec. Callers must hold the sRPC mutex.
-func (fw *Framework) PutServerRec(rec *ServerRecord) { fw.sRPC[rec.Key] = rec }
-
-// RemoveServerRec deletes the record for key. Callers must hold the sRPC
-// mutex.
-func (fw *Framework) RemoveServerRec(key msg.CallKey) { delete(fw.sRPC, key) }
-
-// ServerRecs invokes f for every held call record. Callers must hold the
-// sRPC mutex; f must not acquire it.
-func (fw *Framework) ServerRecs(f func(*ServerRecord)) {
-	for _, r := range fw.sRPC {
-		f(r)
-	}
+// TakeServer removes and returns the record for key, transferring
+// ownership (see TakeClient).
+func (fw *Framework) TakeServer(key msg.CallKey) (*ServerRecord, bool) {
+	return fw.servers.take(key)
 }
 
 // PendingServerCalls returns the number of calls held at this server.
-func (fw *Framework) PendingServerCalls() int {
-	fw.smu.Lock()
-	defer fw.smu.Unlock()
-	return len(fw.sRPC)
-}
+func (fw *Framework) PendingServerCalls() int { return fw.servers.len() }
 
 // DropServerCall removes a held call that an ordering or orphan
 // micro-protocol has decided to discard (duplicate of an executed call,
 // stale generation, ...): the record is deleted and its thread finished.
 func (fw *Framework) DropServerCall(key msg.CallKey) {
-	fw.smu.Lock()
-	rec, ok := fw.sRPC[key]
-	if ok {
-		delete(fw.sRPC, key)
-	}
-	fw.smu.Unlock()
+	rec, ok := fw.servers.take(key)
 	if !ok {
 		return
 	}
@@ -453,25 +447,22 @@ func (fw *Framework) DropServerCall(key msg.CallKey) {
 // Serial Execution configured, eligible calls are instead queued and
 // executed one at a time in eligibility order (deviation D3).
 func (fw *Framework) ForwardUp(key msg.CallKey, index HoldIndex) {
-	fw.smu.Lock()
-	rec, ok := fw.sRPC[key]
-	if !ok {
-		fw.smu.Unlock()
-		return
-	}
-	rec.hold[index] = true
-	execute := true
-	for i := HoldIndex(0); i < numHold; i++ {
-		if fw.hold[i] && !rec.hold[i] {
-			execute = false
+	execute := false
+	fw.WithServer(key, func(rec *ServerRecord) {
+		rec.hold[index] = true
+		execute = !rec.executing
+		for i := HoldIndex(0); i < numHold; i++ {
+			if fw.hold[i] && !rec.hold[i] {
+				execute = false
+			}
 		}
-	}
-	if !execute || rec.executing {
-		fw.smu.Unlock()
+		if execute {
+			rec.executing = true
+		}
+	})
+	if !execute {
 		return
 	}
-	rec.executing = true
-	fw.smu.Unlock()
 
 	if !fw.serialMode {
 		fw.executeCall(key)
@@ -504,17 +495,20 @@ func (fw *Framework) ForwardUp(key msg.CallKey, index HoldIndex) {
 
 // executeCall runs the procedure for an eligible call and sends the reply.
 func (fw *Framework) executeCall(key msg.CallKey) {
-	fw.smu.Lock()
-	rec, ok := fw.sRPC[key]
-	if !ok {
+	var (
+		args   []byte
+		op     msg.OpID
+		th     *proc.Thread
+		client msg.ProcID
+		server msg.Group
+	)
+	if !fw.WithServer(key, func(rec *ServerRecord) {
+		args, op, th = rec.Args, rec.Op, rec.Thread
+		client, server = rec.Client, rec.Server
+	}) {
 		// Dropped (orphan sweep, stale duplicate) after becoming eligible.
-		fw.smu.Unlock()
 		return
 	}
-	args := rec.Args
-	op := rec.Op
-	th := rec.Thread
-	fw.smu.Unlock()
 
 	var result []byte
 	if fw.server != nil && (th == nil || !th.IsKilled()) {
@@ -524,18 +518,12 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 	if th != nil && th.IsKilled() {
 		// Terminate Orphan (or a crash) killed the computation: suppress
 		// the reply.
-		fw.smu.Lock()
-		delete(fw.sRPC, key)
-		fw.smu.Unlock()
+		fw.TakeServer(key)
 		fw.threads.Finish(th)
 		return
 	}
 
-	fw.smu.Lock()
-	rec.Args = result
-	client := rec.Client
-	server := rec.Server
-	fw.smu.Unlock()
+	fw.WithServer(key, func(rec *ServerRecord) { rec.Args = result })
 
 	// REPLY_FROM_SERVER runs while the record is still in sRPC (Unique
 	// Execution and the ordering protocols read it); then the record is
@@ -559,9 +547,7 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 		// calls causally follow everything executed before this reply.
 		reply.VC = fw.VCSnapshot()
 	}
-	fw.smu.Lock()
-	delete(fw.sRPC, key)
-	fw.smu.Unlock()
+	fw.TakeServer(key)
 	if th != nil {
 		fw.threads.Finish(th)
 	}
@@ -588,10 +574,10 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 	if !completed && ev.Thread != nil {
 		// The occurrence was cancelled (duplicate, stale generation, ...):
 		// retire this delivery's token unless a stored record adopted it.
-		fw.smu.Lock()
-		rec, ok := fw.sRPC[m.Key()]
-		owned := ok && rec.Thread == ev.Thread
-		fw.smu.Unlock()
+		owned := false
+		fw.WithServer(m.Key(), func(rec *ServerRecord) {
+			owned = rec.Thread == ev.Thread
+		})
 		if !owned {
 			fw.threads.Finish(ev.Thread)
 		}
@@ -639,18 +625,19 @@ func (fw *Framework) Close() {
 	}
 	fw.bus.Close()
 
-	fw.pmu.Lock()
-	recs := make([]*ClientRecord, 0, len(fw.pRPC))
-	for _, r := range fw.pRPC {
-		recs = append(recs, r)
-	}
-	fw.pmu.Unlock()
-	for _, r := range recs {
-		fw.pmu.Lock()
-		if r.Status == msg.StatusWaiting {
-			r.Status = msg.StatusAborted
-		}
-		fw.pmu.Unlock()
+	// Abort every pending call atomically (a call issued concurrently with
+	// Close either completes normally or is aborted here, never missed),
+	// then wake the parked callers outside the table locks.
+	var wake []*ClientRecord
+	fw.ClientTx(func(tx ClientTx) {
+		tx.Each(func(r *ClientRecord) {
+			if r.Status == msg.StatusWaiting {
+				r.Status = msg.StatusAborted
+			}
+			wake = append(wake, r)
+		})
+	})
+	for _, r := range wake {
 		r.Sem.V()
 	}
 

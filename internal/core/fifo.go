@@ -97,14 +97,8 @@ func (f FIFOOrder) Attach(fw *Framework) error {
 	return fw.Bus().Register(event.ReplyFromServer, "FIFOOrder.handleReply", 1,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
-			fw.LockS()
-			rec, ok := fw.ServerRec(key)
 			var inc msg.Incarnation
-			if ok {
-				inc = rec.Inc
-			}
-			fw.UnlockS()
-			if !ok {
+			if !fw.WithServer(key, func(rec *ServerRecord) { inc = rec.Inc }) {
 				return
 			}
 			mu.Lock()

@@ -44,15 +44,19 @@ var _ MicroProtocol = ReliableCommunication{}
 // has moved on, the lingering phase only needs every member to have
 // RECEIVED the call (the ordering protocols' same-set property).
 type relEntry struct {
-	id       msg.CallID
-	op       msg.OpID
-	args     []byte
-	group    msg.Group
-	vc       msg.VClock
-	received map[msg.ProcID]bool
-	replied  map[msg.ProcID]bool
-	linger   int
+	id     msg.CallID
+	op     msg.OpID
+	args   []byte
+	group  msg.Group
+	vc     msg.VClock
+	acks   map[msg.ProcID]uint8 // relReceived/relReplied bits per member
+	linger int
 }
+
+const (
+	relReceived = 1 << iota // the member has the call
+	relReplied              // the member's response arrived here
+)
 
 // Name implements MicroProtocol.
 func (ReliableCommunication) Name() string { return "Reliable Communication" }
@@ -75,10 +79,11 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 	mark := func(id msg.CallID, from msg.ProcID, reply bool) {
 		mu.Lock()
 		if e, ok := live[id]; ok {
-			e.received[from] = true
+			bits := uint8(relReceived)
 			if reply {
-				e.replied[from] = true
+				bits |= relReplied
 			}
+			e.acks[from] |= bits
 		}
 		mu.Unlock()
 	}
@@ -86,25 +91,24 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 	if err := fw.Bus().Register(event.NewRPCCall, "ReliableComm.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			id := o.Arg.(msg.CallID)
-			fw.LockP()
-			rec, ok := fw.ClientRec(id)
-			if !ok {
-				fw.UnlockP()
+			var e *relEntry
+			fw.WithClient(id, func(rec *ClientRecord) {
+				e = &relEntry{
+					id:    rec.ID,
+					op:    rec.Op,
+					args:  rec.CallArgs, // original input args (deviation D7)
+					group: rec.Server.Clone(),
+					vc:    rec.VC, // retransmissions carry the original timestamp
+					acks:  make(map[msg.ProcID]uint8, len(rec.Server)),
+				}
+				for p, entry := range rec.Pending {
+					entry.Acked = false
+					rec.Pending[p] = entry
+				}
+			})
+			if e == nil {
 				return
 			}
-			e := &relEntry{
-				id:       rec.ID,
-				op:       rec.Op,
-				args:     rec.CallArgs, // original input args (deviation D7)
-				group:    rec.Server.Clone(),
-				vc:       rec.VC, // retransmissions carry the original timestamp
-				received: make(map[msg.ProcID]bool, len(rec.Server)),
-				replied:  make(map[msg.ProcID]bool, len(rec.Server)),
-			}
-			for _, entry := range rec.Pending {
-				entry.Acked = false
-			}
-			fw.UnlockP()
 			mu.Lock()
 			live[id] = e
 			mu.Unlock()
@@ -143,23 +147,21 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 				}
 			case msg.OpReply:
 				mark(m.ID, m.Sender, true)
-				fw.LockP()
-				if rec, ok := fw.ClientRec(m.ID); ok {
+				fw.WithClient(m.ID, func(rec *ClientRecord) {
 					if e, ok := rec.Pending[m.Sender]; ok {
 						e.Acked = true
+						rec.Pending[m.Sender] = e
 					}
-				}
-				fw.UnlockP()
+				})
 			case msg.OpCallAck:
 				// A member acknowledged receipt of our Call.
 				mark(m.AckID, m.Sender, false)
-				fw.LockP()
-				if rec, ok := fw.ClientRec(m.AckID); ok {
+				fw.WithClient(m.AckID, func(rec *ClientRecord) {
 					if e, ok := rec.Pending[m.Sender]; ok {
 						e.Acked = true
+						rec.Pending[m.Sender] = e
 					}
-				}
-				fw.UnlockP()
+				})
 			}
 		}); err != nil {
 		return err
@@ -176,14 +178,12 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 		var out []resend
 		mu.Lock()
 		for id, e := range live {
-			fw.LockP()
-			_, pending := fw.ClientRec(id)
-			fw.UnlockP()
+			pending := fw.HasClient(id)
 			// While pending, a member is settled only once it replied;
 			// afterwards, receipt suffices (see relEntry).
-			settled := e.replied
+			need := uint8(relReplied)
 			if !pending {
-				settled = e.received
+				need = relReceived
 				// The caller has moved on (accepted or timed out); keep
 				// redelivering for a bounded while so slow members still
 				// receive the call, then presume the rest crashed.
@@ -195,7 +195,7 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 			}
 			done := true
 			for _, p := range e.group {
-				if !settled[p] {
+				if e.acks[p]&need == 0 {
 					done = false
 					break
 				}
@@ -205,7 +205,7 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 				continue
 			}
 			for _, p := range e.group {
-				if settled[p] {
+				if e.acks[p]&need != 0 {
 					continue
 				}
 				out = append(out, resend{to: p, m: &msg.NetMsg{

@@ -35,18 +35,14 @@ func TestCallIDsEmbedIncarnation(t *testing.T) {
 	net := newMemNet()
 	client := addNode(t, net, 100, nodeOpts{}, minimalClient(1)...)
 
-	client.fw.LockP()
-	rec := client.fw.NewClientRec(1, nil, msg.NewGroup(1))
-	client.fw.UnlockP()
+	rec := client.fw.NewClientRec(1, nil, msg.NewGroup(1), nil)
 	if rec.ID>>32 != 1 {
 		t.Fatalf("call id %d does not embed incarnation 1", rec.ID)
 	}
 	client.site.Crash()
 	client.site.Recover()
 	client.fw.Recover()
-	client.fw.LockP()
-	rec2 := client.fw.NewClientRec(1, nil, msg.NewGroup(1))
-	client.fw.UnlockP()
+	rec2 := client.fw.NewClientRec(1, nil, msg.NewGroup(1), nil)
 	if rec2.ID>>32 != 2 {
 		t.Fatalf("post-recovery call id %d does not embed incarnation 2", rec2.ID)
 	}
@@ -227,14 +223,12 @@ func waitForWaiters(t *testing.T, n *testNode) {
 	t.Helper()
 	deadline := time.Now().Add(time.Second)
 	for {
-		n.fw.LockP()
 		waiting := false
-		n.fw.ClientRecs(func(r *ClientRecord) {
+		n.fw.EachClient(func(r *ClientRecord) {
 			if r.Sem.Waiters() > 0 {
 				waiting = true
 			}
 		})
-		n.fw.UnlockP()
 		if waiting {
 			return
 		}
@@ -320,9 +314,7 @@ func TestReliablePendingRetransmitsUntilReply(t *testing.T) {
 	waitForWaiters(t, client)
 
 	var id msg.CallID
-	client.fw.LockP()
-	client.fw.ClientRecs(func(r *ClientRecord) { id = r.ID })
-	client.fw.UnlockP()
+	client.fw.EachClient(func(r *ClientRecord) { id = r.ID })
 
 	client.fw.HandleNet(&msg.NetMsg{Type: msg.OpCallAck, Client: 100, Sender: 1, AckID: id})
 	before := net.countSent(msg.OpCall, 1)
@@ -418,9 +410,7 @@ func TestForwardUpWaitsForAllHoldBits(t *testing.T) {
 	n.fw.SetHold(HoldFIFO) // simulate an ordering property being configured
 
 	key := msg.CallKey{Client: 100, ID: 1}
-	n.fw.LockS()
 	n.fw.PutServerRec(&ServerRecord{Key: key, Op: 1, Args: []byte("x"), Client: 100})
-	n.fw.UnlockS()
 
 	n.fw.ForwardUp(key, HoldMain)
 	if got := srv.executed(); len(got) != 0 {

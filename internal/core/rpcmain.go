@@ -3,6 +3,7 @@ package core
 import (
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
+	"mrpc/internal/sem"
 )
 
 // RPCMain handles the main control flow of an RPC on both the client and
@@ -40,18 +41,14 @@ func (RPCMain) Attach(fw *Framework) error {
 				Inc:    m.Inc,
 				Thread: ev.Thread,
 			}
-			fw.LockS()
-			if _, dup := fw.ServerRec(key); dup {
+			if !fw.PutServerRec(rec) {
 				// Already held (e.g. a retransmission racing the original
 				// while an ordering protocol defers it). Without Unique
 				// Execution nothing else filters this; drop the copy to
 				// keep the table consistent.
-				fw.UnlockS()
 				o.Cancel()
 				return
 			}
-			fw.PutServerRec(rec)
-			fw.UnlockS()
 			o.OnCancel(func() { fw.DropServerCall(key) })
 			fw.ForwardUp(key, HoldMain)
 		}); err != nil {
@@ -66,12 +63,13 @@ func (RPCMain) Attach(fw *Framework) error {
 			if um.Type != msg.UserCall {
 				return
 			}
-			fw.LockP()
-			rec := fw.NewClientRec(um.Op, um.Args, um.Server)
+			// The vector clock is stamped before the record is published so
+			// the record is complete the moment other handlers can see it.
+			var vc msg.VClock
 			if fw.CausalEnabled() {
-				rec.VC = fw.StampOutgoingCall()
+				vc = fw.StampOutgoingCall()
 			}
-			fw.UnlockP()
+			rec := fw.NewClientRec(um.Op, um.Args, um.Server, vc)
 			um.ID = rec.ID
 			um.Status = msg.StatusWaiting
 
@@ -119,18 +117,20 @@ func (SynchronousCall) Attach(fw *Framework) error {
 			if um.Type != msg.UserCall {
 				return
 			}
-			fw.LockP()
-			rec, ok := fw.ClientRec(um.ID)
-			fw.UnlockP()
+			var s *sem.Sem
+			fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
+			if s == nil {
+				return
+			}
+			s.P()
+			// Take transfers record ownership; the shard mutex pairing gives
+			// the happens-before that makes the lock-free reads below safe.
+			rec, ok := fw.TakeClient(um.ID)
 			if !ok {
 				return
 			}
-			rec.Sem.P()
-			fw.LockP()
 			um.Args = rec.Args
 			um.Status = rec.Status
-			fw.RemoveClientRec(um.ID)
-			fw.UnlockP()
 		})
 }
 
@@ -153,20 +153,21 @@ func (AsynchronousCall) Attach(fw *Framework) error {
 			if um.Type != msg.UserRequest {
 				return
 			}
-			fw.LockP()
-			rec, ok := fw.ClientRec(um.ID)
-			fw.UnlockP()
-			if !ok {
+			var s *sem.Sem
+			fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
+			if s == nil {
 				// Unknown or already-collected call.
 				um.Status = msg.StatusAborted
 				return
 			}
-			rec.Sem.P()
-			fw.LockP()
+			s.P()
+			rec, ok := fw.TakeClient(um.ID)
+			if !ok {
+				um.Status = msg.StatusAborted
+				return
+			}
 			um.Args = rec.Args
 			um.Status = rec.Status
 			um.Op = rec.Op
-			fw.RemoveClientRec(um.ID)
-			fw.UnlockP()
 		})
 }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mrpc/internal/event"
+	"mrpc/internal/member"
+	"mrpc/internal/msg"
+)
+
+// TestConcurrentClientsUnderLoss drives many client goroutines through one
+// framework against a lossy asynchronous transport, with cross-record Tx
+// sweeps (Acceptance's failure sweep, Terminate Orphan's incarnation kill
+// sweep) racing the per-call shard traffic. It is the scoped table layer's
+// -race workout: every path — WithClient/WithServer on the hot path,
+// EachClient from the retransmitter, ClientTx/ServerTx from the sweeps, and
+// the Take* ownership transfers on completion — runs concurrently.
+func TestConcurrentClientsUnderLoss(t *testing.T) {
+	const (
+		goroutines = 8
+		callsEach  = 20
+		lossPct    = 20
+	)
+
+	net := newMemNet()
+	net.async = true
+
+	// Deterministic loss of Call/Reply traffic; retransmission recovers it.
+	var (
+		lmu sync.Mutex
+		rng = rand.New(rand.NewSource(42))
+	)
+	net.setHook(func(_ msg.ProcID, m *msg.NetMsg) bool {
+		if m.Type != msg.OpCall && m.Type != msg.OpReply {
+			return false
+		}
+		lmu.Lock()
+		defer lmu.Unlock()
+		return rng.Intn(100) < lossPct
+	})
+
+	group := msg.NewGroup(1, 2)
+	protos := func() []MicroProtocol {
+		return []MicroProtocol{
+			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 2}, Collation{},
+			ReliableCommunication{RetransTimeout: 2 * time.Millisecond},
+			UniqueExecution{}, TerminateOrphan{},
+		}
+	}
+	srv1 := addNode(t, net, 1, nodeOpts{server: echoServer()}, protos()...)
+	addNode(t, net, 2, nodeOpts{server: echoServer()}, protos()...)
+	client := addNode(t, net, 100, nodeOpts{}, protos()...)
+	client.fw.Start() // exercise the immutable-after-start regime too
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines+2)
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				payload := fmt.Sprintf("g%d-c%d", g, i)
+				um := client.fw.Call(1, []byte(payload), group)
+				if um.Status != msg.StatusOK {
+					errs <- fmt.Errorf("call %s: status %v", payload, um.Status)
+					return
+				}
+				if string(um.Args) != "r:"+payload {
+					errs <- fmt.Errorf("call %s: reply %q", payload, um.Args)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Acceptance's failure sweep holds every client shard; a failure of a
+	// process outside the group must not complete (or corrupt) any call.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			client.bus.Trigger(event.MembershipChange,
+				member.Change{Kind: member.Failure, Who: 99})
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Terminate Orphan's incarnation detection: a burst of calls from a
+	// fake client followed by a newer incarnation forces the ServerTx kill
+	// sweep at server 1 while real calls are in flight there.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 5; i++ {
+				inc := msg.Incarnation(round + 1)
+				id := msg.CallID(int64(inc)<<32 | int64(i+1))
+				srv1.fw.HandleNet(callMsg(200, id, inc, msg.NewGroup(1), "orphan"))
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	net.wait()
+
+	if n := client.fw.PendingCalls(); n != 0 {
+		t.Fatalf("%d client records leaked", n)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+)
+
+// BenchmarkTableOps measures the call-table layer in isolation: each caller
+// loops insert → scoped update → take, the table ops of one RPC's client
+// side. Run with -cpu N to surface contention: with GOMAXPROCS=1 a short
+// critical section is never preempted, so any lock design measures the
+// same; with more Ps than cores the holder does get preempted and a
+// process-wide mutex stalls every caller where shards stall 1/16th of them.
+func BenchmarkTableOps(b *testing.B) {
+	for _, callers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("callers%d", callers), func(b *testing.B) {
+			fw, err := NewFramework(Options{
+				Site: proc.NewSite(1),
+				Bus:  event.New(clock.NewReal()),
+				Net:  memEP{n: newMemNet()},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fw.Close()
+			group := msg.NewGroup(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / callers
+			if per == 0 {
+				per = 1
+			}
+			for c := 0; c < callers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						rec := fw.NewClientRec(1, nil, group, nil)
+						fw.WithClient(rec.ID, func(r *ClientRecord) {
+							r.NRes = 1
+						})
+						if _, ok := fw.TakeClient(rec.ID); !ok {
+							b.Error("record vanished")
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}

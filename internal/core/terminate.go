@@ -106,13 +106,8 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 	if err := fw.Bus().Register(event.ReplyFromServer, "TerminateOrphan.handleReply", 1,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
-			fw.LockS()
-			rec, ok := fw.ServerRec(key)
 			var th *proc.Thread
-			if ok {
-				th = rec.Thread
-			}
-			fw.UnlockS()
+			fw.WithServer(key, func(rec *ServerRecord) { th = rec.Thread })
 			if th == nil {
 				return
 			}
@@ -202,14 +197,17 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 // older than inc, killing its thread and releasing its execution slot —
 // the cleanup companion of Terminate Orphan's kill sweep.
 func (fw *Framework) dropCallsOlderThan(client msg.ProcID, inc msg.Incarnation) {
+	// The kill sweep must see one consistent snapshot of the client's held
+	// calls — a call racing in from the dead incarnation must not slip
+	// between shards — so it collects the keys under a full-table Tx.
 	var keys []msg.CallKey
-	fw.LockS()
-	fw.ServerRecs(func(r *ServerRecord) {
-		if r.Client == client && r.Inc < inc {
-			keys = append(keys, r.Key)
-		}
+	fw.ServerTx(func(tx ServerTx) {
+		tx.Each(func(r *ServerRecord) {
+			if r.Client == client && r.Inc < inc {
+				keys = append(keys, r.Key)
+			}
+		})
 	})
-	fw.UnlockS()
 	for _, k := range keys {
 		fw.DropServerCall(k)
 	}

@@ -38,13 +38,11 @@ func (UniqueExecution) Attach(fw *Framework) error {
 	if err := fw.Bus().Register(event.ReplyFromServer, "UniqueExec.handleReply", 1,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
-			fw.LockS()
-			rec, ok := fw.ServerRec(key)
-			var args []byte
-			if ok {
-				args = rec.Args
-			}
-			fw.UnlockS()
+			var (
+				args []byte
+				ok   bool
+			)
+			ok = fw.WithServer(key, func(rec *ServerRecord) { args = rec.Args })
 			if ok {
 				mu.Lock()
 				oldResults[key] = args

@@ -114,7 +114,11 @@ type Observer func(ev Type, handler string, d time.Duration, cancelled bool)
 type Bus struct {
 	clk clock.Clock
 
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// handlers maps each event to its dispatch slice in priority order. The
+	// slices are immutable: Register and Deregister build a fresh sorted
+	// slice and swap it in, so Trigger can iterate whatever slice it read
+	// without copying or holding the lock.
 	handlers map[Type][]*Registration
 	timeouts map[*timeoutEntry]struct{}
 	observer Observer
@@ -152,7 +156,10 @@ func (b *Bus) Register(t Type, name string, priority int, fn Handler) error {
 	}
 	r := &Registration{Event: t, Name: name, Priority: priority, seq: b.nextSeq, fn: fn}
 	b.nextSeq++
-	hs := append(b.handlers[t], r)
+	old := b.handlers[t]
+	hs := make([]*Registration, 0, len(old)+1)
+	hs = append(hs, old...)
+	hs = append(hs, r)
 	sort.SliceStable(hs, func(i, j int) bool {
 		if hs[i].Priority != hs[j].Priority {
 			return hs[i].Priority < hs[j].Priority
@@ -183,11 +190,13 @@ func (b *Bus) Deregister(t Type, name string) {
 // Trigger reports whether the occurrence ran to completion (not cancelled).
 func (b *Bus) Trigger(t Type, arg any) bool {
 	b.mu.RLock()
-	hs := make([]*Registration, len(b.handlers[t]))
-	copy(hs, b.handlers[t])
+	hs := b.handlers[t] // immutable once published; safe to iterate unlocked
 	obs := b.observer
 	b.mu.RUnlock()
 
+	if len(hs) == 0 {
+		return true
+	}
 	occ := &Occurrence{Type: t, Arg: arg}
 	for _, r := range hs {
 		if obs != nil {
@@ -236,12 +245,22 @@ func (b *Bus) RegisterTimeout(name string, interval time.Duration, fn Handler) (
 		}
 		delete(b.timeouts, e)
 		closed := b.closed
+		obs := b.observer
 		b.mu.Unlock()
 		if closed {
 			return
 		}
 		occ := &Occurrence{Type: Timeout}
-		fn(occ)
+		// TIMEOUT firings report to the observer like ordinary dispatch, so
+		// handler-level profiling covers retransmission and failure-detector
+		// work too.
+		if obs != nil {
+			t0 := b.clk.Now()
+			fn(occ)
+			obs(Timeout, e.name, b.clk.Now().Sub(t0), occ.cancelled)
+		} else {
+			fn(occ)
+		}
 	})
 	b.mu.Unlock()
 	return func() {

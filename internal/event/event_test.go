@@ -274,6 +274,24 @@ func TestObserver(t *testing.T) {
 	}
 }
 
+func TestObserverCoversTimeouts(t *testing.T) {
+	clk := clock.NewSim()
+	b := New(clk)
+	type obs struct {
+		ev      Type
+		handler string
+	}
+	var seen []obs
+	b.SetObserver(func(ev Type, handler string, _ time.Duration, _ bool) {
+		seen = append(seen, obs{ev, handler})
+	})
+	b.RegisterTimeout("retrans", 10*time.Millisecond, func(*Occurrence) {})
+	clk.Advance(50 * time.Millisecond)
+	if len(seen) != 1 || seen[0] != (obs{Timeout, "retrans"}) {
+		t.Fatalf("observed %v, want one TIMEOUT/retrans invocation", seen)
+	}
+}
+
 func TestHandlerMayRegisterDuringDispatch(t *testing.T) {
 	// A handler registering another handler for the same event must not
 	// affect the in-flight dispatch (snapshot semantics) but must take

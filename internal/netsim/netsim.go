@@ -259,10 +259,10 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 	}
 
 	copies := 1
-	if n.rng.Float64() < n.params.LossProb {
+	if n.params.LossProb > 0 && n.rng.Float64() < n.params.LossProb {
 		copies = 0
 		n.dropped.Add(1)
-	} else if n.rng.Float64() < n.params.DupProb {
+	} else if n.params.DupProb > 0 && n.rng.Float64() < n.params.DupProb {
 		copies = 2
 		n.duplicated.Add(1)
 	}
@@ -270,50 +270,66 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 	if d.max == 0 && d.min == 0 {
 		d = linkDelay{min: n.params.MinDelay, max: n.params.MaxDelay}
 	}
-	delays := make([]time.Duration, copies)
-	for i := range delays {
-		delays[i] = d.min
+	var first, second time.Duration
+	roll := func() time.Duration {
+		delay := d.min
 		if span := d.max - d.min; span > 0 {
-			delays[i] += time.Duration(n.rng.Int63n(int64(span) + 1))
+			delay += time.Duration(n.rng.Int63n(int64(span) + 1))
 		}
+		return delay
+	}
+	if copies >= 1 {
+		first = roll()
+	}
+	if copies == 2 {
+		second = roll()
 	}
 	n.mu.Unlock()
 
-	for _, delay := range delays {
-		n.scheduleDelivery(dest, m.Clone(), delay)
+	if copies >= 1 {
+		n.scheduleDelivery(dest, m.Clone(), first)
+	}
+	if copies == 2 {
+		n.scheduleDelivery(dest, m.Clone(), second)
 	}
 }
 
 func (n *Network) scheduleDelivery(dest *Endpoint, m *msg.NetMsg, delay time.Duration) {
 	n.wg.Add(1)
-	deliver := func() {
-		defer n.wg.Done()
-		if n.params.EncodeOnWire {
-			decoded, err := msg.Decode(m.Encode())
-			if err != nil {
-				// A codec failure is a bug, not a simulated fault; surface
-				// it loudly rather than silently dropping.
-				panic(fmt.Sprintf("netsim: wire codec round-trip: %v", err))
-			}
-			m = decoded
-		}
-		dest.mu.Lock()
-		h, up := dest.handler, dest.up
-		dest.mu.Unlock()
-		if !up || h == nil {
-			n.downDrops.Add(1)
-			return
-		}
-		n.delivered.Add(1)
-		h(m)
-	}
 	if delay <= 0 {
-		go deliver()
+		// A plain `go` over a method call avoids the per-delivery closure
+		// allocation the capturing variant would need — this is the hot path
+		// of every zero-delay configuration.
+		go n.deliver(dest, m)
 		return
 	}
 	n.clk.AfterFunc(delay, func() {
 		// Handlers may block (serial execution, semaphores); never run them
 		// on the clock's timer goroutine.
-		go deliver()
+		go n.deliver(dest, m)
 	})
+}
+
+// deliver hands m to dest's handler on the calling goroutine; each delivery
+// runs on a goroutine of its own (see scheduleDelivery).
+func (n *Network) deliver(dest *Endpoint, m *msg.NetMsg) {
+	defer n.wg.Done()
+	if n.params.EncodeOnWire {
+		decoded, err := msg.Decode(m.Encode())
+		if err != nil {
+			// A codec failure is a bug, not a simulated fault; surface
+			// it loudly rather than silently dropping.
+			panic(fmt.Sprintf("netsim: wire codec round-trip: %v", err))
+		}
+		m = decoded
+	}
+	dest.mu.Lock()
+	h, up := dest.handler, dest.up
+	dest.mu.Unlock()
+	if !up || h == nil {
+		n.downDrops.Add(1)
+		return
+	}
+	n.delivered.Add(1)
+	h(m)
 }

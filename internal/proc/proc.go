@@ -22,7 +22,11 @@ type Thread struct {
 	id     int64
 	client msg.ProcID // client whose call this thread serves
 
-	once sync.Once
+	mu     sync.Mutex
+	killed bool
+	// kill is created lazily by the first Killed() call: most threads run
+	// to completion without anyone selecting on them, so the common case
+	// allocates no channel.
 	kill chan struct{}
 }
 
@@ -35,21 +39,35 @@ func (t *Thread) Client() msg.ProcID { return t.client }
 // Kill requests termination. It is idempotent and non-blocking; the running
 // procedure observes it through Killed.
 func (t *Thread) Kill() {
-	t.once.Do(func() { close(t.kill) })
+	t.mu.Lock()
+	if !t.killed {
+		t.killed = true
+		if t.kill != nil {
+			close(t.kill)
+		}
+	}
+	t.mu.Unlock()
 }
 
 // Killed returns a channel closed when the thread has been killed. Server
 // procedures select on it (or poll IsKilled) at convenient points.
-func (t *Thread) Killed() <-chan struct{} { return t.kill }
+func (t *Thread) Killed() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.kill == nil {
+		t.kill = make(chan struct{})
+		if t.killed {
+			close(t.kill)
+		}
+	}
+	return t.kill
+}
 
 // IsKilled reports whether Kill has been called.
 func (t *Thread) IsKilled() bool {
-	select {
-	case <-t.kill:
-		return true
-	default:
-		return false
-	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.killed
 }
 
 // Threads is a registry of live server threads on one site.
@@ -69,7 +87,7 @@ func (r *Threads) Spawn(client msg.ProcID) *Thread {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.next++
-	t := &Thread{id: r.next, client: client, kill: make(chan struct{})}
+	t := &Thread{id: r.next, client: client}
 	r.live[t.id] = t
 	return t
 }

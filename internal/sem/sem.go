@@ -18,6 +18,13 @@ type Sem struct {
 	mu    sync.Mutex
 	count int
 	wait  []chan struct{}
+	// free holds handoff channels retired by completed P calls for reuse,
+	// so a park/wake cycle on a long-lived semaphore allocates nothing.
+	// Each channel is buffered with capacity 1 and carries at most one
+	// pending signal, so handoff sends never block. PTimeout channels are
+	// never pooled: an abandoned one may still receive a racing V's signal,
+	// which would poison a reused channel with a phantom wake.
+	free []chan struct{}
 }
 
 // New returns a semaphore initialized to count. Count 1 behaves as a mutex;
@@ -34,10 +41,23 @@ func (s *Sem) P() {
 		s.mu.Unlock()
 		return
 	}
-	ch := make(chan struct{})
+	ch := s.getWaiter()
 	s.wait = append(s.wait, ch)
 	s.mu.Unlock()
 	<-ch
+	s.mu.Lock()
+	s.free = append(s.free, ch)
+	s.mu.Unlock()
+}
+
+// getWaiter returns a reusable handoff channel. Callers must hold s.mu.
+func (s *Sem) getWaiter() chan struct{} {
+	if n := len(s.free); n > 0 {
+		ch := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
 }
 
 // TryP acquires one unit without blocking. It reports whether it succeeded.
@@ -60,7 +80,7 @@ func (s *Sem) PTimeout(d time.Duration) bool {
 		s.mu.Unlock()
 		return true
 	}
-	ch := make(chan struct{})
+	ch := make(chan struct{}, 1) // fresh, never pooled — see Sem.free
 	s.wait = append(s.wait, ch)
 	s.mu.Unlock()
 
@@ -83,9 +103,10 @@ func (s *Sem) PTimeout(d time.Duration) bool {
 		}
 	}
 	s.mu.Unlock()
-	// Not on the list: a V selected us concurrently with the timeout. The
-	// handoff channel is buffered by the send in V completing only after the
-	// waiter is removed, so the unit is ours.
+	// Not on the list: a V selected us concurrently with the timeout and
+	// will signal (or already has signalled) the buffered channel, so the
+	// unit is ours. Drain the signal if it has landed; a late send parks
+	// harmlessly in the buffer of this never-reused channel.
 	select {
 	case <-ch:
 	default:
@@ -100,7 +121,7 @@ func (s *Sem) V() {
 		ch := s.wait[0]
 		s.wait = s.wait[1:]
 		s.mu.Unlock()
-		close(ch)
+		ch <- struct{}{}
 		return
 	}
 	s.count++
@@ -118,7 +139,7 @@ func (s *Sem) Reset(n int) {
 	s.count = n
 	s.mu.Unlock()
 	for _, ch := range waiters {
-		close(ch)
+		ch <- struct{}{}
 	}
 }
 
