@@ -125,7 +125,7 @@ func run(seed int64, calls int) error {
 	// No Quiesce here: the recovered replica legitimately holds calls it
 	// cannot order (it missed part of the sequence), so deliveries parked
 	// behind them only drain at shutdown.
-	time.Sleep(100 * time.Millisecond)
+	sys.Clock().Sleep(100 * time.Millisecond)
 
 	fmt.Println("== final replica states")
 	for _, id := range group {

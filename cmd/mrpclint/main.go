@@ -1,0 +1,48 @@
+// Command mrpclint statically enforces the framework invariants documented
+// in DESIGN.md ("Statically enforced invariants"): table-escape,
+// determinism, handler-discipline, goroutine-discipline, and
+// priority-constants.
+//
+// Usage:
+//
+//	go run ./cmd/mrpclint ./...
+//
+// The whole module is always analyzed (package arguments are accepted for
+// familiarity but do not narrow the scope; examples/ and test files are
+// exempt by design). Exit status is 1 when violations are found, 2 when
+// the module cannot be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mrpc/internal/lint"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print nothing on success")
+	flag.Parse()
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ds, err := lint.LintModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range ds {
+		fmt.Println(d)
+	}
+	if len(ds) > 0 {
+		fmt.Fprintf(os.Stderr, "mrpclint: %d violation(s)\n", len(ds))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Println("mrpclint: ok")
+	}
+}

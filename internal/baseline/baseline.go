@@ -118,36 +118,32 @@ type Client struct {
 	next    msg.CallID
 	pending map[msg.CallID]*pendingCall
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	loopDone chan struct{}
+	loop *proc.Thread
 }
 
 // NewClient attaches a baseline client to the network. retrans is the
 // retransmission period.
 func NewClient(net *netsim.Network, clk clock.Clock, id msg.ProcID, retrans time.Duration) (*Client, error) {
 	c := &Client{
-		id:       id,
-		clk:      clk,
-		retrans:  retrans,
-		next:     1,
-		pending:  make(map[msg.CallID]*pendingCall),
-		stop:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		id:      id,
+		clk:     clk,
+		retrans: retrans,
+		next:    1,
+		pending: make(map[msg.CallID]*pendingCall),
 	}
 	ep, err := net.Attach(id, c.handle)
 	if err != nil {
 		return nil, err
 	}
 	c.ep = ep
-	go c.retransmitLoop()
+	c.loop = proc.Go(c.retransmitLoop)
 	return c, nil
 }
 
-// Close stops the client's retransmission loop.
+// Close stops the client's retransmission loop. Idempotent.
 func (c *Client) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	<-c.loopDone
+	c.loop.Kill()
+	<-c.loop.Done()
 }
 
 func (c *Client) handle(m *msg.NetMsg) {
@@ -182,13 +178,12 @@ func (c *Client) handle(m *msg.NetMsg) {
 	}
 }
 
-func (c *Client) retransmitLoop() {
-	defer close(c.loopDone)
+func (c *Client) retransmitLoop(th *proc.Thread) {
 	for {
 		timer := make(chan struct{})
 		t := c.clk.AfterFunc(c.retrans, func() { close(timer) })
 		select {
-		case <-c.stop:
+		case <-th.Killed():
 			t.Stop()
 			return
 		case <-timer:

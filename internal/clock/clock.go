@@ -30,6 +30,14 @@ type Clock interface {
 	Sleep(d time.Duration)
 }
 
+// After returns a channel on which the clock's current time is sent once,
+// after d — the Clock analogue of time.After for select statements.
+func After(c Clock, d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.AfterFunc(d, func() { ch <- c.Now() })
+	return ch
+}
+
 // Real is a Clock backed by package time.
 type Real struct{}
 

@@ -87,7 +87,7 @@ func (a AtomicExecution) Attach(fw *Framework) error {
 
 	// Priority 2: runs after Unique Execution has retained the response
 	// (the paper registers it second as well).
-	if err := fw.Bus().Register(event.ReplyFromServer, "AtomicExec.handleReply", 2,
+	if err := fw.Bus().Register(event.ReplyFromServer, "AtomicExec.handleReply", PrioReplyAtomic,
 		func(*event.Occurrence) {
 			if deltaState == nil {
 				addr := a.Store.Checkpoint(a.State.Snapshot())

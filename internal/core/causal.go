@@ -143,7 +143,7 @@ func (CausalOrder) Attach(fw *Framework) error {
 		return err
 	}
 
-	return fw.Bus().Register(event.ReplyFromServer, "CausalOrder.handleReply", 1,
+	return fw.Bus().Register(event.ReplyFromServer, "CausalOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var client msg.ProcID

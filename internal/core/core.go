@@ -53,6 +53,17 @@ const (
 	PrioOrder          = 100 // FIFO / Total Order: delivery ordering
 )
 
+// Handler priorities for CALL_FROM_USER and REPLY_FROM_SERVER. These two
+// events have short chains: RPC Main records and sends a call before the
+// call-semantics micro-protocols (DefaultPriority) block on it, and the
+// per-protocol reply bookkeeping runs before Atomic Execution's
+// checkpoint accounting.
+const (
+	PrioCallMain      = 1 // RPC Main: record the call, announce NEW_RPC_CALL, multicast
+	PrioReplyBookkeep = 1 // ordering/unique/orphan protocols: per-reply bookkeeping
+	PrioReplyAtomic   = 2 // Atomic Execution: runs after the bookkeeping handlers
+)
+
 // Transport is the underlying communication protocol ("Net" in the paper):
 // unreliable, unordered point-to-point and multicast sends.
 // netsim.Endpoint implements it.
@@ -95,13 +106,13 @@ type ClientRecord struct {
 	Args     []byte // collated output parameters
 	Server   msg.Group
 	Sem      *sem.Sem // the client thread waits here
-	NRes     int // number of responses still required
+	NRes     int      // number of responses still required
 	// Pending holds entries by value — update with Pending[p] = e, not
 	// through a retained pointer — so a group call costs one allocation
 	// for the map instead of one per member.
 	Pending map[msg.ProcID]PendingEntry
-	Status   msg.Status
-	VC       msg.VClock // causal timestamp of the call (Causal Order only)
+	Status  msg.Status
+	VC      msg.VClock // causal timestamp of the call (Causal Order only)
 }
 
 // ServerRecord is a pending client call at a server (Server_Record).

@@ -94,7 +94,7 @@ func (f FIFOOrder) Attach(fw *Framework) error {
 		return err
 	}
 
-	return fw.Bus().Register(event.ReplyFromServer, "FIFOOrder.handleReply", 1,
+	return fw.Bus().Register(event.ReplyFromServer, "FIFOOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var inc msg.Incarnation

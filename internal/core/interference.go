@@ -96,7 +96,7 @@ func (InterferenceAvoidance) Attach(fw *Framework) error {
 		return err
 	}
 
-	return fw.Bus().Register(event.ReplyFromServer, "InterferenceAvoid.handleReply", 1,
+	return fw.Bus().Register(event.ReplyFromServer, "InterferenceAvoid.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			mu.Lock()

@@ -57,7 +57,7 @@ func (RPCMain) Attach(fw *Framework) error {
 
 	// Client side: a Call from the user protocol is recorded in pRPC,
 	// announced via NEW_RPC_CALL, and multicast to the server group.
-	if err := fw.Bus().Register(event.CallFromUser, "RPCMain.msgFromUser", 1,
+	if err := fw.Bus().Register(event.CallFromUser, "RPCMain.msgFromUser", PrioCallMain,
 		func(o *event.Occurrence) {
 			um := o.Arg.(*msg.UserMsg)
 			if um.Type != msg.UserCall {
@@ -73,6 +73,12 @@ func (RPCMain) Attach(fw *Framework) error {
 			um.ID = rec.ID
 			um.Status = msg.StatusWaiting
 
+			// The paper's one deliberate event cascade: announcing the new
+			// call runs the NEW_RPC_CALL chain (Reliable Communication,
+			// Bounded Termination, ...) to completion before the request is
+			// multicast. NEW_RPC_CALL handlers never trigger CALL_FROM_USER,
+			// so the recursion is one level deep by construction.
+			//lint:ignore handler-discipline NEW_RPC_CALL cascade is the paper's design; no cycle back into CALL_FROM_USER
 			fw.Bus().Trigger(event.NewRPCCall, rec.ID)
 
 			call := &msg.NetMsg{

@@ -103,7 +103,7 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 		return err
 	}
 
-	if err := fw.Bus().Register(event.ReplyFromServer, "TerminateOrphan.handleReply", 1,
+	if err := fw.Bus().Register(event.ReplyFromServer, "TerminateOrphan.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var th *proc.Thread

@@ -293,7 +293,7 @@ func (to TotalOrder) Attach(fw *Framework) error {
 		return err
 	}
 
-	if err := fw.Bus().Register(event.ReplyFromServer, "TotalOrder.handleReply", 1,
+	if err := fw.Bus().Register(event.ReplyFromServer, "TotalOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			st.mu.Lock()
 			st.nextEntry++

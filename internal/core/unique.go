@@ -35,7 +35,7 @@ func (UniqueExecution) Attach(fw *Framework) error {
 
 	// Retain the response until the client's ACK (priority 1: before
 	// Atomic Execution's checkpoint on the same event).
-	if err := fw.Bus().Register(event.ReplyFromServer, "UniqueExec.handleReply", 1,
+	if err := fw.Bus().Register(event.ReplyFromServer, "UniqueExec.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var (

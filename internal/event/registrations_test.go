@@ -1,0 +1,71 @@
+package event
+
+import (
+	"testing"
+
+	"mrpc/internal/clock"
+)
+
+// The composite-protocol structure dump (Figure 3) and every dispatch both
+// read the per-event handler slice, so its order must be a pure function of
+// the registration history: ascending priority, ties broken by registration
+// order — never map iteration order or any other run-dependent source.
+func TestRegistrationsDeterministicOrder(t *testing.T) {
+	b := New(clock.NewReal())
+	nop := func(*Occurrence) {}
+	for _, r := range []struct {
+		name string
+		prio int
+	}{
+		{"late-low", 5},
+		{"first-high", 40},
+		{"tie-a", 10},
+		{"tie-b", 10},
+		{"tie-c", 10},
+		{"default", DefaultPriority},
+	} {
+		if err := b.Register(CallFromUser, r.name, r.prio, nop); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := []string{"late-low", "tie-a", "tie-b", "tie-c", "first-high", "default"}
+	assertOrder := func(want []string) {
+		t.Helper()
+		// Re-snapshot several times: the order must be stable across calls.
+		for i := 0; i < 3; i++ {
+			rs := b.Registrations()[CallFromUser]
+			if len(rs) != len(want) {
+				t.Fatalf("got %d registrations, want %d", len(rs), len(want))
+			}
+			for j, w := range want {
+				if rs[j].Name != w {
+					got := make([]string, len(rs))
+					for k, r := range rs {
+						got[k] = r.Name
+					}
+					t.Fatalf("snapshot %d: order %v, want %v", i, got, want)
+				}
+			}
+			for j := 1; j < len(rs); j++ {
+				if rs[j-1].Priority > rs[j].Priority {
+					t.Fatalf("snapshot %d: priorities not ascending: %d before %d",
+						i, rs[j-1].Priority, rs[j].Priority)
+				}
+			}
+		}
+	}
+	assertOrder(want)
+
+	// Deregistering from the middle of a tie group must keep the remaining
+	// handlers in their original relative order.
+	b.Deregister(CallFromUser, "tie-b")
+	assertOrder([]string{"late-low", "tie-a", "tie-c", "first-high", "default"})
+
+	// Re-registering a previously removed name appends at the end of its
+	// priority tie group (a fresh registration, not a resurrected slot).
+	if err := b.Register(CallFromUser, "tie-b", 10, nop); err != nil {
+		t.Fatal(err)
+	}
+	assertOrder([]string{"late-low", "tie-a", "tie-c", "tie-b", "first-high", "default"})
+}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"time"
 
+	"mrpc/internal/clock"
+
 	"mrpc"
 	"mrpc/internal/msg"
 	"mrpc/internal/proc"
@@ -118,14 +120,16 @@ func (d *durable) read() (int64, int64) {
 type pairApp struct {
 	d *durable
 
+	clk clock.Clock
+
 	mu         sync.Mutex
 	armed      bool
 	reached    chan struct{} // signalled when the crash point is reached
 	maxParking time.Duration
 }
 
-func newPairApp(d *durable) *pairApp {
-	return &pairApp{d: d, maxParking: 5 * time.Second}
+func newPairApp(clk clock.Clock, d *durable) *pairApp {
+	return &pairApp{clk: clk, d: d, maxParking: 5 * time.Second}
 }
 
 // arm makes the next pair call stop at the crash point; the returned
@@ -162,11 +166,11 @@ func (p *pairApp) Pop(th *proc.Thread, op msg.OpID, args []byte) []byte {
 		if th != nil {
 			select {
 			case <-th.Killed():
-			case <-time.After(p.maxParking):
+			case <-clock.After(p.clk, p.maxParking):
 			}
 			return nil
 		}
-		time.Sleep(p.maxParking)
+		p.clk.Sleep(p.maxParking)
 		return nil
 	}
 
@@ -227,26 +231,27 @@ type slowEvent struct {
 // slowApp executes calls with a fixed service time, records start/end/kill
 // events, and honours cooperative kill — the orphan probe of E11.
 type slowApp struct {
+	clk   clock.Clock
 	delay time.Duration
 
 	mu     sync.Mutex
 	events []slowEvent
 }
 
-func newSlowApp(delay time.Duration) *slowApp {
-	return &slowApp{delay: delay}
+func newSlowApp(clk clock.Clock, delay time.Duration) *slowApp {
+	return &slowApp{clk: clk, delay: delay}
 }
 
 func (s *slowApp) record(tag, kind string) {
 	s.mu.Lock()
-	s.events = append(s.events, slowEvent{tag: tag, kind: kind, at: time.Now()})
+	s.events = append(s.events, slowEvent{tag: tag, kind: kind, at: s.clk.Now()})
 	s.mu.Unlock()
 }
 
 func (s *slowApp) Pop(th *proc.Thread, _ msg.OpID, args []byte) []byte {
 	tag := string(args)
 	s.record(tag, "start")
-	deadline := time.After(s.delay)
+	deadline := clock.After(s.clk, s.delay)
 	if th != nil {
 		select {
 		case <-th.Killed():

@@ -6,6 +6,7 @@ import (
 
 	"mrpc"
 	"mrpc/internal/config"
+	"mrpc/internal/proc"
 )
 
 // E1FailureSemantics regenerates Figure 1: the traditional failure
@@ -109,7 +110,7 @@ func uniqueProbe(cfg mrpc.Config, seed int64) (maxPer, total, calls int) {
 	}
 	// Let straggler duplicates drain before reading the counters.
 	sys.Quiesce()
-	time.Sleep(20 * time.Millisecond)
+	sys.Clock().Sleep(20 * time.Millisecond)
 	sys.Quiesce()
 	maxPer, total = app.maxExecutions()
 	return maxPer, total, n
@@ -124,7 +125,7 @@ func atomicProbe(cfg mrpc.Config) bool {
 
 	d := &durable{}
 	scfg := cfg
-	server, err := sys.AddServer(1, scfg, func() mrpc.App { return newPairApp(d) })
+	server, err := sys.AddServer(1, scfg, func() mrpc.App { return newPairApp(sys.Clock(), d) })
 	if err != nil {
 		panic(err)
 	}
@@ -150,12 +151,12 @@ func atomicProbe(cfg mrpc.Config) bool {
 	}
 	reached := app.arm()
 	done := make(chan struct{})
-	go func() {
+	proc.Go(func(_ *proc.Thread) {
 		defer close(done)
 		// This call parks at the crash point, dies with the server, and
 		// completes via retransmission after recovery.
 		_, _, _ = client.Call(opPair, nil, group)
-	}()
+	})
 	<-reached
 	server.Crash()
 	if err := server.Recover(); err != nil {

@@ -59,12 +59,12 @@ func acceptanceRun(seed int64, k int) *trace.Recorder {
 
 	rec := trace.NewRecorder("latency")
 	for i := 0; i < 25; i++ {
-		t0 := time.Now()
+		t0 := sys.Clock().Now()
 		_, status, err := client.Call(opEcho, nil, group)
 		if err != nil || status != mrpc.StatusOK {
 			panic("acceptanceRun: unexpected call failure")
 		}
-		rec.Add(time.Since(t0))
+		rec.Add(sys.Clock().Now().Sub(t0))
 	}
 	return rec
 }

@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"mrpc"
+	"mrpc/internal/clock"
 	"mrpc/internal/config"
+	"mrpc/internal/proc"
 )
 
 // E11Orphans exercises the three orphan-handling options (§4.4.7) with the
@@ -68,7 +70,7 @@ func orphanRun(mode config.OrphanMode) (killed, interfered, completed bool) {
 		AcceptanceLimit: 1,
 	}
 
-	app := newSlowApp(80 * time.Millisecond)
+	app := newSlowApp(sys.Clock(), 80*time.Millisecond)
 	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return app }); err != nil {
 		panic(err)
 	}
@@ -81,11 +83,11 @@ func orphanRun(mode config.OrphanMode) (killed, interfered, completed bool) {
 	// 1. Issue the soon-to-be-orphan call; it is aborted locally when the
 	// client crashes but keeps executing at the server.
 	released := make(chan struct{})
-	go func() {
+	proc.Go(func(_ *proc.Thread) {
 		defer close(released)
 		_, _, _ = client.Call(opSlow, []byte("orphan"), group)
-	}()
-	if !waitFor(func() bool {
+	})
+	if !waitFor(sys.Clock(), func() bool {
 		_, ok := findEvent(app.snapshot(), "orphan", "start")
 		return ok
 	}, time.Second) {
@@ -106,7 +108,7 @@ func orphanRun(mode config.OrphanMode) (killed, interfered, completed bool) {
 	}
 
 	// 4. Let the orphan drain (complete or observe its kill).
-	waitFor(func() bool {
+	waitFor(sys.Clock(), func() bool {
 		ev := app.snapshot()
 		_, ended := findEvent(ev, "orphan", "end")
 		_, wasKilled := findEvent(ev, "orphan", "killed")
@@ -124,15 +126,15 @@ func orphanRun(mode config.OrphanMode) (killed, interfered, completed bool) {
 }
 
 // waitFor polls cond until it holds or the deadline passes.
-func waitFor(cond func() bool, limit time.Duration) bool {
-	deadline := time.Now().Add(limit)
+func waitFor(clk clock.Clock, cond func() bool, limit time.Duration) bool {
+	deadline := clk.Now().Add(limit)
 	for {
 		if cond() {
 			return true
 		}
-		if time.Now().After(deadline) {
+		if clk.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 }

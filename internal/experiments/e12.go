@@ -45,7 +45,7 @@ func boundedRun(bound time.Duration) (ok, tout int, rec *trace.Recorder) {
 	cfg.TimeBound = bound
 	cfg.RetransTimeout = 100 * time.Millisecond
 
-	app := newSlowApp(20 * time.Millisecond)
+	app := newSlowApp(sys.Clock(), 20*time.Millisecond)
 	if _, err := sys.AddServer(1, cfg, func() mrpc.App { return app }); err != nil {
 		panic(err)
 	}
@@ -57,12 +57,12 @@ func boundedRun(bound time.Duration) (ok, tout int, rec *trace.Recorder) {
 
 	rec = trace.NewRecorder("latency")
 	for i := 0; i < 10; i++ {
-		t0 := time.Now()
+		t0 := sys.Clock().Now()
 		_, status, err := client.Call(opSlow, []byte{byte(i)}, group)
 		if err != nil {
 			panic(err)
 		}
-		rec.Add(time.Since(t0))
+		rec.Add(sys.Clock().Now().Sub(t0))
 		switch status {
 		case mrpc.StatusOK:
 			ok++

@@ -150,7 +150,8 @@ func causalRun(seed int64, mode config.OrderMode, rounds int) (violations, calls
 	}
 
 	// Drain: every replica eventually executes all 2*rounds writes.
-	deadline := time.Now().Add(10 * time.Second)
+	clk := sys.Clock()
+	deadline := clk.Now().Add(10 * time.Second)
 	for {
 		done := true
 		for _, b := range boards {
@@ -158,10 +159,10 @@ func causalRun(seed int64, mode config.OrderMode, rounds int) (violations, calls
 				done = false
 			}
 		}
-		if done || time.Now().After(deadline) {
+		if done || clk.Now().After(deadline) {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 
 	for _, b := range boards {

@@ -57,11 +57,11 @@ func p2pCallCost(calls int) time.Duration {
 	for i := 0; i < 50; i++ {
 		client.Call(1, 1, nil)
 	}
-	t0 := time.Now()
+	t0 := clk.Now()
 	for i := 0; i < calls; i++ {
 		if _, status := client.Call(1, 1, nil); status != msg.StatusOK {
 			panic("p2pCallCost: call failed")
 		}
 	}
-	return time.Since(t0) / time.Duration(calls)
+	return clk.Now().Sub(t0) / time.Duration(calls)
 }

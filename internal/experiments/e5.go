@@ -62,12 +62,12 @@ func readOneRun(seed int64, all bool) *trace.Recorder {
 
 	rec := trace.NewRecorder("latency")
 	for i := 0; i < 30; i++ {
-		t0 := time.Now()
+		t0 := sys.Clock().Now()
 		_, status, err := client.Call(opEcho, []byte("read"), group)
 		if err != nil || status != mrpc.StatusOK {
 			panic("readOneRun: unexpected call failure")
 		}
-		rec.Add(time.Since(t0))
+		rec.Add(sys.Clock().Now().Sub(t0))
 	}
 	return rec
 }

@@ -71,13 +71,13 @@ func AblationCall(cfg mrpc.Config, calls int) time.Duration {
 			panic("AblationCall: warmup failure")
 		}
 	}
-	t0 := time.Now()
+	t0 := sys.Clock().Now()
 	for i := 0; i < calls; i++ {
 		if _, status, err := client.Call(opEcho, nil, group); err != nil || status != mrpc.StatusOK {
 			panic("AblationCall: call failure")
 		}
 	}
-	return time.Since(t0) / time.Duration(calls)
+	return sys.Clock().Now().Sub(t0) / time.Duration(calls)
 }
 
 // E6Ablation measures the incremental per-call cost of each

@@ -99,7 +99,8 @@ func orderingRun(seed int64, mode config.OrderMode, nClients, nCalls int) ([][]s
 
 	// Wait until every server has executed every call (with acceptance ONE
 	// the slower servers are still draining when the clients finish).
-	deadline := time.Now().Add(5 * time.Second)
+	clk := sys.Clock()
+	deadline := clk.Now().Add(5 * time.Second)
 	want := nClients * nCalls
 	for {
 		done := true
@@ -108,10 +109,10 @@ func orderingRun(seed int64, mode config.OrderMode, nClients, nCalls int) ([][]s
 				done = false
 			}
 		}
-		if done || time.Now().After(deadline) {
+		if done || clk.Now().After(deadline) {
 			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		clk.Sleep(2 * time.Millisecond)
 	}
 
 	logs := make([][]string, len(apps))

@@ -58,11 +58,11 @@ func monolithicCall(calls int) time.Duration {
 	for i := 0; i < 50; i++ {
 		client.Call(opEcho, nil, group, 1)
 	}
-	t0 := time.Now()
+	t0 := clk.Now()
 	for i := 0; i < calls; i++ {
 		client.Call(opEcho, nil, group, 1)
 	}
-	return time.Since(t0) / time.Duration(calls)
+	return clk.Now().Sub(t0) / time.Duration(calls)
 }
 
 // E8GroupThroughput is the group-size sweep companion: calls/s of the
@@ -107,11 +107,11 @@ func monolithicGroupCall(n, calls int) time.Duration {
 	for i := 0; i < 20; i++ {
 		client.Call(opEcho, nil, group, n)
 	}
-	t0 := time.Now()
+	t0 := clk.Now()
 	for i := 0; i < calls; i++ {
 		client.Call(opEcho, nil, group, n)
 	}
-	return time.Since(t0) / time.Duration(calls)
+	return clk.Now().Sub(t0) / time.Duration(calls)
 }
 
 func compositeGroupCall(n, calls int) time.Duration {
@@ -137,11 +137,11 @@ func compositeGroupCall(n, calls int) time.Duration {
 			panic("compositeGroupCall: warmup failure")
 		}
 	}
-	t0 := time.Now()
+	t0 := sys.Clock().Now()
 	for i := 0; i < calls; i++ {
 		if _, status, err := client.Call(opEcho, nil, group); err != nil || status != mrpc.StatusOK {
 			panic("compositeGroupCall: call failure")
 		}
 	}
-	return time.Since(t0) / time.Duration(calls)
+	return sys.Clock().Now().Sub(t0) / time.Duration(calls)
 }

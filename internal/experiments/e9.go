@@ -58,12 +58,12 @@ func lossRun(seed int64, loss float64) (*trace.Recorder, float64) {
 	const calls = 50
 	rec := trace.NewRecorder("latency")
 	for i := 0; i < calls; i++ {
-		t0 := time.Now()
+		t0 := sys.Clock().Now()
 		_, status, err := client.Call(opEcho, []byte("x"), group)
 		if err != nil || status != mrpc.StatusOK {
 			panic("lossRun: unexpected call failure")
 		}
-		rec.Add(time.Since(t0))
+		rec.Add(sys.Clock().Now().Sub(t0))
 	}
 	stats := sys.Network().Stats()
 	return rec, float64(stats.Sent) / float64(calls)

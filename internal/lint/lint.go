@@ -1,0 +1,260 @@
+// Package lint implements mrpclint, a static analyzer that enforces the
+// framework invariants the composite-protocol design depends on but which
+// the Go type system cannot express (see DESIGN.md "Statically enforced
+// invariants"):
+//
+//   - table-escape: *ClientRecord/*ServerRecord pointers obtained inside a
+//     scoped table callback (WithClient/WithServer/Each*/ClientTx/ServerTx)
+//     must not be stored in fields, globals, or channels, or escape via
+//     return — outside the callback the shard mutex no longer protects them.
+//   - determinism: wall-clock and global-randomness calls (time.Now,
+//     time.Sleep, time.After, math/rand top-level functions, ...) are banned
+//     outside internal/clock; netsim replay depends on the injected clock.
+//   - handler-discipline: event handlers registered with Bus.Register or
+//     Bus.RegisterTimeout must not call Bus.Trigger synchronously
+//     (re-entrant dispatch) and must not call lockAll/unlockAll.
+//   - goroutine-discipline: bare go statements outside internal/proc and
+//     internal/netsim must go through proc.Go / proc.(*Threads).Go so crash
+//     injection can reap the goroutine.
+//   - priority-constants: priorities passed to Bus.Register must reference
+//     named constants, not magic ints.
+//
+// The analysis is intraprocedural and syntax-plus-types driven; a sound
+// escape or call-graph analysis is out of scope. A violation that is
+// deliberate is silenced with a directive on the same or preceding line:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Pkg   *types.Package
+}
+
+type rule struct {
+	name string
+	run  func(*Package) []Diagnostic
+}
+
+// rules are run in order; diagnostics are position-sorted afterwards.
+var rules = []rule{
+	{"table-escape", checkTableEscape},
+	{"determinism", checkDeterminism},
+	{"handler-discipline", checkHandlerDiscipline},
+	{"goroutine-discipline", checkGoroutineDiscipline},
+	{"priority-constants", checkPriorityConstants},
+}
+
+// inScope reports whether a package path is subject to the invariants. The
+// examples/ tree models third-party user code and is out of scope (it is
+// not even loaded); everything else in the module is in.
+func inScope(path string) bool {
+	return path == "mrpc" ||
+		strings.HasPrefix(path, "mrpc/internal/") ||
+		strings.HasPrefix(path, "mrpc/cmd/")
+}
+
+// Analyze runs every rule over one package and returns the surviving
+// diagnostics, position-sorted, with //lint:ignore directives applied.
+func Analyze(p *Package) []Diagnostic {
+	var ds []Diagnostic
+	for _, r := range rules {
+		ds = append(ds, r.run(p)...)
+	}
+	malformed := applyIgnores(p, &ds)
+	ds = append(ds, malformed...)
+	sortDiagnostics(ds)
+	return ds
+}
+
+// LintModule analyzes every in-scope package of the module rooted at root.
+func LintModule(root string) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return nil, err
+	}
+	var ds []Diagnostic
+	for _, p := range pkgs {
+		ds = append(ds, Analyze(p)...)
+	}
+	sortDiagnostics(ds)
+	return ds, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Rule < ds[j].Rule
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	rule string
+	line int // last line of the comment; suppresses this line and the next
+}
+
+// applyIgnores filters *ds in place, dropping diagnostics suppressed by a
+// well-formed //lint:ignore directive on the same or the preceding line. It
+// returns extra diagnostics for malformed directives.
+func applyIgnores(p *Package, ds *[]Diagnostic) []Diagnostic {
+	byFile := make(map[string][]ignoreDirective)
+	var malformed []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				pos := p.Fset.Position(c.End())
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     p.Fset.Position(c.Pos()),
+						Rule:    "lint-directive",
+						Message: "malformed //lint:ignore directive: want `//lint:ignore <rule> <reason>`",
+					})
+					continue
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename],
+					ignoreDirective{rule: fields[0], line: pos.Line})
+			}
+		}
+	}
+
+	kept := (*ds)[:0]
+	for _, d := range *ds {
+		suppressed := false
+		for _, ig := range byFile[d.Pos.Filename] {
+			if (ig.rule == d.Rule || ig.rule == "*") &&
+				(ig.line == d.Pos.Line || ig.line == d.Pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	*ds = kept
+	return malformed
+}
+
+// --- shared type helpers --------------------------------------------------
+
+const (
+	corePath  = "mrpc/internal/core"
+	eventPath = "mrpc/internal/event"
+)
+
+// pkgLevelObj returns the object a selector resolves to, if it is a
+// package-level declaration (function or variable) of some package.
+func pkgLevelObj(p *Package, sel *ast.SelectorExpr) types.Object {
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	return obj
+}
+
+// busMethod returns the name of the event.Bus method a call invokes, or "".
+func busMethod(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if pkg, name := recvNamed(fn); pkg == eventPath && name == "Bus" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// recvNamed returns the package path and type name of a method's receiver
+// (dereferencing a pointer receiver), or "", "".
+func recvNamed(fn *types.Func) (pkgPath, typeName string) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}
+
+// recordPointee returns "ClientRecord" or "ServerRecord" when t is a pointer
+// to one of core's table record types, else "".
+func recordPointee(t types.Type) string {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != corePath {
+		return ""
+	}
+	if n := named.Obj().Name(); n == "ClientRecord" || n == "ServerRecord" {
+		return n
+	}
+	return ""
+}
+
+// stringArg returns the literal value of a string argument, or fallback.
+func stringArg(e ast.Expr, fallback string) string {
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return strings.Trim(lit.Value, "`\"")
+	}
+	return fallback
+}

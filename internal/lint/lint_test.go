@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader shells out to `go list -export` once; every test shares it.
+var (
+	loadOnce sync.Once
+	shared   *Loader
+	loadErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loadOnce.Do(func() {
+		var root string
+		root, loadErr = FindModuleRoot(".")
+		if loadErr != nil {
+			return
+		}
+		shared, loadErr = NewLoader(root)
+	})
+	if loadErr != nil {
+		t.Fatalf("loader: %v", loadErr)
+	}
+	return shared
+}
+
+// wantRe matches expectation markers in fixture sources:
+//
+//	// want "substring"       — a diagnostic on this line
+//	// want:+1 "substring"    — a diagnostic N lines below (for positions
+//	                            where a trailing comment cannot sit, such as
+//	                            the line of a //lint:ignore directive)
+var wantRe = regexp.MustCompile(`// want(:[+-]\d+)? "([^"]+)"`)
+
+// checkFixture type-checks internal/lint/testdata/<dir> under an in-scope
+// import path, runs Analyze, and requires an exact match between the
+// diagnostics and the fixture's want markers, line by line.
+func checkFixture(t *testing.T, dir string) {
+	t.Helper()
+	l := testLoader(t)
+	fixDir := filepath.Join(l.root, "internal", "lint", "testdata", dir)
+	entries, err := os.ReadDir(fixDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(fixDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", fixDir)
+	}
+
+	pkg, err := l.Check("mrpc/internal/lint/testdata/"+dir, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Analyze(pkg)
+
+	// file:line -> outstanding expectations / diagnostics.
+	wants := make(map[string][]string)
+	for _, name := range files {
+		rel, err := filepath.Rel(l.root, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				target := i + 1
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want offset %q", rel, i+1, m[1])
+					}
+					target += off
+				}
+				key := fmt.Sprintf("%s:%d", filepath.ToSlash(rel), target)
+				wants[key] = append(wants[key], m[2])
+			}
+		}
+	}
+
+	diags := make(map[string][]Diagnostic)
+	for _, d := range got {
+		key := fmt.Sprintf("%s:%d", filepath.ToSlash(d.Pos.Filename), d.Pos.Line)
+		diags[key] = append(diags[key], d)
+	}
+
+	keys := make(map[string]bool)
+	for k := range wants {
+		keys[k] = true
+	}
+	for k := range diags {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, k := range sorted {
+		ws, ds := wants[k], diags[k]
+		used := make([]bool, len(ds))
+	nextWant:
+		for _, w := range ws {
+			for i, d := range ds {
+				if !used[i] && strings.Contains(d.Rule+": "+d.Message, w) {
+					used[i] = true
+					continue nextWant
+				}
+			}
+			t.Errorf("%s: expected diagnostic matching %q, got none", k, w)
+		}
+		for i, d := range ds {
+			if !used[i] {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", k, d.Rule, d.Message)
+			}
+		}
+	}
+}
+
+func TestTableEscapeFixture(t *testing.T)         { checkFixture(t, "escape") }
+func TestDeterminismFixture(t *testing.T)         { checkFixture(t, "determinism") }
+func TestHandlerDisciplineFixture(t *testing.T)   { checkFixture(t, "handler") }
+func TestGoroutineDisciplineFixture(t *testing.T) { checkFixture(t, "goroutine") }
+func TestPriorityConstantsFixture(t *testing.T)   { checkFixture(t, "priority") }
+func TestIgnoreDirectives(t *testing.T)           { checkFixture(t, "ignore") }
+
+// TestModuleIsClean is the acceptance gate: the tree this test ships with
+// must carry zero violations (modulo annotated //lint:ignore sites).
+func TestModuleIsClean(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, d := range Analyze(p) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestInScope pins the analysis surface: the module root, internal/ and
+// cmd/ are linted; examples/ models user code and is exempt.
+func TestInScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"mrpc":                     true,
+		"mrpc/internal/core":       true,
+		"mrpc/cmd/mrpclint":        true,
+		"mrpc/examples/quickstart": false,
+		"fmt":                      false,
+	} {
+		if got := inScope(path); got != want {
+			t.Errorf("inScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the module's packages. Imports (both
+// standard library and intra-module) are resolved from compiled export data
+// produced by `go list -export`, so the loader needs only the Go toolchain
+// already required to build the repo — no dependencies beyond the standard
+// library.
+type Loader struct {
+	Fset *token.FileSet
+
+	root    string
+	mods    []listedPackage   // module packages, in `go list` order
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// NewLoader builds export data for the module rooted at root and every
+// dependency, and prepares an importer over it.
+func NewLoader(root string) (*Loader, error) {
+	cmd := exec.Command("go", "list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard", "./...")
+	cmd.Dir = root
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list -export: %v\n%s", err, errb.String())
+	}
+
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		root:    root,
+		exports: make(map[string]string),
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && inModule(p.ImportPath) {
+			l.mods = append(l.mods, p)
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup)
+	return l, nil
+}
+
+func inModule(path string) bool {
+	return path == "mrpc" || strings.HasPrefix(path, "mrpc/")
+}
+
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// LoadModule type-checks every analyzable module package (examples/ model
+// third-party user code and are skipped; testdata never appears in go list).
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var pkgs []*Package
+	for _, p := range l.mods {
+		if strings.HasPrefix(p.ImportPath, "mrpc/examples/") {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.Check(p.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check parses and type-checks the given files as one package with the
+// given import path. File names in positions are reported relative to the
+// module root when possible.
+func (l *Loader) Check(path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		display := name
+		if rel, err := filepath.Rel(l.root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			display = rel
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.Fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(terrs) > 0 {
+		msgs := make([]string, 0, len(terrs))
+		for _, e := range terrs {
+			msgs = append(msgs, e.Error())
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	return &Package{Path: path, Fset: l.Fset, Files: files, Info: info, Pkg: tpkg}, nil
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bannedTime are the package-level time functions that read or wait on the
+// wall clock. Deterministic replay under netsim requires every time
+// observation to flow through the injected clock.Clock, so these are banned
+// outside internal/clock (which implements Real on top of them).
+var bannedTime = map[string]string{
+	"Now":       "clock.Clock.Now",
+	"Sleep":     "clock.Clock.Sleep",
+	"After":     "clock.After",
+	"AfterFunc": "clock.Clock.AfterFunc",
+	"Since":     "clock.Clock.Now and Time.Sub",
+	"Until":     "clock.Clock.Now and Time.Sub",
+	"Tick":      "clock.Clock.AfterFunc",
+	"NewTimer":  "clock.Clock.AfterFunc",
+	"NewTicker": "clock.Clock.AfterFunc",
+}
+
+// allowedRand are the math/rand constructors for explicitly seeded
+// generators; everything else package-level draws from the unseeded global
+// source.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// checkDeterminism flags wall-clock and global-randomness references.
+func checkDeterminism(p *Package) []Diagnostic {
+	if !inScope(p.Path) || p.Path == "mrpc/internal/clock" {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkgLevelObj(p, sel)
+			if obj == nil {
+				return true
+			}
+			// Types (rand.Rand, time.Duration) and constants are fine; only
+			// the package-level functions touch the wall clock / global rng.
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if repl, banned := bannedTime[obj.Name()]; banned {
+					ds = append(ds, Diagnostic{
+						Pos:  p.Fset.Position(sel.Pos()),
+						Rule: "determinism",
+						Message: "time." + obj.Name() + " bypasses the seeded clock; use " +
+							repl + " (internal/clock)",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[obj.Name()] {
+					ds = append(ds, Diagnostic{
+						Pos:  p.Fset.Position(sel.Pos()),
+						Rule: "determinism",
+						Message: "rand." + obj.Name() + " draws from the global source; use a " +
+							"rand.New(rand.NewSource(seed)) instance",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkTableEscape analyzes every function literal that takes a
+// *core.ClientRecord or *core.ServerRecord parameter — the shape of every
+// scoped table callback (WithClient/WithServer, EachClient/EachServer,
+// ClientTx.Each/ServerTx.Each) — and flags record pointers that outlive the
+// callback. The shard mutex is held only for the callback's duration
+// (DESIGN.md §4); a pointer stashed in a field, global, or channel, or
+// escaping via return, is a record that will later be read or written
+// without its lock.
+//
+// Escapes tracked (intraprocedural, one level of aliasing):
+//
+//   - assignment of the record (or an alias) to a struct field or a
+//     package-level variable, and sends on channels, inside the callback;
+//   - return of the record from the callback itself;
+//   - assignment to a variable of the enclosing function which that
+//     function then returns, stores in a field/global, or sends.
+//
+// Collecting records into an enclosing-function local that is consumed and
+// dropped there (the wake-outside-the-locks pattern) is legal and not
+// flagged, provided only immutable record fields are touched after the
+// callback — that part of the rule remains a code-review obligation.
+// Passing the record to an arbitrary function is likewise not tracked.
+func checkTableEscape(p *Package) []Diagnostic {
+	if !inScope(p.Path) {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		// Full node stack (ast.Inspect pairs every true-returning visit
+		// with an f(nil) pop), scanned backwards for the enclosing function.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if kind, params := recordParams(p, lit); kind != "" {
+					ds = append(ds, analyzeRecordClosure(p, lit, enclosingFunc(stack), kind, params)...)
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return ds
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack, or nil at top level.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// recordParams returns the record kind and the parameter objects of a
+// closure that receives table record pointers, or "" if it receives none.
+func recordParams(p *Package, lit *ast.FuncLit) (string, map[types.Object]bool) {
+	params := make(map[types.Object]bool)
+	kind := ""
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if k := recordPointee(obj.Type()); k != "" {
+				params[obj] = true
+				kind = k
+			}
+		}
+	}
+	if len(params) == 0 {
+		return "", nil
+	}
+	return kind, params
+}
+
+func analyzeRecordClosure(p *Package, lit *ast.FuncLit, outer ast.Node, kind string, tainted map[types.Object]bool) []Diagnostic {
+	var ds []Diagnostic
+	diag := func(pos ast.Node, what string) {
+		ds = append(ds, Diagnostic{
+			Pos:  p.Fset.Position(pos.Pos()),
+			Rule: "table-escape",
+			Message: "*" + kind + " obtained in a scoped table callback " + what +
+				"; it is unprotected once the shard lock is released",
+		})
+	}
+
+	// outerTainted maps enclosing-function locals that received the record
+	// to the expression that stored it (for the second pass).
+	outerTainted := make(map[types.Object]bool)
+
+	isTainted := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				return tainted[obj] || outerTainted[obj]
+			}
+		}
+		if call, ok := e.(*ast.CallExpr); ok {
+			// append(xs, rec...) taints the result.
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, a := range call.Args {
+					a = ast.Unparen(a)
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := p.Info.Uses[id]; obj != nil && (tainted[obj] || outerTainted[obj]) {
+							return true
+						}
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	declaredInClosure := func(obj types.Object) bool {
+		return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isTainted(rhs) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					diag(n, "is stored in a field")
+				case *ast.IndexExpr:
+					// Storing into an element of a global or field-held
+					// container escapes; a closure-local container only
+					// taints the container.
+					switch base := ast.Unparen(lhs.X).(type) {
+					case *ast.SelectorExpr:
+						diag(n, "is stored in a field")
+					case *ast.Ident:
+						if obj := p.Info.Uses[base]; obj != nil {
+							if isGlobalVar(obj) {
+								diag(n, "is stored in a global")
+							} else if declaredInClosure(obj) {
+								tainted[obj] = true
+							} else {
+								outerTainted[obj] = true
+							}
+						}
+					}
+				case *ast.Ident:
+					obj := p.Info.Defs[lhs]
+					if obj == nil {
+						obj = p.Info.Uses[lhs]
+					}
+					if obj == nil || obj.Name() == "_" {
+						continue
+					}
+					if isGlobalVar(obj) {
+						diag(n, "is stored in a global")
+					} else if declaredInClosure(obj) {
+						tainted[obj] = true
+					} else {
+						outerTainted[obj] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isTainted(n.Value) {
+				diag(n, "is sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			// Only returns of this closure itself; nested literals get their
+			// own analysis if they carry record params, and plain nested
+			// closures returning the record still hand it at most to code
+			// running inside the callback.
+			for _, r := range n.Results {
+				if isTainted(r) {
+					diag(n, "escapes via return")
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	// Second pass: how does the enclosing function use the locals the
+	// callback stored the record in?
+	if outer == nil || len(outerTainted) == 0 {
+		return ds
+	}
+	var body *ast.BlockStmt
+	switch o := outer.(type) {
+	case *ast.FuncDecl:
+		body = o.Body
+	case *ast.FuncLit:
+		body = o.Body
+	}
+	if body == nil {
+		return ds
+	}
+	usesOuterTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && outerTainted[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == lit {
+			return false // already analyzed
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesOuterTainted(r) {
+					diag(n, "escapes via return from the enclosing function")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				rhs = ast.Unparen(rhs)
+				id, ok := rhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || !outerTainted[obj] {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					diag(n, "is stored in a field")
+				case *ast.Ident:
+					if lobj := p.Info.Uses[lhs]; lobj != nil && isGlobalVar(lobj) {
+						diag(n, "is stored in a global")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			v := ast.Unparen(n.Value)
+			if id, ok := v.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && outerTainted[obj] {
+					diag(n, "is sent on a channel")
+				}
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+func isGlobalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

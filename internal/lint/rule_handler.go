@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkHandlerDiscipline analyzes the body of every function literal
+// registered as an event handler (Bus.Register's fourth argument,
+// Bus.RegisterTimeout's third — directly, or through a local variable bound
+// to a literal) and flags:
+//
+//   - synchronous Bus.Trigger calls: handlers run to completion on the
+//     triggering goroutine, so a Trigger from inside a handler re-enters
+//     dispatch beneath the current occurrence. Deliberate cascades (RPC
+//     Main's CALL_FROM_USER -> NEW_RPC_CALL) carry a //lint:ignore.
+//   - lockAll/unlockAll calls: whole-table locking from dispatch context
+//     inverts the table/dispatch lock order; handlers needing a consistent
+//     view use ClientTx/ServerTx.
+//
+// Function literals that the handler hands to deferred-execution APIs
+// (Register, RegisterTimeout, AfterFunc) run outside the handler and are
+// not attributed to it; they are analyzed on their own when registered.
+// The analysis is intraprocedural: a Trigger buried in a helper the handler
+// calls is not seen.
+func checkHandlerDiscipline(p *Package) []Diagnostic {
+	if !inScope(p.Path) {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		lits := localFuncLits(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var handlerArg ast.Expr
+			var name string
+			switch busMethod(p, call) {
+			case "Register":
+				if len(call.Args) == 4 {
+					handlerArg = call.Args[3]
+					name = stringArg(call.Args[1], "handler")
+				}
+			case "RegisterTimeout":
+				if len(call.Args) == 3 {
+					handlerArg = call.Args[2]
+					name = stringArg(call.Args[0], "handler")
+				}
+			}
+			if handlerArg == nil {
+				return true
+			}
+			lit := resolveFuncLit(p, handlerArg, lits)
+			if lit == nil {
+				return true
+			}
+			ds = append(ds, analyzeHandlerBody(p, lit, name)...)
+			return true
+		})
+	}
+	return ds
+}
+
+// localFuncLits maps local variables to the function literal they are bound
+// to by a simple `x := func(...)` or `var x = func(...)`, so handlers named
+// before registration (the re-registering timeout pattern) resolve too.
+func localFuncLits(p *Package, f *ast.File) map[types.Object]*ast.FuncLit {
+	m := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if lit, ok := rhs.(*ast.FuncLit); ok && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						obj := p.Info.Defs[id]
+						if obj == nil {
+							// Self-referencing handlers are declared first and
+							// assigned with plain `=`.
+							obj = p.Info.Uses[id]
+						}
+						if obj != nil {
+							m[obj] = lit
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if lit, ok := v.(*ast.FuncLit); ok && i < len(n.Names) {
+					if obj := p.Info.Defs[n.Names[i]]; obj != nil {
+						m[obj] = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+func resolveFuncLit(p *Package, e ast.Expr, lits map[types.Object]*ast.FuncLit) *ast.FuncLit {
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		return e
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return lits[obj]
+		}
+	}
+	return nil
+}
+
+func analyzeHandlerBody(p *Package, lit *ast.FuncLit, name string) []Diagnostic {
+	var ds []Diagnostic
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// The spawned body runs on another goroutine, not inside
+				// this dispatch; rule goroutine-discipline covers the spawn.
+				return false
+			case *ast.CallExpr:
+				switch busMethod(p, n) {
+				case "Trigger":
+					ds = append(ds, Diagnostic{
+						Pos:  p.Fset.Position(n.Pos()),
+						Rule: "handler-discipline",
+						Message: "handler " + name + " calls Bus.Trigger synchronously " +
+							"(re-entrant dispatch)",
+					})
+				case "Register", "RegisterTimeout":
+					// Deferred execution: analyze the registered literal as
+					// its own handler (the outer Inspect already does), but
+					// keep walking the non-literal arguments.
+					for _, a := range n.Args {
+						if _, isLit := a.(*ast.FuncLit); !isLit {
+							walk(a)
+						}
+					}
+					return false
+				}
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isTableLockAll(sel.Sel.Name) {
+					ds = append(ds, lockAllDiag(p, n, name))
+				} else if id, ok := n.Fun.(*ast.Ident); ok && isTableLockAll(id.Name) {
+					ds = append(ds, lockAllDiag(p, n, name))
+				}
+				// AfterFunc callbacks run from the clock, not this dispatch.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AfterFunc" {
+					for _, a := range n.Args {
+						if _, isLit := a.(*ast.FuncLit); !isLit {
+							walk(a)
+						}
+					}
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(lit.Body)
+	return ds
+}
+
+func isTableLockAll(name string) bool { return name == "lockAll" || name == "unlockAll" }
+
+func lockAllDiag(p *Package, call *ast.CallExpr, name string) Diagnostic {
+	return Diagnostic{
+		Pos:  p.Fset.Position(call.Pos()),
+		Rule: "handler-discipline",
+		Message: "handler " + name + " calls lockAll/unlockAll; use ClientTx/ServerTx " +
+			"for a consistent table view",
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// checkPriorityConstants flags Bus.Register calls whose priority argument
+// does not reference a named constant. Handler priorities order the whole
+// composite protocol's dispatch (DESIGN.md §3); a magic int hides that
+// ordering relationship from the reader and from grep.
+func checkPriorityConstants(p *Package) []Diagnostic {
+	if !inScope(p.Path) {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || busMethod(p, call) != "Register" || len(call.Args) != 4 {
+				return true
+			}
+			prio := call.Args[2]
+			if !referencesNamedConst(p, prio) {
+				ds = append(ds, Diagnostic{
+					Pos:  p.Fset.Position(prio.Pos()),
+					Rule: "priority-constants",
+					Message: "priority `" + exprString(p, prio) +
+						"` passed to Bus.Register must reference a named constant",
+				})
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// referencesNamedConst reports whether the expression mentions at least one
+// declared (non-universe) named constant, e.g. PrioReliable or
+// event.DefaultPriority — including in compound forms like PrioReliable+2.
+func referencesNamedConst(p *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, ok := p.Info.Uses[id].(*types.Const); ok && c.Pkg() != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func exprString(p *Package, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

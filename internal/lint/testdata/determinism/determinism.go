@@ -1,0 +1,26 @@
+// Fixture for the determinism rule: wall-clock and global-randomness calls
+// are banned outside internal/clock.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Duration constants are values, not clock reads.
+const interval = 5 * time.Millisecond
+
+func clocky() time.Duration {
+	t0 := time.Now()             // want "time.Now bypasses the seeded clock"
+	time.Sleep(interval)         // want "time.Sleep bypasses the seeded clock"
+	<-time.After(interval)       // want "time.After bypasses the seeded clock"
+	t := time.NewTimer(interval) // want "time.NewTimer bypasses the seeded clock"
+	t.Stop()
+	return time.Since(t0) // want "time.Since bypasses the seeded clock"
+}
+
+func randy() int {
+	r := rand.New(rand.NewSource(1)) // seeded generator: allowed
+	n := r.Intn(10)                  // method on an instance: allowed
+	return n + rand.Intn(10)         // want "rand.Intn draws from the global source"
+}

@@ -1,0 +1,71 @@
+// Fixture for the table-escape rule: record pointers handed to scoped
+// table callbacks must not outlive the callback.
+package escape
+
+import (
+	"mrpc/internal/core"
+	"mrpc/internal/msg"
+)
+
+type holder struct{ rec *core.ClientRecord }
+
+var global *core.ClientRecord
+
+func fieldStore(fw *core.Framework, h *holder, id msg.CallID) {
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		h.rec = rec // want "is stored in a field"
+	})
+}
+
+func globalStore(fw *core.Framework, id msg.CallID) {
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		global = rec // want "is stored in a global"
+	})
+}
+
+func channelSend(fw *core.Framework, id msg.CallID, ch chan *core.ClientRecord) {
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		ch <- rec // want "is sent on a channel"
+	})
+}
+
+// each stands in for any callback-taking helper: the rule keys on the
+// closure's parameter type, not on the callee.
+func each(f func(rec *core.ServerRecord) *core.ServerRecord) { _ = f }
+
+func returnEscape() {
+	each(func(rec *core.ServerRecord) *core.ServerRecord {
+		return rec // want "escapes via return"
+	})
+}
+
+func aliasEscape(fw *core.Framework, id msg.CallID) {
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		alias := rec
+		global = alias // want "is stored in a global"
+	})
+}
+
+func enclosingReturn(fw *core.Framework, id msg.CallID) *core.ClientRecord {
+	var out *core.ClientRecord
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		out = rec
+	})
+	return out // want "escapes via return from the enclosing function"
+}
+
+// legalWake is the sanctioned wake-outside-the-locks pattern: records
+// collected into an enclosing local, consumed there, and dropped.
+func legalWake(fw *core.Framework, id msg.CallID) int {
+	var wake []*core.ClientRecord
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		wake = append(wake, rec)
+	})
+	n := 0
+	for _, r := range wake {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+// Fixture for the handler-discipline rule: registered event handlers must
+// not Trigger synchronously or take the whole-table locks.
+package handler
+
+import (
+	"time"
+
+	"mrpc/internal/event"
+)
+
+const prio = 1
+const tick = time.Millisecond
+
+func lockAll()   {}
+func unlockAll() {}
+
+func retrigger(bus *event.Bus) {
+	_ = bus.Register(event.CallFromUser, "fixture.retrigger", prio,
+		func(o *event.Occurrence) {
+			bus.Trigger(event.NewRPCCall, nil) // want "calls Bus.Trigger synchronously"
+		})
+}
+
+func locker(bus *event.Bus) {
+	_ = bus.Register(event.CallFromUser, "fixture.locker", prio,
+		func(o *event.Occurrence) {
+			lockAll()         // want "calls lockAll/unlockAll"
+			defer unlockAll() // want "calls lockAll/unlockAll"
+		})
+}
+
+// namedHandler binds the literal to a local first; the rule resolves it.
+func namedHandler(bus *event.Bus) {
+	h := func(o *event.Occurrence) {
+		bus.Trigger(event.NewRPCCall, nil) // want "calls Bus.Trigger synchronously"
+	}
+	_ = bus.Register(event.CallFromUser, "fixture.named", prio, h)
+}
+
+func timeoutHandler(bus *event.Bus) {
+	cancel := bus.RegisterTimeout("fixture.timeout", tick,
+		func(o *event.Occurrence) {
+			bus.Trigger(event.Recovery, nil) // want "calls Bus.Trigger synchronously"
+		})
+	cancel()
+}
+
+// registering another handler from a handler is deferred execution: the
+// inner literal is analyzed on its own, not attributed to the outer one.
+func nested(bus *event.Bus) {
+	_ = bus.Register(event.CallFromUser, "fixture.outer", prio,
+		func(o *event.Occurrence) {
+			_ = bus.Register(event.Recovery, "fixture.inner", prio,
+				func(o *event.Occurrence) {
+					bus.Trigger(event.NewRPCCall, nil) // want "calls Bus.Trigger synchronously"
+				})
+		})
+}

@@ -1,0 +1,25 @@
+// Fixture for the //lint:ignore escape hatch: well-formed directives
+// suppress on the same or the next line; a directive without a reason is
+// itself a diagnostic and suppresses nothing.
+package ignore
+
+import "time"
+
+const tick = time.Millisecond
+
+func sleeps() {
+	//lint:ignore determinism fixture exercises the preceding-line form
+	time.Sleep(tick)
+
+	time.Sleep(tick) //lint:ignore determinism fixture exercises the same-line form
+
+	//lint:ignore * fixture exercises the wildcard form
+	time.Sleep(tick)
+
+	// want:+1 "malformed //lint:ignore directive"
+	//lint:ignore determinism
+	time.Sleep(tick) // want "time.Sleep bypasses the seeded clock"
+
+	//lint:ignore goroutine-discipline fixture: wrong rule does not suppress
+	time.Sleep(tick) // want "time.Sleep bypasses the seeded clock"
+}

@@ -1,0 +1,15 @@
+// Fixture for the priority-constants rule: Bus.Register priorities must
+// reference named constants.
+package priority
+
+import "mrpc/internal/event"
+
+const prioFixture = 3
+
+func register(bus *event.Bus, h event.Handler) {
+	_ = bus.Register(event.CallFromUser, "fixture.magic", 7, h) // want "must reference a named constant"
+	_ = bus.Register(event.CallFromUser, "fixture.sum", 2+5, h) // want "must reference a named constant"
+	_ = bus.Register(event.CallFromUser, "fixture.named", prioFixture, h)
+	_ = bus.Register(event.CallFromUser, "fixture.offset", prioFixture+1, h)
+	_ = bus.Register(event.CallFromUser, "fixture.default", event.DefaultPriority, h)
+}

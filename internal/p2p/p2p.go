@@ -171,9 +171,8 @@ type Client struct {
 	nextID  msg.CallID
 	pending map[msg.CallID]*p2pCall
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	loopDone chan struct{}
+	// loop is the retransmission thread (nil when Reliable is off).
+	loop *proc.Thread
 }
 
 // NewClient attaches a compact client for id to the network.
@@ -185,13 +184,11 @@ func NewClient(net *netsim.Network, clk clock.Clock, id msg.ProcID, opts Options
 		opts.TimeBound = time.Second
 	}
 	c := &Client{
-		id:       id,
-		clk:      clk,
-		opts:     opts,
-		nextID:   1,
-		pending:  make(map[msg.CallID]*p2pCall),
-		stop:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		id:      id,
+		clk:     clk,
+		opts:    opts,
+		nextID:  1,
+		pending: make(map[msg.CallID]*p2pCall),
 	}
 	ep, err := net.Attach(id, c.handle)
 	if err != nil {
@@ -199,17 +196,17 @@ func NewClient(net *netsim.Network, clk clock.Clock, id msg.ProcID, opts Options
 	}
 	c.ep = ep
 	if opts.Reliable {
-		go c.retransmitLoop()
-	} else {
-		close(c.loopDone)
+		c.loop = proc.Go(c.retransmitLoop)
 	}
 	return c, nil
 }
 
 // Close stops the client. Pending calls complete with StatusAborted.
 func (c *Client) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	<-c.loopDone
+	if c.loop != nil {
+		c.loop.Kill()
+		<-c.loop.Done()
+	}
 	c.mu.Lock()
 	calls := make([]*p2pCall, 0, len(c.pending))
 	for _, pc := range c.pending {
@@ -288,13 +285,12 @@ func (c *Client) handle(m *msg.NetMsg) {
 	}
 }
 
-func (c *Client) retransmitLoop() {
-	defer close(c.loopDone)
+func (c *Client) retransmitLoop(th *proc.Thread) {
 	for {
 		timer := make(chan struct{})
 		t := c.clk.AfterFunc(c.opts.RetransTimeout, func() { close(timer) })
 		select {
-		case <-c.stop:
+		case <-th.Killed():
 			t.Stop()
 			return
 		case <-timer:

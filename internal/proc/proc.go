@@ -16,11 +16,16 @@ import (
 )
 
 // Thread represents one server computation (the execution of a remote
-// procedure for one call). my_thread() of the pseudocode corresponds to the
+// procedure for one call) or, when started with Go, a background goroutine
+// owned by the framework. my_thread() of the pseudocode corresponds to the
 // Thread value handed to the procedure; kill(thread) to the Kill method.
 type Thread struct {
 	id     int64
 	client msg.ProcID // client whose call this thread serves
+	// done is non-nil only for goroutine-backed threads (Go/Threads.Go);
+	// it is closed when the thread's function returns. Set before the
+	// goroutine starts and never reassigned.
+	done chan struct{}
 
 	mu     sync.Mutex
 	killed bool
@@ -29,6 +34,28 @@ type Thread struct {
 	// allocates no channel.
 	kill chan struct{}
 }
+
+// Go runs fn on its own goroutine bound to a fresh detached Thread and
+// returns the Thread. The spawner owns the handle: Kill requests cooperative
+// termination (fn observes it via Killed/IsKilled) and Done reports exit.
+// All framework goroutines outside internal/proc and internal/netsim are
+// spawned through Go or Threads.Go — never with a bare go statement — so
+// every long-lived goroutine has a handle through which crash injection and
+// shutdown paths can reap it (enforced by mrpclint's goroutine-discipline
+// rule).
+func Go(fn func(*Thread)) *Thread {
+	t := &Thread{done: make(chan struct{})}
+	go func() {
+		defer close(t.done)
+		fn(t)
+	}()
+	return t
+}
+
+// Done returns a channel closed when the function of a goroutine-backed
+// thread (started with Go or Threads.Go) has returned. It returns nil for
+// threads spawned with Spawn, which have no goroutine of their own.
+func (t *Thread) Done() <-chan struct{} { return t.done }
 
 // ID returns the thread identifier.
 func (t *Thread) ID() int64 { return t.id }
@@ -89,6 +116,20 @@ func (r *Threads) Spawn(client msg.ProcID) *Thread {
 	r.next++
 	t := &Thread{id: r.next, client: client}
 	r.live[t.id] = t
+	return t
+}
+
+// Go runs fn on its own goroutine bound to a new registered thread serving
+// client, and removes the thread from the registry when fn returns. Unlike
+// a bare go statement the goroutine is reaped by KillAll (site crash).
+func (r *Threads) Go(client msg.ProcID, fn func(*Thread)) *Thread {
+	t := r.Spawn(client)
+	t.done = make(chan struct{})
+	go func() {
+		defer close(t.done)
+		defer r.Finish(t)
+		fn(t)
+	}()
 	return t
 }
 

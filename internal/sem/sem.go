@@ -8,6 +8,8 @@ package sem
 import (
 	"sync"
 	"time"
+
+	"mrpc/internal/clock"
 )
 
 // Sem is a counting semaphore. P decrements the count, blocking while it is
@@ -71,9 +73,9 @@ func (s *Sem) TryP() bool {
 	return false
 }
 
-// PTimeout acquires one unit, giving up after d. It reports whether the unit
-// was acquired. A timed-out waiter consumes no unit.
-func (s *Sem) PTimeout(d time.Duration) bool {
+// PTimeout acquires one unit, giving up after d on clk. It reports whether
+// the unit was acquired. A timed-out waiter consumes no unit.
+func (s *Sem) PTimeout(clk clock.Clock, d time.Duration) bool {
 	s.mu.Lock()
 	if s.count > 0 {
 		s.count--
@@ -84,12 +86,13 @@ func (s *Sem) PTimeout(d time.Duration) bool {
 	s.wait = append(s.wait, ch)
 	s.mu.Unlock()
 
-	t := time.NewTimer(d)
+	timedOut := make(chan struct{})
+	t := clk.AfterFunc(d, func() { close(timedOut) })
 	defer t.Stop()
 	select {
 	case <-ch:
 		return true
-	case <-t.C:
+	case <-timedOut:
 	}
 
 	// Timed out: remove our channel from the wait list, unless a V raced us

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"mrpc/internal/clock"
 )
 
 func TestPVBasic(t *testing.T) {
@@ -89,7 +91,7 @@ func TestTryP(t *testing.T) {
 func TestPTimeout(t *testing.T) {
 	s := New(0)
 	t0 := time.Now()
-	if s.PTimeout(20 * time.Millisecond) {
+	if s.PTimeout(clock.NewReal(), 20*time.Millisecond) {
 		t.Fatal("PTimeout acquired a unit that was never released")
 	}
 	if elapsed := time.Since(t0); elapsed < 15*time.Millisecond {
@@ -97,13 +99,13 @@ func TestPTimeout(t *testing.T) {
 	}
 
 	s.V()
-	if !s.PTimeout(20 * time.Millisecond) {
+	if !s.PTimeout(clock.NewReal(), 20*time.Millisecond) {
 		t.Fatal("PTimeout failed with a unit available")
 	}
 
 	// A timed-out waiter must not consume a later V: the unit must remain
 	// for the next P.
-	if s.PTimeout(time.Millisecond) {
+	if s.PTimeout(clock.NewReal(), time.Millisecond) {
 		t.Fatal("unexpected acquisition")
 	}
 	s.V()
@@ -117,7 +119,7 @@ func TestPTimeoutRace(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		s := New(0)
 		res := make(chan bool, 1)
-		go func() { res <- s.PTimeout(50 * time.Microsecond) }()
+		go func() { res <- s.PTimeout(clock.NewReal(), 50*time.Microsecond) }()
 		time.Sleep(50 * time.Microsecond)
 		s.V()
 		got := <-res

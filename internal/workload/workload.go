@@ -9,8 +9,20 @@ import (
 	"time"
 
 	"mrpc"
+	"mrpc/internal/clock"
+	"mrpc/internal/proc"
 	"mrpc/internal/trace"
 )
+
+// clockOrReal lets workload values default to wall-clock time while staying
+// fully routed through clock.Clock, so a workload can drive a simulated
+// system deterministically by injecting the system's Sim clock.
+func clockOrReal(c clock.Clock) clock.Clock {
+	if c == nil {
+		return clock.NewReal()
+	}
+	return c
+}
 
 // Payload generates the argument bytes for the i-th call of a client.
 type Payload func(client mrpc.ProcID, call int) []byte
@@ -40,6 +52,10 @@ type ClosedLoop struct {
 	Payload Payload
 	// Think pauses between a client's calls.
 	Think time.Duration
+	// Clock is the time source for pacing and latency measurement
+	// (default: the real clock). Inject the system's clock to run the
+	// workload under simulated time.
+	Clock clock.Clock
 }
 
 // Result summarizes one workload execution.
@@ -76,23 +92,24 @@ func (w ClosedLoop) Run(clients []*mrpc.Node) *Result {
 		payload = FixedPayload(nil)
 	}
 	res := &Result{Latency: trace.NewRecorder("latency")}
+	clk := clockOrReal(w.Clock)
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	start := time.Now()
+	start := clk.Now()
 	for _, c := range clients {
 		c := c
 		wg.Add(1)
-		go func() {
+		proc.Go(func(_ *proc.Thread) {
 			defer wg.Done()
 			for i := 0; i < w.Calls; i++ {
 				if w.Think > 0 {
-					time.Sleep(w.Think)
+					clk.Sleep(w.Think)
 				}
-				t0 := time.Now()
+				t0 := clk.Now()
 				_, status, err := c.Call(w.Op, payload(c.ID(), i), w.Group)
-				d := time.Since(t0)
+				d := clk.Now().Sub(t0)
 				mu.Lock()
 				res.CallsRun++
 				switch {
@@ -108,10 +125,10 @@ func (w ClosedLoop) Run(clients []*mrpc.Node) *Result {
 				}
 				mu.Unlock()
 			}
-		}()
+		})
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Now().Sub(start)
 	return res
 }
 
@@ -133,6 +150,9 @@ type OpenLoop struct {
 	MaxInFlight int
 	// Payload generates per-call arguments (default: empty).
 	Payload Payload
+	// Clock is the time source for pacing and latency measurement
+	// (default: the real clock).
+	Clock clock.Clock
 }
 
 // OpenResult extends Result with arrival accounting.
@@ -157,6 +177,7 @@ func (w OpenLoop) Run(clients []*mrpc.Node) *OpenResult {
 	}
 
 	res := &OpenResult{Result: Result{Latency: trace.NewRecorder("latency")}}
+	clk := clockOrReal(w.Clock)
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
@@ -172,12 +193,12 @@ func (w OpenLoop) Run(clients []*mrpc.Node) *OpenResult {
 		}
 		c := clients[seq%len(clients)]
 		wg.Add(1)
-		go func() {
+		proc.Go(func(_ *proc.Thread) {
 			defer wg.Done()
 			defer func() { <-inflight }()
-			t0 := time.Now()
+			t0 := clk.Now()
 			_, status, err := c.Call(w.Op, payload(c.ID(), seq), w.Group)
-			d := time.Since(t0)
+			d := clk.Now().Sub(t0)
 			mu.Lock()
 			res.CallsRun++
 			switch {
@@ -192,16 +213,16 @@ func (w OpenLoop) Run(clients []*mrpc.Node) *OpenResult {
 				res.Aborted++
 			}
 			mu.Unlock()
-		}()
+		})
 	}
 
-	// Pace arrivals against the wall clock in ~1ms batches, so high rates
-	// are not capped by timer resolution (a time.Ticker coalesces missed
-	// ticks and would silently lower the offered rate).
-	start := time.Now()
+	// Pace arrivals against the clock in ~1ms batches, so high rates are
+	// not capped by timer resolution (a time.Ticker coalesces missed ticks
+	// and would silently lower the offered rate).
+	start := clk.Now()
 	issued := 0
 	for {
-		elapsed := time.Since(start)
+		elapsed := clk.Now().Sub(start)
 		if elapsed >= w.Duration {
 			break
 		}
@@ -213,10 +234,10 @@ func (w OpenLoop) Run(clients []*mrpc.Node) *OpenResult {
 			launch(issued)
 			issued++
 		}
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 	wg.Wait()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clk.Now().Sub(start)
 	return res
 }
 
@@ -227,11 +248,14 @@ type CrashScript struct {
 	Node *mrpc.Node
 	Up   time.Duration
 	Down time.Duration
+	// Clock is the time source for the cadence (default: the real clock).
+	Clock clock.Clock
 }
 
 // Run executes the script until stop is closed, then returns the number of
 // crash/recover cycles completed. The node is left recovered.
 func (cs CrashScript) Run(stop <-chan struct{}) int {
+	clk := clockOrReal(cs.Clock)
 	cycles := 0
 	for {
 		select {
@@ -240,14 +264,14 @@ func (cs CrashScript) Run(stop <-chan struct{}) int {
 				_ = cs.Node.Recover()
 			}
 			return cycles
-		case <-time.After(cs.Up):
+		case <-clock.After(clk, cs.Up):
 		}
 		cs.Node.Crash()
 		select {
 		case <-stop:
 			_ = cs.Node.Recover()
 			return cycles
-		case <-time.After(cs.Down):
+		case <-clock.After(clk, cs.Down):
 		}
 		if err := cs.Node.Recover(); err == nil {
 			cycles++
