@@ -1,0 +1,142 @@
+package main
+
+// Benchmark snapshot mode (-bench <label>): runs the repo's Go benchmark
+// suite N times as interleaved whole-suite passes — so machine drift during
+// the session hits every benchmark roughly equally instead of biasing
+// whichever ran last — takes per-benchmark medians, and writes
+// BENCH_<label>.json. The JSON snapshots committed at the repo root are the
+// machine-readable perf trajectory future PRs regress-check against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult holds one benchmark's medians across the passes.
+type benchResult struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Samples  int     `json:"samples"`
+}
+
+// benchSnapshot is the BENCH_<label>.json document.
+type benchSnapshot struct {
+	Label     string                 `json:"label"`
+	Runs      int                    `json:"runs"`
+	Bench     string                 `json:"bench"`
+	Benchtime string                 `json:"benchtime"`
+	Packages  string                 `json:"packages"`
+	Results   map[string]benchResult `json:"results"`
+}
+
+// runBenchMode executes the suite and writes the snapshot; it returns the
+// output path.
+func runBenchMode(label, benchRe, benchtime, pkgs string, runs int) (string, error) {
+	samples := make(map[string][][3]float64)
+	for i := 0; i < runs; i++ {
+		args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchtime", benchtime, pkgs}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return "", fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+		}
+		found := 0
+		for _, line := range strings.Split(string(out), "\n") {
+			name, vals, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			samples[name] = append(samples[name], vals)
+			found++
+		}
+		if found == 0 {
+			return "", fmt.Errorf("pass %d produced no benchmark lines", i+1)
+		}
+		fmt.Fprintf(os.Stderr, "mrpcbench: pass %d/%d done (%d benchmarks)\n", i+1, runs, found)
+	}
+
+	snap := benchSnapshot{
+		Label: label, Runs: runs, Bench: benchRe, Benchtime: benchtime,
+		Packages: pkgs, Results: make(map[string]benchResult, len(samples)),
+	}
+	for name, ss := range samples {
+		snap.Results[name] = benchResult{
+			NsOp:     median(ss, 0),
+			BOp:      median(ss, 1),
+			AllocsOp: median(ss, 2),
+			Samples:  len(ss),
+		}
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := "BENCH_" + label + ".json"
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   1000   12345 ns/op   345 B/op   7 allocs/op
+//
+// Missing metrics are reported as -1 samples and excluded from the median.
+func parseBenchLine(line string) (string, [3]float64, bool) {
+	vals := [3]float64{-1, -1, -1}
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", vals, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	got := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", vals, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			vals[0] = v
+			got = true
+		case "B/op":
+			vals[1] = v
+		case "allocs/op":
+			vals[2] = v
+		}
+	}
+	return name, vals, got
+}
+
+// median returns the median of the idx-th metric over the samples, skipping
+// passes where the metric was absent.
+func median(ss [][3]float64, idx int) float64 {
+	vs := make([]float64, 0, len(ss))
+	for _, s := range ss {
+		if s[idx] >= 0 {
+			vs = append(vs, s[idx])
+		}
+	}
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	if n := len(vs); n%2 == 1 {
+		return vs[n/2]
+	} else {
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+}

@@ -8,6 +8,11 @@
 //	mrpcbench              run every experiment
 //	mrpcbench -e E5        run one experiment (E1..E14, E8b)
 //	mrpcbench -seed 42     change the fault-injection seed
+//
+// It doubles as the benchmark snapshot runner (see bench.go):
+//
+//	mrpcbench -bench pre   run the Go benchmark suite -n times interleaved,
+//	                       take medians, write BENCH_pre.json
 package main
 
 import (
@@ -22,8 +27,24 @@ func main() {
 	var (
 		exp  = flag.String("e", "", "experiment id to run (E1..E14, E8b); empty = all")
 		seed = flag.Int64("seed", 7, "fault-injection seed")
+
+		bench     = flag.String("bench", "", "benchmark snapshot label; runs the suite and writes BENCH_<label>.json")
+		benchRe   = flag.String("benchre", "E6|E8|MulticastFanout|WireCodec", "benchmark name regex for -bench mode")
+		benchN    = flag.Int("n", 5, "interleaved whole-suite passes in -bench mode")
+		benchTime = flag.String("benchtime", "1s", "go test -benchtime value in -bench mode")
+		benchPkg  = flag.String("pkg", "./...", "package pattern benchmarked in -bench mode")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		path, err := runBenchMode(*bench, *benchRe, *benchTime, *benchPkg, *benchN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mrpcbench: wrote %s (medians of %d passes over -bench %q)\n", path, *benchN, *benchRe)
+		return
+	}
 
 	if *exp != "" {
 		r, ok := experiments.ByID(*exp, *seed)

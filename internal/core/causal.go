@@ -131,7 +131,7 @@ func (CausalOrder) Attach(fw *Framework) error {
 					return
 				}
 				mu.Lock()
-				held[key] = causalHeld{vc: m.VC.Clone(), client: client}
+				held[key] = causalHeld{vc: m.VC, client: client}
 				mu.Unlock()
 				o.OnCancel(func() {
 					mu.Lock()

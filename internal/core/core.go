@@ -542,6 +542,14 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 	// read-after-delete slip fixed.
 	fw.bus.Trigger(event.ReplyFromServer, key)
 
+	// With Causal Order, the reply carries the server's delivered-vector
+	// (which already includes this call): merging it at the client makes
+	// subsequent calls causally follow everything executed before this
+	// reply.
+	var replyVC msg.VClock
+	if fw.causal {
+		replyVC = fw.VCSnapshot()
+	}
 	reply := &msg.NetMsg{
 		Type:   msg.OpReply,
 		ID:     key.ID,
@@ -551,12 +559,7 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 		Server: server,
 		Sender: fw.Self(),
 		Inc:    fw.Inc(),
-	}
-	if fw.causal {
-		// The reply carries the server's delivered-vector (which already
-		// includes this call): merging it at the client makes subsequent
-		// calls causally follow everything executed before this reply.
-		reply.VC = fw.VCSnapshot()
+		VC:     replyVC,
 	}
 	fw.TakeServer(key)
 	if th != nil {

@@ -36,7 +36,7 @@ func (RPCMain) Attach(fw *Framework) error {
 				Key:    key,
 				Op:     m.Op,
 				Args:   m.Args,
-				Server: m.Server.Clone(),
+				Server: m.Server,
 				Client: m.Client,
 				Inc:    m.Inc,
 				Thread: ev.Thread,

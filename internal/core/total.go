@@ -170,7 +170,7 @@ func (to TotalOrder) Attach(fw *Framework) error {
 				_, isWaiting := st.waiting[key]
 				st.mu.Unlock()
 				if isWaiting {
-					fw.Net().Push(fw.totalLeader(m.Server), m.Clone())
+					fw.Net().Push(fw.totalLeader(m.Server), m)
 				}
 			}
 			// Unlike the paper, duplicates of already-executed calls are
@@ -219,7 +219,7 @@ func (to TotalOrder) Attach(fw *Framework) error {
 				st.mu.Lock()
 				ord, ok := st.oldOrders[key]
 				if !ok {
-					st.waiting[key] = m.Clone()
+					st.waiting[key] = m
 					st.mu.Unlock()
 					o.OnCancel(func() {
 						st.mu.Lock()
@@ -323,7 +323,7 @@ func (to TotalOrder) Attach(fw *Framework) error {
 		for _, m := range resend {
 			leader := fw.totalLeader(m.Server)
 			if leader != 0 && leader != fw.Self() {
-				fw.Net().Push(leader, m.Clone())
+				fw.Net().Push(leader, m)
 			}
 		}
 		fw.Bus().RegisterTimeout("TotalOrder.nudge", to.NudgeInterval, nudge)

@@ -18,6 +18,10 @@
 //     injection can reap the goroutine.
 //   - priority-constants: priorities passed to Bus.Register must reference
 //     named constants, not magic ints.
+//   - msg-immutability: fields of a msg.NetMsg must not be written outside
+//     internal/msg and internal/netsim — messages are frozen on send and
+//     shared by every recipient (DESIGN.md D13), so a handler mutating one
+//     would corrupt its peers.
 //
 // The analysis is intraprocedural and syntax-plus-types driven; a sound
 // escape or call-graph analysis is out of scope. A violation that is
@@ -69,6 +73,7 @@ var rules = []rule{
 	{"handler-discipline", checkHandlerDiscipline},
 	{"goroutine-discipline", checkGoroutineDiscipline},
 	{"priority-constants", checkPriorityConstants},
+	{"msg-immutability", checkMsgImmutability},
 }
 
 // inScope reports whether a package path is subject to the invariants. The

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkMsgImmutability enforces the frozen-message invariant of the
+// zero-copy transport (DESIGN.md deviation D13): a message handed to the
+// network is shared by every recipient — including duplicate deliveries and
+// the sender's own retained references — so fields of a msg.NetMsg must not
+// be written outside internal/msg and internal/netsim. The rule rejects
+//
+//   - field assignment (m.Args = ..., m.Order += 1, m.Order++),
+//   - element and map writes through a message field (m.Args[0] = ...,
+//     m.VC[p] = ..., delete(m.VC, p)),
+//   - append with a message field as its first argument (append may write
+//     into the shared backing array in place).
+//
+// Construction via composite literal is unaffected; code that genuinely
+// needs a private copy spells it msg.NetMsg.Mutable() (clone-on-write) or
+// Clone() and builds a fresh message from it.
+func checkMsgImmutability(p *Package) []Diagnostic {
+	if !inScope(p.Path) || p.Path == "mrpc/internal/msg" || p.Path == "mrpc/internal/netsim" {
+		return nil
+	}
+	var ds []Diagnostic
+	flag := func(pos ast.Node, field, what string) {
+		ds = append(ds, Diagnostic{
+			Pos:  p.Fset.Position(pos.Pos()),
+			Rule: "msg-immutability",
+			Message: what + " of msg.NetMsg field " + field + ": messages are frozen and " +
+				"shared on send (DESIGN.md D13); construct a new message, or take " +
+				"Mutable()/Clone() for a private copy",
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, field := msgFieldTarget(p, lhs); sel != nil {
+						flag(sel, field, "write")
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, field := msgFieldTarget(p, n.X); sel != nil {
+					flag(sel, field, "write")
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || len(n.Args) == 0 {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				switch id.Name {
+				case "delete":
+					if sel, field := netMsgField(p, n.Args[0]); sel != nil {
+						flag(sel, field, "delete through")
+					}
+				case "append":
+					if sel, field := netMsgField(p, n.Args[0]); sel != nil {
+						flag(sel, field, "append to")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// msgFieldTarget reports whether an assignment target writes a NetMsg
+// field, directly (m.F = ...) or through an element (m.F[i] = ...). It
+// returns the offending selector and field name, or nil.
+func msgFieldTarget(p *Package, e ast.Expr) (*ast.SelectorExpr, string) {
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ix.X
+	}
+	return netMsgField(p, e)
+}
+
+// netMsgField returns (selector, field name) when e selects a field of a
+// value of type msg.NetMsg or *msg.NetMsg, else (nil, "").
+func netMsgField(p *Package, e ast.Expr) (*ast.SelectorExpr, string) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	// Only field selections count; method values on NetMsg are fine.
+	if s, ok := p.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	t := p.Info.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, ""
+	}
+	if named.Obj().Pkg().Path() != "mrpc/internal/msg" || named.Obj().Name() != "NetMsg" {
+		return nil, ""
+	}
+	return sel, sel.Sel.Name
+}

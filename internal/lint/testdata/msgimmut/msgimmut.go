@@ -1,0 +1,50 @@
+// Fixture for the msg-immutability rule: messages are frozen on send and
+// shared by every recipient (DESIGN.md D13), so outside internal/msg and
+// internal/netsim a NetMsg is read-only.
+package msgimmut
+
+import "mrpc/internal/msg"
+
+func fieldWrite(m *msg.NetMsg) {
+	m.Args = []byte{1} // want "write of msg.NetMsg field Args"
+	m.Order = 7        // want "write of msg.NetMsg field Order"
+	m.Order++          // want "write of msg.NetMsg field Order"
+	m.Order += 2       // want "write of msg.NetMsg field Order"
+}
+
+func valueWrite(m msg.NetMsg) {
+	m.Sender = 3 // want "write of msg.NetMsg field Sender"
+}
+
+func nestedWrite(ev struct{ Msg *msg.NetMsg }) {
+	ev.Msg.Inc = 2 // want "write of msg.NetMsg field Inc"
+}
+
+func elementWrite(m *msg.NetMsg) {
+	m.Args[0] = 9         // want "write of msg.NetMsg field Args"
+	m.VC[1] = 4           // want "write of msg.NetMsg field VC"
+	m.Server[0] = 2       // want "write of msg.NetMsg field Server"
+	delete(m.VC, 1)       // want "delete through of msg.NetMsg field VC"
+	_ = append(m.Args, 1) // want "append to of msg.NetMsg field Args"
+}
+
+func ignored(m *msg.NetMsg) {
+	//lint:ignore msg-immutability fixture demonstrates the escape hatch
+	m.Order = 1
+}
+
+// legal: composite-literal construction, reads, method calls, writes to a
+// local copy of a *slice taken from the message, and other message-shaped
+// types (UserMsg is caller-owned, not shared).
+func legal(m *msg.NetMsg, um *msg.UserMsg) *msg.NetMsg {
+	fresh := &msg.NetMsg{Type: msg.OpReply, ID: m.ID, Args: m.Args}
+	order := m.Order
+	order++
+	um.Args = m.Args
+	um.Status = msg.StatusOK
+	args := m.Args
+	args = append(args[:0:0], args...)
+	_ = args
+	_ = m.Key()
+	return fresh.Mutable()
+}

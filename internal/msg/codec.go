@@ -4,7 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Wire format (big-endian):
@@ -65,11 +65,19 @@ func (m *NetMsg) AppendEncode(buf []byte) []byte {
 	}
 	buf = append(buf, m.Args...)
 	if len(m.VC) > 0 {
-		procs := make([]ProcID, 0, len(m.VC))
+		// The deterministic key order needs a sorted scratch slice; keep it
+		// on the stack for realistic clock sizes so the hot encode path
+		// stays allocation-free (slices.Sort, unlike sort.Slice, does not
+		// allocate its comparator).
+		var kbuf [32]ProcID
+		procs := kbuf[:0]
+		if len(m.VC) > len(kbuf) {
+			procs = make([]ProcID, 0, len(m.VC))
+		}
 		for p := range m.VC {
 			procs = append(procs, p)
 		}
-		sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+		slices.Sort(procs)
 		for _, p := range procs {
 			buf = binary.BigEndian.AppendUint32(buf, uint32(p))
 			buf = binary.BigEndian.AppendUint64(buf, uint64(m.VC[p]))
@@ -78,8 +86,27 @@ func (m *NetMsg) AppendEncode(buf []byte) []byte {
 	return buf
 }
 
-// Decode parses a message previously produced by Encode.
+// Decode parses a message previously produced by Encode. Every
+// variable-length field is copied out of buf, so the caller may recycle it.
 func Decode(buf []byte) (*NetMsg, error) {
+	return decode(buf, false)
+}
+
+// DecodeShared parses like Decode but borrows Args directly from buf
+// (capacity-clamped) instead of copying, and returns the message already
+// frozen: the caller is declaring that buf is immutable for as long as any
+// borrower may retain the arguments. The simulated network uses it on the
+// encode-once multicast path, where every delivery of one send shares a
+// single wire buffer (deviation D13).
+func DecodeShared(buf []byte) (*NetMsg, error) {
+	m, err := decode(buf, true)
+	if err == nil {
+		m.Freeze()
+	}
+	return m, err
+}
+
+func decode(buf []byte, shareArgs bool) (*NetMsg, error) {
 	if len(buf) < fixedHeaderLen {
 		return nil, ErrShortMessage
 	}
@@ -123,7 +150,11 @@ func Decode(buf []byte) (*NetMsg, error) {
 		}
 	}
 	if nArgs > 0 {
-		m.Args = append([]byte(nil), buf[off:off+nArgs]...)
+		if shareArgs {
+			m.Args = buf[off : off+nArgs : off+nArgs]
+		} else {
+			m.Args = append([]byte(nil), buf[off:off+nArgs]...)
+		}
 		off += nArgs
 	}
 	if nVC > 0 {

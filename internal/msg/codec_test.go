@@ -48,6 +48,55 @@ func TestCodecEmptyFields(t *testing.T) {
 	}
 }
 
+// TestDecodeShared pins the zero-copy decode contract (DESIGN.md D13): the
+// message arrives frozen, its Args borrow the wire buffer directly
+// (capacity-clamped so an append cannot spill into trailing bytes), and
+// Mutable detaches a private copy. Plain Decode keeps copying.
+func TestDecodeShared(t *testing.T) {
+	m := sampleMsg()
+	wire := m.Encode()
+
+	shared, err := DecodeShared(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared.Frozen() {
+		t.Fatal("DecodeShared returned an unfrozen message")
+	}
+	if !bytes.Equal(shared.Args, m.Args) {
+		t.Fatalf("Args = %q, want %q", shared.Args, m.Args)
+	}
+	// Aliasing is observable without unsafe: flip a wire byte and the
+	// borrowed Args must see it.
+	argByte := &shared.Args[0]
+	*argByte ^= 0xFF
+	if !bytes.Contains(wire, shared.Args) {
+		t.Fatal("DecodeShared copied Args instead of borrowing the buffer")
+	}
+	*argByte ^= 0xFF
+	if cap(shared.Args) != len(shared.Args) {
+		t.Fatal("borrowed Args not capacity-clamped")
+	}
+
+	c := shared.Mutable()
+	if c == shared || c.Frozen() || &c.Args[0] == &shared.Args[0] {
+		t.Fatal("Mutable() of a shared decode must detach from the wire buffer")
+	}
+
+	plain, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Frozen() {
+		t.Fatal("Decode must return an unfrozen message")
+	}
+	plain.Args[0] ^= 0xFF
+	if bytes.Contains(wire, plain.Args) {
+		t.Fatal("Decode must copy Args out of the wire buffer")
+	}
+	plain.Args[0] ^= 0xFF
+}
+
 func TestEncodedLenExact(t *testing.T) {
 	for _, m := range []*NetMsg{sampleMsg(), {Type: OpCall}, {Type: OpHeartbeat, Args: make([]byte, 1000)}} {
 		if got := len(m.Encode()); got != m.EncodedLen() {

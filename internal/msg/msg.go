@@ -13,6 +13,7 @@ package msg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // ProcID identifies a process (site). Zero is not a valid process.
@@ -143,6 +144,14 @@ func (o NetOp) String() string {
 
 // NetMsg is the message exchanged between gRPC instances over the
 // communication substrate (Net_Msgtype).
+//
+// A message handed to the transport is frozen (Freeze): every recipient —
+// including the sender's own retained references and duplicate deliveries —
+// shares the same read-only body instead of receiving a deep clone
+// (deviation D13 in DESIGN.md). Handlers outside internal/msg and
+// internal/netsim must treat a NetMsg as immutable; mrpclint's
+// msg-immutability rule enforces this statically. Code that genuinely needs
+// a private copy takes Mutable (clone-on-write) or Clone.
 type NetMsg struct {
 	Type   NetOp
 	ID     CallID
@@ -155,15 +164,37 @@ type NetMsg struct {
 	AckID  CallID      // id of a call being acknowledged (ACK)
 	Order  int64       // total order sequence number (ORDER)
 	VC     VClock      // causal timestamp (Causal Order extension)
+
+	// frozen marks the message shared and immutable. Accessed atomically:
+	// Freeze happens-before every share, but concurrent Frozen reads from
+	// delivery goroutines must not race the flag itself.
+	frozen uint32
 }
 
 // Key returns the global call key the message refers to.
 func (m *NetMsg) Key() CallKey { return CallKey{Client: m.Client, ID: m.ID} }
 
-// Clone returns a deep copy (the simulated network duplicates and delays
-// messages; sharing Args across deliveries would be a hidden channel).
+// Freeze marks m immutable. The transport freezes every message it accepts
+// before sharing it across destinations; from then on all fields are
+// read-only.
+func (m *NetMsg) Freeze() { atomic.StoreUint32(&m.frozen, 1) }
+
+// Frozen reports whether m has been frozen (is potentially shared).
+func (m *NetMsg) Frozen() bool { return atomic.LoadUint32(&m.frozen) == 1 }
+
+// Mutable returns a message that is safe to modify: m itself when it has
+// never been frozen, otherwise a deep unfrozen copy (clone-on-write).
+func (m *NetMsg) Mutable() *NetMsg {
+	if m.Frozen() {
+		return m.Clone()
+	}
+	return m
+}
+
+// Clone returns a deep, unfrozen copy with an independent lifetime.
 func (m *NetMsg) Clone() *NetMsg {
 	c := *m
+	c.frozen = 0
 	c.Server = m.Server.Clone()
 	c.VC = m.VC.Clone()
 	if m.Args != nil {

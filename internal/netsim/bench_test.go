@@ -1,0 +1,52 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// BenchmarkMulticastFanout measures the transport send+deliver path as the
+// group size grows: one Multicast per iteration to g no-op endpoints, with
+// the wire codec off ("plain") and on ("wire"). This fanout is what the
+// composite protocol pays on every group call, so per-destination costs
+// (lock round-trips, clones, encodes, goroutine spawns) show up here first.
+func BenchmarkMulticastFanout(b *testing.B) {
+	for _, wire := range []bool{false, true} {
+		mode := "plain"
+		if wire {
+			mode = "wire"
+		}
+		for _, g := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/g%d", mode, g), func(b *testing.B) {
+				n := New(clock.NewReal(), Params{EncodeOnWire: wire})
+				defer n.Stop()
+				group := make(msg.Group, 0, g)
+				for i := 1; i <= g; i++ {
+					id := msg.ProcID(i)
+					group = append(group, id)
+					if _, err := n.Attach(id, func(*msg.NetMsg) {}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sender, err := n.Attach(100, func(*msg.NetMsg) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := &msg.NetMsg{
+					Type: msg.OpCall, ID: 1, Client: 100, Op: 7,
+					Args: make([]byte, 64), Server: group, Sender: 100,
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sender.Multicast(group, m)
+				}
+				b.StopTimer()
+				n.Quiesce()
+			})
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"testing"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// These tests pin the per-directed-link fault model: every directed link
+// derives its own random source from Params.Seed, so the loss/dup/delay
+// sequence a link observes depends only on that link's traffic — not on
+// what any other link carries, and not on goroutine scheduling.
+
+// outcomes returns, per CallID, how many copies a collector received.
+// Delivery order is scheduler-dependent, but per-message copy counts are
+// not.
+func outcomes(c *collector) map[msg.CallID]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got := make(map[msg.CallID]int, len(c.msgs))
+	for _, m := range c.msgs {
+		got[m.ID]++
+	}
+	return got
+}
+
+func sameOutcomes(a, b map[msg.CallID]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id, n := range a {
+		if b[id] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLinkFaultIndependence is the core determinism suite: identical runs
+// agree message-by-message, and a link's fault sequence is a function of
+// its own traffic only.
+func TestLinkFaultIndependence(t *testing.T) {
+	const sent = 300
+	params := Params{Seed: 7, LossProb: 0.3, DupProb: 0.2}
+
+	// run sends `sent` calls 1→2; when withNoise is set it interleaves a
+	// call 1→3 after every 1→2 send. It returns link 1→2's per-message
+	// outcome and the final stats.
+	run := func(withNoise bool) (map[msg.CallID]int, Stats) {
+		n := New(clock.NewReal(), params)
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		_, cb := attach(t, n, 2)
+		attach(t, n, 3)
+		for i := 0; i < sent; i++ {
+			a.Push(2, call(msg.CallID(i)))
+			if withNoise {
+				a.Push(3, call(msg.CallID(1000+i)))
+			}
+		}
+		n.Quiesce()
+		return outcomes(cb), n.Stats()
+	}
+
+	t.Run("identical runs agree per message", func(t *testing.T) {
+		o1, st1 := run(false)
+		o2, st2 := run(false)
+		if st1 != st2 {
+			t.Fatalf("same seed, different stats: %+v vs %+v", st1, st2)
+		}
+		if !sameOutcomes(o1, o2) {
+			t.Fatal("same seed, different per-message drop/dup decisions")
+		}
+		if st1.Dropped == 0 || st1.Duplicated == 0 {
+			t.Fatalf("faults not exercised: %+v", st1)
+		}
+	})
+
+	t.Run("other links do not perturb a link's sequence", func(t *testing.T) {
+		quiet, _ := run(false)
+		noisy, _ := run(true)
+		// Link 1→2 saw the same messages in the same order both times;
+		// the extra 1→3 traffic must not shift its fault decisions.
+		if !sameOutcomes(quiet, noisy) {
+			t.Fatal("traffic on 1→3 changed the fault sequence on 1→2")
+		}
+	})
+}
+
+// TestDeterminismUnderPartition extends the guarantee to runs that toggle
+// partitions mid-stream: partition drops are deterministic, and messages
+// admitted after the heal continue the link's fault sequence identically.
+func TestDeterminismUnderPartition(t *testing.T) {
+	run := func() (map[msg.CallID]int, Stats) {
+		n := New(clock.NewReal(), Params{Seed: 11, LossProb: 0.25, DupProb: 0.25})
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		_, cb := attach(t, n, 2)
+		for i := 0; i < 100; i++ {
+			a.Push(2, call(msg.CallID(i)))
+		}
+		n.Partition(1, 2, true)
+		for i := 100; i < 150; i++ {
+			a.Push(2, call(msg.CallID(i))) // all blocked, no RNG consumed
+		}
+		n.Partition(1, 2, false)
+		for i := 150; i < 250; i++ {
+			a.Push(2, call(msg.CallID(i)))
+		}
+		n.Quiesce()
+		return outcomes(cb), n.Stats()
+	}
+	o1, st1 := run()
+	o2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", st1, st2)
+	}
+	if !sameOutcomes(o1, o2) {
+		t.Fatal("same seed, different decisions across a partition cycle")
+	}
+	if st1.Partition != 50 {
+		t.Fatalf("partition drops = %d, want 50", st1.Partition)
+	}
+	for i := 100; i < 150; i++ {
+		if o1[msg.CallID(i)] != 0 {
+			t.Fatalf("message %d delivered through a partition", i)
+		}
+	}
+}
+
+// TestDeterminismUnderOneWayPartition checks the directed variant: blocking
+// 1→2 must not consume randomness on — or otherwise perturb — the reverse
+// link 2→1.
+func TestDeterminismUnderOneWayPartition(t *testing.T) {
+	run := func(block bool) (map[msg.CallID]int, Stats) {
+		n := New(clock.NewReal(), Params{Seed: 13, LossProb: 0.3, DupProb: 0.1})
+		defer n.Stop()
+		a, ca := attach(t, n, 1)
+		b, _ := attach(t, n, 2)
+		if block {
+			n.PartitionOneWay(1, 2, true)
+		}
+		for i := 0; i < 200; i++ {
+			a.Push(2, call(msg.CallID(i)))      // blocked when block is set
+			b.Push(1, call(msg.CallID(1000+i))) // always open
+		}
+		n.Quiesce()
+		return outcomes(ca), n.Stats()
+	}
+	open, stOpen := run(false)
+	blocked, stBlocked := run(true)
+	// The open direction's fault sequence is identical whether or not the
+	// opposite direction is blocked.
+	if !sameOutcomes(open, blocked) {
+		t.Fatal("blocking 1→2 changed the fault sequence on 2→1")
+	}
+	if stBlocked.Partition != 200 {
+		t.Fatalf("one-way partition drops = %d, want 200", stBlocked.Partition)
+	}
+	if stOpen.Partition != 0 {
+		t.Fatalf("unexpected partition drops in open run: %d", stOpen.Partition)
+	}
+}

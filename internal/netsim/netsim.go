@@ -4,9 +4,19 @@
 //
 // The paper assumes an asynchronous system whose communication layer can
 // experience omission and performance failures. netsim therefore injects,
-// under a seeded random source: message loss, duplication, variable delay
+// under seeded random sources: message loss, duplication, variable delay
 // (which also yields reordering), and link partitions. Endpoints can be
 // taken down and brought back up to model site crashes.
+//
+// The send/deliver path is built for group traffic (deviation D13 in
+// DESIGN.md): a multicast is admitted under a single critical section of
+// the network lock, the message is frozen and shared by every destination
+// instead of deep-cloned per member, fault rolls come from deterministic
+// per-directed-link generators derived from Params.Seed, and with
+// EncodeOnWire set the message is encoded once per send with each delivery
+// decoding from the shared immutable wire bytes. Deliveries run on pooled
+// per-endpoint workers; an arrival never waits behind another arrival's
+// blocked handler.
 //
 // Substitution note (DESIGN.md §2): the micro-protocols observe the network
 // only through push operations and message-arrival events, so an
@@ -27,7 +37,9 @@ import (
 
 // Params configures the fault and delay model of a Network.
 type Params struct {
-	// Seed initializes the fault-injection random source.
+	// Seed initializes the fault-injection random sources. Each directed
+	// link derives its own generator from Seed, so the loss/dup/delay
+	// sequence one link observes depends only on that link's traffic.
 	Seed int64
 	// MinDelay and MaxDelay bound the uniform per-message delivery delay.
 	MinDelay, MaxDelay time.Duration
@@ -36,7 +48,9 @@ type Params struct {
 	// DupProb is the probability a given delivery is duplicated once.
 	DupProb float64
 	// EncodeOnWire, when set, round-trips every message through the binary
-	// codec, exercising marshalling exactly as a byte transport would.
+	// codec, exercising marshalling exactly as a byte transport would. The
+	// encode happens once per send; every delivery decodes from the shared
+	// wire bytes.
 	EncodeOnWire bool
 }
 
@@ -50,9 +64,11 @@ type Stats struct {
 	DownDrops  int64 // drops due to a crashed endpoint
 }
 
-// Handler receives a delivered message. Each delivery runs on its own
-// goroutine, matching the composite protocol's assumption that message
-// arrivals are independent event triggers.
+// Handler receives a delivered message. Each arrival is an independent
+// trigger: it runs on a pooled per-endpoint worker or a fresh goroutine,
+// never behind another arrival's blocked handler. The message is shared
+// with other recipients of the same send and must be treated as read-only
+// (msg.NetMsg.Mutable gives a private copy).
 type Handler func(*msg.NetMsg)
 
 type link struct{ a, b msg.ProcID }
@@ -64,10 +80,29 @@ func linkKey(a, b msg.ProcID) link {
 	return link{a, b}
 }
 
-// dirLink is a directed link for one-way partitions.
+// dirLink is a directed link: fault state and one-way partitions are
+// per-direction.
 type dirLink struct{ from, to msg.ProcID }
 
 type linkDelay struct{ min, max time.Duration }
+
+// linkState is the fault-injection state of one directed link. Each link
+// rolls from its own seeded generator, so the pseudo-random sequence it
+// observes depends only on its own traffic order — and the rolls happen
+// under the link's lock, not the network lock.
+type linkState struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// linkSeed mixes the network seed with the directed link identity
+// (SplitMix64 finalizer) so links get independent, reproducible streams.
+func linkSeed(seed int64, from, to msg.ProcID) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(uint32(from))<<32|uint64(uint32(to)))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
 
 // Network is a simulated network connecting endpoints by process id.
 type Network struct {
@@ -75,11 +110,11 @@ type Network struct {
 	params Params
 
 	mu          sync.Mutex
-	rng         *rand.Rand
 	eps         map[msg.ProcID]*Endpoint
 	partitioned map[link]bool
 	oneWay      map[dirLink]bool
 	delays      map[link]linkDelay
+	links       map[dirLink]*linkState // lazily created, only for links that roll
 	stopped     bool
 
 	wg sync.WaitGroup
@@ -95,13 +130,25 @@ func New(clk clock.Clock, p Params) *Network {
 	return &Network{
 		clk:         clk,
 		params:      p,
-		rng:         rand.New(rand.NewSource(p.Seed)),
 		eps:         make(map[msg.ProcID]*Endpoint),
 		partitioned: make(map[link]bool),
 		oneWay:      make(map[dirLink]bool),
 		delays:      make(map[link]linkDelay),
+		links:       make(map[dirLink]*linkState),
 	}
 }
+
+// delivery is one scheduled arrival: the shared frozen message, or — with
+// EncodeOnWire — the shared wire bytes to decode at delivery time.
+type delivery struct {
+	m    *msg.NetMsg
+	wire []byte
+}
+
+// maxIdleWorkers bounds how many idle delivery workers an endpoint parks.
+// Two cover the common call/ack (or call/retransmission) bursts without
+// keeping a goroutine per historical peak alive.
+const maxIdleWorkers = 2
 
 // Endpoint is one process's attachment point; it provides the x-kernel-style
 // push operations used by the micro-protocols.
@@ -112,6 +159,16 @@ type Endpoint struct {
 	mu      sync.Mutex
 	handler Handler
 	up      bool
+
+	// Delivery worker pool. The mailbox is claim-based: dispatch enqueues
+	// only after reserving a parked worker (idle is decremented first), so
+	// queue length never exceeds the workers committed to draining it and
+	// a blocked handler can never delay an unrelated arrival — a message
+	// that finds no idle worker gets a fresh goroutine.
+	wmu    sync.Mutex
+	idle   int
+	closed bool
+	mail   chan delivery
 }
 
 // Attach connects process id to the network with h as its delivery handler.
@@ -122,7 +179,13 @@ func (n *Network) Attach(id msg.ProcID, h Handler) (*Endpoint, error) {
 	if _, ok := n.eps[id]; ok {
 		return nil, fmt.Errorf("netsim: process %d already attached", id)
 	}
-	e := &Endpoint{net: n, id: id, handler: h, up: true}
+	e := &Endpoint{
+		net:     n,
+		id:      id,
+		handler: h,
+		up:      true,
+		mail:    make(chan delivery, maxIdleWorkers),
+	}
 	n.eps[id] = e
 	return e, nil
 }
@@ -155,17 +218,20 @@ func (e *Endpoint) Up() bool {
 }
 
 // Push sends m to a single destination (Net.push of the paper). The message
-// is cloned, so the caller may reuse it.
+// is frozen, not cloned: the caller and every recipient share one read-only
+// body, and the caller must not mutate m afterwards (take msg.NetMsg.Mutable
+// for a writable copy; mrpclint enforces the discipline in-module).
 func (e *Endpoint) Push(to msg.ProcID, m *msg.NetMsg) {
 	e.net.send(e, to, m)
 }
 
 // Multicast sends m to every member of the group, including the sender's
 // own process if it is a member (the paper's Net.push(server_group, msg)).
+// The whole group is admitted under one critical section of the network
+// lock, and every member shares the same frozen message (or, with
+// EncodeOnWire, the same once-encoded wire bytes).
 func (e *Endpoint) Multicast(group msg.Group, m *msg.NetMsg) {
-	for _, to := range group {
-		e.net.send(e, to, m)
-	}
+	e.net.multicast(e, group, m)
 }
 
 // Partition blocks (or with blocked=false, unblocks) direct communication
@@ -217,13 +283,32 @@ func (n *Network) Stats() Stats {
 	}
 }
 
-// Stop shuts the network down and waits for all in-flight deliveries to
-// finish. Further sends are silently discarded.
+// Stop shuts the network down, waits for all in-flight deliveries to
+// finish, and retires the parked delivery workers. Further sends are
+// silently discarded.
 func (n *Network) Stop() {
 	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
 	n.stopped = true
+	eps := make([]*Endpoint, 0, len(n.eps))
+	for _, e := range n.eps {
+		eps = append(eps, e)
+	}
 	n.mu.Unlock()
-	n.wg.Wait()
+
+	n.wg.Wait() // all deliveries done: no dispatch can be in flight
+	for _, e := range eps {
+		e.wmu.Lock()
+		if !e.closed {
+			e.closed = true
+			close(e.mail)
+		}
+		e.wmu.Unlock()
+	}
 }
 
 // Quiesce waits for all deliveries currently in flight to complete without
@@ -232,6 +317,48 @@ func (n *Network) Quiesce() {
 	n.wg.Wait()
 }
 
+// admitted is one destination that passed admission: its endpoint, the
+// delay bounds in force, and the link's fault state (nil when the link has
+// nothing to roll — no loss, no duplication, no delay jitter).
+type admitted struct {
+	dest *Endpoint
+	ls   *linkState
+	d    linkDelay
+}
+
+// admitOne performs the under-lock part of sending to one destination:
+// partition check, endpoint lookup, delay-bound lookup, lazy link-state
+// creation. It returns ok=false when the message will not travel (the
+// corresponding counter has then been bumped). Callers hold n.mu.
+func (n *Network) admitOne(from, to msg.ProcID) (admitted, bool) {
+	n.sent.Add(1)
+	if n.partitioned[linkKey(from, to)] || n.oneWay[dirLink{from: from, to: to}] {
+		n.partition.Add(1)
+		return admitted{}, false
+	}
+	dest, ok := n.eps[to]
+	if !ok {
+		n.downDrops.Add(1)
+		return admitted{}, false
+	}
+	d := n.delays[linkKey(from, to)]
+	if d.max == 0 && d.min == 0 {
+		d = linkDelay{min: n.params.MinDelay, max: n.params.MaxDelay}
+	}
+	a := admitted{dest: dest, d: d}
+	if n.params.LossProb > 0 || n.params.DupProb > 0 || d.max > d.min {
+		k := dirLink{from: from, to: to}
+		ls, ok := n.links[k]
+		if !ok {
+			ls = &linkState{rng: rand.New(rand.NewSource(linkSeed(n.params.Seed, from, to)))}
+			n.links[k] = ls
+		}
+		a.ls = ls
+	}
+	return a, true
+}
+
+// send is the single-destination path (Push).
 func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 	from.mu.Lock()
 	senderUp := from.up
@@ -239,83 +366,168 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 	if !senderUp {
 		return // a crashed site sends nothing
 	}
+	m.Freeze()
 
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
 		return
 	}
-	n.sent.Add(1)
-	if n.partitioned[linkKey(from.id, to)] || n.oneWay[dirLink{from: from.id, to: to}] {
-		n.partition.Add(1)
-		n.mu.Unlock()
-		return
-	}
-	dest, ok := n.eps[to]
+	a, ok := n.admitOne(from.id, to)
+	n.mu.Unlock()
 	if !ok {
-		n.downDrops.Add(1)
+		return
+	}
+	d := delivery{m: m}
+	if n.params.EncodeOnWire {
+		d = delivery{wire: m.Encode()}
+	}
+	n.transmit(a, d)
+}
+
+// multicast admits the whole group under one critical section of n.mu,
+// encodes at most once, then rolls per-link faults and schedules
+// deliveries outside the lock.
+func (n *Network) multicast(from *Endpoint, group msg.Group, m *msg.NetMsg) {
+	from.mu.Lock()
+	senderUp := from.up
+	from.mu.Unlock()
+	if !senderUp {
+		return
+	}
+	m.Freeze()
+
+	// The plan stays on the stack for realistic group sizes.
+	var planBuf [8]admitted
+	plan := planBuf[:0]
+	n.mu.Lock()
+	if n.stopped {
 		n.mu.Unlock()
 		return
 	}
-
-	copies := 1
-	if n.params.LossProb > 0 && n.rng.Float64() < n.params.LossProb {
-		copies = 0
-		n.dropped.Add(1)
-	} else if n.params.DupProb > 0 && n.rng.Float64() < n.params.DupProb {
-		copies = 2
-		n.duplicated.Add(1)
-	}
-	d := n.delays[linkKey(from.id, to)]
-	if d.max == 0 && d.min == 0 {
-		d = linkDelay{min: n.params.MinDelay, max: n.params.MaxDelay}
-	}
-	var first, second time.Duration
-	roll := func() time.Duration {
-		delay := d.min
-		if span := d.max - d.min; span > 0 {
-			delay += time.Duration(n.rng.Int63n(int64(span) + 1))
+	for _, to := range group {
+		if a, ok := n.admitOne(from.id, to); ok {
+			plan = append(plan, a)
 		}
-		return delay
-	}
-	if copies >= 1 {
-		first = roll()
-	}
-	if copies == 2 {
-		second = roll()
 	}
 	n.mu.Unlock()
-
-	if copies >= 1 {
-		n.scheduleDelivery(dest, m.Clone(), first)
+	if len(plan) == 0 {
+		return
 	}
-	if copies == 2 {
-		n.scheduleDelivery(dest, m.Clone(), second)
+
+	d := delivery{m: m}
+	if n.params.EncodeOnWire {
+		d = delivery{wire: m.Encode()} // encode once for the whole group
+	}
+	for _, a := range plan {
+		n.transmit(a, d)
 	}
 }
 
-func (n *Network) scheduleDelivery(dest *Endpoint, m *msg.NetMsg, delay time.Duration) {
+// transmit rolls the link's faults (loss, duplication, delay) under the
+// link lock and schedules the surviving deliveries.
+func (n *Network) transmit(a admitted, d delivery) {
+	copies := 1
+	first, second := a.d.min, a.d.min
+	if a.ls != nil {
+		a.ls.mu.Lock()
+		rng := a.ls.rng
+		if n.params.LossProb > 0 && rng.Float64() < n.params.LossProb {
+			copies = 0
+			n.dropped.Add(1)
+		} else if n.params.DupProb > 0 && rng.Float64() < n.params.DupProb {
+			copies = 2
+			n.duplicated.Add(1)
+		}
+		if span := a.d.max - a.d.min; span > 0 {
+			if copies >= 1 {
+				first += time.Duration(rng.Int63n(int64(span) + 1))
+			}
+			if copies == 2 {
+				second += time.Duration(rng.Int63n(int64(span) + 1))
+			}
+		}
+		a.ls.mu.Unlock()
+	}
+	if copies >= 1 {
+		n.scheduleDelivery(a.dest, d, first)
+	}
+	if copies == 2 {
+		n.scheduleDelivery(a.dest, d, second)
+	}
+}
+
+func (n *Network) scheduleDelivery(dest *Endpoint, d delivery, delay time.Duration) {
 	n.wg.Add(1)
 	if delay <= 0 {
-		// A plain `go` over a method call avoids the per-delivery closure
-		// allocation the capturing variant would need — this is the hot path
-		// of every zero-delay configuration.
-		go n.deliver(dest, m)
+		dest.dispatch(d)
 		return
 	}
 	n.clk.AfterFunc(delay, func() {
 		// Handlers may block (serial execution, semaphores); never run them
 		// on the clock's timer goroutine.
-		go n.deliver(dest, m)
+		dest.dispatch(d)
 	})
 }
 
-// deliver hands m to dest's handler on the calling goroutine; each delivery
-// runs on a goroutine of its own (see scheduleDelivery).
-func (n *Network) deliver(dest *Endpoint, m *msg.NetMsg) {
+// dispatch hands d to a parked worker when one is free to claim it, and
+// spawns a fresh worker goroutine otherwise. The fresh worker parks after
+// its delivery if the idle quota allows, so a busy endpoint converges to a
+// small pool that spawns nothing in steady state — while a blocked handler
+// never delays the next arrival, which simply gets its own goroutine.
+func (e *Endpoint) dispatch(d delivery) {
+	e.wmu.Lock()
+	if e.closed {
+		// Stop already retired the pool (only reachable for sends racing
+		// Stop on an already-counted delivery): drop.
+		e.wmu.Unlock()
+		e.net.wg.Done()
+		return
+	}
+	if e.idle > 0 {
+		e.idle-- // reserve the worker: the mailbox send below cannot block
+		e.wmu.Unlock()
+		e.mail <- d
+		return
+	}
+	e.wmu.Unlock()
+	// A plain `go` over a method call avoids the closure + thread-handle
+	// allocations proc.Go would add — this is the hot path of every
+	// zero-delay configuration. netsim is exempt from the
+	// goroutine-discipline rule: the network quiesces its workers through
+	// n.wg, and endpoint crashes are observed at delivery via `up`.
+	go e.work(d)
+}
+
+// work delivers first, then joins the endpoint's worker pool: park (up to
+// the idle quota) and drain claimed deliveries until the pool is retired.
+func (e *Endpoint) work(first delivery) {
+	d := first
+	for {
+		e.net.deliverTo(e, d)
+		e.wmu.Lock()
+		if e.closed || e.idle >= maxIdleWorkers {
+			e.wmu.Unlock()
+			return
+		}
+		e.idle++
+		e.wmu.Unlock()
+		var ok bool
+		if d, ok = <-e.mail; !ok {
+			return
+		}
+	}
+}
+
+// deliverTo hands a delivery to dest's handler on the calling goroutine,
+// decoding from the shared wire bytes first when the codec is on.
+func (n *Network) deliverTo(dest *Endpoint, d delivery) {
 	defer n.wg.Done()
-	if n.params.EncodeOnWire {
-		decoded, err := msg.Decode(m.Encode())
+	m := d.m
+	if d.wire != nil {
+		// Args are borrowed from the shared immutable buffer, not copied;
+		// the buffer is never recycled, so retained Args stay valid (D13).
+		decoded, err := msg.DecodeShared(d.wire)
 		if err != nil {
 			// A codec failure is a bug, not a simulated fault; surface
 			// it loudly rather than silently dropping.

@@ -69,21 +69,32 @@ func TestDuplicateAttachRejected(t *testing.T) {
 	}
 }
 
-func TestMessagesAreCloned(t *testing.T) {
+// TestSendFreezesAndShares pins the D13 contract: the transport does not
+// clone per destination — every recipient shares the sender's (now frozen)
+// message, and a writable copy is obtained explicitly via Mutable.
+func TestSendFreezesAndShares(t *testing.T) {
 	n := New(clock.NewReal(), Params{})
 	defer n.Stop()
 	a, _ := attach(t, n, 1)
 	_, cb := attach(t, n, 2)
+	_, cc := attach(t, n, 3)
 
 	m := call(1)
 	m.Args = []byte{1, 2, 3}
-	a.Push(2, m)
-	m.Args[0] = 99 // mutate after send
+	a.Multicast(msg.NewGroup(2, 3), m)
 	n.Quiesce()
+	if !m.Frozen() {
+		t.Fatal("sent message not frozen")
+	}
 	cb.mu.Lock()
+	cc.mu.Lock()
 	defer cb.mu.Unlock()
-	if cb.msgs[0].Args[0] != 1 {
-		t.Fatal("delivery shares the sender's Args buffer")
+	defer cc.mu.Unlock()
+	if cb.msgs[0] != m || cc.msgs[0] != m {
+		t.Fatal("recipients did not share the sender's message")
+	}
+	if c := m.Mutable(); c == m || c.Frozen() || &c.Args[0] == &m.Args[0] {
+		t.Fatal("Mutable() of a frozen message must be an independent copy")
 	}
 }
 
