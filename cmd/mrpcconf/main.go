@@ -11,6 +11,7 @@
 //	mrpcconf -graph                 print Figure 4 (nodes, edges, choices)
 //	mrpcconf -enumerate             count and summarize all legal configs
 //	mrpcconf -list                  list every legal configuration
+//	mrpcconf -transitions           print the hot-swap transition matrix
 //	mrpcconf -profile               run calls and print per-handler costs
 package main
 
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mrpc"
@@ -34,22 +36,23 @@ func main() {
 		graph         = flag.Bool("graph", false, "print the micro-protocol dependency graph (Figure 4)")
 		enumerate     = flag.Bool("enumerate", false, "count the legal configurations (the paper's 198)")
 		list          = flag.Bool("list", false, "list every legal configuration")
+		transitions   = flag.Bool("transitions", false, "print the live-reconfiguration transition matrix")
 		profile       = flag.Bool("profile", false, "run 1000 calls and print per-handler dispatch costs")
 		dot           = flag.Bool("dot", false, "emit the Figure 4 dependency graph in Graphviz DOT form")
 	)
 	flag.Parse()
 
-	if !*properties && !*registrations && !*graph && !*enumerate && !*list && !*profile && !*dot {
+	if !*properties && !*registrations && !*graph && !*enumerate && !*list && !*transitions && !*profile && !*dot {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*properties, *registrations, *graph, *enumerate, *list, *profile, *dot); err != nil {
+	if err := run(*properties, *registrations, *graph, *enumerate, *list, *transitions, *profile, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "mrpcconf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(properties, registrations, graph, enumerate, list, profile, dot bool) error {
+func run(properties, registrations, graph, enumerate, list, transitions, profile, dot bool) error {
 	if properties {
 		fmt.Print(experiments.E2Properties())
 	}
@@ -67,6 +70,9 @@ func run(properties, registrations, graph, enumerate, list, profile, dot bool) e
 			fmt.Printf("%3d  %s  [%s]\n", i+1, c, c.FailureSemantics())
 		}
 	}
+	if transitions {
+		fmt.Print(transitionMatrix())
+	}
 	if profile {
 		return runProfile()
 	}
@@ -74,6 +80,40 @@ func run(properties, registrations, graph, enumerate, list, profile, dot bool) e
 		printDot()
 	}
 	return nil
+}
+
+// transitionMatrix summarizes config.PlanTransition over every ordered pair
+// of the 198 enumerated configurations — the dynamic companion of the
+// -enumerate count — plus a few named example transitions.
+func transitionMatrix() string {
+	var b strings.Builder
+	m := config.EnumerateTransitions()
+	fmt.Fprintln(&b, "=== live-reconfiguration transition matrix (ordered pairs of enumerated configs)")
+	fmt.Fprintf(&b, "  configurations: %d\n", m.Configs)
+	fmt.Fprintf(&b, "  ordered pairs:  %d\n", m.Pairs)
+	fmt.Fprintf(&b, "  live:           %5d  (swap under the dispatch barrier alone)\n", m.Live)
+	fmt.Fprintf(&b, "  drain:          %5d  (in-flight calls complete before the swap)\n", m.Drain)
+	fmt.Fprintf(&b, "  illegal:        %5d  (atomicity changes; restart the node instead)\n", m.Illegal)
+
+	examples := []struct {
+		name     string
+		from, to config.Config
+	}{
+		{"exactly-once -> replicated-service", config.ExactlyOncePreset(), config.ReplicatedService()},
+		{"replicated-service -> exactly-once", config.ReplicatedService(), config.ExactlyOncePreset()},
+		{"exactly-once -> at-least-once", config.ExactlyOncePreset(), config.AtLeastOncePreset()},
+		{"exactly-once -> at-most-once", config.ExactlyOncePreset(), config.AtMostOncePreset()},
+	}
+	fmt.Fprintln(&b, "  examples:")
+	for _, e := range examples {
+		plan, err := config.PlanTransition(e.from, e.to)
+		if err != nil {
+			fmt.Fprintf(&b, "    %-36s illegal (%v)\n", e.name, err)
+			continue
+		}
+		fmt.Fprintf(&b, "    %-36s %-5s changed: %v\n", e.name, plan.Class, plan.Changed)
+	}
+	return b.String()
 }
 
 // printDot emits Figure 4 as Graphviz DOT: solid edges are requirements,

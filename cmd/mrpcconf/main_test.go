@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTransitionsGolden pins the -transitions output the way the config
+// tests pin the -enumerate/198 count: 198 configurations give 39204 ordered
+// pairs, split into 1710 live, 20070 drain, and 17424 illegal transitions
+// (exactly the pairs that add or remove atomic execution).
+func TestTransitionsGolden(t *testing.T) {
+	out := transitionMatrix()
+	for _, want := range []string{
+		"configurations: 198",
+		"ordered pairs:  39204",
+		"live:            1710",
+		"drain:          20070",
+		"illegal:        17424",
+		"exactly-once -> replicated-service   drain changed: [ordering execution acceptance]",
+		"exactly-once -> at-least-once        live  changed: [unique]",
+		"exactly-once -> at-most-once         illegal",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transition matrix output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -284,33 +284,33 @@ func (c Config) Protocols(deps BuildDeps) ([]core.MicroProtocol, error) {
 
 	// The minimal functional set (the dashed region of Figure 4): RPC
 	// Main, one call-semantics protocol, Acceptance and Collation.
-	protos := []core.MicroProtocol{core.RPCMain{}}
+	protos := []core.MicroProtocol{&core.RPCMain{}}
 	if c.Call == CallSynchronous {
-		protos = append(protos, core.SynchronousCall{})
+		protos = append(protos, &core.SynchronousCall{})
 	} else {
-		protos = append(protos, core.AsynchronousCall{})
+		protos = append(protos, &core.AsynchronousCall{})
 	}
 	protos = append(protos,
-		core.Acceptance{Limit: c.AcceptanceLimit},
-		core.Collation{Func: c.Collate, Init: c.CollateInit},
+		&core.Acceptance{Limit: c.AcceptanceLimit},
+		&core.Collation{Func: c.Collate, Init: c.CollateInit},
 	)
 
 	if c.Reliable {
-		protos = append(protos, core.ReliableCommunication{RetransTimeout: c.RetransTimeout})
+		protos = append(protos, &core.ReliableCommunication{RetransTimeout: c.RetransTimeout})
 	}
 	if c.Bounded {
-		protos = append(protos, core.BoundedTermination{TimeBound: c.TimeBound})
+		protos = append(protos, &core.BoundedTermination{TimeBound: c.TimeBound})
 	}
 	if c.Unique {
-		protos = append(protos, core.UniqueExecution{})
+		protos = append(protos, &core.UniqueExecution{})
 	}
 	switch c.Execution {
 	case ExecSerial:
-		protos = append(protos, core.SerialExecution{})
+		protos = append(protos, &core.SerialExecution{})
 	case ExecAtomic:
 		protos = append(protos,
-			core.SerialExecution{},
-			core.AtomicExecution{
+			&core.SerialExecution{},
+			&core.AtomicExecution{
 				Store:        deps.Store,
 				Cell:         deps.Cell,
 				State:        deps.State,
@@ -325,17 +325,17 @@ func (c Config) Protocols(deps BuildDeps) ([]core.MicroProtocol, error) {
 		// Asynchronous clients pipeline calls, so the network can reorder
 		// a client's opening batch; strict initialization keeps FIFO live
 		// in that case (see core.FIFOOrder).
-		protos = append(protos, core.FIFOOrder{StrictInit: c.Call == CallAsynchronous})
+		protos = append(protos, &core.FIFOOrder{StrictInit: c.Call == CallAsynchronous})
 	case OrderTotal:
-		protos = append(protos, core.TotalOrder{})
+		protos = append(protos, &core.TotalOrder{})
 	case OrderCausal:
-		protos = append(protos, core.CausalOrder{})
+		protos = append(protos, &core.CausalOrder{})
 	}
 	switch c.Orphan {
 	case OrphanAvoidInterference:
-		protos = append(protos, core.InterferenceAvoidance{})
+		protos = append(protos, &core.InterferenceAvoidance{})
 	case OrphanTerminate:
-		protos = append(protos, core.TerminateOrphan{
+		protos = append(protos, &core.TerminateOrphan{
 			ProbeInterval: c.OrphanProbeInterval,
 			ProbeMisses:   c.OrphanProbeMisses,
 		})

@@ -1,0 +1,158 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransitionIdentityIsLive(t *testing.T) {
+	for _, c := range []Config{ExactlyOncePreset(), ReplicatedService(), AtMostOncePreset()} {
+		plan, err := PlanTransition(c, c)
+		if err != nil {
+			t.Fatalf("identity transition for %s: %v", c, err)
+		}
+		if plan.Class != TransitionLive || len(plan.Changed) != 0 {
+			t.Fatalf("identity transition for %s: class=%v changed=%v", c, plan.Class, plan.Changed)
+		}
+	}
+}
+
+func TestTransitionClassification(t *testing.T) {
+	exa := ExactlyOncePreset()
+	rep := ReplicatedService()
+
+	// The flagship swap: exactly-once -> total-order replicated service.
+	// Ordering changes (drain); execution and acceptance change (live).
+	plan, err := PlanTransition(exa, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != TransitionDrain {
+		t.Fatalf("exactly-once -> replicated-service: class=%v, want drain", plan.Class)
+	}
+	has := func(name string) bool {
+		for _, c := range plan.Changed {
+			if c == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("ordering") || !has("execution") || !has("acceptance") {
+		t.Fatalf("changed = %v, want ordering+execution+acceptance", plan.Changed)
+	}
+
+	// And back again.
+	plan, err = PlanTransition(rep, exa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != TransitionDrain {
+		t.Fatalf("replicated-service -> exactly-once: class=%v, want drain", plan.Class)
+	}
+
+	// Acceptance limit alone is live.
+	to := exa
+	to.AcceptanceLimit = 2
+	plan, err = PlanTransition(exa, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != TransitionLive || len(plan.Changed) != 1 || plan.Changed[0] != "acceptance" {
+		t.Fatalf("acceptance-only: class=%v changed=%v", plan.Class, plan.Changed)
+	}
+
+	// Unique on/off alone is live.
+	to = exa
+	to.Unique = false
+	plan, err = PlanTransition(exa, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != TransitionLive {
+		t.Fatalf("unique-only: class=%v", plan.Class)
+	}
+
+	// Call synchrony is drain.
+	to = exa
+	to.Call = CallAsynchronous
+	plan, err = PlanTransition(exa, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != TransitionDrain {
+		t.Fatalf("call-synchrony: class=%v", plan.Class)
+	}
+
+	// A retransmission-timeout change is drain; the zero value normalizes
+	// to the default, so 0 -> 20ms is NOT a change.
+	to = exa
+	to.RetransTimeout = 50 * time.Millisecond
+	plan, err = PlanTransition(exa, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Class != TransitionDrain {
+		t.Fatalf("retrans change: class=%v", plan.Class)
+	}
+	to.RetransTimeout = 20 * time.Millisecond
+	from := exa
+	from.RetransTimeout = 0
+	plan, err = PlanTransition(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Changed) != 0 {
+		t.Fatalf("normalized retrans: changed=%v", plan.Changed)
+	}
+}
+
+func TestTransitionAtomicIllegal(t *testing.T) {
+	// Adding atomic execution live is rejected with a diagnosable error.
+	_, err := PlanTransition(ExactlyOncePreset(), AtMostOncePreset())
+	if !errors.Is(err, ErrTransitionAtomic) {
+		t.Fatalf("exactly-once -> at-most-once: err=%v, want ErrTransitionAtomic", err)
+	}
+	if !strings.Contains(err.Error(), "restart the node") {
+		t.Fatalf("error is not diagnosable: %v", err)
+	}
+	// Removing it, likewise.
+	if _, err := PlanTransition(AtMostOncePreset(), ExactlyOncePreset()); !errors.Is(err, ErrTransitionAtomic) {
+		t.Fatalf("at-most-once -> exactly-once: err=%v", err)
+	}
+	// Re-parameterizing it, likewise.
+	from, to := AtMostOncePreset(), AtMostOncePreset()
+	to.AtomicDeltas = !from.AtomicDeltas
+	if _, err := PlanTransition(from, to); !errors.Is(err, ErrTransitionAtomicParams) {
+		t.Fatalf("atomic param change: err=%v", err)
+	}
+	// An invalid endpoint is rejected before classification.
+	bad := ExactlyOncePreset()
+	bad.Ordering = OrderTotal // total order requires unique + serial
+	bad.Unique = false
+	if _, err := PlanTransition(ExactlyOncePreset(), bad); err == nil {
+		t.Fatal("invalid target config accepted")
+	}
+}
+
+// TestTransitionMatrixGolden pins the transition matrix over the paper's 198
+// enumerated configurations, mirroring the -enumerate/198 golden: 39204
+// ordered pairs, of which 17424 are illegal (exactly the pairs that add or
+// remove atomic execution: 2*66*132).
+func TestTransitionMatrixGolden(t *testing.T) {
+	m := EnumerateTransitions()
+	if m.Configs != 198 || m.Pairs != 39204 {
+		t.Fatalf("matrix size: configs=%d pairs=%d", m.Configs, m.Pairs)
+	}
+	if m.Live+m.Drain+m.Illegal != m.Pairs {
+		t.Fatalf("classes do not partition the pairs: %+v", m)
+	}
+	if m.Illegal != 17424 {
+		t.Fatalf("illegal = %d, want 2*66*132 = 17424", m.Illegal)
+	}
+	if m.Live != 1710 || m.Drain != 20070 {
+		t.Fatalf("live=%d drain=%d, want 1710/20070", m.Live, m.Drain)
+	}
+}

@@ -22,22 +22,40 @@ const AcceptAll = 1 << 30
 // Deviation D2: the micro-protocol registers two network handlers, a
 // dedupe stage before Collation and a completion stage after it, so the
 // caller is never woken before the final reply has been folded in.
+//
+// Per-call progress lives in the client records (Pending/NRes), so nothing
+// migrates across a reconfiguration — and a swap that changes Limit only
+// affects calls admitted after it (in-flight calls keep the threshold
+// stamped at issue time).
 type Acceptance struct {
 	Limit int
+
+	b *Binding
 }
 
-var _ MicroProtocol = Acceptance{}
+var _ MicroProtocol = (*Acceptance)(nil)
 
 // Name implements MicroProtocol.
-func (Acceptance) Name() string { return "Acceptance" }
+func (*Acceptance) Name() string { return "Acceptance" }
+
+func (a *Acceptance) limit() int {
+	if a.Limit <= 0 {
+		return 1
+	}
+	return a.Limit
+}
+
+func (a *Acceptance) spec() any {
+	return struct{ limit int }{a.limit()}
+}
 
 // Attach implements MicroProtocol.
-func (a Acceptance) Attach(fw *Framework) error {
-	if a.Limit <= 0 {
-		a.Limit = 1
-	}
+func (a *Acceptance) Attach(fw *Framework) error {
+	limit := a.limit()
+	b := NewBinding(fw)
+	a.b = b
 
-	if err := fw.Bus().Register(event.NewRPCCall, "Acceptance.handleNewCall", event.DefaultPriority,
+	b.On(event.NewRPCCall, "Acceptance.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			id := o.Arg.(msg.CallID)
 			complete := false
@@ -53,7 +71,7 @@ func (a Acceptance) Attach(fw *Framework) error {
 					}
 					rec.Pending[p] = e
 				}
-				rec.NRes = a.Limit
+				rec.NRes = limit
 				if alive < rec.NRes {
 					rec.NRes = alive
 				}
@@ -68,14 +86,12 @@ func (a Acceptance) Attach(fw *Framework) error {
 			if complete {
 				s.V()
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
 	// Stage 1 (before Collation): filter replies that must not be folded —
 	// unknown calls, duplicate replies from the same server, and any reply
 	// arriving after the call already completed.
-	if err := fw.Bus().Register(event.MsgFromNetwork, "Acceptance.dedupe", PrioAcceptDedupe,
+	b.On(event.MsgFromNetwork, "Acceptance.dedupe", PrioAcceptDedupe,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type != msg.OpReply {
@@ -98,13 +114,11 @@ func (a Acceptance) Attach(fw *Framework) error {
 			if !fold {
 				o.Cancel()
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
 	// Stage 2 (after Collation): if the acceptance threshold has been
 	// reached, complete the call and wake the waiting client thread.
-	if err := fw.Bus().Register(event.MsgFromNetwork, "Acceptance.complete", PrioAcceptComplete,
+	b.On(event.MsgFromNetwork, "Acceptance.complete", PrioAcceptComplete,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type != msg.OpReply {
@@ -122,13 +136,11 @@ func (a Acceptance) Attach(fw *Framework) error {
 			if complete {
 				s.V()
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
 	// A server failure may satisfy the acceptance condition for pending
 	// calls (all remaining live members have already replied).
-	return fw.Bus().Register(event.MembershipChange, "Acceptance.serverFailure", event.DefaultPriority,
+	b.On(event.MembershipChange, "Acceptance.serverFailure", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			c := o.Arg.(member.Change)
 			if c.Kind != member.Failure {
@@ -157,4 +169,8 @@ func (a Acceptance) Attach(fw *Framework) error {
 				rec.Sem.V()
 			}
 		})
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (a *Acceptance) Detach(*Framework) { a.b.Detach() }

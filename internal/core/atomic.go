@@ -44,6 +44,12 @@ type DeltaCheckpointable interface {
 // With Deltas enabled and a DeltaCheckpointable state, only the changes of
 // each call are written, with a full snapshot every CompactEvery deltas to
 // bound recovery time.
+//
+// Reconfiguration: the transition planner refuses any swap that adds,
+// removes, or re-parameterizes Atomic Execution on a live node — the
+// checkpoint chain's consistency with the in-memory state cannot be
+// re-established mid-incarnation (see DESIGN.md D14). A swap that keeps the
+// same atomic configuration keeps the same attached instance.
 type AtomicExecution struct {
 	Store *stable.Store
 	Cell  *stable.Cell
@@ -56,21 +62,41 @@ type AtomicExecution struct {
 	Log *stable.Log
 	// CompactEvery bounds the chain length (default 16).
 	CompactEvery int
+
+	b *Binding
 }
 
-var _ MicroProtocol = AtomicExecution{}
+var _ MicroProtocol = (*AtomicExecution)(nil)
 
 // Name implements MicroProtocol.
-func (AtomicExecution) Name() string { return "Atomic Execution" }
+func (*AtomicExecution) Name() string { return "Atomic Execution" }
+
+func (a *AtomicExecution) compactEvery() int {
+	if a.CompactEvery <= 0 {
+		return 16
+	}
+	return a.CompactEvery
+}
+
+func (a *AtomicExecution) spec() any {
+	// State is an interface; in every supported configuration its dynamic
+	// type is a pointer, so identity comparison is well-defined.
+	return struct {
+		store   *stable.Store
+		cell    *stable.Cell
+		log     *stable.Log
+		state   Checkpointable
+		deltas  bool
+		compact int
+	}{a.Store, a.Cell, a.Log, a.State, a.Deltas, a.compactEvery()}
+}
 
 // Attach implements MicroProtocol.
-func (a AtomicExecution) Attach(fw *Framework) error {
+func (a *AtomicExecution) Attach(fw *Framework) error {
 	if a.Store == nil || a.State == nil {
 		return fmt.Errorf("atomic execution: store and state are required")
 	}
-	if a.CompactEvery <= 0 {
-		a.CompactEvery = 16
-	}
+	compactEvery := a.compactEvery()
 	var deltaState DeltaCheckpointable
 	if a.Deltas {
 		ds, ok := a.State.(DeltaCheckpointable)
@@ -84,10 +110,12 @@ func (a AtomicExecution) Attach(fw *Framework) error {
 	} else if a.Cell == nil {
 		return fmt.Errorf("atomic execution: cell is required")
 	}
+	b := NewBinding(fw)
+	a.b = b
 
 	// Priority 2: runs after Unique Execution has retained the response
 	// (the paper registers it second as well).
-	if err := fw.Bus().Register(event.ReplyFromServer, "AtomicExec.handleReply", PrioReplyAtomic,
+	b.On(event.ReplyFromServer, "AtomicExec.handleReply", PrioReplyAtomic,
 		func(*event.Occurrence) {
 			if deltaState == nil {
 				addr := a.Store.Checkpoint(a.State.Snapshot())
@@ -99,7 +127,7 @@ func (a AtomicExecution) Attach(fw *Framework) error {
 				return
 			}
 			_, hasBase, _ := a.Log.Chain()
-			if !hasBase || a.Log.DeltaCount() >= a.CompactEvery {
+			if !hasBase || a.Log.DeltaCount() >= compactEvery {
 				// First checkpoint of a chain, or compaction point: write
 				// a full snapshot and release the superseded chain.
 				addr := a.Store.Checkpoint(deltaState.Snapshot())
@@ -109,11 +137,9 @@ func (a AtomicExecution) Attach(fw *Framework) error {
 				return
 			}
 			a.Log.Append(a.Store.Checkpoint(deltaState.Delta()))
-		}); err != nil {
-		return err
-	}
+		})
 
-	return fw.Bus().Register(event.Recovery, "AtomicExec.handleRecovery", event.DefaultPriority,
+	b.On(event.Recovery, "AtomicExec.handleRecovery", event.DefaultPriority,
 		func(*event.Occurrence) {
 			if deltaState == nil {
 				addr, ok := a.Cell.Get()
@@ -152,4 +178,8 @@ func (a AtomicExecution) Attach(fw *Framework) error {
 				}
 			}
 		})
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (a *AtomicExecution) Detach(*Framework) { a.b.Detach() }

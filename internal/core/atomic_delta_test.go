@@ -109,9 +109,9 @@ func deltaAtomicNode(t *testing.T, compactEvery int) (*testNode, *deltaState, *s
 		return args
 	})
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		SerialExecution{},
-		AtomicExecution{Store: store, State: state, Deltas: true, Log: log, CompactEvery: compactEvery})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&SerialExecution{},
+		&AtomicExecution{Store: store, State: state, Deltas: true, Log: log, CompactEvery: compactEvery})
 	return n, state, store, log
 }
 
@@ -180,15 +180,15 @@ func TestAtomicDeltaRequiresCapableState(t *testing.T) {
 	net := newMemNet()
 	store := stable.NewStore(clock.NewReal(), 0)
 	fwOpts := nodeOpts{server: echoServer()}
-	n := addNode(t, net, 1, fwOpts, RPCMain{})
+	n := addNode(t, net, 1, fwOpts, &RPCMain{})
 	// checkpointState implements Checkpointable but not DeltaCheckpointable.
-	err := AtomicExecution{
+	err := (&AtomicExecution{
 		Store: store, State: &checkpointState{}, Deltas: true, Log: &stable.Log{},
-	}.Attach(n.fw)
+	}).Attach(n.fw)
 	if err == nil {
 		t.Fatal("delta mode accepted a non-delta state")
 	}
-	err = AtomicExecution{Store: store, State: newDeltaState(), Deltas: true}.Attach(n.fw)
+	err = (&AtomicExecution{Store: store, State: newDeltaState(), Deltas: true}).Attach(n.fw)
 	if err == nil {
 		t.Fatal("delta mode accepted a nil log")
 	}

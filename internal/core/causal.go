@@ -37,58 +37,134 @@ import (
 // calls to the same group. CBCAST numbering is per-process, so a call sent
 // to a subgroup would leave gaps in the sequence the other members wait
 // for.
-type CausalOrder struct{}
+type CausalOrder struct {
+	b  *Binding
+	mu sync.Mutex
+	// held/incs migrate across a causal→causal swap together with the
+	// framework's delivered-vector (causalState), so the delivery condition
+	// resumes exactly where the predecessor left off.
+	held map[msg.CallKey]causalHeld
+	incs map[msg.ProcID]msg.Incarnation
+}
 
-var _ MicroProtocol = CausalOrder{}
+var _ MicroProtocol = (*CausalOrder)(nil)
+var _ Stateful = (*CausalOrder)(nil)
+var _ Sequencer = (*CausalOrder)(nil)
 
 // Name implements MicroProtocol.
-func (CausalOrder) Name() string { return "Causal Order" }
+func (*CausalOrder) Name() string { return "Causal Order" }
+
+func (*CausalOrder) spec() any { return struct{}{} }
 
 type causalHeld struct {
 	vc     msg.VClock
 	client msg.ProcID
 }
 
-// Attach implements MicroProtocol.
-func (CausalOrder) Attach(fw *Framework) error {
-	fw.EnableCausal()
-	fw.SetHold(HoldCausal)
+// causalState is CausalOrder's exported migration state.
+type causalState struct {
+	held map[msg.CallKey]causalHeld
+	incs map[msg.ProcID]msg.Incarnation
+	vc   msg.VClock
+}
 
-	var (
-		mu   sync.Mutex
-		held = make(map[msg.CallKey]causalHeld)
-		incs = make(map[msg.ProcID]msg.Incarnation)
-	)
+// ExportState implements Stateful.
+func (c *CausalOrder) ExportState() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return causalState{held: c.held, incs: c.incs, vc: c.b.fw.VCSnapshot()}
+}
 
-	// popDeliverable removes and returns one held call that has become
-	// deliverable, if any.
-	popDeliverable := func() (msg.CallKey, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		for key, h := range held {
-			if fw.CausalDeliverable(h.client, h.vc) {
-				delete(held, key)
-				return key, true
+// ImportState implements Stateful.
+func (c *CausalOrder) ImportState(state any) {
+	s := state.(causalState)
+	c.mu.Lock()
+	c.held = s.held
+	c.incs = s.incs
+	c.mu.Unlock()
+	c.b.fw.RestoreVC(s.vc)
+}
+
+// Adopt implements Sequencer: a call admitted to sRPC before this instance
+// attached re-enters the causal delivery condition. With a fresh vector
+// the incarnation bookkeeping starts over; the reconfiguration engine
+// adopts calls in (client, id) order, so each client's earliest held call
+// seeds its sequence.
+func (c *CausalOrder) Adopt(key msg.CallKey, m *msg.NetMsg) {
+	fw := c.b.fw
+	client := m.Client
+	c.mu.Lock()
+	known, seen := c.incs[client]
+	switch {
+	case !seen || m.Inc > known:
+		c.incs[client] = m.Inc
+		var stale []msg.CallKey
+		for k, h := range c.held {
+			if h.client == client {
+				stale = append(stale, k)
 			}
 		}
-		return msg.CallKey{}, false
+		for _, k := range stale {
+			delete(c.held, k)
+		}
+		c.mu.Unlock()
+		fw.ResetDelivered(client)
+		for _, k := range stale {
+			fw.DropServerCall(k)
+		}
+	case m.Inc < known:
+		c.mu.Unlock()
+		fw.DropServerCall(key)
+		return
+	default:
+		c.mu.Unlock()
 	}
+
+	if fw.CausalDeliverable(client, m.VC) {
+		fw.ForwardUp(key, HoldCausal)
+		return
+	}
+	c.mu.Lock()
+	c.held[key] = causalHeld{vc: m.VC, client: client}
+	c.mu.Unlock()
+}
+
+// popDeliverable removes and returns one held call that has become
+// deliverable, if any.
+func (c *CausalOrder) popDeliverable(fw *Framework) (msg.CallKey, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, h := range c.held {
+		if fw.CausalDeliverable(h.client, h.vc) {
+			delete(c.held, key)
+			return key, true
+		}
+	}
+	return msg.CallKey{}, false
+}
+
+// Attach implements MicroProtocol.
+func (c *CausalOrder) Attach(fw *Framework) error {
+	fw.EnableCausal()
+	fw.SetHold(HoldCausal)
+	b := NewBinding(fw)
+	c.b = b
+	c.held = make(map[msg.CallKey]causalHeld)
+	c.incs = make(map[msg.ProcID]msg.Incarnation)
 
 	// Client side: learn the server's delivered-vector so the next call
 	// causally follows what the reply reflects. Registered early (before
 	// Acceptance's dedupe stage) so even replies that arrive after the
 	// call completed still contribute their knowledge.
-	if err := fw.Bus().Register(event.MsgFromNetwork, "CausalOrder.replyMerge", PrioReliable+2,
+	b.On(event.MsgFromNetwork, "CausalOrder.replyMerge", PrioReliable+2,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type == msg.OpReply {
 				fw.MergeVC(m.VC)
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
-	if err := fw.Bus().Register(event.MsgFromNetwork, "CausalOrder.msgFromNet", PrioOrder,
+	b.On(event.MsgFromNetwork, "CausalOrder.msgFromNet", PrioOrder,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			switch m.Type {
@@ -96,54 +172,52 @@ func (CausalOrder) Attach(fw *Framework) error {
 				key := m.Key()
 				client := m.Client
 
-				mu.Lock()
-				known, seen := incs[client]
+				c.mu.Lock()
+				known, seen := c.incs[client]
 				switch {
 				case !seen || m.Inc > known:
 					// First contact with this incarnation: its numbering
 					// starts afresh; held calls of older incarnations are
 					// dead.
-					incs[client] = m.Inc
+					c.incs[client] = m.Inc
 					var stale []msg.CallKey
-					for k, h := range held {
+					for k, h := range c.held {
 						if h.client == client {
 							stale = append(stale, k)
 						}
 					}
 					for _, k := range stale {
-						delete(held, k)
+						delete(c.held, k)
 					}
-					mu.Unlock()
+					c.mu.Unlock()
 					fw.ResetDelivered(client)
 					for _, k := range stale {
 						fw.DropServerCall(k)
 					}
 				case m.Inc < known:
-					mu.Unlock()
+					c.mu.Unlock()
 					o.Cancel()
 					return
 				default:
-					mu.Unlock()
+					c.mu.Unlock()
 				}
 
 				if fw.CausalDeliverable(client, m.VC) {
 					fw.ForwardUp(key, HoldCausal)
 					return
 				}
-				mu.Lock()
-				held[key] = causalHeld{vc: m.VC, client: client}
-				mu.Unlock()
+				c.mu.Lock()
+				c.held[key] = causalHeld{vc: m.VC, client: client}
+				c.mu.Unlock()
 				o.OnCancel(func() {
-					mu.Lock()
-					delete(held, key)
-					mu.Unlock()
+					c.mu.Lock()
+					delete(c.held, key)
+					c.mu.Unlock()
 				})
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
-	return fw.Bus().Register(event.ReplyFromServer, "CausalOrder.handleReply", PrioReplyBookkeep,
+	b.On(event.ReplyFromServer, "CausalOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var client msg.ProcID
@@ -154,8 +228,16 @@ func (CausalOrder) Attach(fw *Framework) error {
 			// Release one newly deliverable held call; its own reply event
 			// releases the next, draining any chain without recursion
 			// fan-out.
-			if next, ok := popDeliverable(); ok {
+			if next, ok := c.popDeliverable(fw); ok {
 				fw.ForwardUp(next, HoldCausal)
 			}
 		})
+	return b.Err()
+}
+
+// Detach implements MicroProtocol.
+func (c *CausalOrder) Detach(fw *Framework) {
+	c.b.Detach()
+	fw.ClearHold(HoldCausal)
+	fw.DisableCausal()
 }

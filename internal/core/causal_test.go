@@ -10,8 +10,8 @@ func causalNode(t *testing.T, net *memNet, id msg.ProcID) (*testNode, *recording
 	t.Helper()
 	srv := &recordingServer{}
 	n := addNode(t, net, id, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, CausalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &CausalOrder{})
 	return n, srv
 }
 
@@ -93,8 +93,8 @@ func TestCausalClientStampsAndLearns(t *testing.T) {
 	causalNode(t, net, 1)
 	protos := func() []MicroProtocol {
 		return []MicroProtocol{
-			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-			UniqueExecution{}, CausalOrder{},
+			&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+			&UniqueExecution{}, &CausalOrder{},
 		}
 	}
 	clientA := addNode(t, net, 100, nodeOpts{}, protos()...)

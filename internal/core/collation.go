@@ -1,6 +1,8 @@
 package core
 
 import (
+	"reflect"
+
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
 )
@@ -19,41 +21,61 @@ func LastReply(_, reply []byte) []byte { return reply }
 type Collation struct {
 	Func CollateFunc
 	Init []byte
+
+	b *Binding
 }
 
-var _ MicroProtocol = Collation{}
+var _ MicroProtocol = (*Collation)(nil)
 
 // Name implements MicroProtocol.
-func (Collation) Name() string { return "Collation" }
+func (*Collation) Name() string { return "Collation" }
+
+func (c *Collation) fn() CollateFunc {
+	if c.Func == nil {
+		return LastReply
+	}
+	return c.Func
+}
+
+func (c *Collation) spec() any {
+	// Functions are not comparable; their code pointers are — good enough
+	// to detect "same collation" across a reconfiguration.
+	return struct {
+		fn   uintptr
+		init string
+	}{reflect.ValueOf(c.fn()).Pointer(), string(c.Init)}
+}
 
 // Attach implements MicroProtocol.
-func (c Collation) Attach(fw *Framework) error {
-	if c.Func == nil {
-		c.Func = LastReply
-	}
+func (c *Collation) Attach(fw *Framework) error {
+	fold := c.fn()
+	b := NewBinding(fw)
+	c.b = b
 
-	if err := fw.Bus().Register(event.NewRPCCall, "Collation.handleNewCall", event.DefaultPriority,
+	b.On(event.NewRPCCall, "Collation.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			id := o.Arg.(msg.CallID)
 			fw.WithClient(id, func(rec *ClientRecord) {
 				rec.Args = c.Init
 			})
-		}); err != nil {
-		return err
-	}
+		})
 
 	// Runs after Acceptance's dedupe stage (which cancels duplicate
 	// replies) and before its completion stage (which wakes the caller),
 	// so each distinct reply is folded exactly once and the caller never
 	// races the fold — deviation D2.
-	return fw.Bus().Register(event.MsgFromNetwork, "Collation.msgFromNet", PrioCollation,
+	b.On(event.MsgFromNetwork, "Collation.msgFromNet", PrioCollation,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type != msg.OpReply {
 				return
 			}
 			fw.WithClient(m.ID, func(rec *ClientRecord) {
-				rec.Args = c.Func(rec.Args, m.Args)
+				rec.Args = fold(rec.Args, m.Args)
 			})
 		})
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (c *Collation) Detach(*Framework) { c.b.Detach() }

@@ -1,23 +1,38 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // MicroProtocol is a software module implementing one well-defined property
-// of the RPC service. Attach registers its event handlers with the
-// framework; a configured set of micro-protocols linked with one Framework
-// forms a composite protocol.
+// of the RPC service, with a uniform lifecycle. Attach registers its event
+// handlers with the framework; Detach reverses Attach completely; a
+// configured set of micro-protocols linked with one Framework forms a
+// composite protocol. Protocols with migratable cross-call state also
+// implement Stateful, and ordering protocols implement Sequencer (see
+// lifecycle.go).
 type MicroProtocol interface {
 	// Name returns the micro-protocol's name as used in the paper.
 	Name() string
 	// Attach registers the micro-protocol's event handlers and initializes
-	// its shared-state contributions (HOLD slots, semaphores).
+	// its shared-state contributions (HOLD slots, semaphores). An instance
+	// is attached to at most one framework, at most once.
 	Attach(fw *Framework) error
+	// Detach deregisters everything Attach registered — handlers, pending
+	// timeouts, HOLD slots, framework modes — leaving the framework as if
+	// the protocol had never been attached. It runs only before Start or
+	// under the reconfiguration barrier.
+	Detach(fw *Framework)
 }
 
 // Composite is a fully assembled composite protocol: the framework plus its
-// configured micro-protocols.
+// configured micro-protocols. After Start, the protocol set changes only
+// through Swap.
 type Composite struct {
-	fw     *Framework
+	fw *Framework
+
+	mu     sync.Mutex // guards protos against concurrent Swap/Protocols
 	protos []MicroProtocol
 }
 
@@ -45,11 +60,130 @@ func (c *Composite) Framework() *Framework { return c.fw }
 // Protocols returns the names of the configured micro-protocols in
 // registration order.
 func (c *Composite) Protocols() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	names := make([]string, len(c.protos))
 	for i, p := range c.protos {
 		names[i] = p.Name()
 	}
 	return names
+}
+
+// Protocol returns the attached micro-protocol instance with the given
+// name, or nil.
+func (c *Composite) Protocol(name string) MicroProtocol {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.protos {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Swap replaces the composite's micro-protocol set with next, under the
+// reconfiguration barrier: it acquires the framework's dispatch lock
+// exclusively (no handler, timer firing, call admission or network delivery
+// is mid-flight), detaches every protocol not re-selected, attaches the new
+// ones with state migrated from their predecessors, re-homes server-side
+// calls still held by a detached ordering protocol, and releases the
+// barrier.
+//
+// An instance in next whose name and configuration parameters match an
+// attached instance is not churned: the attached instance — its state,
+// handlers and timers — stays, and the new instance is discarded.
+//
+// Swap does not drain: the caller (the reconfiguration engine in the mrpc
+// facade) is responsible for closing admission and draining first when the
+// transition requires it. Swap itself only guarantees that the composite is
+// never observed half-configured.
+func (c *Composite) Swap(next []MicroProtocol) error {
+	fw := c.fw
+
+	fw.dispatchMu.Lock()
+	fw.reconfiguring.Store(true)
+	defer func() {
+		fw.reconfiguring.Store(false)
+		fw.dispatchMu.Unlock()
+	}()
+
+	c.mu.Lock()
+	old := c.protos
+	c.mu.Unlock()
+
+	oldByName := make(map[string]MicroProtocol, len(old))
+	for _, p := range old {
+		oldByName[p.Name()] = p
+	}
+
+	// Decide which attached instances survive: same protocol, same
+	// parameters.
+	kept := make(map[string]bool, len(next))
+	for _, p := range next {
+		if prev, ok := oldByName[p.Name()]; ok && sameSpec(prev, p) {
+			kept[p.Name()] = true
+		}
+	}
+
+	// Detach the delta in reverse attach order (mirror-image teardown).
+	orderingChanged := false
+	for i := len(old) - 1; i >= 0; i-- {
+		p := old[i]
+		if kept[p.Name()] {
+			continue
+		}
+		if _, isSeq := p.(Sequencer); isSeq {
+			orderingChanged = true
+		}
+		p.Detach(fw)
+	}
+
+	// Attach the new set (kept instances take their predecessor's place),
+	// migrating state from replaced instances of the same protocol.
+	final := make([]MicroProtocol, 0, len(next))
+	var newSeq Sequencer
+	for _, p := range next {
+		prev := oldByName[p.Name()]
+		if kept[p.Name()] {
+			final = append(final, prev)
+			if s, ok := prev.(Sequencer); ok {
+				newSeq = s
+			}
+			continue
+		}
+		if err := p.Attach(fw); err != nil {
+			// A validated configuration's Attach must not fail on a live
+			// framework (the only errors are duplicate registrations and
+			// missing Atomic Execution dependencies, both excluded by
+			// transition planning); if it does, the composite is broken
+			// beyond repair here.
+			return fmt.Errorf("reconfigure: attach %s: %w", p.Name(), err)
+		}
+		if s, ok := p.(Sequencer); ok {
+			orderingChanged = true
+			newSeq = s
+		}
+		if prev != nil {
+			from, fok := prev.(Stateful)
+			to, tok := p.(Stateful)
+			if fok && tok {
+				to.ImportState(from.ExportState())
+			}
+		}
+		final = append(final, p)
+	}
+
+	// Calls admitted under the old ordering regime and still held in sRPC
+	// are re-homed under the new one.
+	if orderingChanged {
+		fw.rehomeHeldCalls(newSeq)
+	}
+
+	c.mu.Lock()
+	c.protos = final
+	c.mu.Unlock()
+	return nil
 }
 
 // Close shuts the composite down (see Framework.Close).

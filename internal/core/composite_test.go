@@ -13,11 +13,11 @@ import (
 func TestCompositeAssembly(t *testing.T) {
 	net := newMemNet()
 	protos := []MicroProtocol{
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		ReliableCommunication{RetransTimeout: time.Hour},
-		BoundedTermination{TimeBound: time.Hour},
-		UniqueExecution{}, SerialExecution{}, FIFOOrder{},
-		InterferenceAvoidance{},
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&ReliableCommunication{RetransTimeout: time.Hour},
+		&BoundedTermination{TimeBound: time.Hour},
+		&UniqueExecution{}, &SerialExecution{}, &FIFOOrder{},
+		&InterferenceAvoidance{},
 	}
 	comp, err := NewComposite(Options{
 		Site:   proc.NewSite(1),
@@ -47,8 +47,8 @@ func TestCompositeAssembly(t *testing.T) {
 	}
 
 	// Every remaining Name() for completeness.
-	for _, p := range []MicroProtocol{AsynchronousCall{}, AtomicExecution{},
-		TotalOrder{}, CausalOrder{}, TerminateOrphan{}} {
+	for _, p := range []MicroProtocol{&AsynchronousCall{}, &AtomicExecution{},
+		&TotalOrder{}, &CausalOrder{}, &TerminateOrphan{}} {
 		if p.Name() == "" {
 			t.Fatal("empty protocol name")
 		}
@@ -63,7 +63,7 @@ func TestCompositeAttachFailureCloses(t *testing.T) {
 		Site: proc.NewSite(1),
 		Bus:  event.New(clock.NewReal()),
 		Net:  memEP{n: net},
-	}, RPCMain{}, AtomicExecution{})
+	}, &RPCMain{}, &AtomicExecution{})
 	if err == nil {
 		t.Fatal("NewComposite accepted a failing micro-protocol")
 	}
@@ -77,7 +77,7 @@ func TestNewFrameworkRequiredOptions(t *testing.T) {
 
 func TestTakeServerRec(t *testing.T) {
 	net := newMemNet()
-	n := addNode(t, net, 1, nodeOpts{server: echoServer()}, RPCMain{})
+	n := addNode(t, net, 1, nodeOpts{server: echoServer()}, &RPCMain{})
 	key := msg.CallKey{Client: 9, ID: 9}
 	if !n.fw.PutServerRec(&ServerRecord{Key: key}) {
 		t.Fatal("PutServerRec rejected a fresh key")

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -124,6 +125,10 @@ type ServerRecord struct {
 	Client msg.ProcID
 	Inc    msg.Incarnation
 	Thread *proc.Thread
+	// Msg is the (frozen) network message that admitted the call. Retained
+	// so a reconfiguration swap can re-home a call still held by a detached
+	// ordering protocol (Sequencer.Adopt needs the original message).
+	Msg *msg.NetMsg
 
 	hold      [numHold]bool
 	executing bool
@@ -155,8 +160,10 @@ type Options struct {
 //   - the call tables (clients/servers), sharded and reached only through
 //     the scoped API in table.go;
 //   - configuration (hold, causal, serialMode), written by micro-protocol
-//     Attach calls and frozen by Start — configure-before-start,
-//     immutable-after, so runtime reads need no synchronization;
+//     Attach/Detach calls either before Start or under the reconfiguration
+//     barrier (Composite.Swap holds dispatchMu exclusively while every
+//     dispatch path holds it shared), so runtime reads need no further
+//     synchronization;
 //   - runtime scalars with their own discipline (nextSeq and inc are
 //     atomics; the causal vector and the serial drain queue keep dedicated
 //     mutexes because they are genuinely mutated on the hot path).
@@ -176,8 +183,33 @@ type Framework struct {
 	hold [numHold]bool // HOLD array: properties every call must satisfy
 
 	// started flips when configuration freezes (Start); the configuration
-	// mutators refuse to run after it.
-	started atomic.Bool
+	// mutators refuse to run after it unless the reconfiguration barrier is
+	// held (reconfiguring, set by Composite.Swap under dispatchMu).
+	started       atomic.Bool
+	reconfiguring atomic.Bool
+
+	// dispatchMu is the reconfiguration barrier: every dispatch entry point
+	// (network delivery, user calls, timer firings, membership changes,
+	// recovery) holds it shared for the duration of the trigger, and
+	// Composite.Swap holds it exclusively while detaching and attaching
+	// micro-protocols — so a swap observes a composite with no handler
+	// mid-flight.
+	dispatchMu sync.RWMutex
+
+	// Admission gate: Reconfigure closes it to stop admitting NEW_RPC_CALL
+	// while draining. admitActive counts callers between gate entry and the
+	// end of their CALL_FROM_USER dispatch, so CloseAdmission can wait out
+	// stragglers that passed the gate but have not yet created their call
+	// record.
+	admitMu     sync.Mutex
+	admitCond   *sync.Cond
+	admitClosed bool
+	admitActive int
+
+	// executedQuery, installed by Unique Execution, reports whether a call
+	// key has already been executed here; a freshly attached ordering
+	// protocol consults it to avoid sequencing duplicates of pre-swap calls.
+	executedQuery func(msg.CallKey) bool
 
 	// Causal Order state (extension; see causal.go). vc is the CBCAST
 	// vector: this process's own entry counts calls it has issued, other
@@ -228,22 +260,35 @@ func NewFramework(opts Options) (*Framework, error) {
 	fw.servers.init()
 	fw.nextSeq.Store(1)
 	fw.inc.Store(int32(opts.Site.Inc()))
+	fw.admitCond = sync.NewCond(&fw.admitMu)
+	// Timer firings must participate in the reconfiguration barrier; the
+	// gate is installed before any micro-protocol can arm a timeout.
+	fw.bus.SetDispatchGate(func() func() {
+		fw.dispatchMu.RLock()
+		return fw.dispatchMu.RUnlock
+	})
 	fw.unsubscribe = ms.Subscribe(func(c member.Change) {
+		fw.dispatchMu.RLock()
+		defer fw.dispatchMu.RUnlock()
 		fw.bus.Trigger(event.MembershipChange, c)
 	})
 	return fw, nil
 }
 
-// Start freezes the framework's configuration: the configure-before-start
-// mutators (SetHold, EnableSerial, EnableCausal) panic from here on, which
-// is what lets the hot path read hold/causal/serialMode without locks.
+// Start freezes the framework's configuration: the configuration mutators
+// (SetHold, EnableSerial, EnableCausal and their Clear/Disable inverses)
+// panic from here on unless the reconfiguration barrier is held, which is
+// what lets the hot path read hold/causal/serialMode without locks.
 // NewComposite calls it after the last Attach.
 func (fw *Framework) Start() { fw.started.Store(true) }
 
-// mustConfigure guards the configure-before-start mutators.
+// mustConfigure guards the configuration mutators: they may run before
+// Start (initial composite assembly) or under the reconfiguration barrier
+// (Composite.Swap holds dispatchMu exclusively, so no dispatch observes a
+// half-configured framework), and nowhere else.
 func (fw *Framework) mustConfigure(what string) {
-	if fw.started.Load() {
-		panic("core: " + what + " after Start — micro-protocol configuration is immutable once the composite is live")
+	if fw.started.Load() && !fw.reconfiguring.Load() {
+		panic("core: " + what + " on a live composite — micro-protocol configuration mutates only before Start or under the reconfiguration barrier (Composite.Swap)")
 	}
 }
 
@@ -274,29 +319,82 @@ func (fw *Framework) SetInc(i msg.Incarnation) {
 
 // SetHold marks index as a property every call must satisfy before being
 // passed to the server (HOLD[index] = true at micro-protocol init).
-// Configure-before-start only.
+// Configuration mutator (before Start or under the swap barrier).
 func (fw *Framework) SetHold(index HoldIndex) {
 	fw.mustConfigure("SetHold")
 	fw.hold[index] = true
 }
 
+// ClearHold reverses SetHold when the owning micro-protocol detaches.
+// Configuration mutator (before Start or under the swap barrier).
+func (fw *Framework) ClearHold(index HoldIndex) {
+	fw.mustConfigure("ClearHold")
+	fw.hold[index] = false
+}
+
 // EnableSerial switches the framework to serial execution: eligible calls
-// are executed one at a time, in eligibility order. Configure-before-start
-// only.
+// are executed one at a time, in eligibility order. Configuration mutator
+// (before Start or under the swap barrier).
 func (fw *Framework) EnableSerial() {
 	fw.mustConfigure("EnableSerial")
 	fw.serialMode = true
+}
+
+// DisableSerial reverses EnableSerial when Serial Execution detaches.
+// Configuration mutator (before Start or under the swap barrier).
+func (fw *Framework) DisableSerial() {
+	fw.mustConfigure("DisableSerial")
+	fw.serialMode = false
+}
+
+// SetExecutedQuery installs (or with nil, removes) Unique Execution's
+// executed-call predicate; see Framework.AlreadyExecuted. Configuration
+// mutator (before Start or under the swap barrier).
+func (fw *Framework) SetExecutedQuery(q func(msg.CallKey) bool) {
+	fw.mustConfigure("SetExecutedQuery")
+	fw.executedQuery = q
+}
+
+// AlreadyExecuted reports whether the call identified by key has already
+// executed at this server, according to Unique Execution's dedup tables
+// (false when Unique Execution is not configured). A freshly attached
+// ordering protocol uses it to recognize duplicates of calls that executed
+// before the protocol attached: sequencing such a duplicate would reserve a
+// slot no reply will ever release.
+func (fw *Framework) AlreadyExecuted(key msg.CallKey) bool {
+	return fw.executedQuery != nil && fw.executedQuery(key)
 }
 
 // --- Causal Order support (extension; see causal.go) ---------------------
 
 // EnableCausal switches on causal timestamping: outgoing calls carry a
 // vector clock and replies carry the server's delivered-vector.
-// Configure-before-start only.
+// Configuration mutator (before Start or under the swap barrier).
 func (fw *Framework) EnableCausal() {
 	fw.mustConfigure("EnableCausal")
 	fw.causal = true
+	fw.vcMu.Lock()
 	fw.vc = make(msg.VClock)
+	fw.vcMu.Unlock()
+}
+
+// DisableCausal reverses EnableCausal when Causal Order detaches.
+// Configuration mutator (before Start or under the swap barrier).
+func (fw *Framework) DisableCausal() {
+	fw.mustConfigure("DisableCausal")
+	fw.causal = false
+	fw.vcMu.Lock()
+	fw.vc = nil
+	fw.vcMu.Unlock()
+}
+
+// RestoreVC replaces the causal vector with a previously exported snapshot
+// (Causal Order state migration). Configuration mutator.
+func (fw *Framework) RestoreVC(v msg.VClock) {
+	fw.mustConfigure("RestoreVC")
+	fw.vcMu.Lock()
+	fw.vc = v
+	fw.vcMu.Unlock()
 }
 
 // CausalEnabled reports whether causal timestamping is on.
@@ -568,6 +666,104 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 	fw.net.Push(client, reply)
 }
 
+// --- reconfiguration machinery --------------------------------------------
+
+// CloseAdmission stops admitting new calls: Call blocks at the admission
+// gate until OpenAdmission. It returns only once every caller that had
+// already passed the gate has finished its CALL_FROM_USER dispatch, so
+// after CloseAdmission returns, the set of pending client calls is exactly
+// what WaitingClientCalls sees — nothing is about to appear.
+func (fw *Framework) CloseAdmission() {
+	fw.admitMu.Lock()
+	fw.admitClosed = true
+	for fw.admitActive > 0 {
+		fw.admitCond.Wait()
+	}
+	fw.admitMu.Unlock()
+}
+
+// OpenAdmission reopens the admission gate, waking blocked callers.
+func (fw *Framework) OpenAdmission() {
+	fw.admitMu.Lock()
+	fw.admitClosed = false
+	fw.admitCond.Broadcast()
+	fw.admitMu.Unlock()
+}
+
+// admitEnter blocks while the admission gate is closed, then counts the
+// caller as active until admitExit.
+func (fw *Framework) admitEnter() {
+	fw.admitMu.Lock()
+	for fw.admitClosed {
+		fw.admitCond.Wait()
+	}
+	fw.admitActive++
+	fw.admitMu.Unlock()
+}
+
+func (fw *Framework) admitExit() {
+	fw.admitMu.Lock()
+	fw.admitActive--
+	if fw.admitActive == 0 {
+		fw.admitCond.Broadcast()
+	}
+	fw.admitMu.Unlock()
+}
+
+// WaitingClientCalls returns the number of pending client calls still
+// waiting for completion. Completed-but-uncollected asynchronous records do
+// not count: they are inert (no retransmission, no reply expected) and
+// safely survive a swap for later Collect.
+func (fw *Framework) WaitingClientCalls() int {
+	n := 0
+	fw.EachClient(func(r *ClientRecord) {
+		if r.Status == msg.StatusWaiting {
+			n++
+		}
+	})
+	return n
+}
+
+// rehomeHeldCalls re-homes every non-executing sRPC record after a swap
+// changed the ordering property: ordering hold bits are reset and each call
+// is offered to the new ordering protocol (seq) as if it had just arrived,
+// or — with no ordering configured — released for execution. Runs under the
+// swap barrier; records are processed in deterministic (client, id) order.
+func (fw *Framework) rehomeHeldCalls(seq Sequencer) {
+	type held struct {
+		key msg.CallKey
+		m   *msg.NetMsg
+	}
+	var calls []held
+	fw.ServerTx(func(tx ServerTx) {
+		tx.Each(func(r *ServerRecord) {
+			if r.executing {
+				// Impossible under the barrier (execution happens inside a
+				// dispatch, which the barrier excludes); left untouched if it
+				// ever were.
+				return
+			}
+			r.hold[HoldFIFO] = false
+			r.hold[HoldTotal] = false
+			r.hold[HoldCausal] = false
+			calls = append(calls, held{key: r.Key, m: r.Msg})
+		})
+	})
+	sort.Slice(calls, func(i, j int) bool {
+		if calls[i].key.Client != calls[j].key.Client {
+			return calls[i].key.Client < calls[j].key.Client
+		}
+		return calls[i].key.ID < calls[j].key.ID
+	})
+	for _, c := range calls {
+		if seq != nil && c.m != nil {
+			seq.Adopt(c.key, c.m)
+		} else {
+			fw.ForwardUp(c.key, HoldMain)
+		}
+	}
+}
+
 // HandleNet is the delivery entry point wired to the transport: it turns an
 // arriving message into a MSG_FROM_NETWORK occurrence. For Call messages a
 // thread token is created first, so the orphan micro-protocols can track
@@ -579,6 +775,9 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 		return
 	}
 	fw.cmu.Unlock()
+
+	fw.dispatchMu.RLock()
+	defer fw.dispatchMu.RUnlock()
 
 	ev := &NetEvent{Msg: m}
 	if m.Type == msg.OpCall {
@@ -601,24 +800,66 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 // Call issues a synchronous (or, with Asynchronous Call configured,
 // asynchronous) RPC to group. It triggers CALL_FROM_USER and returns the
 // user message, whose ID, Args and Status fields have been filled in by the
-// configured call-semantics micro-protocol.
+// configured call-semantics micro-protocol. The caller passes the admission
+// gate first (a reconfiguration drain may hold it closed briefly), and any
+// blocking wait happens in the Collect continuation after dispatch, outside
+// the reconfiguration barrier.
 func (fw *Framework) Call(op msg.OpID, args []byte, group msg.Group) *msg.UserMsg {
 	um := &msg.UserMsg{Type: msg.UserCall, Op: op, Args: args, Server: group}
+	fw.admitEnter()
+	fw.dispatchMu.RLock()
 	fw.bus.Trigger(event.CallFromUser, um)
+	fw.dispatchMu.RUnlock()
+	fw.admitExit()
+	if um.Collect != nil {
+		um.Collect()
+		um.Collect = nil
+	}
+	return um
+}
+
+// AdmitEnter passes the admission gate without issuing a call, blocking
+// while a reconfiguration drain holds it closed. While a caller is inside
+// the gate a drain-class swap cannot complete, so the node's call-mode
+// configuration is stable — the facade uses this to make its mode check
+// atomic with the submission. Pair with AdmitExit; do not block in between.
+func (fw *Framework) AdmitEnter() { fw.admitEnter() }
+
+// AdmitExit releases AdmitEnter's hold on the admission gate.
+func (fw *Framework) AdmitExit() { fw.admitExit() }
+
+// CallAdmitted is Call for a caller that already holds the admission gate
+// via AdmitEnter. It dispatches the call but does not run the Collect
+// continuation; the caller runs it, if set, after releasing the gate.
+func (fw *Framework) CallAdmitted(op msg.OpID, args []byte, group msg.Group) *msg.UserMsg {
+	um := &msg.UserMsg{Type: msg.UserCall, Op: op, Args: args, Server: group}
+	fw.dispatchMu.RLock()
+	fw.bus.Trigger(event.CallFromUser, um)
+	fw.dispatchMu.RUnlock()
 	return um
 }
 
 // Request retrieves the result of a previously issued asynchronous call,
 // blocking until it is available (Asynchronous Call micro-protocol).
+// Collecting needs no admission (it creates no new call); the blocking wait
+// happens outside the barrier, like Call's.
 func (fw *Framework) Request(id msg.CallID) *msg.UserMsg {
 	um := &msg.UserMsg{Type: msg.UserRequest, ID: id}
+	fw.dispatchMu.RLock()
 	fw.bus.Trigger(event.CallFromUser, um)
+	fw.dispatchMu.RUnlock()
+	if um.Collect != nil {
+		um.Collect()
+		um.Collect = nil
+	}
 	return um
 }
 
 // Recover delivers the RECOVERY event with the site's new incarnation.
 func (fw *Framework) Recover() {
 	fw.SetInc(fw.site.Inc())
+	fw.dispatchMu.RLock()
+	defer fw.dispatchMu.RUnlock()
 	fw.bus.Trigger(event.Recovery, fw.site.Inc())
 }
 
@@ -633,6 +874,10 @@ func (fw *Framework) Close() {
 	}
 	fw.closed = true
 	fw.cmu.Unlock()
+
+	// Wake callers blocked at the admission gate (a Reconfigure interrupted
+	// by shutdown must not strand them).
+	fw.OpenAdmission()
 
 	if fw.unsubscribe != nil {
 		fw.unsubscribe()

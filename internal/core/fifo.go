@@ -27,9 +27,17 @@ type FIFOOrder struct {
 	// StrictInit makes the expected sequence of a newly seen incarnation
 	// start at its first call instead of at the first call to arrive.
 	StrictInit bool
+
+	b  *Binding
+	mu sync.Mutex
+	// inProgress migrates across a swap (a FIFO→FIFO parameter change must
+	// not forget where each client's sequence stands).
+	inProgress map[msg.ProcID]*fifoEntry
 }
 
-var _ MicroProtocol = FIFOOrder{}
+var _ MicroProtocol = (*FIFOOrder)(nil)
+var _ Stateful = (*FIFOOrder)(nil)
+var _ Sequencer = (*FIFOOrder)(nil)
 
 type fifoEntry struct {
 	inc  msg.Incarnation
@@ -37,7 +45,25 @@ type fifoEntry struct {
 }
 
 // Name implements MicroProtocol.
-func (FIFOOrder) Name() string { return "FIFO Order" }
+func (*FIFOOrder) Name() string { return "FIFO Order" }
+
+func (f *FIFOOrder) spec() any {
+	return struct{ strict bool }{f.StrictInit}
+}
+
+// ExportState implements Stateful.
+func (f *FIFOOrder) ExportState() any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.inProgress
+}
+
+// ImportState implements Stateful.
+func (f *FIFOOrder) ImportState(state any) {
+	f.mu.Lock()
+	f.inProgress = state.(map[msg.ProcID]*fifoEntry)
+	f.mu.Unlock()
+}
 
 // firstCallID is the id a client's incarnation assigns to its first call
 // under the D9 scheme (incarnation in the upper 32 bits, sequence 1).
@@ -45,69 +71,92 @@ func firstCallID(inc msg.Incarnation) msg.CallID {
 	return msg.CallID(int64(inc)<<32 | 1)
 }
 
-// Attach implements MicroProtocol.
-func (f FIFOOrder) Attach(fw *Framework) error {
-	fw.SetHold(HoldFIFO)
-
-	var (
-		mu         sync.Mutex
-		inProgress = make(map[msg.ProcID]*fifoEntry)
-	)
-	start := func(m *msg.NetMsg) msg.CallID {
-		if f.StrictInit {
-			return firstCallID(m.Inc)
-		}
-		return m.ID
+func (f *FIFOOrder) start(m *msg.NetMsg) msg.CallID {
+	if f.StrictInit {
+		return firstCallID(m.Inc)
 	}
+	return m.ID
+}
 
-	if err := fw.Bus().Register(event.MsgFromNetwork, "FIFOOrder.msgFromNet", PrioOrder,
+// admit applies the FIFO delivery rule to an arriving (or adopted) call.
+// It returns release=true when the call is next in its client's sequence
+// (the caller forwards it up) and stale=true when the call belongs to a
+// dead incarnation or an already-served position (the caller discards it).
+func (f *FIFOOrder) admit(m *msg.NetMsg) (release, stale bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ip, seen := f.inProgress[m.Client]
+	if !seen {
+		ip = &fifoEntry{inc: m.Inc, next: f.start(m)}
+		f.inProgress[m.Client] = ip
+	} else {
+		if ip.inc > m.Inc || (ip.inc == m.Inc && m.ID < ip.next) {
+			return false, true
+		}
+		if ip.inc < m.Inc {
+			ip.inc = m.Inc
+			ip.next = f.start(m)
+		}
+	}
+	return m.ID == ip.next, false
+}
+
+// Adopt implements Sequencer: a call admitted to sRPC before this instance
+// attached is offered to the FIFO rule as if it had just arrived. Stale
+// calls are dropped from the table directly (there is no occurrence to
+// cancel). The reconfiguration engine adopts calls in (client, id) order,
+// so a freshly initialized sequence adopts each client's earliest held call
+// as its starting point.
+func (f *FIFOOrder) Adopt(key msg.CallKey, m *msg.NetMsg) {
+	release, stale := f.admit(m)
+	switch {
+	case stale:
+		f.fw().DropServerCall(key)
+	case release:
+		f.fw().ForwardUp(key, HoldFIFO)
+	}
+}
+
+func (f *FIFOOrder) fw() *Framework { return f.b.fw }
+
+// Attach implements MicroProtocol.
+func (f *FIFOOrder) Attach(fw *Framework) error {
+	fw.SetHold(HoldFIFO)
+	b := NewBinding(fw)
+	f.b = b
+	f.inProgress = make(map[msg.ProcID]*fifoEntry)
+
+	b.On(event.MsgFromNetwork, "FIFOOrder.msgFromNet", PrioOrder,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type != msg.OpCall {
 				return
 			}
-			key := m.Key()
-			mu.Lock()
-			ip, seen := inProgress[m.Client]
-			if !seen {
-				ip = &fifoEntry{inc: m.Inc, next: start(m)}
-				inProgress[m.Client] = ip
-			} else {
-				if ip.inc > m.Inc || (ip.inc == m.Inc && m.ID < ip.next) {
-					mu.Unlock()
-					// Stale incarnation or already-served call: discard
-					// (Main's cancellation cleanup drops the record).
-					o.Cancel()
-					return
-				}
-				if ip.inc < m.Inc {
-					ip.inc = m.Inc
-					ip.next = start(m)
-				}
+			release, stale := f.admit(m)
+			switch {
+			case stale:
+				// Stale incarnation or already-served call: discard
+				// (Main's cancellation cleanup drops the record).
+				o.Cancel()
+			case release:
+				fw.ForwardUp(m.Key(), HoldFIFO)
 			}
-			isNext := m.ID == ip.next
-			mu.Unlock()
-			if isNext {
-				fw.ForwardUp(key, HoldFIFO)
-			}
-		}); err != nil {
-		return err
-	}
+		})
 
-	return fw.Bus().Register(event.ReplyFromServer, "FIFOOrder.handleReply", PrioReplyBookkeep,
+	b.On(event.ReplyFromServer, "FIFOOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var inc msg.Incarnation
 			if !fw.WithServer(key, func(rec *ServerRecord) { inc = rec.Inc }) {
 				return
 			}
-			mu.Lock()
+			f.mu.Lock()
 			advanced := false
-			if ip := inProgress[key.Client]; ip != nil && ip.inc == inc && ip.next == key.ID {
+			if ip := f.inProgress[key.Client]; ip != nil && ip.inc == inc && ip.next == key.ID {
 				ip.next = key.ID + 1
 				advanced = true
 			}
-			mu.Unlock()
+			f.mu.Unlock()
 			if advanced {
 				// If the successor is already held, release it (ForwardUp
 				// no-ops when it is not here yet; its own arrival handler
@@ -115,4 +164,11 @@ func (f FIFOOrder) Attach(fw *Framework) error {
 				fw.ForwardUp(msg.CallKey{Client: key.Client, ID: key.ID + 1}, HoldFIFO)
 			}
 		})
+	return b.Err()
+}
+
+// Detach implements MicroProtocol.
+func (f *FIFOOrder) Detach(fw *Framework) {
+	f.b.Detach()
+	fw.ClearHold(HoldFIFO)
 }

@@ -229,7 +229,7 @@ func (g *gateServer) killedTags() []string {
 // functional set with acceptance k.
 func minimalClient(k int) []MicroProtocol {
 	return []MicroProtocol{
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: k}, Collation{},
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: k}, &Collation{},
 	}
 }
 

@@ -20,9 +20,18 @@ import (
 // blocked new generation, neither counts nor cancels it, which would let
 // RPC Main execute it anyway; the prose ("simply dropping them") makes the
 // intent clear, so this implementation cancels such calls explicitly.
-type InterferenceAvoidance struct{}
+//
+// The micro-protocol has no parameters, so a reconfiguration that keeps it
+// reuses the attached instance (its generation counters included); it is
+// only detached when orphan handling itself changes, and then its counts
+// are meaningless to the successor.
+type InterferenceAvoidance struct {
+	b    *Binding
+	mu   sync.Mutex
+	info map[msg.ProcID]*iaEntry
+}
 
-var _ MicroProtocol = InterferenceAvoidance{}
+var _ MicroProtocol = (*InterferenceAvoidance)(nil)
 
 type iaEntry struct {
 	inc     msg.Incarnation // current generation; maxInc while draining
@@ -33,14 +42,15 @@ type iaEntry struct {
 const maxInc = msg.Incarnation(math.MaxInt32)
 
 // Name implements MicroProtocol.
-func (InterferenceAvoidance) Name() string { return "Interference Avoidance" }
+func (*InterferenceAvoidance) Name() string { return "Interference Avoidance" }
+
+func (*InterferenceAvoidance) spec() any { return struct{}{} }
 
 // Attach implements MicroProtocol.
-func (InterferenceAvoidance) Attach(fw *Framework) error {
-	var (
-		mu   sync.Mutex
-		info = make(map[msg.ProcID]*iaEntry)
-	)
+func (ia *InterferenceAvoidance) Attach(fw *Framework) error {
+	b := NewBinding(fw)
+	ia.b = b
+	ia.info = make(map[msg.ProcID]*iaEntry)
 
 	unblockIfDrained := func(ci *iaEntry) {
 		if ci.count == 0 && ci.inc == maxInc {
@@ -48,23 +58,23 @@ func (InterferenceAvoidance) Attach(fw *Framework) error {
 		}
 	}
 
-	if err := fw.Bus().Register(event.MsgFromNetwork, "InterferenceAvoid.msgFromNet", PrioOrphan,
+	b.On(event.MsgFromNetwork, "InterferenceAvoid.msgFromNet", PrioOrphan,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type != msg.OpCall {
 				return
 			}
 			client := m.Client
-			mu.Lock()
-			ci, ok := info[client]
+			ia.mu.Lock()
+			ci, ok := ia.info[client]
 			if !ok {
 				ci = &iaEntry{inc: m.Inc, nextInc: m.Inc}
-				info[client] = ci
+				ia.info[client] = ci
 			}
 			if ci.inc > m.Inc {
 				// Old generation (or draining): drop; retransmission will
 				// redeliver new-generation calls once drained.
-				mu.Unlock()
+				ia.mu.Unlock()
 				o.Cancel()
 				return
 			}
@@ -76,34 +86,36 @@ func (InterferenceAvoidance) Attach(fw *Framework) error {
 					// Enter draining state: no more old-generation calls
 					// are admitted either (starvation avoidance).
 					ci.inc = maxInc
-					mu.Unlock()
+					ia.mu.Unlock()
 					o.Cancel()
 					return
 				}
 			}
 			// ci.inc == m.Inc: admit and count.
 			ci.count++
-			mu.Unlock()
+			ia.mu.Unlock()
 			o.OnCancel(func() {
 				// A later handler dropped the call (duplicate, ordering):
 				// it will never produce a reply, so uncount it.
-				mu.Lock()
+				ia.mu.Lock()
 				ci.count--
 				unblockIfDrained(ci)
-				mu.Unlock()
+				ia.mu.Unlock()
 			})
-		}); err != nil {
-		return err
-	}
+		})
 
-	return fw.Bus().Register(event.ReplyFromServer, "InterferenceAvoid.handleReply", PrioReplyBookkeep,
+	b.On(event.ReplyFromServer, "InterferenceAvoid.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
-			mu.Lock()
-			if ci, ok := info[key.Client]; ok {
+			ia.mu.Lock()
+			if ci, ok := ia.info[key.Client]; ok {
 				ci.count--
 				unblockIfDrained(ci)
 			}
-			mu.Unlock()
+			ia.mu.Unlock()
 		})
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (ia *InterferenceAvoidance) Detach(*Framework) { ia.b.Detach() }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"mrpc/internal/event"
+	"mrpc/internal/msg"
+)
+
+// Stateful is implemented by micro-protocols with cross-call state that must
+// survive a reconfiguration swap (sequencer positions, dedup tables,
+// transmission state). When Composite.Swap replaces a protocol with a new
+// instance of the same kind, it calls ExportState on the detached instance
+// and ImportState on the freshly attached one, under the swap barrier — the
+// importing instance is attached but no dispatch is running, so neither call
+// needs to synchronize against handlers.
+type Stateful interface {
+	// ExportState returns the instance's migratable state. The instance is
+	// detached afterwards; ownership of the returned value transfers.
+	ExportState() any
+	// ImportState replaces the freshly attached instance's state with one
+	// previously exported by an instance of the same protocol.
+	ImportState(state any)
+}
+
+// Sequencer is implemented by the ordering micro-protocols (FIFO, Total,
+// Causal). After a swap changes the ordering property, calls that were
+// admitted to sRPC under the old regime are re-homed: Adopt offers the new
+// ordering protocol such a call — identified by its key and the original
+// network message — exactly as if it had just arrived, except that the
+// record already exists and cancellation is expressed by dropping it.
+type Sequencer interface {
+	Adopt(key msg.CallKey, m *msg.NetMsg)
+}
+
+// specer is implemented by every micro-protocol: spec returns a comparable
+// value capturing the protocol's configuration parameters (not its runtime
+// state). Two instances with equal names and equal specs are interchangeable,
+// which is what lets Composite.Swap keep an attached instance — state, timers
+// and all — when the new configuration re-selects the same protocol.
+type specer interface {
+	spec() any
+}
+
+// sameSpec reports whether b can take over a's role without a detach/attach
+// cycle.
+func sameSpec(a, b MicroProtocol) bool {
+	if a.Name() != b.Name() {
+		return false
+	}
+	as, aok := a.(specer)
+	bs, bok := b.(specer)
+	if !aok || !bok {
+		return false
+	}
+	return as.spec() == bs.spec()
+}
+
+// Binding tracks everything one micro-protocol instance has registered with
+// the framework while attached: (event, name) handler registrations and
+// armed timeouts. Detach tears all of it down and, crucially, stops the
+// paper's self-re-arming timer idiom — a timer handler that re-registers
+// itself through the binding finds the binding dead and the chain ends.
+//
+// A Binding is owned by exactly one protocol instance and is created in its
+// Attach; all methods are safe for concurrent use (timer handlers re-arm
+// from the dispatch goroutine while Detach may run on the swap goroutine).
+type Binding struct {
+	fw  *Framework
+	err error
+
+	mu       sync.Mutex
+	regs     []bindingReg
+	timers   map[*bindingTimer]struct{}
+	detached bool
+}
+
+type bindingReg struct {
+	t    event.Type
+	name string
+}
+
+type bindingTimer struct {
+	cancel func()
+}
+
+// NewBinding returns a binding attached to fw. Micro-protocols create one at
+// the top of Attach and register everything through it.
+func NewBinding(fw *Framework) *Binding {
+	return &Binding{fw: fw, timers: make(map[*bindingTimer]struct{})}
+}
+
+// On registers fn for event t through the binding (see Bus.Register). The
+// first registration error is retained and returned by Err; later calls
+// after an error are no-ops, so Attach bodies can chain registrations and
+// check once.
+func (b *Binding) On(t event.Type, name string, priority int, fn event.Handler) {
+	b.mu.Lock()
+	if b.err != nil || b.detached {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	//lint:ignore priority-constants forwarding shim: the named constant is checked at the Binding.On call site
+	if err := b.fw.Bus().Register(t, name, priority, fn); err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	if b.detached {
+		// Detach raced the registration; undo it.
+		b.mu.Unlock()
+		b.fw.Bus().Deregister(t, name)
+		return
+	}
+	b.regs = append(b.regs, bindingReg{t: t, name: name})
+	b.mu.Unlock()
+}
+
+// After arms a TIMEOUT through the binding (see Bus.RegisterTimeout). Once
+// the binding is detached, After becomes a no-op and pending timers are
+// cancelled — the self-re-arming retransmission/probe/nudge idiom therefore
+// dies with its protocol instead of firing into a composite that no longer
+// contains it.
+func (b *Binding) After(name string, interval time.Duration, fn event.Handler) {
+	b.mu.Lock()
+	if b.detached {
+		b.mu.Unlock()
+		return
+	}
+	h := &bindingTimer{}
+	b.timers[h] = struct{}{}
+	b.mu.Unlock()
+
+	cancel := b.fw.Bus().RegisterTimeout(name, interval, func(o *event.Occurrence) {
+		b.mu.Lock()
+		_, live := b.timers[h]
+		delete(b.timers, h)
+		b.mu.Unlock()
+		if !live {
+			return
+		}
+		fn(o)
+	})
+
+	b.mu.Lock()
+	h.cancel = cancel
+	detached := b.detached
+	b.mu.Unlock()
+	if detached {
+		// Detach raced the arming; the handle is already out of b.timers
+		// (Detach cleared the map), so the wrapper will refuse to run, but
+		// stop the underlying timer too.
+		cancel()
+	}
+}
+
+// Err returns the first registration error, if any. Attach bodies return it
+// after their last On call.
+func (b *Binding) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// Detach deregisters every handler and cancels every pending timer the
+// binding tracks, and marks the binding dead so late re-arms are dropped.
+// Idempotent.
+func (b *Binding) Detach() {
+	b.mu.Lock()
+	if b.detached {
+		b.mu.Unlock()
+		return
+	}
+	b.detached = true
+	regs := b.regs
+	b.regs = nil
+	var cancels []func()
+	for h := range b.timers {
+		if h.cancel != nil {
+			cancels = append(cancels, h.cancel)
+		}
+		// A handle with no cancel yet is mid-arming; After observes
+		// b.detached and stops the timer itself.
+	}
+	b.timers = make(map[*bindingTimer]struct{})
+	b.mu.Unlock()
+
+	for _, r := range regs {
+		b.fw.Bus().Deregister(r.t, r.name)
+	}
+	for _, c := range cancels {
+		c()
+	}
+}

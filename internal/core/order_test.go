@@ -14,8 +14,8 @@ func fifoNode(t *testing.T, net *memNet) (*testNode, *recordingServer) {
 	t.Helper()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, FIFOOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &FIFOOrder{})
 	return n, srv
 }
 
@@ -106,8 +106,8 @@ func TestFIFOStrictInitHoldsReorderedOpening(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, FIFOOrder{StrictInit: true})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &FIFOOrder{StrictInit: true})
 	group := msg.NewGroup(1)
 
 	// The client's opening batch arrives reordered: seq 3, then 2, then 1.
@@ -149,8 +149,8 @@ func totalGroup(t *testing.T, net *memNet, ms member.Service) ([]*testNode, []*r
 	for id := msg.ProcID(1); id <= 3; id++ {
 		srv := &recordingServer{}
 		n := addNode(t, net, id, nodeOpts{server: srv, membership: ms},
-			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-			UniqueExecution{}, TotalOrder{})
+			&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+			&UniqueExecution{}, &TotalOrder{})
 		nodes = append(nodes, n)
 		srvs = append(srvs, srv)
 	}
@@ -162,8 +162,8 @@ func TestTotalOrderAllReplicasSameSequence(t *testing.T) {
 	_, srvs := totalGroup(t, net, nil)
 	group := msg.NewGroup(1, 2, 3)
 	client := addNode(t, net, 100, nodeOpts{},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: AcceptAll}, Collation{},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: AcceptAll}, &Collation{},
+		&UniqueExecution{})
 
 	for i := 0; i < 5; i++ {
 		um := client.fw.Call(1, []byte{byte('a' + i)}, group)
@@ -194,8 +194,8 @@ func TestTotalOrderFollowerBuffersUntilOrder(t *testing.T) {
 	// A lone follower (id 1 in a group whose leader, id 3, is elsewhere
 	// and unreachable through the hook).
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &TotalOrder{})
 	group := msg.NewGroup(1, 3)
 
 	n.fw.HandleNet(callMsg(100, 1, 1, group, "c1"))
@@ -219,8 +219,8 @@ func TestTotalOrderOutOfOrderSequencing(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &TotalOrder{})
 	group := msg.NewGroup(1, 3)
 
 	// Orders arrive before some calls and out of sequence.
@@ -244,8 +244,8 @@ func TestTotalOrderLeaderAssignsAndExecutes(t *testing.T) {
 	srv := &recordingServer{}
 	// This node IS the leader (highest id in the group).
 	n := addNode(t, net, 3, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &TotalOrder{})
 	group := msg.NewGroup(1, 3)
 
 	n.fw.HandleNet(callMsg(100, 1, 1, group, "c1"))
@@ -262,8 +262,8 @@ func TestTotalOrderRetransmissionForwardedToLeader(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &TotalOrder{})
 	group := msg.NewGroup(1, 3)
 
 	m := callMsg(100, 1, 1, group, "c1")
@@ -282,8 +282,8 @@ func TestTotalOrderLeaderTakeover(t *testing.T) {
 	srv := &recordingServer{}
 	// Node 2 will become leader of {1,2,3} once 3 fails.
 	n := addNode(t, net, 2, nodeOpts{server: srv, membership: oracle},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &TotalOrder{})
 	group := msg.NewGroup(1, 2, 3)
 
 	// A call arrives but the (old) leader never orders it.
@@ -319,9 +319,9 @@ func TestTotalOrderAgreementPreservesOldLeaderAssignments(t *testing.T) {
 	srv2 := &recordingServer{}
 	protos := func(s Server) []MicroProtocol {
 		return []MicroProtocol{
-			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-			UniqueExecution{},
-			TotalOrder{NudgeInterval: 5 * time.Millisecond, AgreementDelay: 15 * time.Millisecond},
+			&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+			&UniqueExecution{},
+			&TotalOrder{NudgeInterval: 5 * time.Millisecond, AgreementDelay: 15 * time.Millisecond},
 		}
 	}
 	n1 := addNode(t, net, 1, nodeOpts{server: srv1, membership: oracle}, protos(srv1)...)
@@ -368,8 +368,8 @@ func TestTotalOrderDuplicateOfExecutedCallDropped(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 3, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &TotalOrder{})
 	group := msg.NewGroup(3)
 
 	m := callMsg(100, 1, 1, group, "c1")

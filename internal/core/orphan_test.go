@@ -41,8 +41,8 @@ func TestInterferenceAvoidanceDefersNewGeneration(t *testing.T) {
 	net.async = true
 	gate := newGateServer()
 	n := addNode(t, net, 1, nodeOpts{server: gate},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		InterferenceAvoidance{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&InterferenceAvoidance{})
 	group := msg.NewGroup(1)
 
 	// Old-generation call starts executing.
@@ -81,8 +81,8 @@ func TestInterferenceAvoidanceDropsOldGenerationAfterSwitch(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		InterferenceAvoidance{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&InterferenceAvoidance{})
 	group := msg.NewGroup(1)
 
 	n.fw.HandleNet(callMsg(100, mkID(2, 1), 2, group, "gen2"))  // admits generation 2
@@ -100,8 +100,8 @@ func TestInterferenceAvoidanceUncountsCancelledCalls(t *testing.T) {
 	net.async = true
 	gate := newGateServer()
 	n := addNode(t, net, 1, nodeOpts{server: gate},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		InterferenceAvoidance{}, UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&InterferenceAvoidance{}, &UniqueExecution{})
 	group := msg.NewGroup(1)
 
 	m := callMsg(100, mkID(1, 1), 1, group, "c1")
@@ -128,8 +128,8 @@ func TestTerminateOrphanKillsOldGeneration(t *testing.T) {
 	net.async = true
 	gate := newGateServer()
 	n := addNode(t, net, 1, nodeOpts{server: gate},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		TerminateOrphan{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&TerminateOrphan{})
 	group := msg.NewGroup(1)
 
 	go n.fw.HandleNet(callMsg(100, mkID(1, 1), 1, group, "orphan"))
@@ -162,8 +162,8 @@ func TestTerminateOrphanDropsStaleIncarnationCalls(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		TerminateOrphan{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&TerminateOrphan{})
 	group := msg.NewGroup(1)
 
 	n.fw.HandleNet(callMsg(100, mkID(3, 1), 3, group, "inc3"))
@@ -191,8 +191,8 @@ func TestSerialExecutionOneAtATime(t *testing.T) {
 		return args
 	})
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		SerialExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&SerialExecution{})
 	group := msg.NewGroup(1)
 
 	for i := 0; i < 16; i++ {
@@ -213,7 +213,7 @@ func TestConcurrentExecutionWithoutSerial(t *testing.T) {
 	net.async = true
 	gate := newGateServer()
 	n := addNode(t, net, 1, nodeOpts{server: gate},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	group := msg.NewGroup(1)
 
 	go n.fw.HandleNet(callMsg(100, 1, 1, group, "a"))
@@ -234,8 +234,8 @@ func TestSerialExecutionWithTotalOrderNoDeadlock(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, SerialExecution{}, TotalOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &SerialExecution{}, &TotalOrder{})
 	group := msg.NewGroup(1, 3) // leader is 3, elsewhere
 
 	n.fw.HandleNet(callMsg(100, 1, 1, group, "A")) // admitted first
@@ -297,9 +297,9 @@ func TestAtomicExecutionCheckpointsAndRestores(t *testing.T) {
 		return args
 	})
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		SerialExecution{},
-		AtomicExecution{Store: store, Cell: cell, State: state})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&SerialExecution{},
+		&AtomicExecution{Store: store, Cell: cell, State: state})
 	group := msg.NewGroup(1)
 
 	n.fw.HandleNet(callMsg(100, 1, 1, group, "v1"))
@@ -339,9 +339,9 @@ func TestAtomicExecutionRecoveryWithoutCheckpoint(t *testing.T) {
 	cell := &stable.Cell{}
 	state := &checkpointState{}
 	n := addNode(t, net, 1, nodeOpts{server: echoServer()},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		SerialExecution{},
-		AtomicExecution{Store: store, Cell: cell, State: state})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&SerialExecution{},
+		&AtomicExecution{Store: store, Cell: cell, State: state})
 
 	// Recovery before any checkpoint: must not panic or restore.
 	n.fw.Recover()
@@ -362,7 +362,7 @@ func TestAtomicExecutionRequiresDeps(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fw.Close()
-	if err := (AtomicExecution{}).Attach(fw); err == nil {
+	if err := (&AtomicExecution{}).Attach(fw); err == nil {
 		t.Fatal("AtomicExecution.Attach accepted nil deps")
 	}
 }

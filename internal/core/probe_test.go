@@ -13,8 +13,8 @@ func probedNode(t *testing.T, net *memNet, clk *clock.Sim) (*testNode, *gateServ
 	t.Helper()
 	gate := newGateServer()
 	n := addNode(t, net, 1, nodeOpts{server: gate, clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		TerminateOrphan{ProbeInterval: 10 * time.Millisecond, ProbeMisses: 2})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&TerminateOrphan{ProbeInterval: 10 * time.Millisecond, ProbeMisses: 2})
 	return n, gate
 }
 
@@ -58,8 +58,8 @@ func TestProbeAckKeepsClientAlive(t *testing.T) {
 	// The client node answers probes (its own Terminate Orphan registers
 	// the responder).
 	addNode(t, net, 100, nodeOpts{clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		TerminateOrphan{ProbeInterval: 10 * time.Millisecond, ProbeMisses: 2})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&TerminateOrphan{ProbeInterval: 10 * time.Millisecond, ProbeMisses: 2})
 
 	group := msg.NewGroup(1)
 	go n.fw.HandleNet(callMsg(100, mkID(1, 1), 1, group, "work"))

@@ -30,9 +30,18 @@ type ReliableCommunication struct {
 	// survives after its call record is gone (completed or timed out);
 	// members still unacked then are presumed crashed (default 128).
 	LingerRounds int
+
+	b  *Binding
+	mu sync.Mutex
+	// live/seen migrate across a reconfiguration swap (relState): lingering
+	// retransmission continues under the new instance, and the server-side
+	// receipt record keeps duplicate acks flowing.
+	live map[msg.CallID]*relEntry
+	seen map[msg.CallKey]bool // server side: calls already received
 }
 
-var _ MicroProtocol = ReliableCommunication{}
+var _ MicroProtocol = (*ReliableCommunication)(nil)
+var _ Stateful = (*ReliableCommunication)(nil)
 
 // relEntry is one call's transmission state. Two acknowledgement levels
 // matter: received (the member has the call — it acknowledged receipt or
@@ -58,37 +67,82 @@ const (
 	relReplied              // the member's response arrived here
 )
 
+// relState is ReliableCommunication's exported migration state.
+type relState struct {
+	live map[msg.CallID]*relEntry
+	seen map[msg.CallKey]bool
+}
+
 // Name implements MicroProtocol.
-func (ReliableCommunication) Name() string { return "Reliable Communication" }
+func (*ReliableCommunication) Name() string { return "Reliable Communication" }
+
+func (r *ReliableCommunication) params() (time.Duration, int) {
+	t := r.RetransTimeout
+	if t <= 0 {
+		t = 20 * time.Millisecond
+	}
+	n := r.LingerRounds
+	if n <= 0 {
+		n = 128
+	}
+	return t, n
+}
+
+func (r *ReliableCommunication) spec() any {
+	t, n := r.params()
+	return struct {
+		t time.Duration
+		n int
+	}{t, n}
+}
+
+// ExportState implements Stateful.
+func (r *ReliableCommunication) ExportState() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return relState{live: r.live, seen: r.seen}
+}
+
+// ImportState implements Stateful.
+func (r *ReliableCommunication) ImportState(state any) {
+	s := state.(relState)
+	r.mu.Lock()
+	r.live = s.live
+	r.seen = s.seen
+	r.mu.Unlock()
+}
+
+// Outstanding returns the number of calls still being (re)transmitted,
+// including lingering entries. The reconfiguration engine waits for zero
+// before a drain-barrier swap, so every member has received every pre-swap
+// call and no pre-swap duplicate can surface afterwards.
+func (r *ReliableCommunication) Outstanding() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live)
+}
 
 // Attach implements MicroProtocol.
-func (r ReliableCommunication) Attach(fw *Framework) error {
-	if r.RetransTimeout <= 0 {
-		r.RetransTimeout = 20 * time.Millisecond
-	}
-	if r.LingerRounds <= 0 {
-		r.LingerRounds = 128
-	}
-
-	var (
-		mu   sync.Mutex
-		live = make(map[msg.CallID]*relEntry)
-		seen = make(map[msg.CallKey]bool) // server side: calls already received
-	)
+func (r *ReliableCommunication) Attach(fw *Framework) error {
+	retrans, lingerRounds := r.params()
+	b := NewBinding(fw)
+	r.b = b
+	r.live = make(map[msg.CallID]*relEntry)
+	r.seen = make(map[msg.CallKey]bool)
 
 	mark := func(id msg.CallID, from msg.ProcID, reply bool) {
-		mu.Lock()
-		if e, ok := live[id]; ok {
+		r.mu.Lock()
+		if e, ok := r.live[id]; ok {
 			bits := uint8(relReceived)
 			if reply {
 				bits |= relReplied
 			}
 			e.acks[from] |= bits
 		}
-		mu.Unlock()
+		r.mu.Unlock()
 	}
 
-	if err := fw.Bus().Register(event.NewRPCCall, "ReliableComm.handleNewCall", event.DefaultPriority,
+	b.On(event.NewRPCCall, "ReliableComm.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			id := o.Arg.(msg.CallID)
 			var e *relEntry
@@ -109,14 +163,12 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 			if e == nil {
 				return
 			}
-			mu.Lock()
-			live[id] = e
-			mu.Unlock()
-		}); err != nil {
-		return err
-	}
+			r.mu.Lock()
+			r.live[id] = e
+			r.mu.Unlock()
+		})
 
-	if err := fw.Bus().Register(event.MsgFromNetwork, "ReliableComm.msgFromNet", PrioReliable,
+	b.On(event.MsgFromNetwork, "ReliableComm.msgFromNet", PrioReliable,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			switch m.Type {
@@ -129,12 +181,12 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 				// itself settles the member, keeping the extra message off
 				// the common case.
 				key := m.Key()
-				mu.Lock()
-				dup := seen[key]
+				r.mu.Lock()
+				dup := r.seen[key]
 				if !dup {
-					seen[key] = true
+					r.seen[key] = true
 				}
-				mu.Unlock()
+				r.mu.Unlock()
 				if dup {
 					fw.Net().Push(m.Sender, &msg.NetMsg{
 						Type:   msg.OpCallAck,
@@ -163,12 +215,11 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 					}
 				})
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
 	// Periodic retransmission: a TIMEOUT handler that re-registers itself,
-	// the paper's idiom for repetition.
+	// the paper's idiom for repetition. Re-arming through the binding means
+	// the chain dies when the protocol detaches.
 	var handleTimeout event.Handler
 	handleTimeout = func(*event.Occurrence) {
 		type resend struct {
@@ -176,8 +227,8 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 			m  *msg.NetMsg
 		}
 		var out []resend
-		mu.Lock()
-		for id, e := range live {
+		r.mu.Lock()
+		for id, e := range r.live {
 			pending := fw.HasClient(id)
 			// While pending, a member is settled only once it replied;
 			// afterwards, receipt suffices (see relEntry).
@@ -188,8 +239,8 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 				// redelivering for a bounded while so slow members still
 				// receive the call, then presume the rest crashed.
 				e.linger++
-				if e.linger > r.LingerRounds {
-					delete(live, id)
+				if e.linger > lingerRounds {
+					delete(r.live, id)
 					continue
 				}
 			}
@@ -201,7 +252,7 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 				}
 			}
 			if done {
-				delete(live, id)
+				delete(r.live, id)
 				continue
 			}
 			for _, p := range e.group {
@@ -221,12 +272,15 @@ func (r ReliableCommunication) Attach(fw *Framework) error {
 				}})
 			}
 		}
-		mu.Unlock()
+		r.mu.Unlock()
 		for _, rs := range out {
 			fw.Net().Push(rs.to, rs.m)
 		}
-		fw.Bus().RegisterTimeout("ReliableComm.handleTimeout", r.RetransTimeout, handleTimeout)
+		b.After("ReliableComm.handleTimeout", retrans, handleTimeout)
 	}
-	fw.Bus().RegisterTimeout("ReliableComm.handleTimeout", r.RetransTimeout, handleTimeout)
-	return nil
+	b.After("ReliableComm.handleTimeout", retrans, handleTimeout)
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (r *ReliableCommunication) Detach(*Framework) { r.b.Detach() }

@@ -16,7 +16,7 @@ import (
 func TestSyncCallRoundTrip(t *testing.T) {
 	net := newMemNet()
 	addNode(t, net, 1, nodeOpts{server: echoServer()},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	client := addNode(t, net, 100, nodeOpts{}, minimalClient(1)...)
 
 	um := client.fw.Call(1, []byte("hi"), msg.NewGroup(1))
@@ -53,9 +53,9 @@ func TestAsynchronousCall(t *testing.T) {
 	net.async = true
 	gate := newGateServer()
 	addNode(t, net, 1, nodeOpts{server: gate},
-		RPCMain{}, AsynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+		&RPCMain{}, &AsynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	client := addNode(t, net, 100, nodeOpts{},
-		RPCMain{}, AsynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+		&RPCMain{}, &AsynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 
 	um := client.fw.Call(1, []byte("work"), msg.NewGroup(1))
 	if um.Status != msg.StatusWaiting {
@@ -87,12 +87,12 @@ func TestCollationFoldsEachReplyOnce(t *testing.T) {
 			func(_ *proc.Thread, _ msg.OpID, _ []byte) []byte {
 				return []byte{byte(id)}
 			})},
-			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+			&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	}
 	concat := func(accum, reply []byte) []byte { return append(accum, reply...) }
 	client := addNode(t, net, 100, nodeOpts{},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: AcceptAll},
-		Collation{Func: concat, Init: nil})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: AcceptAll},
+		&Collation{Func: concat, Init: nil})
 
 	um := client.fw.Call(1, nil, group)
 	if um.Status != msg.StatusOK {
@@ -113,12 +113,12 @@ func TestAcceptanceKStopsCollation(t *testing.T) {
 	group := msg.NewGroup(1, 2, 3)
 	for _, id := range group {
 		addNode(t, net, id, nodeOpts{server: echoServer()},
-			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+			&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	}
 	concat := func(accum, reply []byte) []byte { return append(accum, 'x') }
 	client := addNode(t, net, 100, nodeOpts{},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 2},
-		Collation{Func: concat})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 2},
+		&Collation{Func: concat})
 
 	um := client.fw.Call(1, nil, group)
 	if um.Status != msg.StatusOK {
@@ -136,10 +136,10 @@ func TestAcceptanceSkipsKnownDownMembers(t *testing.T) {
 	oracle := member.NewOracle()
 	group := msg.NewGroup(1, 2)
 	addNode(t, net, 1, nodeOpts{server: echoServer(), membership: oracle},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: AcceptAll}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: AcceptAll}, &Collation{})
 	// Server 2 exists but is already known failed.
 	client := addNode(t, net, 100, nodeOpts{membership: oracle},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: AcceptAll}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: AcceptAll}, &Collation{})
 	oracle.Fail(2)
 
 	um := client.fw.Call(1, []byte("x"), group)
@@ -153,11 +153,11 @@ func TestAcceptanceCompletesOnMembershipFailure(t *testing.T) {
 	oracle := member.NewOracle()
 	group := msg.NewGroup(1, 2)
 	addNode(t, net, 1, nodeOpts{server: echoServer(), membership: oracle},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: AcceptAll}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: AcceptAll}, &Collation{})
 	// Server 2's deliveries are dropped: it will never reply.
 	net.setHook(func(to msg.ProcID, m *msg.NetMsg) bool { return to == 2 })
 	client := addNode(t, net, 100, nodeOpts{membership: oracle},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: AcceptAll}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: AcceptAll}, &Collation{})
 
 	done := make(chan *msg.UserMsg, 1)
 	go func() { done <- client.fw.Call(1, []byte("x"), group) }()
@@ -182,7 +182,7 @@ func TestAcceptanceAllMembersDownCompletesVacuously(t *testing.T) {
 	oracle := member.NewOracle()
 	oracle.Fail(1)
 	client := addNode(t, net, 100, nodeOpts{membership: oracle},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	um := client.fw.Call(1, nil, msg.NewGroup(1))
 	if um.Status != msg.StatusOK {
 		t.Fatalf("status = %v; a call to an all-failed group must not hang", um.Status)
@@ -194,8 +194,8 @@ func TestBoundedTerminationTimesOut(t *testing.T) {
 	net := newMemNet()
 	// No server attached: the call can never complete.
 	client := addNode(t, net, 100, nodeOpts{clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		BoundedTermination{TimeBound: 50 * time.Millisecond})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&BoundedTermination{TimeBound: 50 * time.Millisecond})
 
 	done := make(chan *msg.UserMsg, 1)
 	go func() { done <- client.fw.Call(1, nil, msg.NewGroup(1)) }()
@@ -245,8 +245,8 @@ func TestReliableRetransmitsUntilReply(t *testing.T) {
 	net.async = true
 	srv := &recordingServer{}
 	addNode(t, net, 1, nodeOpts{server: srv, clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{})
 
 	// Drop the first two Call deliveries.
 	var mu sync.Mutex
@@ -265,9 +265,9 @@ func TestReliableRetransmitsUntilReply(t *testing.T) {
 	})
 
 	client := addNode(t, net, 100, nodeOpts{clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		ReliableCommunication{RetransTimeout: 10 * time.Millisecond},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&ReliableCommunication{RetransTimeout: 10 * time.Millisecond},
+		&UniqueExecution{})
 
 	done := make(chan *msg.UserMsg, 1)
 	go func() { done <- client.fw.Call(1, []byte("p"), msg.NewGroup(1)) }()
@@ -306,8 +306,8 @@ func TestReliablePendingRetransmitsUntilReply(t *testing.T) {
 	clk := clock.NewSim()
 	net := newMemNet()
 	client := addNode(t, net, 100, nodeOpts{clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		ReliableCommunication{RetransTimeout: 10 * time.Millisecond})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&ReliableCommunication{RetransTimeout: 10 * time.Millisecond})
 
 	done := make(chan *msg.UserMsg, 1)
 	go func() { done <- client.fw.Call(1, nil, msg.NewGroup(1)) }()
@@ -338,13 +338,13 @@ func TestReliableLingersUntilAllMembersReceive(t *testing.T) {
 	net := newMemNet()
 	net.async = true
 	addNode(t, net, 1, nodeOpts{server: echoServer(), clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		ReliableCommunication{RetransTimeout: 10 * time.Millisecond})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&ReliableCommunication{RetransTimeout: 10 * time.Millisecond})
 	// Member 2's deliveries are dropped entirely.
 	net.setHook(func(to msg.ProcID, m *msg.NetMsg) bool { return to == 2 })
 	client := addNode(t, net, 100, nodeOpts{clk: clk},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		ReliableCommunication{RetransTimeout: 10 * time.Millisecond})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&ReliableCommunication{RetransTimeout: 10 * time.Millisecond})
 
 	um := client.fw.Call(1, []byte("x"), msg.NewGroup(1, 2))
 	if um.Status != msg.StatusOK {
@@ -406,7 +406,7 @@ func TestRecoveryUpdatesIncarnation(t *testing.T) {
 func TestForwardUpWaitsForAllHoldBits(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
-	n := addNode(t, net, 1, nodeOpts{server: srv}, RPCMain{})
+	n := addNode(t, net, 1, nodeOpts{server: srv}, &RPCMain{})
 	n.fw.SetHold(HoldFIFO) // simulate an ordering property being configured
 
 	key := msg.CallKey{Client: 100, ID: 1}
@@ -432,7 +432,7 @@ func TestMainDropsDuplicateStoreWhileInProgress(t *testing.T) {
 	net.async = true
 	gate := newGateServer()
 	n := addNode(t, net, 1, nodeOpts{server: gate},
-		RPCMain{}) // no Unique Execution: Main's own guard is under test
+		&RPCMain{}) // no Unique Execution: Main's own guard is under test
 
 	m := callMsg(100, 1, 1, msg.NewGroup(1), "a")
 	go n.fw.HandleNet(m.Clone())
@@ -459,7 +459,7 @@ func TestMainDropsDuplicateStoreWhileInProgress(t *testing.T) {
 func TestUserMsgStatusOnUnknownRequest(t *testing.T) {
 	net := newMemNet()
 	client := addNode(t, net, 100, nodeOpts{},
-		RPCMain{}, AsynchronousCall{}, Acceptance{Limit: 1}, Collation{})
+		&RPCMain{}, &AsynchronousCall{}, &Acceptance{Limit: 1}, &Collation{})
 	um := client.fw.Request(12345)
 	if um.Status != msg.StatusAborted {
 		t.Fatalf("status = %v, want ABORTED for unknown id", um.Status)
@@ -469,9 +469,9 @@ func TestUserMsgStatusOnUnknownRequest(t *testing.T) {
 func TestEventRegistrationsMatchFigure3(t *testing.T) {
 	net := newMemNet()
 	n := addNode(t, net, 1, nodeOpts{server: echoServer()},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		ReliableCommunication{RetransTimeout: time.Hour},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&ReliableCommunication{RetransTimeout: time.Hour},
+		&UniqueExecution{})
 	regs := n.bus.Registrations()
 
 	netOrder := regs[event.MsgFromNetwork]

@@ -11,20 +11,26 @@ import (
 // requests and replies over the network, and drives procedure execution via
 // ForwardUp. It does not block user threads — that is the job of the
 // call-semantics micro-protocols.
-type RPCMain struct{}
+type RPCMain struct {
+	b *Binding
+}
 
-var _ MicroProtocol = RPCMain{}
+var _ MicroProtocol = (*RPCMain)(nil)
 
 // Name implements MicroProtocol.
-func (RPCMain) Name() string { return "RPC Main" }
+func (*RPCMain) Name() string { return "RPC Main" }
+
+func (*RPCMain) spec() any { return struct{}{} }
 
 // Attach implements MicroProtocol.
-func (RPCMain) Attach(fw *Framework) error {
+func (r *RPCMain) Attach(fw *Framework) error {
 	fw.SetHold(HoldMain)
+	b := NewBinding(fw)
+	r.b = b
 
 	// Server side: a Call arriving from the network is recorded in sRPC and
 	// offered to forward_up under the MAIN property.
-	if err := fw.Bus().Register(event.MsgFromNetwork, "RPCMain.msgFromNet", PrioMain,
+	b.On(event.MsgFromNetwork, "RPCMain.msgFromNet", PrioMain,
 		func(o *event.Occurrence) {
 			ev := o.Arg.(*NetEvent)
 			m := ev.Msg
@@ -40,6 +46,7 @@ func (RPCMain) Attach(fw *Framework) error {
 				Client: m.Client,
 				Inc:    m.Inc,
 				Thread: ev.Thread,
+				Msg:    m,
 			}
 			if !fw.PutServerRec(rec) {
 				// Already held (e.g. a retransmission racing the original
@@ -51,13 +58,11 @@ func (RPCMain) Attach(fw *Framework) error {
 			}
 			o.OnCancel(func() { fw.DropServerCall(key) })
 			fw.ForwardUp(key, HoldMain)
-		}); err != nil {
-		return err
-	}
+		})
 
 	// Client side: a Call from the user protocol is recorded in pRPC,
 	// announced via NEW_RPC_CALL, and multicast to the server group.
-	if err := fw.Bus().Register(event.CallFromUser, "RPCMain.msgFromUser", PrioCallMain,
+	b.On(event.CallFromUser, "RPCMain.msgFromUser", PrioCallMain,
 		func(o *event.Occurrence) {
 			um := o.Arg.(*msg.UserMsg)
 			if um.Type != msg.UserCall {
@@ -93,31 +98,46 @@ func (RPCMain) Attach(fw *Framework) error {
 				VC:     rec.VC,
 			}
 			fw.Net().Multicast(rec.Server, call)
-		}); err != nil {
-		return err
-	}
+		})
 
-	return fw.Bus().Register(event.Recovery, "RPCMain.handleRecovery", event.DefaultPriority,
+	b.On(event.Recovery, "RPCMain.handleRecovery", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			fw.SetInc(o.Arg.(msg.Incarnation))
 		})
+
+	return b.Err()
+}
+
+// Detach implements MicroProtocol.
+func (r *RPCMain) Detach(fw *Framework) {
+	r.b.Detach()
+	fw.ClearHold(HoldMain)
 }
 
 // SynchronousCall implements synchronous RPC semantics (§4.4.2): the
 // calling thread blocks on the call's semaphore until the call completes
-// (accepted, timed out, or aborted), then collects the result.
-type SynchronousCall struct{}
+// (accepted, timed out, or aborted), then collects the result. The block
+// happens in the UserMsg's Collect continuation, which Framework.Call runs
+// after dispatch — outside the reconfiguration barrier, so a parked caller
+// never delays a swap.
+type SynchronousCall struct {
+	b *Binding
+}
 
-var _ MicroProtocol = SynchronousCall{}
+var _ MicroProtocol = (*SynchronousCall)(nil)
 
 // Name implements MicroProtocol.
-func (SynchronousCall) Name() string { return "Synchronous Call" }
+func (*SynchronousCall) Name() string { return "Synchronous Call" }
+
+func (*SynchronousCall) spec() any { return struct{}{} }
 
 // Attach implements MicroProtocol.
-func (SynchronousCall) Attach(fw *Framework) error {
+func (sc *SynchronousCall) Attach(fw *Framework) error {
+	b := NewBinding(fw)
+	sc.b = b
 	// Default priority: runs after RPC Main has created the record and
 	// sent the request.
-	return fw.Bus().Register(event.CallFromUser, "SynchronousCall.msgFromUser", event.DefaultPriority,
+	b.On(event.CallFromUser, "SynchronousCall.msgFromUser", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			um := o.Arg.(*msg.UserMsg)
 			if um.Type != msg.UserCall {
@@ -128,44 +148,75 @@ func (SynchronousCall) Attach(fw *Framework) error {
 			if s == nil {
 				return
 			}
-			s.P()
-			// Take transfers record ownership; the shard mutex pairing gives
-			// the happens-before that makes the lock-free reads below safe.
-			rec, ok := fw.TakeClient(um.ID)
-			if !ok {
-				return
+			um.Collect = func() {
+				s.P()
+				// Take transfers record ownership; the shard mutex pairing
+				// gives the happens-before that makes the lock-free reads
+				// below safe.
+				rec, ok := fw.TakeClient(um.ID)
+				if !ok {
+					return
+				}
+				um.Args = rec.Args
+				um.Status = rec.Status
 			}
-			um.Args = rec.Args
-			um.Status = rec.Status
 		})
+	// The synchronous composite normally has no uncollected results, but a
+	// reconfiguration that switches the call mode can leave some behind
+	// (issued asynchronously, completed, not yet requested when the swap
+	// landed). Serving UserRequest here keeps those collectable (D14).
+	b.On(event.CallFromUser, "SynchronousCall.request", event.DefaultPriority,
+		collectRequest(fw))
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (sc *SynchronousCall) Detach(*Framework) { sc.b.Detach() }
 
 // AsynchronousCall implements asynchronous RPC semantics (§4.4.2): the
 // caller is not blocked when the call is issued; it later retrieves the
 // result with a Request message, blocking only then if the result is not
-// yet available.
-type AsynchronousCall struct{}
+// yet available (again via the Collect continuation, outside the barrier).
+type AsynchronousCall struct {
+	b *Binding
+}
 
-var _ MicroProtocol = AsynchronousCall{}
+var _ MicroProtocol = (*AsynchronousCall)(nil)
 
 // Name implements MicroProtocol.
-func (AsynchronousCall) Name() string { return "Asynchronous Call" }
+func (*AsynchronousCall) Name() string { return "Asynchronous Call" }
+
+func (*AsynchronousCall) spec() any { return struct{}{} }
 
 // Attach implements MicroProtocol.
-func (AsynchronousCall) Attach(fw *Framework) error {
-	return fw.Bus().Register(event.CallFromUser, "AsynchronousCall.msgFromUser", event.DefaultPriority,
-		func(o *event.Occurrence) {
-			um := o.Arg.(*msg.UserMsg)
-			if um.Type != msg.UserRequest {
-				return
-			}
-			var s *sem.Sem
-			fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
-			if s == nil {
-				// Unknown or already-collected call.
-				um.Status = msg.StatusAborted
-				return
-			}
+func (ac *AsynchronousCall) Attach(fw *Framework) error {
+	b := NewBinding(fw)
+	ac.b = b
+	b.On(event.CallFromUser, "AsynchronousCall.msgFromUser", event.DefaultPriority,
+		collectRequest(fw))
+	return b.Err()
+}
+
+// collectRequest builds the UserRequest handler shared by both
+// call-semantics micro-protocols: block until the outstanding call
+// completes, then surrender its record to the requester. The asynchronous
+// protocol registers it as its Request primitive; the synchronous one
+// registers it so results left uncollected by a call-mode reconfiguration
+// stay reachable.
+func collectRequest(fw *Framework) func(*event.Occurrence) {
+	return func(o *event.Occurrence) {
+		um := o.Arg.(*msg.UserMsg)
+		if um.Type != msg.UserRequest {
+			return
+		}
+		var s *sem.Sem
+		fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
+		if s == nil {
+			// Unknown or already-collected call.
+			um.Status = msg.StatusAborted
+			return
+		}
+		um.Collect = func() {
 			s.P()
 			rec, ok := fw.TakeClient(um.ID)
 			if !ok {
@@ -175,5 +226,9 @@ func (AsynchronousCall) Attach(fw *Framework) error {
 			um.Args = rec.Args
 			um.Status = rec.Status
 			um.Op = rec.Op
-		})
+		}
+	}
 }
+
+// Detach implements MicroProtocol.
+func (ac *AsynchronousCall) Detach(*Framework) { ac.b.Detach() }

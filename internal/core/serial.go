@@ -13,13 +13,22 @@ package core
 // in eligibility order, which composes with FIFO and Total Order.
 type SerialExecution struct{}
 
-var _ MicroProtocol = SerialExecution{}
+var _ MicroProtocol = (*SerialExecution)(nil)
 
 // Name implements MicroProtocol.
-func (SerialExecution) Name() string { return "Serial Execution" }
+func (*SerialExecution) Name() string { return "Serial Execution" }
+
+func (*SerialExecution) spec() any { return struct{}{} }
 
 // Attach implements MicroProtocol.
-func (SerialExecution) Attach(fw *Framework) error {
+func (*SerialExecution) Attach(fw *Framework) error {
 	fw.EnableSerial()
 	return nil
+}
+
+// Detach implements MicroProtocol. The serial drain queue is empty whenever
+// Detach runs (only before Start or under the reconfiguration barrier, with
+// no call executing), so flipping the flag off is safe.
+func (*SerialExecution) Detach(fw *Framework) {
+	fw.DisableSerial()
 }

@@ -46,9 +46,9 @@ func TestConcurrentClientsUnderLoss(t *testing.T) {
 	group := msg.NewGroup(1, 2)
 	protos := func() []MicroProtocol {
 		return []MicroProtocol{
-			RPCMain{}, SynchronousCall{}, Acceptance{Limit: 2}, Collation{},
-			ReliableCommunication{RetransTimeout: 2 * time.Millisecond},
-			UniqueExecution{}, TerminateOrphan{},
+			&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 2}, &Collation{},
+			&ReliableCommunication{RetransTimeout: 2 * time.Millisecond},
+			&UniqueExecution{}, &TerminateOrphan{},
 		}
 	}
 	srv1 := addNode(t, net, 1, nodeOpts{server: echoServer()}, protos()...)

@@ -34,9 +34,16 @@ type TerminateOrphan struct {
 	// ProbeMisses is how many consecutive unanswered probes declare the
 	// client dead (default 3).
 	ProbeMisses int
+
+	b  *Binding
+	mu sync.Mutex
+	// info migrates across a probe-parameter swap so threads executing
+	// old-generation calls remain killable by the successor instance.
+	info map[msg.ProcID]*toEntry
 }
 
-var _ MicroProtocol = TerminateOrphan{}
+var _ MicroProtocol = (*TerminateOrphan)(nil)
+var _ Stateful = (*TerminateOrphan)(nil)
 
 type toEntry struct {
 	inc     msg.Incarnation
@@ -45,19 +52,46 @@ type toEntry struct {
 }
 
 // Name implements MicroProtocol.
-func (TerminateOrphan) Name() string { return "Terminate Orphan" }
+func (*TerminateOrphan) Name() string { return "Terminate Orphan" }
+
+func (to *TerminateOrphan) params() (time.Duration, int) {
+	misses := to.ProbeMisses
+	if misses <= 0 {
+		misses = 3
+	}
+	return to.ProbeInterval, misses
+}
+
+func (to *TerminateOrphan) spec() any {
+	interval, misses := to.params()
+	return struct {
+		interval time.Duration
+		misses   int
+	}{interval, misses}
+}
+
+// ExportState implements Stateful.
+func (to *TerminateOrphan) ExportState() any {
+	to.mu.Lock()
+	defer to.mu.Unlock()
+	return to.info
+}
+
+// ImportState implements Stateful.
+func (to *TerminateOrphan) ImportState(state any) {
+	to.mu.Lock()
+	to.info = state.(map[msg.ProcID]*toEntry)
+	to.mu.Unlock()
+}
 
 // Attach implements MicroProtocol.
-func (to TerminateOrphan) Attach(fw *Framework) error {
-	var (
-		mu   sync.Mutex
-		info = make(map[msg.ProcID]*toEntry)
-	)
-	if to.ProbeMisses <= 0 {
-		to.ProbeMisses = 3
-	}
+func (to *TerminateOrphan) Attach(fw *Framework) error {
+	probeInterval, probeMisses := to.params()
+	b := NewBinding(fw)
+	to.b = b
+	to.info = make(map[msg.ProcID]*toEntry)
 
-	if err := fw.Bus().Register(event.MsgFromNetwork, "TerminateOrphan.msgFromNet", PrioOrphan,
+	b.On(event.MsgFromNetwork, "TerminateOrphan.msgFromNet", PrioOrphan,
 		func(o *event.Occurrence) {
 			ev := o.Arg.(*NetEvent)
 			m := ev.Msg
@@ -67,16 +101,16 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 			client := m.Client
 			th := ev.Thread
 
-			mu.Lock()
-			ci, ok := info[client]
+			to.mu.Lock()
+			ci, ok := to.info[client]
 			if !ok {
 				ci = &toEntry{inc: m.Inc, threads: make(map[int64]*proc.Thread)}
-				info[client] = ci
+				to.info[client] = ci
 			}
 			switch {
 			case ci.inc > m.Inc:
 				// The call itself is an orphan of a dead incarnation.
-				mu.Unlock()
+				to.mu.Unlock()
 				o.Cancel()
 				return
 			case ci.inc < m.Inc:
@@ -85,25 +119,23 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 				orphans := ci.threads
 				ci.inc = m.Inc
 				ci.threads = map[int64]*proc.Thread{th.ID(): th}
-				mu.Unlock()
+				to.mu.Unlock()
 				for _, t := range orphans {
 					t.Kill()
 				}
 				fw.dropCallsOlderThan(client, m.Inc)
 			default:
 				ci.threads[th.ID()] = th
-				mu.Unlock()
+				to.mu.Unlock()
 			}
 			o.OnCancel(func() {
-				mu.Lock()
+				to.mu.Lock()
 				delete(ci.threads, th.ID())
-				mu.Unlock()
+				to.mu.Unlock()
 			})
-		}); err != nil {
-		return err
-	}
+		})
 
-	if err := fw.Bus().Register(event.ReplyFromServer, "TerminateOrphan.handleReply", PrioReplyBookkeep,
+	b.On(event.ReplyFromServer, "TerminateOrphan.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var th *proc.Thread
@@ -111,17 +143,15 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 			if th == nil {
 				return
 			}
-			mu.Lock()
-			if ci, ok := info[key.Client]; ok {
+			to.mu.Lock()
+			if ci, ok := to.info[key.Client]; ok {
 				delete(ci.threads, th.ID())
 			}
-			mu.Unlock()
-		}); err != nil {
-		return err
-	}
+			to.mu.Unlock()
+		})
 
 	// Probing detection (§4.4.7, second option).
-	if err := fw.Bus().Register(event.MsgFromNetwork, "TerminateOrphan.probes", PrioOrphan,
+	b.On(event.MsgFromNetwork, "TerminateOrphan.probes", PrioOrphan,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			switch m.Type {
@@ -133,17 +163,15 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 					Inc:    fw.Inc(),
 				})
 			case msg.OpProbeAck:
-				mu.Lock()
-				if ci, ok := info[m.Sender]; ok {
+				to.mu.Lock()
+				if ci, ok := to.info[m.Sender]; ok {
 					ci.missed = 0
 				}
-				mu.Unlock()
+				to.mu.Unlock()
 			}
-		}); err != nil {
-		return err
-	}
-	if to.ProbeInterval <= 0 {
-		return nil
+		})
+	if probeInterval <= 0 {
+		return b.Err()
 	}
 	var probe event.Handler
 	probe = func(*event.Occurrence) {
@@ -152,14 +180,14 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 			dead    []msg.ProcID
 			orphans []*proc.Thread
 		)
-		mu.Lock()
-		for client, ci := range info {
+		to.mu.Lock()
+		for client, ci := range to.info {
 			if len(ci.threads) == 0 {
 				ci.missed = 0
 				continue
 			}
 			ci.missed++
-			if ci.missed > to.ProbeMisses {
+			if ci.missed > probeMisses {
 				// Presumed crashed: kill its computations. If the client
 				// is in fact alive (false suspicion), its retransmissions
 				// re-execute the calls later.
@@ -173,7 +201,7 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 			}
 			targets = append(targets, client)
 		}
-		mu.Unlock()
+		to.mu.Unlock()
 		for _, t := range orphans {
 			t.Kill()
 		}
@@ -187,11 +215,14 @@ func (to TerminateOrphan) Attach(fw *Framework) error {
 		for _, client := range dead {
 			fw.dropCallsOlderThan(client, maxInc)
 		}
-		fw.Bus().RegisterTimeout("TerminateOrphan.probe", to.ProbeInterval, probe)
+		b.After("TerminateOrphan.probe", probeInterval, probe)
 	}
-	fw.Bus().RegisterTimeout("TerminateOrphan.probe", to.ProbeInterval, probe)
-	return nil
+	b.After("TerminateOrphan.probe", probeInterval, probe)
+	return b.Err()
 }
+
+// Detach implements MicroProtocol.
+func (to *TerminateOrphan) Detach(*Framework) { to.b.Detach() }
 
 // dropCallsOlderThan removes every held call of client with an incarnation
 // older than inc, killing its thread and releasing its execution slot —

@@ -41,12 +41,14 @@ type TotalOrder struct {
 	// AgreementDelay is how long a new leader collects ORDER_INFO replies
 	// before assigning fresh sequence numbers (default 3x NudgeInterval).
 	AgreementDelay time.Duration
+
+	b  *Binding
+	st *totalState
 }
 
-var _ MicroProtocol = TotalOrder{}
-
-// Name implements MicroProtocol.
-func (TotalOrder) Name() string { return "Total Order" }
+var _ MicroProtocol = (*TotalOrder)(nil)
+var _ Stateful = (*TotalOrder)(nil)
+var _ Sequencer = (*TotalOrder)(nil)
 
 type totalState struct {
 	mu        sync.Mutex
@@ -102,17 +104,131 @@ func (fw *Framework) totalLeader(g msg.Group) msg.ProcID {
 	return g.Leader(down)
 }
 
-// Attach implements MicroProtocol.
-func (to TotalOrder) Attach(fw *Framework) error {
-	fw.SetHold(HoldTotal)
-	if to.NudgeInterval <= 0 {
-		to.NudgeInterval = 20 * time.Millisecond
+// Name implements MicroProtocol.
+func (*TotalOrder) Name() string { return "Total Order" }
+
+func (to *TotalOrder) params() (nudge, agreement time.Duration) {
+	nudge = to.NudgeInterval
+	if nudge <= 0 {
+		nudge = 20 * time.Millisecond
 	}
-	if to.AgreementDelay <= 0 {
-		to.AgreementDelay = 3 * to.NudgeInterval
+	agreement = to.AgreementDelay
+	if agreement <= 0 {
+		agreement = 3 * nudge
+	}
+	return nudge, agreement
+}
+
+func (to *TotalOrder) spec() any {
+	n, a := to.params()
+	return struct{ n, a time.Duration }{n, a}
+}
+
+// ExportState implements Stateful.
+func (to *TotalOrder) ExportState() any { return to.st }
+
+// ImportState implements Stateful. Runs under the swap barrier, after
+// Attach: subsequent dispatch acquires the barrier shared, which orders the
+// replacement before every handler read.
+func (to *TotalOrder) ImportState(state any) { to.st = state.(*totalState) }
+
+// assign gives key a sequence number (reusing a previously seen assignment)
+// and disseminates it.
+func (to *TotalOrder) assign(fw *Framework, key msg.CallKey, group msg.Group) {
+	st := to.st
+	st.mu.Lock()
+	ord, ok := st.oldOrders[key]
+	if !ok {
+		ord = st.nextOrder
+		st.oldOrders[key] = ord
+		st.nextOrder++
+	}
+	st.mu.Unlock()
+	fw.Net().Multicast(group, &msg.NetMsg{
+		Type:   msg.OpOrder,
+		ID:     key.ID,
+		Client: key.Client,
+		Server: group,
+		Sender: fw.Self(),
+		Inc:    fw.Inc(),
+		Order:  ord,
+	})
+}
+
+// applyOrder records an assignment and releases/drops a held call
+// accordingly (the body of the paper's ORDER handling).
+func (to *TotalOrder) applyOrder(fw *Framework, key msg.CallKey, order int64) {
+	st := to.st
+	st.mu.Lock()
+	if st.nextOrder < order+1 {
+		st.nextOrder = order + 1
+	}
+	if _, ok := st.oldOrders[key]; !ok {
+		st.oldOrders[key] = order
+	}
+	if _, held := st.waiting[key]; !held {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.waiting, key)
+	switch {
+	case order == st.nextEntry:
+		st.mu.Unlock()
+		fw.ForwardUp(key, HoldTotal)
+	case order < st.nextEntry:
+		st.mu.Unlock()
+		fw.DropServerCall(key)
+	default:
+		st.ready[order] = key
+		st.mu.Unlock()
+	}
+}
+
+// Adopt implements Sequencer: a call admitted to sRPC before this instance
+// attached (or before a swap replaced its predecessor) re-enters the
+// ordering pipeline — the leader assigns it a number, and the call is held
+// until its slot comes up, exactly as for a fresh arrival.
+func (to *TotalOrder) Adopt(key msg.CallKey, m *msg.NetMsg) {
+	fw := to.fw()
+	st := to.st
+	st.mu.Lock()
+	st.groups[groupKey(m.Server)] = m.Server.Clone()
+	syncing := st.syncing
+	st.mu.Unlock()
+
+	if fw.totalLeader(m.Server) == fw.Self() && !syncing {
+		to.assign(fw, key, m.Server)
 	}
 
-	st := &totalState{
+	st.mu.Lock()
+	ord, ok := st.oldOrders[key]
+	if !ok {
+		st.waiting[key] = m
+		st.mu.Unlock()
+		return
+	}
+	switch {
+	case ord < st.nextEntry:
+		st.mu.Unlock()
+		fw.DropServerCall(key)
+	case ord == st.nextEntry:
+		st.mu.Unlock()
+		fw.ForwardUp(key, HoldTotal)
+	default:
+		st.ready[ord] = key
+		st.mu.Unlock()
+	}
+}
+
+func (to *TotalOrder) fw() *Framework { return to.b.fw }
+
+// Attach implements MicroProtocol.
+func (to *TotalOrder) Attach(fw *Framework) error {
+	fw.SetHold(HoldTotal)
+	nudgeInterval, agreementDelay := to.params()
+	b := NewBinding(fw)
+	to.b = b
+	to.st = &totalState{
 		oldOrders: make(map[msg.CallKey]int64),
 		waiting:   make(map[msg.CallKey]*msg.NetMsg),
 		ready:     make(map[int64]msg.CallKey),
@@ -121,98 +237,56 @@ func (to TotalOrder) Attach(fw *Framework) error {
 		groups:    make(map[string]msg.Group),
 	}
 
-	assign := func(key msg.CallKey, group msg.Group) {
-		st.mu.Lock()
-		ord, ok := st.oldOrders[key]
-		if !ok {
-			ord = st.nextOrder
-			st.oldOrders[key] = ord
-			st.nextOrder++
-		}
-		st.mu.Unlock()
-		fw.Net().Multicast(group, &msg.NetMsg{
-			Type:   msg.OpOrder,
-			ID:     key.ID,
-			Client: key.Client,
-			Server: group,
-			Sender: fw.Self(),
-			Inc:    fw.Inc(),
-			Order:  ord,
-		})
-	}
-
 	// The leader assigns sequence numbers as soon as a Call arrives
 	// (before any other processing); followers holding an unordered call
 	// nudge the leader when the client retransmits.
-	if err := fw.Bus().Register(event.MsgFromNetwork, "TotalOrder.assignOrder", PrioAssignOrder,
+	b.On(event.MsgFromNetwork, "TotalOrder.assignOrder", PrioAssignOrder,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			if m.Type != msg.OpCall {
 				return
 			}
 			key := m.Key()
+			st := to.st
 			st.mu.Lock()
 			st.groups[groupKey(m.Server)] = m.Server.Clone()
+			_, known := st.oldOrders[key]
+			_, isWaiting := st.waiting[key]
+			syncing := st.syncing
 			st.mu.Unlock()
 
+			// A duplicate of a call that executed before this instance
+			// attached (a pre-reconfiguration call) must not be sequenced:
+			// no reply will ever advance past its slot, which would stall
+			// the whole entry sequence. Known or waiting keys pass — those
+			// are live calls (re-announcing a known order is the lost-ORDER
+			// recovery path; Unique marks held calls as seen long before
+			// they execute, so "seen" alone doesn't mean executed).
+			if !known && !isWaiting && fw.AlreadyExecuted(key) {
+				return
+			}
+
 			if fw.totalLeader(m.Server) == fw.Self() {
-				st.mu.Lock()
-				syncing := st.syncing
-				st.mu.Unlock()
 				if !syncing {
-					assign(key, m.Server)
+					to.assign(fw, key, m.Server)
 				}
 				// While syncing, assignment is deferred; the follower
 				// nudge timers re-deliver the call once the agreement
 				// round is over.
-			} else {
-				st.mu.Lock()
-				_, isWaiting := st.waiting[key]
-				st.mu.Unlock()
-				if isWaiting {
-					fw.Net().Push(fw.totalLeader(m.Server), m)
-				}
+			} else if isWaiting {
+				fw.Net().Push(fw.totalLeader(m.Server), m)
 			}
 			// Unlike the paper, duplicates of already-executed calls are
 			// NOT cancelled here: doing so (before Unique Execution's
 			// handler) would suppress the retained-response resend that
 			// recovers from a lost reply (deviation D8). The ordered
 			// handler below drops them after Unique has had its chance.
-		}); err != nil {
-		return err
-	}
+		})
 
-	// applyOrder records an assignment and releases/drops a held call
-	// accordingly (the body of the paper's ORDER handling).
-	applyOrder := func(key msg.CallKey, order int64) {
-		st.mu.Lock()
-		if st.nextOrder < order+1 {
-			st.nextOrder = order + 1
-		}
-		if _, ok := st.oldOrders[key]; !ok {
-			st.oldOrders[key] = order
-		}
-		if _, held := st.waiting[key]; !held {
-			st.mu.Unlock()
-			return
-		}
-		delete(st.waiting, key)
-		switch {
-		case order == st.nextEntry:
-			st.mu.Unlock()
-			fw.ForwardUp(key, HoldTotal)
-		case order < st.nextEntry:
-			st.mu.Unlock()
-			fw.DropServerCall(key)
-		default:
-			st.ready[order] = key
-			st.mu.Unlock()
-		}
-	}
-
-	if err := fw.Bus().Register(event.MsgFromNetwork, "TotalOrder.msgFromNet", PrioOrder,
+	b.On(event.MsgFromNetwork, "TotalOrder.msgFromNet", PrioOrder,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
+			st := to.st
 			switch m.Type {
 			case msg.OpCall:
 				key := m.Key()
@@ -241,7 +315,7 @@ func (to TotalOrder) Attach(fw *Framework) error {
 				}
 
 			case msg.OpOrder:
-				applyOrder(m.Key(), m.Order)
+				to.applyOrder(fw, m.Key(), m.Order)
 
 			case msg.OpOrderQuery:
 				// A new leader is collecting assignments: report ours.
@@ -286,15 +360,14 @@ func (to TotalOrder) Attach(fw *Framework) error {
 						Inc:    fw.Inc(),
 						Order:  orders[k],
 					})
-					applyOrder(k, orders[k])
+					to.applyOrder(fw, k, orders[k])
 				}
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
-	if err := fw.Bus().Register(event.ReplyFromServer, "TotalOrder.handleReply", PrioReplyBookkeep,
+	b.On(event.ReplyFromServer, "TotalOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
+			st := to.st
 			st.mu.Lock()
 			st.nextEntry++
 			key, ok := st.ready[st.nextEntry]
@@ -305,15 +378,15 @@ func (to TotalOrder) Attach(fw *Framework) error {
 			if ok {
 				fw.ForwardUp(key, HoldTotal)
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
 	// A follower holding unordered calls periodically re-forwards them to
 	// the current leader, recovering lost ORDER messages (and lost
-	// leader-bound calls) without relying on client retransmission.
+	// leader-bound calls) without relying on client retransmission. The
+	// re-arm goes through the binding, so the chain ends at Detach.
 	var nudge event.Handler
 	nudge = func(*event.Occurrence) {
+		st := to.st
 		st.mu.Lock()
 		var resend []*msg.NetMsg
 		for _, m := range st.waiting {
@@ -326,20 +399,21 @@ func (to TotalOrder) Attach(fw *Framework) error {
 				fw.Net().Push(leader, m)
 			}
 		}
-		fw.Bus().RegisterTimeout("TotalOrder.nudge", to.NudgeInterval, nudge)
+		b.After("TotalOrder.nudge", nudgeInterval, nudge)
 	}
-	fw.Bus().RegisterTimeout("TotalOrder.nudge", to.NudgeInterval, nudge)
+	b.After("TotalOrder.nudge", nudgeInterval, nudge)
 
 	// Leader takeover with the agreement phase the paper omits (see the
 	// type comment): the new leader first queries survivors for their
 	// assignments, then — after AgreementDelay — assigns fresh numbers to
 	// whatever is still unordered.
-	return fw.Bus().Register(event.MembershipChange, "TotalOrder.leaderChange", event.DefaultPriority,
+	b.On(event.MembershipChange, "TotalOrder.leaderChange", event.DefaultPriority,
 		func(o *event.Occurrence) {
 			c := o.Arg.(member.Change)
 			if c.Kind != member.Failure {
 				return
 			}
+			st := to.st
 			st.mu.Lock()
 			groups := make([]msg.Group, 0, len(st.groups))
 			for _, g := range st.groups {
@@ -379,8 +453,9 @@ func (to TotalOrder) Attach(fw *Framework) error {
 					Inc:    fw.Inc(),
 				})
 			}
-			fw.Bus().RegisterTimeout("TotalOrder.agreementDone", to.AgreementDelay,
+			b.After("TotalOrder.agreementDone", agreementDelay,
 				func(*event.Occurrence) {
+					st := to.st
 					st.mu.Lock()
 					st.syncing = false
 					type pend struct {
@@ -395,10 +470,18 @@ func (to TotalOrder) Attach(fw *Framework) error {
 					for _, g := range leading {
 						for _, p := range pending {
 							if p.grp.Equal(g) {
-								assign(p.key, g)
+								to.assign(fw, p.key, g)
 							}
 						}
 					}
 				})
 		})
+
+	return b.Err()
+}
+
+// Detach implements MicroProtocol.
+func (to *TotalOrder) Detach(fw *Framework) {
+	to.b.Detach()
+	fw.ClearHold(HoldTotal)
 }

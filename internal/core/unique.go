@@ -18,24 +18,69 @@ import (
 // straggler duplicate arriving after the acknowledgement is still
 // recognized as old; the table is bounded by the number of distinct calls
 // served in the incarnation.
-type UniqueExecution struct{}
+type UniqueExecution struct {
+	b  *Binding
+	mu sync.Mutex
+	// oldCalls/oldResults migrate across a swap: the no-double-execution
+	// guarantee must hold for calls that executed before the swap too.
+	oldCalls   map[msg.CallKey]bool
+	oldResults map[msg.CallKey][]byte
+}
 
-var _ MicroProtocol = UniqueExecution{}
+var _ MicroProtocol = (*UniqueExecution)(nil)
+var _ Stateful = (*UniqueExecution)(nil)
+
+// uniqueState is UniqueExecution's exported migration state.
+type uniqueState struct {
+	oldCalls   map[msg.CallKey]bool
+	oldResults map[msg.CallKey][]byte
+}
 
 // Name implements MicroProtocol.
-func (UniqueExecution) Name() string { return "Unique Execution" }
+func (*UniqueExecution) Name() string { return "Unique Execution" }
+
+func (*UniqueExecution) spec() any { return struct{}{} }
+
+// ExportState implements Stateful.
+func (u *UniqueExecution) ExportState() any {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return uniqueState{oldCalls: u.oldCalls, oldResults: u.oldResults}
+}
+
+// ImportState implements Stateful.
+func (u *UniqueExecution) ImportState(state any) {
+	s := state.(uniqueState)
+	u.mu.Lock()
+	u.oldCalls = s.oldCalls
+	u.oldResults = s.oldResults
+	u.mu.Unlock()
+}
+
+// executed reports whether key has been executed here (seen and not merely
+// in progress — a retained or acknowledged response exists, or the call is
+// recorded as old without a pending sRPC record).
+func (u *UniqueExecution) executed(key msg.CallKey) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.oldCalls[key]
+}
 
 // Attach implements MicroProtocol.
-func (UniqueExecution) Attach(fw *Framework) error {
-	var (
-		mu         sync.Mutex
-		oldCalls   = make(map[msg.CallKey]bool)
-		oldResults = make(map[msg.CallKey][]byte)
-	)
+func (u *UniqueExecution) Attach(fw *Framework) error {
+	b := NewBinding(fw)
+	u.b = b
+	u.oldCalls = make(map[msg.CallKey]bool)
+	u.oldResults = make(map[msg.CallKey][]byte)
+
+	// Publish the executed-call predicate: a freshly attached ordering
+	// protocol must not sequence duplicates of calls that executed before
+	// it attached (see Framework.AlreadyExecuted).
+	fw.SetExecutedQuery(u.executed)
 
 	// Retain the response until the client's ACK (priority 1: before
 	// Atomic Execution's checkpoint on the same event).
-	if err := fw.Bus().Register(event.ReplyFromServer, "UniqueExec.handleReply", PrioReplyBookkeep,
+	b.On(event.ReplyFromServer, "UniqueExec.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
 			key := o.Arg.(msg.CallKey)
 			var (
@@ -44,23 +89,21 @@ func (UniqueExecution) Attach(fw *Framework) error {
 			)
 			ok = fw.WithServer(key, func(rec *ServerRecord) { args = rec.Args })
 			if ok {
-				mu.Lock()
-				oldResults[key] = args
-				mu.Unlock()
+				u.mu.Lock()
+				u.oldResults[key] = args
+				u.mu.Unlock()
 			}
-		}); err != nil {
-		return err
-	}
+		})
 
-	return fw.Bus().Register(event.MsgFromNetwork, "UniqueExec.msgFromNet", PrioUnique,
+	b.On(event.MsgFromNetwork, "UniqueExec.msgFromNet", PrioUnique,
 		func(o *event.Occurrence) {
 			m := o.Arg.(*NetEvent).Msg
 			switch m.Type {
 			case msg.OpCall:
 				key := m.Key()
-				mu.Lock()
-				if res, done := oldResults[key]; done {
-					mu.Unlock()
+				u.mu.Lock()
+				if res, done := u.oldResults[key]; done {
+					u.mu.Unlock()
 					// Already executed and unacknowledged: resend the
 					// retained response.
 					fw.Net().Push(m.Sender, &msg.NetMsg{
@@ -76,21 +119,21 @@ func (UniqueExecution) Attach(fw *Framework) error {
 					o.Cancel()
 					return
 				}
-				if oldCalls[key] {
-					mu.Unlock()
+				if u.oldCalls[key] {
+					u.mu.Unlock()
 					// Execution in progress (or acknowledged): discard.
 					o.Cancel()
 					return
 				}
-				oldCalls[key] = true
-				mu.Unlock()
+				u.oldCalls[key] = true
+				u.mu.Unlock()
 				// If a later handler cancels this delivery (the call never
 				// executes now), forget it so a retransmission can succeed
 				// (deviation D6).
 				o.OnCancel(func() {
-					mu.Lock()
-					delete(oldCalls, key)
-					mu.Unlock()
+					u.mu.Lock()
+					delete(u.oldCalls, key)
+					u.mu.Unlock()
 				})
 
 			case msg.OpReply:
@@ -106,9 +149,16 @@ func (UniqueExecution) Attach(fw *Framework) error {
 				})
 
 			case msg.OpAck:
-				mu.Lock()
-				delete(oldResults, msg.CallKey{Client: m.Client, ID: m.AckID})
-				mu.Unlock()
+				u.mu.Lock()
+				delete(u.oldResults, msg.CallKey{Client: m.Client, ID: m.AckID})
+				u.mu.Unlock()
 			}
 		})
+	return b.Err()
+}
+
+// Detach implements MicroProtocol.
+func (u *UniqueExecution) Detach(fw *Framework) {
+	u.b.Detach()
+	fw.SetExecutedQuery(nil)
 }

@@ -12,8 +12,8 @@ func uniqueServerNode(t *testing.T, net *memNet) (*testNode, *recordingServer) {
 	t.Helper()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{})
 	return n, srv
 }
 
@@ -66,11 +66,11 @@ func TestUniqueExecutionReleasesResultOnAck(t *testing.T) {
 func TestUniqueExecutionClientAcksReplies(t *testing.T) {
 	net := newMemNet()
 	addNode(t, net, 1, nodeOpts{server: echoServer()},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{})
 	client := addNode(t, net, 100, nodeOpts{},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{})
 
 	um := client.fw.Call(1, []byte("x"), msg.NewGroup(1))
 	if um.Status != msg.StatusOK {
@@ -103,8 +103,8 @@ func TestUniqueExecutionCompensatesOnLaterCancel(t *testing.T) {
 	net := newMemNet()
 	srv := &recordingServer{}
 	n := addNode(t, net, 1, nodeOpts{server: srv},
-		RPCMain{}, SynchronousCall{}, Acceptance{Limit: 1}, Collation{},
-		UniqueExecution{}, FIFOOrder{})
+		&RPCMain{}, &SynchronousCall{}, &Acceptance{Limit: 1}, &Collation{},
+		&UniqueExecution{}, &FIFOOrder{})
 	group := msg.NewGroup(1)
 
 	// Establish FIFO state: call 5 executes (next becomes 6).

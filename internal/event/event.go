@@ -122,6 +122,7 @@ type Bus struct {
 	handlers map[Type][]*Registration
 	timeouts map[*timeoutEntry]struct{}
 	observer Observer
+	gate     func() func()
 	nextSeq  int
 	closed   bool
 }
@@ -225,6 +226,22 @@ func (b *Bus) SetObserver(o Observer) {
 	b.mu.Unlock()
 }
 
+// SetDispatchGate installs a gate every TIMEOUT firing passes through
+// before it looks up its registration: the firing goroutine calls gate(),
+// runs, and then calls the returned release function. The composite
+// framework uses it to make timer dispatch participate in the
+// reconfiguration barrier (handlers fired by timers must not run while a
+// Composite.Swap is detaching the protocols that registered them).
+//
+// The gate is captured when a timeout is armed, so it must be installed
+// before the first RegisterTimeout call; installing it later leaves
+// already-armed timeouts ungated.
+func (b *Bus) SetDispatchGate(gate func() func()) {
+	b.mu.Lock()
+	b.gate = gate
+	b.mu.Unlock()
+}
+
 // RegisterTimeout arranges for fn to run once, after interval, as a TIMEOUT
 // occurrence. Unlike ordinary registrations it is automatically removed when
 // it fires; re-register from within fn for periodic behaviour. The returned
@@ -237,7 +254,15 @@ func (b *Bus) RegisterTimeout(name string, interval time.Duration, fn Handler) (
 	}
 	e := &timeoutEntry{name: name, fn: fn}
 	b.timeouts[e] = struct{}{}
+	gate := b.gate
 	e.timer = b.clk.AfterFunc(interval, func() {
+		// The gate is entered before b.mu so a gate holder (the swap
+		// barrier) can cancel timeouts — which takes b.mu — without
+		// deadlocking against a firing that is waiting at the gate.
+		if gate != nil {
+			release := gate()
+			defer release()
+		}
 		b.mu.Lock()
 		if _, live := b.timeouts[e]; !live {
 			b.mu.Unlock()

@@ -1,0 +1,127 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrpc/internal/clock"
+)
+
+// TestDeregisterRacesTrigger hammers Deregister/Register from one set of
+// goroutines while another set triggers the same event type continuously.
+// The copy-on-write handler slice must keep every in-flight Trigger safe
+// (it iterates the snapshot it read) — run under -race this is the
+// regression test for the lifecycle layer's detach path, which deregisters
+// a live protocol's handlers while dispatch is still running on other
+// goroutines.
+func TestDeregisterRacesTrigger(t *testing.T) {
+	b := New(clock.NewReal())
+	var fired atomic.Int64
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Trigger(MsgFromNetwork, nil)
+				}
+			}
+		}()
+	}
+
+	names := []string{"alpha", "beta", "gamma"}
+	for i := 0; i < 500; i++ {
+		for _, name := range names {
+			if err := b.Register(MsgFromNetwork, name, DefaultPriority, func(*Occurrence) {
+				fired.Add(1)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, name := range names {
+			b.Deregister(MsgFromNetwork, name)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// No handler may survive the final deregistration.
+	before := fired.Load()
+	b.Trigger(MsgFromNetwork, nil)
+	if fired.Load() != before {
+		t.Fatalf("handler fired after Deregister")
+	}
+}
+
+// TestTimeoutCancelRacesFiring arms short timeouts and cancels each one at
+// the moment it is due, many times over: whichever side wins, the handler
+// must run at most once and cancel must never deadlock or race the firing
+// path (the lifecycle layer cancels a protocol's pending timers during
+// detach while the clock may be delivering them).
+func TestTimeoutCancelRacesFiring(t *testing.T) {
+	b := New(clock.NewReal())
+	for i := 0; i < 300; i++ {
+		var runs atomic.Int64
+		done := make(chan struct{})
+		cancel := b.RegisterTimeout("racer", time.Millisecond, func(*Occurrence) {
+			runs.Add(1)
+			close(done)
+		})
+
+		// Cancel from another goroutine right around the due time.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Millisecond)
+			cancel()
+		}()
+		wg.Wait()
+
+		// Give a won race time to deliver, then verify at-most-once.
+		select {
+		case <-done:
+		case <-time.After(5 * time.Millisecond):
+		}
+		if n := runs.Load(); n > 1 {
+			t.Fatalf("timeout handler ran %d times", n)
+		}
+	}
+}
+
+// TestTimeoutCancelAfterFiringIsNoop re-arms a timeout from its own handler
+// (the framework's self-re-arming idiom) and then cancels the stale handle:
+// cancelling an already-fired timer must not disturb the re-armed one.
+func TestTimeoutCancelAfterFiringIsNoop(t *testing.T) {
+	b := New(clock.NewReal())
+	fired := make(chan struct{}, 2)
+	var second func()
+	var mu sync.Mutex
+	first := b.RegisterTimeout("rearm", time.Millisecond, func(*Occurrence) {
+		fired <- struct{}{}
+		mu.Lock()
+		second = b.RegisterTimeout("rearm", time.Millisecond, func(*Occurrence) {
+			fired <- struct{}{}
+		})
+		mu.Unlock()
+	})
+
+	<-fired
+	first() // stale: the timer already fired and re-armed
+	select {
+	case <-fired:
+	case <-time.After(200 * time.Millisecond):
+		t.Fatal("re-armed timeout did not fire after stale cancel")
+	}
+	mu.Lock()
+	second()
+	mu.Unlock()
+}

@@ -221,6 +221,26 @@ func busMethod(p *Package, call *ast.CallExpr) string {
 	return ""
 }
 
+// bindingMethod returns the name of the core.Binding method a call invokes,
+// or "". Binding.On / Binding.After forward to Bus.Register /
+// Bus.RegisterTimeout with lifecycle tracking, so every rule that inspects
+// registrations must see through them — otherwise converting a protocol to
+// the Binding idiom would silently drop it from the analysis.
+func bindingMethod(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if pkg, name := recvNamed(fn); pkg == corePath && name == "Binding" {
+		return fn.Name()
+	}
+	return ""
+}
+
 // recvNamed returns the package path and type name of a method's receiver
 // (dereferencing a pointer receiver), or "", "".
 func recvNamed(fn *types.Func) (pkgPath, typeName string) {

@@ -7,8 +7,9 @@ import (
 
 // checkHandlerDiscipline analyzes the body of every function literal
 // registered as an event handler (Bus.Register's fourth argument,
-// Bus.RegisterTimeout's third — directly, or through a local variable bound
-// to a literal) and flags:
+// Bus.RegisterTimeout's third, and their lifecycle-tracked equivalents
+// Binding.On's fourth and Binding.After's third — directly, or through a
+// local variable bound to a literal) and flags:
 //
 //   - synchronous Bus.Trigger calls: handlers run to completion on the
 //     triggering goroutine, so a Trigger from inside a handler re-enters
@@ -49,6 +50,18 @@ func checkHandlerDiscipline(p *Package) []Diagnostic {
 					name = stringArg(call.Args[0], "handler")
 				}
 			}
+			switch bindingMethod(p, call) {
+			case "On":
+				if len(call.Args) == 4 {
+					handlerArg = call.Args[3]
+					name = stringArg(call.Args[1], "handler")
+				}
+			case "After":
+				if len(call.Args) == 3 {
+					handlerArg = call.Args[2]
+					name = stringArg(call.Args[0], "handler")
+				}
+			}
 			if handlerArg == nil {
 				return true
 			}
@@ -56,11 +69,59 @@ func checkHandlerDiscipline(p *Package) []Diagnostic {
 			if lit == nil {
 				return true
 			}
-			ds = append(ds, analyzeHandlerBody(p, lit, name)...)
+			ds = append(ds, analyzeHandlerBody(p, lit.Body, name)...)
 			return true
 		})
+
+		// Micro-protocol lifecycle entry points run either on the plain
+		// configuration path (before Start) or inside the reconfiguration
+		// barrier (Composite.Swap), where dispatch is excluded — the same
+		// context as a handler, with the same restrictions: no synchronous
+		// Trigger (would dispatch under the write-held barrier) and no
+		// lockAll/unlockAll. Handler literals the entry point registers are
+		// skipped here; they are analyzed above under their own names.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if !isLifecycleEntryPoint(fd.Name.Name) {
+				continue
+			}
+			name := fd.Name.Name
+			if t := receiverTypeName(fd); t != "" {
+				name = t + "." + name
+			}
+			ds = append(ds, analyzeHandlerBody(p, fd.Body, name)...)
+		}
 	}
 	return ds
+}
+
+// isLifecycleEntryPoint reports whether a method name is one of the
+// MicroProtocol lifecycle entry points that run under the reconfiguration
+// barrier (or on the pre-Start configuration path).
+func isLifecycleEntryPoint(name string) bool {
+	switch name {
+	case "Attach", "Detach", "ExportState", "ImportState", "Adopt":
+		return true
+	}
+	return false
+}
+
+// receiverTypeName extracts the bare receiver type name of a method decl.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 // localFuncLits maps local variables to the function literal they are bound
@@ -112,7 +173,7 @@ func resolveFuncLit(p *Package, e ast.Expr, lits map[types.Object]*ast.FuncLit) 
 	return nil
 }
 
-func analyzeHandlerBody(p *Package, lit *ast.FuncLit, name string) []Diagnostic {
+func analyzeHandlerBody(p *Package, body ast.Node, name string) []Diagnostic {
 	var ds []Diagnostic
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
@@ -123,6 +184,7 @@ func analyzeHandlerBody(p *Package, lit *ast.FuncLit, name string) []Diagnostic 
 				// this dispatch; rule goroutine-discipline covers the spawn.
 				return false
 			case *ast.CallExpr:
+				deferred := false
 				switch busMethod(p, n) {
 				case "Trigger":
 					ds = append(ds, Diagnostic{
@@ -132,6 +194,13 @@ func analyzeHandlerBody(p *Package, lit *ast.FuncLit, name string) []Diagnostic 
 							"(re-entrant dispatch)",
 					})
 				case "Register", "RegisterTimeout":
+					deferred = true
+				}
+				switch bindingMethod(p, n) {
+				case "On", "After":
+					deferred = true
+				}
+				if deferred {
 					// Deferred execution: analyze the registered literal as
 					// its own handler (the outer Inspect already does), but
 					// keep walking the non-literal arguments.
@@ -160,7 +229,7 @@ func analyzeHandlerBody(p *Package, lit *ast.FuncLit, name string) []Diagnostic 
 			return true
 		})
 	}
-	walk(lit.Body)
+	walk(body)
 	return ds
 }
 

@@ -7,10 +7,10 @@ import (
 	"go/types"
 )
 
-// checkPriorityConstants flags Bus.Register calls whose priority argument
-// does not reference a named constant. Handler priorities order the whole
-// composite protocol's dispatch (DESIGN.md §3); a magic int hides that
-// ordering relationship from the reader and from grep.
+// checkPriorityConstants flags Bus.Register and Binding.On calls whose
+// priority argument does not reference a named constant. Handler priorities
+// order the whole composite protocol's dispatch (DESIGN.md §3); a magic int
+// hides that ordering relationship from the reader and from grep.
 func checkPriorityConstants(p *Package) []Diagnostic {
 	if !inScope(p.Path) {
 		return nil
@@ -19,7 +19,16 @@ func checkPriorityConstants(p *Package) []Diagnostic {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || busMethod(p, call) != "Register" || len(call.Args) != 4 {
+			if !ok {
+				return true
+			}
+			var registrar string
+			switch {
+			case busMethod(p, call) == "Register" && len(call.Args) == 4:
+				registrar = "Bus.Register"
+			case bindingMethod(p, call) == "On" && len(call.Args) == 4:
+				registrar = "Binding.On"
+			default:
 				return true
 			}
 			prio := call.Args[2]
@@ -28,7 +37,7 @@ func checkPriorityConstants(p *Package) []Diagnostic {
 					Pos:  p.Fset.Position(prio.Pos()),
 					Rule: "priority-constants",
 					Message: "priority `" + exprString(p, prio) +
-						"` passed to Bus.Register must reference a named constant",
+						"` passed to " + registrar + " must reference a named constant",
 				})
 			}
 			return true

@@ -253,4 +253,10 @@ type UserMsg struct {
 	Args   []byte
 	Server Group
 	Status Status
+
+	// Collect is set by the call-semantics micro-protocol during dispatch:
+	// it blocks until the call completes and fills Args/Status/Op. The
+	// framework invokes it after the dispatch handlers return, outside the
+	// reconfiguration barrier, so a parked caller never blocks a swap.
+	Collect func()
 }

@@ -117,9 +117,46 @@ type Network struct {
 	links       map[dirLink]*linkState // lazily created, only for links that roll
 	stopped     bool
 
-	wg sync.WaitGroup
+	// In-flight delivery accounting. A WaitGroup cannot express the
+	// Quiesce contract: retransmission timers call Add concurrently with
+	// Wait at a zero counter (disallowed), and counting only at schedule
+	// time would let Quiesce return while an admitted message sits
+	// uncounted between releasing mu and scheduling. Instead each
+	// admitted destination is counted under mu, so a message is visible
+	// to a concurrent waiter before admission completes.
+	flightMu sync.Mutex
+	flightC  sync.Cond // signalled when inflight drops to zero
+	inflight int
 
 	sent, delivered, dropped, duplicated, partition, downDrops atomic.Int64
+}
+
+// addFlight records k admitted deliveries. Send paths call it while
+// holding n.mu, which orders the count against Quiesce.
+func (n *Network) addFlight(k int) {
+	n.flightMu.Lock()
+	n.inflight += k
+	n.flightMu.Unlock()
+}
+
+// doneFlight retires one delivery (delivered, dropped by a fault roll, or
+// discarded at a retired endpoint).
+func (n *Network) doneFlight() {
+	n.flightMu.Lock()
+	n.inflight--
+	if n.inflight == 0 {
+		n.flightC.Broadcast()
+	}
+	n.flightMu.Unlock()
+}
+
+// waitFlight blocks until no admitted delivery remains in flight.
+func (n *Network) waitFlight() {
+	n.flightMu.Lock()
+	for n.inflight > 0 {
+		n.flightC.Wait()
+	}
+	n.flightMu.Unlock()
 }
 
 // New creates a network with the given fault model, using clk for delays.
@@ -127,7 +164,7 @@ func New(clk clock.Clock, p Params) *Network {
 	if p.MaxDelay < p.MinDelay {
 		p.MaxDelay = p.MinDelay
 	}
-	return &Network{
+	n := &Network{
 		clk:         clk,
 		params:      p,
 		eps:         make(map[msg.ProcID]*Endpoint),
@@ -136,6 +173,8 @@ func New(clk clock.Clock, p Params) *Network {
 		delays:      make(map[link]linkDelay),
 		links:       make(map[dirLink]*linkState),
 	}
+	n.flightC.L = &n.flightMu
+	return n
 }
 
 // delivery is one scheduled arrival: the shared frozen message, or — with
@@ -290,7 +329,7 @@ func (n *Network) Stop() {
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
-		n.wg.Wait()
+		n.waitFlight()
 		return
 	}
 	n.stopped = true
@@ -300,7 +339,7 @@ func (n *Network) Stop() {
 	}
 	n.mu.Unlock()
 
-	n.wg.Wait() // all deliveries done: no dispatch can be in flight
+	n.waitFlight() // all deliveries done: no dispatch can be in flight
 	for _, e := range eps {
 		e.wmu.Lock()
 		if !e.closed {
@@ -314,7 +353,7 @@ func (n *Network) Stop() {
 // Quiesce waits for all deliveries currently in flight to complete without
 // stopping the network. Tests use it to reach a stable state.
 func (n *Network) Quiesce() {
-	n.wg.Wait()
+	n.waitFlight()
 }
 
 // admitted is one destination that passed admission: its endpoint, the
@@ -374,6 +413,9 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 		return
 	}
 	a, ok := n.admitOne(from.id, to)
+	if ok {
+		n.addFlight(1)
+	}
 	n.mu.Unlock()
 	if !ok {
 		return
@@ -410,6 +452,7 @@ func (n *Network) multicast(from *Endpoint, group msg.Group, m *msg.NetMsg) {
 			plan = append(plan, a)
 		}
 	}
+	n.addFlight(len(plan))
 	n.mu.Unlock()
 	if len(plan) == 0 {
 		return
@@ -449,16 +492,23 @@ func (n *Network) transmit(a admitted, d delivery) {
 		}
 		a.ls.mu.Unlock()
 	}
-	if copies >= 1 {
-		n.scheduleDelivery(a.dest, d, first)
+	// Settle the admission-time count against the roll: a lost copy is
+	// retired here, a duplicate gains a count while the original's is
+	// still held (so the total never passes through zero mid-transmit).
+	if copies == 0 {
+		n.doneFlight()
+		return
 	}
+	if copies == 2 {
+		n.addFlight(1)
+	}
+	n.scheduleDelivery(a.dest, d, first)
 	if copies == 2 {
 		n.scheduleDelivery(a.dest, d, second)
 	}
 }
 
 func (n *Network) scheduleDelivery(dest *Endpoint, d delivery, delay time.Duration) {
-	n.wg.Add(1)
 	if delay <= 0 {
 		dest.dispatch(d)
 		return
@@ -481,7 +531,7 @@ func (e *Endpoint) dispatch(d delivery) {
 		// Stop already retired the pool (only reachable for sends racing
 		// Stop on an already-counted delivery): drop.
 		e.wmu.Unlock()
-		e.net.wg.Done()
+		e.net.doneFlight()
 		return
 	}
 	if e.idle > 0 {
@@ -495,7 +545,8 @@ func (e *Endpoint) dispatch(d delivery) {
 	// allocations proc.Go would add — this is the hot path of every
 	// zero-delay configuration. netsim is exempt from the
 	// goroutine-discipline rule: the network quiesces its workers through
-	// n.wg, and endpoint crashes are observed at delivery via `up`.
+	// its in-flight count, and endpoint crashes are observed at delivery
+	// via `up`.
 	go e.work(d)
 }
 
@@ -522,7 +573,7 @@ func (e *Endpoint) work(first delivery) {
 // deliverTo hands a delivery to dest's handler on the calling goroutine,
 // decoding from the shared wire bytes first when the codec is on.
 func (n *Network) deliverTo(dest *Endpoint, d delivery) {
-	defer n.wg.Done()
+	defer n.doneFlight()
 	m := d.m
 	if d.wire != nil {
 		// Args are borrowed from the shared immutable buffer, not copied;

@@ -28,10 +28,29 @@
 //
 // The full semantic space (198 legal configurations — the paper's count)
 // is described by Config; presets for the common points are provided.
+//
+// # Live reconfiguration
+//
+// A running node (or a whole system) can be hot-swapped between legal
+// configurations without restarting and without dropping in-flight calls:
+//
+//	// Upgrade the running group from exactly-once to total-order
+//	// replicated-service semantics, concurrent callers and all.
+//	if err := sys.Reconfigure(mrpc.ReplicatedService()); err != nil { ... }
+//	// ... and back.
+//	if err := sys.Reconfigure(mrpc.ExactlyOnce()); err != nil { ... }
+//
+// Transitions are validated first (config.PlanTransition): properties that
+// act per call (acceptance, collation, unique execution, orphan handling,
+// serial execution) swap live; properties that span a call's lifetime
+// (call synchrony, reliability, deadlines, ordering) drain in-flight calls
+// first; changing atomic execution live is rejected — restart the node.
+// See DESIGN.md deviation D14.
 package mrpc
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -92,6 +111,7 @@ type (
 
 // Call statuses.
 const (
+	StatusWaiting = msg.StatusWaiting
 	StatusOK      = msg.StatusOK
 	StatusTimeout = msg.StatusTimeout
 	StatusAborted = msg.StatusAborted
@@ -185,6 +205,9 @@ type SystemOptions struct {
 	SuspectAfter      time.Duration
 	// StableWriteLatency is the simulated checkpoint write cost.
 	StableWriteLatency time.Duration
+	// ReconfigureTimeout bounds how long a drain-class reconfiguration
+	// waits for in-flight calls to complete (default 30s).
+	ReconfigureTimeout time.Duration
 }
 
 // System is a simulated distributed system: a network, a stable store, an
@@ -211,6 +234,9 @@ func NewSystem(opts SystemOptions) *System {
 	}
 	if opts.SuspectAfter <= 0 {
 		opts.SuspectAfter = 5 * opts.HeartbeatInterval
+	}
+	if opts.ReconfigureTimeout <= 0 {
+		opts.ReconfigureTimeout = 30 * time.Second
 	}
 	s := &System{
 		clk:   opts.Clock,
@@ -321,6 +347,140 @@ func (s *System) Stop() {
 	s.net.Stop()
 }
 
+// Reconfigure hot-swaps every node in the system to newCfg, coordinating
+// the quiesce across the group: when any node's transition is drain-class,
+// admission closes on all nodes together, every in-flight client call runs
+// to completion, and the network settles before any node swaps — so no call
+// straddles two semantic regimes. Live-class transitions swap each node
+// under its dispatch barrier with no drain. Down nodes are not swapped;
+// they are given the new configuration for their next Recover. An illegal
+// transition on any node rejects the whole reconfiguration before anything
+// changes. See DESIGN.md deviation D14.
+func (s *System) Reconfigure(newCfg Config) error {
+	if err := newCfg.Validate(); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	nodes := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		nodes = append(nodes, n)
+	}
+	s.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+
+	// Serialize against every per-node lifecycle operation (Crash, Recover,
+	// per-node Reconfigure), acquiring in id order to stay deadlock-free.
+	for _, n := range nodes {
+		n.lifeMu.Lock()
+	}
+	defer func() {
+		for i := len(nodes) - 1; i >= 0; i-- {
+			nodes[i].lifeMu.Unlock()
+		}
+	}()
+
+	// Phase 1: plan and build. Any illegal transition or build failure
+	// rejects the reconfiguration before any node is touched.
+	type target struct {
+		n      *Node
+		comp   *core.Composite
+		protos []core.MicroProtocol
+	}
+	var ups []target
+	anyDrain := false
+	for _, n := range nodes {
+		n.mu.Lock()
+		comp, app, down, oldCfg := n.comp, n.app, n.down, n.cfg
+		n.mu.Unlock()
+		if down {
+			continue
+		}
+		plan, err := config.PlanTransition(oldCfg, newCfg)
+		if err != nil {
+			return fmt.Errorf("mrpc: node %d: %w", n.id, err)
+		}
+		if plan.Class == config.TransitionDrain {
+			anyDrain = true
+		}
+		protos, err := n.buildProtocols(newCfg, app)
+		if err != nil {
+			return err
+		}
+		ups = append(ups, target{n: n, comp: comp, protos: protos})
+	}
+
+	// Phase 2: drain-class quiesce, all of it a hard requirement (a timeout
+	// reopens admission and fails the reconfiguration). Client calls must
+	// complete everywhere; then the group settles: no in-flight deliveries,
+	// no held server records, and no outstanding (re)transmissions. The
+	// last condition is what makes the swap sound: once Reliable
+	// Communication has settled, every member has received every pre-swap
+	// call, so no old-regime call can surface at a member for the first
+	// time after the swap — where a new ordering leader would sequence it
+	// even though other members already executed it, stalling their entry
+	// sequence forever.
+	if anyDrain {
+		deadline := s.clk.Now().Add(s.opts.ReconfigureTimeout)
+		for _, t := range ups {
+			t.comp.Framework().CloseAdmission()
+		}
+		reopen := func() {
+			for _, t := range ups {
+				t.comp.Framework().OpenAdmission()
+			}
+		}
+		for _, t := range ups {
+			if err := t.n.drainClientCalls(t.comp.Framework(), deadline); err != nil {
+				reopen()
+				return err
+			}
+		}
+		s.net.Quiesce()
+		for {
+			settled := true
+			for _, t := range ups {
+				if t.comp.Framework().PendingServerCalls() > 0 || relOutstanding(t.comp) > 0 {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				break
+			}
+			if !s.clk.Now().Before(deadline) {
+				reopen()
+				return fmt.Errorf("mrpc: reconfigure drain timed out waiting for the group to settle")
+			}
+			s.clk.Sleep(time.Millisecond)
+			s.net.Quiesce()
+		}
+	}
+
+	// Phase 3: swap every up node, reopen admission, publish the new
+	// configuration on every node (down ones included, for Recover).
+	var firstErr error
+	for _, t := range ups {
+		if err := t.comp.Swap(t.protos); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("mrpc: node %d: %w", t.n.id, err)
+		}
+	}
+	if anyDrain {
+		for _, t := range ups {
+			t.comp.Framework().OpenAdmission()
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, n := range nodes {
+		n.mu.Lock()
+		n.cfg = newCfg
+		n.mu.Unlock()
+	}
+	return nil
+}
+
 func (s *System) membershipFor(n *Node) member.Service {
 	switch s.opts.Membership {
 	case MembershipOracle:
@@ -342,7 +502,9 @@ func (s *System) membershipFor(n *Node) member.Service {
 					Inc:    n.site.Inc(),
 				})
 			})
+		n.mu.Lock()
 		n.detector = det
+		n.mu.Unlock()
 		return det
 	default:
 		return member.NewStatic()
@@ -357,16 +519,62 @@ type Node struct {
 	id     ProcID
 	site   *proc.Site
 	ep     *netsim.Endpoint
-	cfg    Config
 	newApp func() App
 	cell   *stable.Cell
 	cklog  *stable.Log
 
+	// lifeMu serializes lifecycle operations (start, Crash, Recover,
+	// Reconfigure, shutdown) against each other; mu protects the mutable
+	// fields and is never held across a blocking operation.
+	lifeMu sync.Mutex
+
 	mu       sync.Mutex
+	cfg      Config
 	comp     *core.Composite
 	app      App
 	detector *member.Detector
 	down     bool
+}
+
+// config returns the node's advertised configuration under n.mu — the one
+// locked path every internal reader goes through (Reconfigure mutates it).
+func (n *Node) config() Config {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg
+}
+
+// effective translates an advertised configuration into the one actually
+// built for this node: a pure client drops the execution-property
+// micro-protocols (serial, atomic), which act only on calls arriving at a
+// server and would demand checkpointable state the node does not have.
+func (n *Node) effective(cfg Config) Config {
+	if n.newApp == nil {
+		cfg.Execution = config.ExecConcurrent
+	}
+	return cfg
+}
+
+// currentDetector reads the failure detector under n.mu (it is written on
+// the start path and cleared on crash, racing the endpoint handler).
+func (n *Node) currentDetector() *member.Detector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.detector
+}
+
+// buildProtocols constructs the micro-protocol instances for cfg against
+// app's checkpoint dependencies. Shared by start and Reconfigure.
+func (n *Node) buildProtocols(cfg Config, app App) ([]core.MicroProtocol, error) {
+	deps := config.BuildDeps{Store: n.sys.store, Cell: n.cell, Log: n.cklog}
+	if cp, ok := app.(Checkpointable); ok {
+		deps.State = cp
+	}
+	protos, err := n.effective(cfg).Protocols(deps)
+	if err != nil {
+		return nil, fmt.Errorf("mrpc: node %d: %w", n.id, err)
+	}
+	return protos, nil
 }
 
 // start builds (or rebuilds, on recovery) the composite protocol.
@@ -376,21 +584,9 @@ func (n *Node) start(isRecovery bool) error {
 	if n.newApp != nil {
 		app = n.newApp()
 	}
-	deps := config.BuildDeps{Store: n.sys.store, Cell: n.cell, Log: n.cklog}
-	if cp, ok := app.(Checkpointable); ok {
-		deps.State = cp
-	}
-	cfg := n.cfg
-	if n.newApp == nil {
-		// Pure client: the execution-property micro-protocols (serial,
-		// atomic) act only on calls arriving at a server and would demand
-		// checkpointable state this node does not have. Drop them here;
-		// the node's advertised Config is unchanged.
-		cfg.Execution = config.ExecConcurrent
-	}
-	protos, err := cfg.Protocols(deps)
+	protos, err := n.buildProtocols(n.config(), app)
 	if err != nil {
-		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
+		return err
 	}
 
 	bus := event.New(n.sys.clk)
@@ -412,8 +608,8 @@ func (n *Node) start(isRecovery bool) error {
 	n.mu.Unlock()
 
 	n.ep.SetHandler(func(m *msg.NetMsg) {
-		if n.detector != nil {
-			n.detector.Observe(m.Sender)
+		if det := n.currentDetector(); det != nil {
+			det.Observe(m.Sender)
 		}
 		if m.Type == msg.OpHeartbeat {
 			return
@@ -421,8 +617,8 @@ func (n *Node) start(isRecovery bool) error {
 		comp.Framework().HandleNet(m)
 	})
 	n.ep.SetUp(true)
-	if n.detector != nil {
-		n.detector.Start()
+	if det := n.currentDetector(); det != nil {
+		det.Start()
 	}
 	if isRecovery {
 		comp.Framework().Recover()
@@ -433,8 +629,8 @@ func (n *Node) start(isRecovery bool) error {
 // ID returns the node's process id.
 func (n *Node) ID() ProcID { return n.id }
 
-// Config returns the node's configuration.
-func (n *Node) Config() Config { return n.cfg }
+// Config returns the node's current configuration (Reconfigure changes it).
+func (n *Node) Config() Config { return n.config() }
 
 // App returns the node's current application instance (nil for clients).
 func (n *Node) App() App {
@@ -451,10 +647,12 @@ func (n *Node) Composite() *core.Composite {
 	return n.comp
 }
 
-// Call issues an RPC to group and returns the collated reply and status.
-// With synchronous call semantics it blocks until the call completes; with
-// asynchronous semantics it returns immediately with StatusWaiting — use
-// CallAsync/Collect for the asynchronous flow instead.
+// Call issues an RPC to group, blocks until it completes, and returns the
+// collated reply and status. It works under either call-semantics
+// configuration: with synchronous semantics the calling thread parks on
+// the call itself; with asynchronous semantics the issue returns
+// immediately and Call then blocks collecting the result — so a caller
+// racing a call-mode reconfiguration still gets its reply.
 func (n *Node) Call(op OpID, args []byte, group Group) ([]byte, Status, error) {
 	n.mu.Lock()
 	comp, down := n.comp, n.down
@@ -463,22 +661,38 @@ func (n *Node) Call(op OpID, args []byte, group Group) ([]byte, Status, error) {
 		return nil, StatusAborted, fmt.Errorf("mrpc: node %d is down", n.id)
 	}
 	um := comp.Framework().Call(op, args, group)
+	if um.Status == StatusWaiting {
+		// Asynchronous composite: the issue did not block. Collect now.
+		um = comp.Framework().Request(um.ID)
+	}
 	return um.Args, um.Status, nil
 }
 
 // CallAsync issues an asynchronous RPC and returns its call id. The node
-// must be configured with asynchronous call semantics.
+// must be configured with asynchronous call semantics; the check is made
+// while holding the admission gate, so it cannot race a reconfiguration
+// that switches the call mode — either the call is admitted under the
+// asynchronous composite, or CallAsync rejects it (and the caller can fall
+// back to Call, which works under both modes).
 func (n *Node) CallAsync(op OpID, args []byte, group Group) (CallID, error) {
-	if n.cfg.Call != config.CallAsynchronous {
-		return 0, fmt.Errorf("mrpc: node %d is not configured for asynchronous calls", n.id)
-	}
 	n.mu.Lock()
 	comp, down := n.comp, n.down
 	n.mu.Unlock()
 	if down {
 		return 0, fmt.Errorf("mrpc: node %d is down", n.id)
 	}
-	um := comp.Framework().Call(op, args, group)
+	fw := comp.Framework()
+	fw.AdmitEnter()
+	if n.config().Call != config.CallAsynchronous {
+		fw.AdmitExit()
+		return 0, fmt.Errorf("mrpc: node %d is not configured for asynchronous calls", n.id)
+	}
+	um := fw.CallAdmitted(op, args, group)
+	fw.AdmitExit()
+	if um.Collect != nil {
+		um.Collect()
+		um.Collect = nil
+	}
 	return um.ID, nil
 }
 
@@ -499,6 +713,9 @@ func (n *Node) Collect(id CallID) ([]byte, Status, error) {
 // tables, app memory) is lost, in-progress calls at other sites see only
 // silence. With an oracle membership service the failure is announced.
 func (n *Node) Crash() {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+
 	n.mu.Lock()
 	if n.down {
 		n.mu.Unlock()
@@ -506,12 +723,13 @@ func (n *Node) Crash() {
 	}
 	n.down = true
 	comp := n.comp
+	det := n.detector
+	n.detector = nil
 	n.mu.Unlock()
 
 	n.ep.SetUp(false)
-	if n.detector != nil {
-		n.detector.Stop()
-		n.detector = nil
+	if det != nil {
+		det.Stop()
 	}
 	n.site.Crash()
 	comp.Close()
@@ -526,6 +744,9 @@ func (n *Node) Crash() {
 // execution is configured. With an oracle membership service the recovery
 // is announced.
 func (n *Node) Recover() error {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+
 	n.mu.Lock()
 	if !n.down {
 		n.mu.Unlock()
@@ -543,6 +764,100 @@ func (n *Node) Recover() error {
 	return nil
 }
 
+// Reconfigure hot-swaps the node's composite protocol to newCfg without
+// restarting the node and without dropping in-flight calls. The transition
+// is validated and classified first (config.PlanTransition): live-class
+// transitions swap under the dispatch barrier alone; drain-class transitions
+// first stop admitting new calls and wait — up to
+// SystemOptions.ReconfigureTimeout — for the node's in-flight client calls
+// to complete (dispatch keeps running during the wait, so replies and
+// retransmissions flow). Illegal transitions (atomicity changes) are
+// rejected with a diagnosable error before the node is touched. For a
+// group-wide change prefer System.Reconfigure, which quiesces all nodes
+// together. See DESIGN.md deviation D14.
+func (n *Node) Reconfigure(newCfg Config) error {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+
+	n.mu.Lock()
+	comp, app, down, oldCfg := n.comp, n.app, n.down, n.cfg
+	n.mu.Unlock()
+	if down {
+		return fmt.Errorf("mrpc: node %d is down", n.id)
+	}
+
+	plan, err := config.PlanTransition(oldCfg, newCfg)
+	if err != nil {
+		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
+	}
+	protos, err := n.buildProtocols(newCfg, app)
+	if err != nil {
+		return err
+	}
+
+	fw := comp.Framework()
+	drain := plan.Class == config.TransitionDrain
+	if drain {
+		deadline := n.sys.clk.Now().Add(n.sys.opts.ReconfigureTimeout)
+		fw.CloseAdmission()
+		if err := n.drainClientCalls(fw, deadline); err != nil {
+			fw.OpenAdmission()
+			return err
+		}
+		// Completed calls may still be retransmitting to members that have
+		// not acknowledged receipt (the same-set property). Swapping those
+		// entries away would strand the laggards, so wait them out too.
+		for relOutstanding(comp) > 0 {
+			if n.sys.clk.Now().After(deadline) {
+				fw.OpenAdmission()
+				return fmt.Errorf("mrpc: node %d: reconfigure drain timed out with outstanding retransmissions", n.id)
+			}
+			n.sys.clk.Sleep(time.Millisecond)
+		}
+	}
+	err = comp.Swap(protos)
+	if drain {
+		fw.OpenAdmission()
+	}
+	if err != nil {
+		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
+	}
+
+	n.mu.Lock()
+	n.cfg = newCfg
+	n.mu.Unlock()
+	return nil
+}
+
+// relOutstanding returns the composite's count of calls still being
+// (re)transmitted by Reliable Communication, or zero when the protocol is
+// not configured.
+func relOutstanding(comp *core.Composite) int {
+	if rc, ok := comp.Protocol("Reliable Communication").(*core.ReliableCommunication); ok {
+		return rc.Outstanding()
+	}
+	return 0
+}
+
+// drainClientCalls polls until the node has no in-flight client calls or the
+// deadline passes. Only admission is blocked during the wait; dispatch
+// (replies, retransmissions, timer events) keeps running, which is what lets
+// the in-flight calls finish.
+func (n *Node) drainClientCalls(fw *core.Framework, deadline time.Time) error {
+	clk := n.sys.clk
+	for {
+		waiting := fw.WaitingClientCalls()
+		if waiting == 0 {
+			return nil
+		}
+		if clk.Now().After(deadline) {
+			return fmt.Errorf("mrpc: node %d: reconfigure drain timed out with %d in-flight calls",
+				n.id, waiting)
+		}
+		clk.Sleep(time.Millisecond)
+	}
+}
+
 // Down reports whether the node is currently crashed.
 func (n *Node) Down() bool {
 	n.mu.Lock()
@@ -551,12 +866,17 @@ func (n *Node) Down() bool {
 }
 
 func (n *Node) shutdown() {
+	n.lifeMu.Lock()
+	defer n.lifeMu.Unlock()
+
 	n.mu.Lock()
 	comp := n.comp
+	det := n.detector
+	n.detector = nil
 	n.mu.Unlock()
 	n.ep.SetUp(false)
-	if n.detector != nil {
-		n.detector.Stop()
+	if det != nil {
+		det.Stop()
 	}
 	comp.Close()
 }
