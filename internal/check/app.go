@@ -1,0 +1,59 @@
+package check
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+)
+
+// OpWork is the single operation the conformance workload issues: it echoes
+// its arguments and folds them into the app's running state.
+const OpWork = msg.OpID(1)
+
+// checkApp is the workload application. Every executed call mutates state
+// (a count and a byte sum) so atomic execution has something real to
+// checkpoint and restore; the reply echoes the arguments so collation sees
+// distinct payloads.
+type checkApp struct {
+	mu    sync.Mutex
+	count int64
+	sum   int64
+}
+
+func newCheckApp() *checkApp { return &checkApp{} }
+
+// Pop executes one call.
+func (a *checkApp) Pop(th *proc.Thread, op msg.OpID, args []byte) []byte {
+	a.mu.Lock()
+	a.count++
+	for _, b := range args {
+		a.sum += int64(b)
+	}
+	a.mu.Unlock()
+	return args
+}
+
+// Snapshot implements core.Checkpointable.
+func (a *checkApp) Snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[0:8], uint64(a.count))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(a.sum))
+	return buf
+}
+
+// Restore implements core.Checkpointable.
+func (a *checkApp) Restore(data []byte) error {
+	if len(data) != 16 {
+		return fmt.Errorf("check: bad checkpoint length %d", len(data))
+	}
+	a.mu.Lock()
+	a.count = int64(binary.BigEndian.Uint64(data[0:8]))
+	a.sum = int64(binary.BigEndian.Uint64(data[8:16]))
+	a.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,394 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"mrpc/internal/config"
+	"mrpc/internal/msg"
+	"mrpc/internal/trace"
+)
+
+// The self-tests below feed each oracle a hand-crafted violating trace and
+// assert it rejects it, then a conforming twin and assert it does not — a
+// mutation-style check that the checkers themselves have teeth. Traces are
+// minimal: only the events the oracle under test reads.
+
+const (
+	client = msg.ProcID(100)
+	s1     = msg.ProcID(1)
+	s2     = msg.ProcID(2)
+)
+
+// cid builds a call id with the client incarnation in the upper 32 bits
+// (deviation D9), matching what the framework assigns.
+func cid(inc msg.Incarnation, n int64) msg.CallID {
+	return msg.CallID(int64(inc)<<32 | n)
+}
+
+// seqd assigns Seq 1..n in slice order, as trace.Log would.
+func seqd(events []trace.Event) []trace.Event {
+	for i := range events {
+		events[i].Seq = int64(i + 1)
+	}
+	return events
+}
+
+func issued(id msg.CallID, vc msg.VClock) trace.Event {
+	return trace.Event{Kind: trace.KCallIssued, Site: client, SiteInc: 1, Client: client, ID: id, VC: vc}
+}
+
+func done(id msg.CallID, st msg.Status) trace.Event {
+	return trace.Event{Kind: trace.KCallDone, Site: client, SiteInc: 1, Client: client, ID: id, Status: st}
+}
+
+func accepted(id msg.CallID, from msg.ProcID) trace.Event {
+	return trace.Event{Kind: trace.KReplyAccepted, Site: client, SiteInc: 1, Client: client, ID: id, From: from}
+}
+
+func begin(site msg.ProcID, id msg.CallID) trace.Event {
+	return trace.Event{Kind: trace.KExecBegin, Site: site, SiteInc: 1, Client: client, ID: id}
+}
+
+func end(site msg.ProcID, id msg.CallID) trace.Event {
+	return trace.Event{Kind: trace.KExecEnd, Site: site, SiteInc: 1, Client: client, ID: id}
+}
+
+func replySent(site msg.ProcID, id msg.CallID) trace.Event {
+	return trace.Event{Kind: trace.KReplySent, Site: site, SiteInc: 1, Client: client, ID: id}
+}
+
+func orphanKilled(site msg.ProcID, id msg.CallID) trace.Event {
+	return trace.Event{Kind: trace.KOrphanKilled, Site: site, SiteInc: 1, Client: client, ID: id}
+}
+
+// baseCfg is a valid configuration the cases mutate per property.
+func baseCfg(mut func(*config.Config)) config.Config {
+	c := config.Config{
+		Call:            config.CallSynchronous,
+		Reliable:        true,
+		Unique:          true,
+		Execution:       config.ExecConcurrent,
+		Ordering:        config.OrderNone,
+		Orphan:          config.OrphanIgnore,
+		AcceptanceLimit: 1,
+	}
+	if mut != nil {
+		mut(&c)
+	}
+	return c
+}
+
+func prof(c config.Config) Profile {
+	return Profile{Configs: []config.Config{c}, Group: msg.Group{s1, s2}}
+}
+
+func oracleByName(t *testing.T, name string) Oracle {
+	t.Helper()
+	for _, o := range Oracles() {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("no oracle named %q", name)
+	return Oracle{}
+}
+
+func TestOracleSelfTests(t *testing.T) {
+	k1, k2 := cid(1, 1), cid(1, 2)
+	cases := []struct {
+		oracle     string
+		profile    Profile
+		violating  []trace.Event
+		conforming []trace.Event
+		wantDetail string
+	}{
+		{
+			oracle:     "well-formed",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{issued(k1, nil), done(k1, msg.StatusOK), done(k1, msg.StatusOK)},
+			conforming: []trace.Event{issued(k1, nil), done(k1, msg.StatusOK)},
+			wantDetail: "terminal statuses",
+		},
+		{
+			oracle:     "well-formed",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{end(s1, k1)},
+			conforming: []trace.Event{begin(s1, k1), end(s1, k1)},
+			wantDetail: "end without begin",
+		},
+		{
+			oracle:     "completion",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{issued(k1, nil)},
+			conforming: []trace.Event{issued(k1, nil), done(k1, msg.StatusOK)},
+			wantDetail: "never reached a terminal status",
+		},
+		{
+			oracle:     "status-validity",
+			profile:    prof(baseCfg(nil)), // no bounded termination configured
+			violating:  []trace.Event{issued(k1, nil), done(k1, msg.StatusTimeout)},
+			conforming: []trace.Event{issued(k1, nil), done(k1, msg.StatusOK)},
+			wantDetail: "no bounded termination",
+		},
+		{
+			oracle:     "status-validity",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{issued(k1, nil), done(k1, msg.StatusAborted)},
+			conforming: []trace.Event{issued(k1, nil), done(k1, msg.StatusOK)},
+			wantDetail: "aborted without a client crash",
+		},
+		{
+			oracle:     "bounded-termination",
+			profile:    prof(baseCfg(func(c *config.Config) { c.Bounded = true; c.TimeBound = 1 })),
+			violating:  []trace.Event{issued(k1, nil)},
+			conforming: []trace.Event{issued(k1, nil), done(k1, msg.StatusTimeout)},
+			wantDetail: "never terminated",
+		},
+		{
+			oracle:  "same-set",
+			profile: prof(baseCfg(nil)),
+			violating: []trace.Event{
+				issued(k1, nil),
+				begin(s1, k1), end(s1, k1), // executed at member 1 only
+				done(k1, msg.StatusOK),
+			},
+			conforming: []trace.Event{
+				issued(k1, nil),
+				begin(s1, k1), end(s1, k1),
+				begin(s2, k1), end(s2, k1),
+				done(k1, msg.StatusOK),
+			},
+			wantDetail: "but not at member",
+		},
+		{
+			oracle:     "at-most-once",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{begin(s1, k1), end(s1, k1), begin(s1, k1), end(s1, k1)},
+			conforming: []trace.Event{begin(s1, k1), end(s1, k1), begin(s2, k1), end(s2, k1)},
+			wantDetail: "more than once",
+		},
+		{
+			oracle:     "serial-exec",
+			profile:    prof(baseCfg(func(c *config.Config) { c.Execution = config.ExecSerial })),
+			violating:  []trace.Event{begin(s1, k1), begin(s1, k2), end(s1, k2), end(s1, k1)},
+			conforming: []trace.Event{begin(s1, k1), end(s1, k1), begin(s1, k2), end(s1, k2)},
+			wantDetail: "still executing",
+		},
+		{
+			oracle:     "atomic-delivery",
+			profile:    prof(baseCfg(func(c *config.Config) { c.Execution = config.ExecAtomic })),
+			violating:  []trace.Event{begin(s1, k1), replySent(s1, k1), end(s1, k1)},
+			conforming: []trace.Event{begin(s1, k1), end(s1, k1), replySent(s1, k1)},
+			wantDetail: "without a completed execution",
+		},
+		{
+			oracle:     "fifo-order",
+			profile:    prof(baseCfg(func(c *config.Config) { c.Ordering = config.OrderFIFO })),
+			violating:  []trace.Event{begin(s1, k2), end(s1, k2), begin(s1, k1), end(s1, k1)},
+			conforming: []trace.Event{begin(s1, k1), end(s1, k1), begin(s1, k2), end(s1, k2)},
+			wantDetail: "FIFO inversion",
+		},
+		{
+			oracle: "total-order",
+			profile: prof(baseCfg(func(c *config.Config) {
+				c.Ordering = config.OrderTotal
+			})),
+			violating: []trace.Event{
+				begin(s1, k1), end(s1, k1), begin(s1, k2), end(s1, k2),
+				begin(s2, k2), end(s2, k2), begin(s2, k1), end(s2, k1),
+			},
+			conforming: []trace.Event{
+				begin(s1, k1), end(s1, k1), begin(s1, k2), end(s1, k2),
+				begin(s2, k1), end(s2, k1), begin(s2, k2), end(s2, k2),
+			},
+			wantDetail: "opposite orders",
+		},
+		{
+			oracle: "causal-order",
+			profile: prof(baseCfg(func(c *config.Config) {
+				c.Ordering = config.OrderCausal
+			})),
+			violating: []trace.Event{
+				issued(k1, msg.VClock{client: 1}),
+				issued(k2, msg.VClock{client: 2}), // k1 happens-before k2
+				begin(s1, k2), end(s1, k2),
+				begin(s1, k1), end(s1, k1),
+			},
+			conforming: []trace.Event{
+				issued(k1, msg.VClock{client: 1}),
+				issued(k2, msg.VClock{client: 2}),
+				begin(s1, k1), end(s1, k1),
+				begin(s1, k2), end(s1, k2),
+			},
+			wantDetail: "causally earlier",
+		},
+		{
+			oracle:     "reply-dedup",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{issued(k1, nil), accepted(k1, s1), accepted(k1, s1)},
+			conforming: []trace.Event{issued(k1, nil), accepted(k1, s1), accepted(k1, s2)},
+			wantDetail: "two replies",
+		},
+		{
+			oracle:     "reply-dedup",
+			profile:    prof(baseCfg(nil)),
+			violating:  []trace.Event{issued(k1, nil), accepted(k1, msg.ProcID(99))},
+			conforming: []trace.Event{issued(k1, nil), accepted(k1, s2)},
+			wantDetail: "not a member",
+		},
+		{
+			oracle:     "collation-count",
+			profile:    prof(baseCfg(func(c *config.Config) { c.AcceptanceLimit = 2 })),
+			violating:  []trace.Event{issued(k1, nil), accepted(k1, s1), done(k1, msg.StatusOK)},
+			conforming: []trace.Event{issued(k1, nil), accepted(k1, s1), accepted(k1, s2), done(k1, msg.StatusOK)},
+			wantDetail: "threshold",
+		},
+		{
+			oracle: "orphan-interference",
+			profile: prof(baseCfg(func(c *config.Config) {
+				c.Orphan = config.OrphanAvoidInterference
+			})),
+			violating: []trace.Event{
+				begin(s1, cid(2, 5)), end(s1, cid(2, 5)),
+				begin(s1, cid(1, 3)), end(s1, cid(1, 3)), // older incarnation after newer
+			},
+			conforming: []trace.Event{
+				begin(s1, cid(1, 3)), end(s1, cid(1, 3)),
+				begin(s1, cid(2, 5)), end(s1, cid(2, 5)),
+			},
+			wantDetail: "after serving incarnation",
+		},
+		{
+			oracle: "orphan-terminate",
+			profile: prof(baseCfg(func(c *config.Config) {
+				c.Orphan = config.OrphanTerminate
+			})),
+			violating:  []trace.Event{orphanKilled(s1, k1), replySent(s1, k1)},
+			conforming: []trace.Event{begin(s1, k1), end(s1, k1), replySent(s1, k1)},
+			wantDetail: "after killing",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.oracle+"/"+tc.wantDetail, func(t *testing.T) {
+			o := oracleByName(t, tc.oracle)
+			bad := NewTrace(seqd(tc.violating))
+			if o.Applies != nil && !o.Applies(tc.profile, bad) {
+				t.Fatalf("oracle %s does not apply to its own violating case", tc.oracle)
+			}
+			vs := o.Check(tc.profile, bad)
+			if len(vs) == 0 {
+				t.Fatalf("oracle %s accepted the violating trace", tc.oracle)
+			}
+			found := false
+			for _, v := range vs {
+				if v.Oracle != tc.oracle {
+					t.Errorf("violation labeled %q, want %q", v.Oracle, tc.oracle)
+				}
+				if strings.Contains(v.Detail, tc.wantDetail) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no violation mentions %q; got %v", tc.wantDetail, vs)
+			}
+			good := NewTrace(seqd(tc.conforming))
+			if vs := o.Check(tc.profile, good); len(vs) > 0 {
+				t.Fatalf("oracle %s rejected the conforming trace: %v", tc.oracle, vs)
+			}
+		})
+	}
+}
+
+// TestEveryOracleHasSelfTest pins the acceptance criterion: each oracle in
+// the registry appears in the self-test table above.
+func TestEveryOracleHasSelfTest(t *testing.T) {
+	tested := map[string]bool{
+		"well-formed": true, "completion": true, "status-validity": true,
+		"bounded-termination": true, "same-set": true, "at-most-once": true,
+		"serial-exec": true, "atomic-delivery": true, "fifo-order": true,
+		"total-order": true, "causal-order": true, "reply-dedup": true,
+		"collation-count": true, "orphan-interference": true, "orphan-terminate": true,
+	}
+	for _, o := range Oracles() {
+		if !tested[o.Name] {
+			t.Errorf("oracle %q has no violating-trace self-test", o.Name)
+		}
+	}
+}
+
+// TestOracleProperties checks every user-visible micro-protocol property of
+// the paper's composition space is covered by at least one oracle.
+func TestOracleProperties(t *testing.T) {
+	want := []string{
+		"RPC Main",
+		"Synchronous/Asynchronous Call",
+		"Bounded Termination",
+		"Reliable Communication",
+		"Unique Execution",
+		"Serial Execution",
+		"Atomic Execution",
+		"FIFO Order",
+		"Total Order",
+		"Causal Order",
+		"Acceptance",
+		"Acceptance/Collation",
+		"Interference Avoidance",
+		"Terminate Orphan",
+	}
+	have := map[string]bool{}
+	for _, o := range Oracles() {
+		have[o.Property] = true
+	}
+	for _, p := range want {
+		if !have[p] {
+			t.Errorf("no oracle covers property %q", p)
+		}
+	}
+}
+
+// TestEvaluateApplicability checks Evaluate only runs oracles whose property
+// the configuration promises: an unordered profile must not flag a trace
+// that inverts FIFO order.
+func TestEvaluateApplicability(t *testing.T) {
+	k1, k2 := cid(1, 1), cid(1, 2)
+	events := seqd([]trace.Event{
+		issued(k1, nil), issued(k2, nil),
+		begin(s1, k2), end(s1, k2), begin(s1, k1), end(s1, k1),
+		begin(s2, k2), end(s2, k2), begin(s2, k1), end(s2, k1),
+		accepted(k1, s1), accepted(k2, s1),
+		done(k1, msg.StatusOK), done(k2, msg.StatusOK),
+	})
+	p := prof(baseCfg(nil)) // no ordering promised
+	if vs := Evaluate(p, NewTrace(events)); len(vs) > 0 {
+		t.Fatalf("unordered profile flagged order-free trace: %v", vs)
+	}
+}
+
+// TestSegments checks the reconfiguration markers split the trace into
+// segments and ConfigAt picks the segment's configuration.
+func TestSegments(t *testing.T) {
+	k1 := cid(1, 1)
+	events := seqd([]trace.Event{
+		issued(k1, nil),
+		{Kind: trace.KReconfigure, Note: "live"},
+		done(k1, msg.StatusOK),
+	})
+	tr := NewTrace(events)
+	if tr.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", tr.Segments())
+	}
+	if tr.SegmentOf(events[0].Seq) != 0 || tr.SegmentOf(events[2].Seq) != 1 {
+		t.Fatal("SegmentOf misplaced events around the marker")
+	}
+	a := baseCfg(nil)
+	b := baseCfg(func(c *config.Config) { c.AcceptanceLimit = 2 })
+	p := Profile{Configs: []config.Config{a, b}, Group: msg.Group{s1, s2}}
+	if got := p.ConfigAt(tr, events[0].Seq); got.AcceptanceLimit != 1 {
+		t.Fatalf("segment 0 config = %+v", got)
+	}
+	if got := p.ConfigAt(tr, events[2].Seq); got.AcceptanceLimit != 2 {
+		t.Fatalf("segment 1 config = %+v", got)
+	}
+}

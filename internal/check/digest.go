@@ -1,0 +1,63 @@
+package check
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"mrpc/internal/msg"
+	"mrpc/internal/trace"
+)
+
+// Digest summarizes a trace into a hash over its timing-independent
+// projections, so a seeded -repro run can be checked for reproducibility
+// without demanding bit-identical event interleavings:
+//
+//   - the completion set: (client, id, status) of every call, sorted,
+//     excluding calls issued by a client incarnation that crashed (whether
+//     such a call was admitted before the crash is a race);
+//   - the per-member executed-call sets, but only for runs with no crash,
+//     no timeout, and a network that never withholds messages — otherwise
+//     which members a lingering retransmission still reached is timing.
+func Digest(p Profile, t *Trace) string {
+	var lines []string
+	for _, k := range t.Calls() {
+		if t.ClientIncCrashed(k.Client, trace.CallInc(k.ID)) {
+			continue
+		}
+		status := "NONE"
+		ci := t.calls[k]
+		if len(ci.dones) > 0 {
+			status = ci.dones[0].Status.String()
+		}
+		lines = append(lines, fmt.Sprintf("call %d/%d %s", k.Client, k.ID, status))
+	}
+	sort.Strings(lines)
+
+	if !t.HadCrash() && !anyTimeout(t) && !p.Lossy {
+		for _, site := range p.Group {
+			keys := t.ExecutedKeys(site)
+			sorted := make([]msg.CallKey, len(keys))
+			copy(sorted, keys)
+			sort.Slice(sorted, func(i, j int) bool {
+				if sorted[i].Client != sorted[j].Client {
+					return sorted[i].Client < sorted[j].Client
+				}
+				return sorted[i].ID < sorted[j].ID
+			})
+			line := fmt.Sprintf("exec %d", site)
+			for _, k := range sorted {
+				line += fmt.Sprintf(" %d/%d", k.Client, k.ID)
+			}
+			lines = append(lines, line)
+		}
+	}
+
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

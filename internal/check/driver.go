@@ -1,0 +1,259 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/clock"
+	"mrpc/internal/core"
+	"mrpc/internal/msg"
+	"mrpc/internal/proc"
+	"mrpc/internal/trace"
+)
+
+// Result is one conformance run's outcome: the structured trace, the
+// violations found by the applicable oracles (empty when the run
+// conforms), and the timing-independent digest a -repro run must
+// reproduce.
+type Result struct {
+	Scenario   Scenario
+	Profile    Profile
+	Events     []trace.Event
+	Violations []Violation
+	Digest     string
+}
+
+const (
+	// runRetransTimeout replaces the 20ms retransmission default so lossy
+	// runs converge quickly.
+	runRetransTimeout = 5 * time.Millisecond
+	// defaultTimeBound is the per-call deadline when a scenario enables
+	// bounded termination without choosing one: generous enough that only
+	// a deliberate blackhole produces timeouts.
+	defaultTimeBound = 5 * time.Second
+	// runDeadline bounds the whole run — call batches, worker joins, and
+	// the settle loop. A run that cannot settle is reported as an error,
+	// not a violation.
+	runDeadline = 30 * time.Second
+)
+
+// normalizeRun applies the driver's speed defaults to a scenario
+// configuration.
+func normalizeRun(c mrpc.Config) mrpc.Config {
+	c.RetransTimeout = runRetransTimeout
+	if c.Bounded && c.TimeBound <= 0 {
+		c.TimeBound = defaultTimeBound
+	}
+	return c
+}
+
+// Run executes one scenario and replays its trace through every applicable
+// oracle. The fault schedule is step-indexed (each step completes before
+// the next begins) and every random source is seeded from the scenario, so
+// a rerun reproduces the same digest.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	timeline, err := sc.ConfigTimeline()
+	if err != nil {
+		return nil, err
+	}
+	cfg := normalizeRun(timeline[0])
+
+	membership := mrpc.MembershipNone
+	for _, st := range sc.Steps {
+		if st.Kind == StepCrash {
+			membership = mrpc.MembershipOracle
+		}
+	}
+
+	log := trace.NewLog()
+	sys := mrpc.NewSystem(mrpc.SystemOptions{
+		Net: mrpc.NetParams{
+			Seed:     sc.Seed,
+			LossProb: float64(sc.LossPct) / 100,
+			DupProb:  float64(sc.DupPct) / 100,
+			MaxDelay: time.Duration(sc.MaxDelayUS) * time.Microsecond,
+		},
+		Membership: membership,
+		Trace:      log,
+	})
+	defer sys.Stop()
+	clk := sys.Clock()
+
+	members := make([]msg.ProcID, 0, sc.Servers)
+	for i := 1; i <= sc.Servers; i++ {
+		id := msg.ProcID(i)
+		if _, err := sys.AddServer(id, cfg, func() mrpc.App { return newCheckApp() }); err != nil {
+			return nil, err
+		}
+		members = append(members, id)
+	}
+	group := sys.Group(members...)
+
+	clients := make(map[msg.ProcID]*mrpc.Node)
+	for _, st := range sc.Steps {
+		if st.Kind != StepCalls || clients[st.Client] != nil {
+			continue
+		}
+		n, err := sys.AddClient(st.Client, cfg)
+		if err != nil {
+			return nil, err
+		}
+		clients[st.Client] = n
+	}
+
+	deadline := clk.Now().Add(runDeadline)
+	var workers []*workerHandle
+	var blocked [][2]msg.ProcID
+
+	for i, st := range sc.Steps {
+		switch st.Kind {
+		case StepCalls:
+			w := startBatch(clients[st.Client], st.N, group)
+			if st.Wait {
+				if !w.join(clk, deadline) {
+					return nil, fmt.Errorf("check: step %d: call batch did not complete", i)
+				}
+			} else {
+				workers = append(workers, w)
+			}
+		case StepPartition:
+			sys.Network().Partition(st.A, st.B, true)
+			blocked = append(blocked, [2]msg.ProcID{st.A, st.B})
+		case StepHeal:
+			for _, p := range blocked {
+				sys.Network().Partition(p[0], p[1], false)
+			}
+			blocked = nil
+		case StepCrash:
+			n, ok := sys.Node(st.Node)
+			if !ok {
+				return nil, fmt.Errorf("check: step %d: no node %d", i, st.Node)
+			}
+			n.Crash()
+		case StepRecover:
+			n, ok := sys.Node(st.Node)
+			if !ok {
+				return nil, fmt.Errorf("check: step %d: no node %d", i, st.Node)
+			}
+			if err := n.Recover(); err != nil {
+				return nil, err
+			}
+		case StepReconfigure:
+			next, err := st.To.Config()
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Reconfigure(normalizeRun(next)); err != nil {
+				return nil, fmt.Errorf("check: step %d: %w", i, err)
+			}
+		}
+	}
+
+	for _, w := range workers {
+		if !w.join(clk, deadline) {
+			return nil, fmt.Errorf("check: no-wait call batch did not complete")
+		}
+	}
+
+	// Settle: wait until no server holds a call and no reliable-layer
+	// (re)transmission is outstanding, so the trace contains every event a
+	// lingering delivery could still produce.
+	if err := settle(sys, sc.Servers, deadline); err != nil {
+		return nil, err
+	}
+
+	events := log.Events()
+	t := NewTrace(events)
+	p := Profile{Configs: timeline, Group: group, Lossy: sc.Lossy()}
+	return &Result{
+		Scenario:   sc,
+		Profile:    p,
+		Events:     events,
+		Violations: Evaluate(p, t),
+		Digest:     Digest(p, t),
+	}, nil
+}
+
+// settle polls the group until server-side call tables and the reliable
+// layer's transmission entries drain.
+func settle(sys *mrpc.System, servers int, deadline time.Time) error {
+	clk := sys.Clock()
+	for {
+		sys.Quiesce()
+		pending := 0
+		for i := 1; i <= servers; i++ {
+			n, ok := sys.Node(msg.ProcID(i))
+			if !ok || n.Down() {
+				continue
+			}
+			pending += n.Composite().Framework().PendingServerCalls()
+		}
+		if rc, ok := outstandingOf(sys, servers); ok {
+			pending += rc
+		}
+		if pending == 0 {
+			return nil
+		}
+		if clk.Now().After(deadline) {
+			return fmt.Errorf("check: settle timed out with %d pending", pending)
+		}
+		clk.Sleep(time.Millisecond)
+	}
+}
+
+// outstandingOf sums ReliableCommunication.Outstanding over every up node.
+func outstandingOf(sys *mrpc.System, servers int) (int, bool) {
+	total := 0
+	found := false
+	for id := msg.ProcID(1); int(id) <= servers+1; id++ {
+		probe := id
+		if int(id) == servers+1 {
+			probe = ClientID
+		}
+		n, ok := sys.Node(probe)
+		if !ok || n.Down() {
+			continue
+		}
+		if rc, ok := n.Composite().Protocol("Reliable Communication").(*core.ReliableCommunication); ok {
+			total += rc.Outstanding()
+			found = true
+		}
+	}
+	return total, found
+}
+
+// workerHandle tracks one call batch running on its own thread.
+type workerHandle struct {
+	th *proc.Thread
+}
+
+// startBatch issues count sequential calls from n on a dedicated thread;
+// statuses and errors are not inspected here — the structured trace is the
+// record the oracles judge.
+func startBatch(n *mrpc.Node, count int, group mrpc.Group) *workerHandle {
+	th := proc.Go(func(*proc.Thread) {
+		for j := 0; j < count; j++ {
+			_, _, _ = n.Call(OpWork, []byte{byte(j + 1)}, group)
+		}
+	})
+	return &workerHandle{th: th}
+}
+
+// join waits for the batch to finish, polling against the run deadline.
+func (w *workerHandle) join(clk clock.Clock, deadline time.Time) bool {
+	for {
+		select {
+		case <-w.th.Done():
+			return true
+		default:
+		}
+		if clk.Now().After(deadline) {
+			return false
+		}
+		clk.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,169 @@
+package check
+
+import (
+	"testing"
+
+	"mrpc/internal/config"
+)
+
+// TestSmokeSample is the go-test entry point for the harness: a small
+// deterministic sample of the generated scenario space must run violation-
+// free. CI's `mrpccheck -smoke` runs the larger sample.
+func TestSmokeSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sample skipped in -short mode")
+	}
+	for _, sc := range Generate(7, 10) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}
+
+// TestDigestReproducible pins the -repro contract: the same scenario run
+// twice yields the same trace digest.
+func TestDigestReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sample skipped in -short mode")
+	}
+	scs := Generate(11, 5)
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			a, err := Run(sc)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := Run(sc)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if a.Digest != b.Digest {
+				t.Fatalf("digest did not reproduce: %s vs %s", a.Digest, b.Digest)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic checks scenario sampling itself is a pure
+// function of the master seed (names, seeds, and schedules all match).
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 12)
+	b := Generate(42, 12)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Seed != b[i].Seed || len(a[i].Steps) != len(b[i].Steps) {
+			t.Fatalf("scenario %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGenerateValid checks every generated scenario passes its own
+// validation and carries a convertible configuration.
+func TestGenerateValid(t *testing.T) {
+	for _, sc := range Generate(3, 40) {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+	}
+}
+
+// TestScenarioValidate checks the validator rejects the malformed schedules
+// the shrinker can produce.
+func TestScenarioValidate(t *testing.T) {
+	base := Scenario{
+		Name:    "v",
+		Servers: 3,
+		Config:  SpecOf(config.Config{Call: config.CallSynchronous, Reliable: true, Execution: config.ExecConcurrent, Ordering: config.OrderNone, Orphan: config.OrphanIgnore, AcceptanceLimit: 1}),
+	}
+	cases := []struct {
+		name  string
+		steps []Step
+		bad   bool
+	}{
+		{"ok", []Step{{Kind: StepCalls, Client: ClientID, N: 1, Wait: true}}, false},
+		{"zero calls", []Step{{Kind: StepCalls, Client: ClientID, N: 0}}, true},
+		{"recover without crash", []Step{{Kind: StepRecover, Node: 1}}, true},
+		{"double crash", []Step{{Kind: StepCrash, Node: 1}, {Kind: StepCrash, Node: 1}}, true},
+		{"left down", []Step{{Kind: StepCrash, Node: 1}}, true},
+		{"calls from down client", []Step{
+			{Kind: StepCrash, Node: ClientID},
+			{Kind: StepCalls, Client: ClientID, N: 1},
+			{Kind: StepRecover, Node: ClientID},
+		}, true},
+		{"unknown kind", []Step{{Kind: "warp"}}, true},
+		{"reconfigure without target", []Step{{Kind: StepReconfigure}}, true},
+	}
+	for _, tc := range cases {
+		sc := base
+		sc.Steps = tc.steps
+		err := sc.Validate()
+		if tc.bad && err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+		if !tc.bad && err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+// TestSpecRoundTrip checks ConfigSpec survives a round trip for every
+// enumerated configuration (the seed-artifact serialization is lossless
+// over the sweep space).
+func TestSpecRoundTrip(t *testing.T) {
+	for _, c := range config.Enumerate() {
+		back, err := SpecOf(c).Config()
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		if SpecOf(back) != SpecOf(c) {
+			t.Fatalf("round trip changed %s into %s", c, back)
+		}
+	}
+}
+
+// TestShrinkKeepsConformingScenario checks Shrink leaves a violation-free
+// scenario untouched (it only minimizes actual violations).
+func TestShrinkKeepsConformingScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sample skipped in -short mode")
+	}
+	sc := Generate(5, 1)[0]
+	got, res := Shrink(sc, 10)
+	if res == nil || len(res.Violations) > 0 {
+		t.Fatalf("sample scenario violated: %+v", res)
+	}
+	if len(got.Steps) != len(sc.Steps) {
+		t.Fatalf("shrink altered a conforming scenario: %+v", got)
+	}
+}
+
+// TestShrinkHelpers covers the schedule-editing primitives the shrinker
+// composes.
+func TestShrinkHelpers(t *testing.T) {
+	sc := Scenario{Steps: []Step{
+		{Kind: StepCalls, N: 2},
+		{Kind: StepCrash, Node: 1},
+		{Kind: StepHeal},
+		{Kind: StepRecover, Node: 1},
+	}}
+	out := withoutSteps(sc, 0, 2)
+	if len(out.Steps) != 2 || out.Steps[0].Kind != StepCrash || out.Steps[1].Kind != StepRecover {
+		t.Fatalf("withoutSteps = %+v", out.Steps)
+	}
+	if j := matchingRecover(sc.Steps, 1); j != 3 {
+		t.Fatalf("matchingRecover = %d, want 3", j)
+	}
+	if j := matchingRecover(sc.Steps[:3], 1); j != -1 {
+		t.Fatalf("matchingRecover without recover = %d, want -1", j)
+	}
+}

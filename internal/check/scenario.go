@@ -1,0 +1,463 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mrpc/internal/config"
+	"mrpc/internal/core"
+	"mrpc/internal/msg"
+)
+
+// ConfigSpec is the JSON-serializable mirror of config.Config used in seed
+// artifacts. Collation is excluded (a function does not serialize; every
+// enumerated configuration uses the default last-reply-wins collation).
+type ConfigSpec struct {
+	Call        string `json:"call"` // "sync" | "async"
+	Reliable    bool   `json:"reliable"`
+	Bounded     bool   `json:"bounded"`
+	TimeBoundMS int    `json:"time_bound_ms,omitempty"`
+	Unique      bool   `json:"unique"`
+	Exec        string `json:"exec"`   // "concurrent" | "serial" | "atomic"
+	Order       string `json:"order"`  // "none" | "fifo" | "total" | "causal"
+	Orphan      string `json:"orphan"` // "ignore" | "avoid-interference" | "terminate"
+	Accept      int    `json:"accept"` // acceptance limit; -1 = all members
+}
+
+// SpecOf converts a configuration into its serializable spec.
+func SpecOf(c config.Config) ConfigSpec {
+	s := ConfigSpec{
+		Reliable:    c.Reliable,
+		Bounded:     c.Bounded,
+		TimeBoundMS: int(c.TimeBound / time.Millisecond),
+		Unique:      c.Unique,
+		Accept:      c.AcceptanceLimit,
+	}
+	if c.AcceptanceLimit >= core.AcceptAll {
+		s.Accept = -1
+	}
+	switch c.Call {
+	case config.CallAsynchronous:
+		s.Call = "async"
+	default:
+		s.Call = "sync"
+	}
+	switch c.Execution {
+	case config.ExecSerial:
+		s.Exec = "serial"
+	case config.ExecAtomic:
+		s.Exec = "atomic"
+	default:
+		s.Exec = "concurrent"
+	}
+	switch c.Ordering {
+	case config.OrderFIFO:
+		s.Order = "fifo"
+	case config.OrderTotal:
+		s.Order = "total"
+	case config.OrderCausal:
+		s.Order = "causal"
+	default:
+		s.Order = "none"
+	}
+	switch c.Orphan {
+	case config.OrphanAvoidInterference:
+		s.Orphan = "avoid-interference"
+	case config.OrphanTerminate:
+		s.Orphan = "terminate"
+	default:
+		s.Orphan = "ignore"
+	}
+	return s
+}
+
+// Config converts the spec back into a validated configuration.
+func (s ConfigSpec) Config() (config.Config, error) {
+	c := config.Config{
+		Reliable:  s.Reliable,
+		Bounded:   s.Bounded,
+		TimeBound: time.Duration(s.TimeBoundMS) * time.Millisecond,
+		Unique:    s.Unique,
+	}
+	switch s.Call {
+	case "sync", "":
+		c.Call = config.CallSynchronous
+	case "async":
+		c.Call = config.CallAsynchronous
+	default:
+		return c, fmt.Errorf("check: unknown call mode %q", s.Call)
+	}
+	switch s.Exec {
+	case "concurrent", "":
+		c.Execution = config.ExecConcurrent
+	case "serial":
+		c.Execution = config.ExecSerial
+	case "atomic":
+		c.Execution = config.ExecAtomic
+	default:
+		return c, fmt.Errorf("check: unknown exec mode %q", s.Exec)
+	}
+	switch s.Order {
+	case "none", "":
+		c.Ordering = config.OrderNone
+	case "fifo":
+		c.Ordering = config.OrderFIFO
+	case "total":
+		c.Ordering = config.OrderTotal
+	case "causal":
+		c.Ordering = config.OrderCausal
+	default:
+		return c, fmt.Errorf("check: unknown order mode %q", s.Order)
+	}
+	switch s.Orphan {
+	case "ignore", "":
+		c.Orphan = config.OrphanIgnore
+	case "avoid-interference":
+		c.Orphan = config.OrphanAvoidInterference
+	case "terminate":
+		c.Orphan = config.OrphanTerminate
+	default:
+		return c, fmt.Errorf("check: unknown orphan mode %q", s.Orphan)
+	}
+	switch {
+	case s.Accept < 0:
+		c.AcceptanceLimit = core.AcceptAll
+	case s.Accept == 0:
+		c.AcceptanceLimit = 1
+	default:
+		c.AcceptanceLimit = s.Accept
+	}
+	return c, c.Validate()
+}
+
+// Step kinds. A scenario's fault schedule is step-indexed rather than
+// time-indexed: each step completes before the next begins, which is what
+// makes a seeded run reproduce the same trace digest.
+const (
+	StepCalls       = "calls"       // issue N calls from Client (Wait: sequentially, to completion)
+	StepPartition   = "partition"   // block the A<->B link
+	StepHeal        = "heal"        // unblock every partitioned link
+	StepCrash       = "crash"       // crash Node
+	StepRecover     = "recover"     // recover Node
+	StepReconfigure = "reconfigure" // system-wide reconfiguration to To
+)
+
+// Step is one entry of a scenario's schedule.
+type Step struct {
+	Kind   string      `json:"kind"`
+	Client msg.ProcID  `json:"client,omitempty"`
+	N      int         `json:"n,omitempty"`
+	Wait   bool        `json:"wait,omitempty"`
+	A      msg.ProcID  `json:"a,omitempty"`
+	B      msg.ProcID  `json:"b,omitempty"`
+	Node   msg.ProcID  `json:"node,omitempty"`
+	To     *ConfigSpec `json:"to,omitempty"`
+}
+
+// Scenario is one reproducible conformance run: a configuration, a network
+// fault model, and a step schedule. It is the seed artifact the harness
+// writes on a violation and replays with `mrpccheck -repro`.
+type Scenario struct {
+	Name       string     `json:"name"`
+	Seed       int64      `json:"seed"`
+	Servers    int        `json:"servers"`
+	Config     ConfigSpec `json:"config"`
+	LossPct    int        `json:"loss_pct,omitempty"`
+	DupPct     int        `json:"dup_pct,omitempty"`
+	MaxDelayUS int        `json:"max_delay_us,omitempty"`
+	Steps      []Step     `json:"steps"`
+}
+
+// ClientID is the process id every generated scenario uses for its client.
+const ClientID = msg.ProcID(100)
+
+// Lossy reports whether the scenario's network can withhold messages (loss
+// probability or partition steps) — the Profile.Lossy input.
+func (sc Scenario) Lossy() bool {
+	if sc.LossPct > 0 {
+		return true
+	}
+	for _, st := range sc.Steps {
+		if st.Kind == StepPartition {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the scenario's structural sanity: known step kinds,
+// crash/recover pairing, call counts, and a convertible configuration. The
+// shrinker relies on it to discard broken reductions before running them.
+func (sc Scenario) Validate() error {
+	if sc.Servers < 1 {
+		return fmt.Errorf("check: scenario needs at least one server")
+	}
+	if _, err := sc.Config.Config(); err != nil {
+		return err
+	}
+	down := make(map[msg.ProcID]bool)
+	for i, st := range sc.Steps {
+		switch st.Kind {
+		case StepCalls:
+			if st.N < 1 {
+				return fmt.Errorf("check: step %d: calls step with n=%d", i, st.N)
+			}
+			if down[st.Client] {
+				return fmt.Errorf("check: step %d: calls from down node %d", i, st.Client)
+			}
+		case StepPartition, StepHeal:
+		case StepCrash:
+			if down[st.Node] {
+				return fmt.Errorf("check: step %d: node %d is already down", i, st.Node)
+			}
+			down[st.Node] = true
+		case StepRecover:
+			if !down[st.Node] {
+				return fmt.Errorf("check: step %d: node %d is not down", i, st.Node)
+			}
+			down[st.Node] = false
+		case StepReconfigure:
+			if st.To == nil {
+				return fmt.Errorf("check: step %d: reconfigure without a target", i)
+			}
+			if _, err := st.To.Config(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("check: step %d: unknown kind %q", i, st.Kind)
+		}
+	}
+	for n, d := range down {
+		if d {
+			return fmt.Errorf("check: node %d is left down at scenario end", n)
+		}
+	}
+	return nil
+}
+
+// ConfigTimeline returns the configuration active in each trace segment:
+// the starting configuration followed by each reconfiguration target.
+func (sc Scenario) ConfigTimeline() ([]config.Config, error) {
+	cfg, err := sc.Config.Config()
+	if err != nil {
+		return nil, err
+	}
+	out := []config.Config{cfg}
+	for _, st := range sc.Steps {
+		if st.Kind != StepReconfigure {
+			continue
+		}
+		next, err := st.To.Config()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+	}
+	return out, nil
+}
+
+// Generate samples n scenarios from the configuration space under scripted
+// fault templates, deterministically from masterSeed. Templates:
+//
+//   - faulty-net: message loss/duplication/delay plus a transient partition
+//     of the client from one non-leader server (reliable configurations).
+//   - crash-recover: a server crash between call batches, with calls issued
+//     while it is down, then recovery (oracle membership).
+//   - orphan: a no-wait call batch orphaned by a client crash, recovery,
+//     and a post-recovery batch racing the orphans.
+//   - reconfig: a legal mid-run reconfiguration with a no-wait batch racing
+//     the drain.
+//   - blackhole: full client partition under bounded termination — every
+//     call in the dark window must still terminate (TIMEOUT), then heal.
+func Generate(masterSeed int64, n int) []Scenario {
+	rng := rand.New(rand.NewSource(masterSeed))
+	cfgs := config.Enumerate()
+	out := make([]Scenario, 0, n)
+	for len(out) < n {
+		cfg := cfgs[rng.Intn(len(cfgs))]
+		var (
+			sc Scenario
+			ok bool
+		)
+		switch rng.Intn(5) {
+		case 0:
+			sc, ok = faultyNetScenario(cfg, rng)
+		case 1:
+			sc, ok = crashRecoverScenario(cfg, rng)
+		case 2:
+			sc, ok = orphanScenario(cfg, rng)
+		case 3:
+			sc, ok = reconfigScenario(cfg, rng)
+		case 4:
+			sc, ok = blackholeScenario(cfg, rng)
+		}
+		if !ok {
+			continue
+		}
+		sc.Seed = rng.Int63()
+		sc.Name = fmt.Sprintf("%s-%d", sc.Name, len(out))
+		out = append(out, sc)
+	}
+	return out
+}
+
+// strictFIFO reports whether a configuration composes FIFO order with
+// strict lane initialization (asynchronous-call services, deviation D10):
+// every server lane then insists on starting at an incarnation's first
+// call, so a lane created mid-stream (member recovery, mid-run attach)
+// can never resynchronize.
+func strictFIFO(c config.Config) bool {
+	return c.Ordering == config.OrderFIFO && c.Call == config.CallAsynchronous
+}
+
+// nonLeader picks a server that is not the total-order leader (the highest
+// id), so a generated fault never stalls sequencing; without total order
+// any server will do.
+func nonLeader(cfg config.Config, servers int, rng *rand.Rand) msg.ProcID {
+	if cfg.Ordering == config.OrderTotal && servers > 1 {
+		return msg.ProcID(1 + rng.Intn(servers-1))
+	}
+	return msg.ProcID(1 + rng.Intn(servers))
+}
+
+func faultyNetScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	if !cfg.Reliable {
+		// Without reliable communication a lossy run cannot promise
+		// completion, so waiting call batches could block the schedule.
+		return Scenario{}, false
+	}
+	victim := nonLeader(cfg, 3, rng)
+	return Scenario{
+		Name:       "faulty-net",
+		Servers:    3,
+		Config:     SpecOf(cfg),
+		LossPct:    10 + rng.Intn(21),
+		DupPct:     rng.Intn(2) * 20,
+		MaxDelayUS: rng.Intn(2) * 500,
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 3, Wait: true},
+			{Kind: StepPartition, A: ClientID, B: victim},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepHeal},
+			{Kind: StepCalls, Client: ClientID, N: 3, Wait: true},
+		},
+	}, true
+}
+
+func crashRecoverScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	if cfg.Ordering == config.OrderTotal {
+		// Total order is crash-stop for group members: a recovered member
+		// rejoins with a fresh entry sequence and would hold newly
+		// sequenced calls forever (the paper's §4.4.6 agreement covers
+		// leader failure, not member rejoin — DESIGN.md D4). Client
+		// crashes under total order are covered by the orphan template.
+		return Scenario{}, false
+	}
+	if strictFIFO(cfg) {
+		// Asynchronous FIFO uses strict lane initialization (D10): a
+		// recovered member's fresh lane expects the incarnation's first
+		// call and would hold the client's post-recovery calls forever.
+		// Ordered-group member rejoin without state transfer is a
+		// documented gap (EXPERIMENTS.md "Known gaps", DESIGN.md D15).
+		return Scenario{}, false
+	}
+	victim := nonLeader(cfg, 3, rng)
+	steps := []Step{
+		{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		{Kind: StepCrash, Node: victim},
+	}
+	// Calls issued while a member is down exercise acceptance against the
+	// membership oracle; ordered configurations instead recover first, so
+	// the down window cannot stall a sequencing hole.
+	if cfg.Ordering == config.OrderNone {
+		steps = append(steps, Step{Kind: StepCalls, Client: ClientID, N: 2, Wait: true})
+	}
+	steps = append(steps,
+		Step{Kind: StepRecover, Node: victim},
+		Step{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+	)
+	return Scenario{
+		Name:    "crash-recover",
+		Servers: 3,
+		Config:  SpecOf(cfg),
+		Steps:   steps,
+	}, true
+}
+
+func orphanScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	return Scenario{
+		Name:    "orphan",
+		Servers: 3,
+		Config:  SpecOf(cfg),
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepCalls, Client: ClientID, N: 3},
+			{Kind: StepCrash, Node: ClientID},
+			{Kind: StepRecover, Node: ClientID},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		},
+	}, true
+}
+
+func reconfigScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	// Find a legal transition target among the enumerated configurations,
+	// scanning from a random start so the sampled transitions vary.
+	cfgs := config.Enumerate()
+	start := rng.Intn(len(cfgs))
+	var target *config.Config
+	for i := range cfgs {
+		cand := cfgs[(start+i)%len(cfgs)]
+		if SpecOf(cand) == SpecOf(cfg) {
+			continue
+		}
+		if strictFIFO(cand) && !strictFIFO(cfg) {
+			// Attaching strict-init FIFO (asynchronous call, D10) to a
+			// stream whose client is already past its first call leaves
+			// every fresh server lane waiting for calls served under the
+			// previous regime — member lanes have no sequence handoff
+			// (DESIGN.md D15).
+			continue
+		}
+		if _, err := config.PlanTransition(cfg, cand); err == nil {
+			target = &cand
+			break
+		}
+	}
+	if target == nil {
+		return Scenario{}, false
+	}
+	to := SpecOf(*target)
+	return Scenario{
+		Name:    "reconfig",
+		Servers: 3,
+		Config:  SpecOf(cfg),
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepCalls, Client: ClientID, N: 2},
+			{Kind: StepReconfigure, To: &to},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		},
+	}, true
+}
+
+func blackholeScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	if !cfg.Bounded {
+		return Scenario{}, false
+	}
+	spec := SpecOf(cfg)
+	spec.TimeBoundMS = 40
+	return Scenario{
+		Name:    "blackhole",
+		Servers: 3,
+		Config:  spec,
+		Steps: []Step{
+			{Kind: StepPartition, A: ClientID, B: 1},
+			{Kind: StepPartition, A: ClientID, B: 2},
+			{Kind: StepPartition, A: ClientID, B: 3},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepHeal},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		},
+	}, true
+}

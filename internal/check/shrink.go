@@ -1,0 +1,96 @@
+package check
+
+// Shrink minimizes a violating scenario: it repeatedly tries dropping
+// schedule steps (crash/recover pairs as a unit when dropping one alone is
+// invalid) and halving call batches, keeping any reduction that still
+// violates, until no single reduction helps or the run budget is spent.
+// It returns the smallest violating scenario found and its result; if the
+// input does not violate (or fails to run), it is returned unchanged.
+func Shrink(sc Scenario, budget int) (Scenario, *Result) {
+	res, err := Run(sc)
+	if err != nil || len(res.Violations) == 0 {
+		return sc, res
+	}
+	best, bestRes := sc, res
+
+	try := func(cand Scenario) bool {
+		if cand.Validate() != nil {
+			return false
+		}
+		r, err := Run(cand)
+		if err != nil || len(r.Violations) == 0 {
+			return false
+		}
+		best, bestRes = cand, r
+		return true
+	}
+
+	improved := true
+	for improved && budget > 0 {
+		improved = false
+
+		// Drop one step (or a crash/recover pair) at a time.
+		for i := 0; i < len(best.Steps) && budget > 0; i++ {
+			budget--
+			if try(withoutSteps(best, i)) {
+				improved = true
+				break
+			}
+			if best.Steps[i].Kind == StepCrash {
+				if j := matchingRecover(best.Steps, i); j >= 0 && budget > 0 {
+					budget--
+					if try(withoutSteps(best, i, j)) {
+						improved = true
+						break
+					}
+				}
+			}
+		}
+		if improved {
+			continue
+		}
+
+		// Halve a call batch.
+		for i := 0; i < len(best.Steps) && budget > 0; i++ {
+			st := best.Steps[i]
+			if st.Kind != StepCalls || st.N <= 1 {
+				continue
+			}
+			cand := best
+			cand.Steps = append([]Step(nil), best.Steps...)
+			cand.Steps[i].N = st.N / 2
+			budget--
+			if try(cand) {
+				improved = true
+				break
+			}
+		}
+	}
+	return best, bestRes
+}
+
+// withoutSteps copies sc with the given step indices removed.
+func withoutSteps(sc Scenario, drop ...int) Scenario {
+	skip := make(map[int]bool, len(drop))
+	for _, i := range drop {
+		skip[i] = true
+	}
+	out := sc
+	out.Steps = make([]Step, 0, len(sc.Steps))
+	for i, st := range sc.Steps {
+		if !skip[i] {
+			out.Steps = append(out.Steps, st)
+		}
+	}
+	return out
+}
+
+// matchingRecover finds the first recover step after i for the same node.
+func matchingRecover(steps []Step, i int) int {
+	for j := i + 1; j < len(steps); j++ {
+		if steps[j].Kind == StepRecover && steps[j].Node == steps[i].Node {
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,172 @@
+// Package check is the conformance harness for the configurable group RPC
+// service: it encodes each paper property as an executable oracle over
+// structured trace events (internal/trace), drives seeded workloads under
+// scripted fault schedules across the 198-configuration space, and shrinks
+// any violation to a small reproducible seed artifact. See DESIGN.md
+// deviation D15 for the property → oracle map.
+package check
+
+import (
+	"sort"
+
+	"mrpc/internal/config"
+	"mrpc/internal/msg"
+	"mrpc/internal/trace"
+)
+
+// callInfo aggregates the per-call events of one call key.
+type callInfo struct {
+	key      msg.CallKey
+	issued   *trace.Event
+	dones    []trace.Event // terminal-status events, Seq order
+	accepted []trace.Event // KReplyAccepted, Seq order
+}
+
+// siteInc identifies one incarnation of one site.
+type siteInc struct {
+	site msg.ProcID
+	inc  msg.Incarnation
+}
+
+// Trace is an indexed view over a structured event stream, in Seq order.
+// Oracles consume it instead of the raw slice so the per-call and per-site
+// groupings are computed once.
+type Trace struct {
+	Events []trace.Event
+
+	reconfigs []int64                     // Seq of each KReconfigure marker
+	calls     map[msg.CallKey]*callInfo   // per-call lifecycle
+	callOrder []msg.CallKey               // issue order (Seq of KCallIssued)
+	execs     map[msg.ProcID][]trace.Event // exec-side events per site, Seq order
+	crashed   map[siteInc]bool            // site incarnations that crashed
+	hadCrash  bool
+}
+
+// NewTrace indexes events (which must be in Seq order, as produced by
+// trace.Log.Events).
+func NewTrace(events []trace.Event) *Trace {
+	t := &Trace{
+		Events:  events,
+		calls:   make(map[msg.CallKey]*callInfo),
+		execs:   make(map[msg.ProcID][]trace.Event),
+		crashed: make(map[siteInc]bool),
+	}
+	call := func(k msg.CallKey) *callInfo {
+		ci := t.calls[k]
+		if ci == nil {
+			ci = &callInfo{key: k}
+			t.calls[k] = ci
+		}
+		return ci
+	}
+	for i, e := range events {
+		switch e.Kind {
+		case trace.KReconfigure:
+			t.reconfigs = append(t.reconfigs, e.Seq)
+		case trace.KCallIssued:
+			ci := call(e.Key())
+			if ci.issued == nil {
+				ci.issued = &events[i]
+				t.callOrder = append(t.callOrder, e.Key())
+			}
+		case trace.KCallDone:
+			call(e.Key()).dones = append(call(e.Key()).dones, e)
+		case trace.KReplyAccepted:
+			call(e.Key()).accepted = append(call(e.Key()).accepted, e)
+		case trace.KExecBegin, trace.KExecEnd, trace.KReplySent, trace.KOrphanKilled:
+			t.execs[e.Site] = append(t.execs[e.Site], e)
+		case trace.KCrash:
+			t.crashed[siteInc{e.Site, e.SiteInc}] = true
+			t.hadCrash = true
+		}
+	}
+	return t
+}
+
+// SegmentOf returns the configuration-segment index of a Seq position:
+// segment i covers the events between the i-th and (i+1)-th KReconfigure
+// markers (segment 0 precedes the first marker).
+func (t *Trace) SegmentOf(seq int64) int {
+	return sort.Search(len(t.reconfigs), func(i int) bool { return t.reconfigs[i] > seq })
+}
+
+// Segments returns the number of configuration segments (reconfigurations
+// observed + 1).
+func (t *Trace) Segments() int { return len(t.reconfigs) + 1 }
+
+// HadCrash reports whether any node crashed during the run.
+func (t *Trace) HadCrash() bool { return t.hadCrash }
+
+// ClientIncCrashed reports whether the given incarnation of a client site
+// crashed during the run (its in-flight calls may legitimately end ABORTED
+// or not at all).
+func (t *Trace) ClientIncCrashed(client msg.ProcID, inc msg.Incarnation) bool {
+	return t.crashed[siteInc{client, inc}]
+}
+
+// Calls returns the call keys in issue order.
+func (t *Trace) Calls() []msg.CallKey { return t.callOrder }
+
+// Sites returns the sites with execution-side events, in ascending order.
+func (t *Trace) Sites() []msg.ProcID {
+	out := make([]msg.ProcID, 0, len(t.execs))
+	for s := range t.execs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SiteEvents returns a site's execution-side events in Seq order.
+func (t *Trace) SiteEvents(site msg.ProcID) []trace.Event { return t.execs[site] }
+
+// ExecutedKeys returns the first-occurrence-deduplicated sequence of call
+// keys whose execution began at site, in Seq order.
+func (t *Trace) ExecutedKeys(site msg.ProcID) []msg.CallKey {
+	seen := make(map[msg.CallKey]bool)
+	var out []msg.CallKey
+	for _, e := range t.execs[site] {
+		if e.Kind != trace.KExecBegin || seen[e.Key()] {
+			continue
+		}
+		seen[e.Key()] = true
+		out = append(out, e.Key())
+	}
+	return out
+}
+
+// Profile describes the run a trace came from: the configuration timeline
+// (one entry per segment) and the fault envelope. Oracles use it to decide
+// applicability — a property can only be demanded of a run whose
+// configuration promises it.
+type Profile struct {
+	// Configs is the configuration timeline: Configs[i] was active during
+	// trace segment i. A run without reconfiguration has one entry.
+	Configs []config.Config
+	// Group is the server group called by every workload call.
+	Group msg.Group
+	// Lossy reports whether the network could drop messages (loss
+	// probability or partitions): without reliable communication,
+	// completion cannot be demanded of such a run.
+	Lossy bool
+}
+
+// ConfigAt returns the configuration active when the given event was
+// recorded.
+func (p Profile) ConfigAt(t *Trace, seq int64) config.Config {
+	i := t.SegmentOf(seq)
+	if i >= len(p.Configs) {
+		i = len(p.Configs) - 1
+	}
+	return p.Configs[i]
+}
+
+// All reports whether f holds for every segment's configuration.
+func (p Profile) All(f func(config.Config) bool) bool {
+	for _, c := range p.Configs {
+		if !f(c) {
+			return false
+		}
+	}
+	return true
+}

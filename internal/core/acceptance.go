@@ -5,6 +5,7 @@ import (
 	"mrpc/internal/member"
 	"mrpc/internal/msg"
 	"mrpc/internal/sem"
+	"mrpc/internal/trace"
 )
 
 // AcceptAll is an acceptance limit larger than any group, i.e. "all
@@ -84,6 +85,10 @@ func (a *Acceptance) Attach(fw *Framework) error {
 				}
 			})
 			if complete {
+				if fw.Tracing() {
+					fw.Emit(trace.Event{Kind: trace.KCallDone, Client: fw.Self(), ID: id,
+						Status: msg.StatusOK})
+				}
 				s.V()
 			}
 		})
@@ -113,6 +118,11 @@ func (a *Acceptance) Attach(fw *Framework) error {
 			})
 			if !fold {
 				o.Cancel()
+				return
+			}
+			if fw.Tracing() {
+				fw.Emit(trace.Event{Kind: trace.KReplyAccepted, Client: m.Client,
+					ID: m.ID, From: m.Sender})
 			}
 		})
 
@@ -134,6 +144,10 @@ func (a *Acceptance) Attach(fw *Framework) error {
 				}
 			})
 			if complete {
+				if fw.Tracing() {
+					fw.Emit(trace.Event{Kind: trace.KCallDone, Client: m.Client, ID: m.ID,
+						Status: msg.StatusOK})
+				}
 				s.V()
 			}
 		})
@@ -166,6 +180,10 @@ func (a *Acceptance) Attach(fw *Framework) error {
 				})
 			})
 			for _, rec := range wake {
+				if fw.Tracing() {
+					fw.Emit(trace.Event{Kind: trace.KCallDone, Client: fw.Self(), ID: rec.ID,
+						Status: msg.StatusOK})
+				}
 				rec.Sem.V()
 			}
 		})

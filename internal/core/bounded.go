@@ -7,6 +7,7 @@ import (
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
 	"mrpc/internal/sem"
+	"mrpc/internal/trace"
 )
 
 // BoundedTermination guarantees that every call terminates within a
@@ -112,6 +113,10 @@ func (fw *Framework) timeoutCall(id msg.CallID) {
 		}
 	})
 	if s != nil {
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KCallDone, Client: fw.Self(), ID: id,
+				Status: msg.StatusTimeout})
+		}
 		s.V()
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"mrpc/internal/msg"
 	"mrpc/internal/proc"
 	"mrpc/internal/sem"
+	"mrpc/internal/trace"
 )
 
 // HoldIndex names a slot of the HOLD array (ready_index in the paper):
@@ -149,6 +150,12 @@ type Options struct {
 	Net        Transport  // communication substrate (required)
 	Server     Server     // user protocol; nil on pure clients
 	Membership member.Service
+	// Trace, when non-nil, receives structured trace events at the
+	// semantically meaningful points of every call's lifetime (issue,
+	// completion, execution, reply, duplicate suppression, orphan kills).
+	// The conformance harness replays these through its property oracles;
+	// a nil sink costs one pointer compare per site.
+	Trace trace.Sink
 }
 
 // Framework is the composite-protocol framework: shared data structures,
@@ -174,6 +181,7 @@ type Framework struct {
 	server     Server
 	membership member.Service
 	threads    *proc.Threads
+	sink       trace.Sink
 
 	// Call tables (pRPC and sRPC, §4.2), sharded; see table.go.
 	clients clientTable
@@ -255,6 +263,7 @@ func NewFramework(opts Options) (*Framework, error) {
 		server:     opts.Server,
 		membership: ms,
 		threads:    proc.NewThreads(),
+		sink:       opts.Trace,
 	}
 	fw.clients.init()
 	fw.servers.init()
@@ -294,6 +303,21 @@ func (fw *Framework) mustConfigure(what string) {
 
 // Self returns this site's process id.
 func (fw *Framework) Self() msg.ProcID { return fw.site.ID() }
+
+// Tracing reports whether a structured trace sink is installed; emission
+// sites guard on it so the disabled path builds no event.
+func (fw *Framework) Tracing() bool { return fw.sink != nil }
+
+// Emit stamps the event with this site's identity and incarnation and
+// records it. Callers guard with Tracing; a nil sink is still tolerated.
+func (fw *Framework) Emit(e trace.Event) {
+	if fw.sink == nil {
+		return
+	}
+	e.Site = fw.Self()
+	e.SiteInc = fw.Inc()
+	fw.sink.Record(e)
+}
 
 // Bus returns the event framework.
 func (fw *Framework) Bus() *event.Bus { return fw.bus }
@@ -498,6 +522,10 @@ func (fw *Framework) NewClientRec(op msg.OpID, args []byte, group msg.Group, vc 
 		rec.Pending[p] = PendingEntry{}
 	}
 	fw.clients.put(rec)
+	if fw.Tracing() {
+		fw.Emit(trace.Event{Kind: trace.KCallIssued, Client: fw.Self(), ID: id,
+			Op: op, Group: rec.Server, VC: vc})
+	}
 	return rec
 }
 
@@ -537,15 +565,18 @@ func (fw *Framework) PendingServerCalls() int { return fw.servers.len() }
 // DropServerCall removes a held call that an ordering or orphan
 // micro-protocol has decided to discard (duplicate of an executed call,
 // stale generation, ...): the record is deleted and its thread finished.
-func (fw *Framework) DropServerCall(key msg.CallKey) {
+// It reports whether a record was actually dropped (false when the call
+// already completed or was dropped by someone else).
+func (fw *Framework) DropServerCall(key msg.CallKey) bool {
 	rec, ok := fw.servers.take(key)
 	if !ok {
-		return
+		return false
 	}
 	if rec.Thread != nil {
 		rec.Thread.Kill()
 		fw.threads.Finish(rec.Thread)
 	}
+	return true
 }
 
 // --- control flow ---------------------------------------------------------
@@ -621,7 +652,13 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 
 	var result []byte
 	if fw.server != nil && (th == nil || !th.IsKilled()) {
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KExecBegin, Client: key.Client, ID: key.ID, Op: op})
+		}
 		result = fw.server.Pop(th, op, args)
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KExecEnd, Client: key.Client, ID: key.ID, Op: op})
+		}
 	}
 
 	if th != nil && th.IsKilled() {
@@ -629,6 +666,9 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 		// the reply.
 		fw.TakeServer(key)
 		fw.threads.Finish(th)
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KOrphanKilled, Client: key.Client, ID: key.ID})
+		}
 		return
 	}
 
@@ -659,9 +699,23 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 		Inc:    fw.Inc(),
 		VC:     replyVC,
 	}
-	fw.TakeServer(key)
+	_, held := fw.TakeServer(key)
 	if th != nil {
 		fw.threads.Finish(th)
+	}
+	if !held || (th != nil && th.IsKilled()) {
+		// The record was taken away mid-execution (an orphan sweep dropped
+		// the call) or the thread was killed after the procedure returned:
+		// the computation is an exterminated orphan, so its reply must not
+		// escape. Without this check a kill landing between the post-Pop
+		// test and the push would leak the reply.
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KOrphanKilled, Client: key.Client, ID: key.ID})
+		}
+		return
+	}
+	if fw.Tracing() {
+		fw.Emit(trace.Event{Kind: trace.KReplySent, Client: key.Client, ID: key.ID, Op: op})
 	}
 	fw.net.Push(client, reply)
 }
@@ -888,14 +942,22 @@ func (fw *Framework) Close() {
 	// Close either completes normally or is aborted here, never missed),
 	// then wake the parked callers outside the table locks.
 	var wake []*ClientRecord
+	var aborted []msg.CallID
 	fw.ClientTx(func(tx ClientTx) {
 		tx.Each(func(r *ClientRecord) {
 			if r.Status == msg.StatusWaiting {
 				r.Status = msg.StatusAborted
+				aborted = append(aborted, r.ID)
 			}
 			wake = append(wake, r)
 		})
 	})
+	for _, id := range aborted {
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KCallDone, Client: fw.Self(), ID: id,
+				Status: msg.StatusAborted})
+		}
+	}
 	for _, r := range wake {
 		r.Sem.V()
 	}

@@ -7,6 +7,7 @@ import (
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
 	"mrpc/internal/proc"
+	"mrpc/internal/trace"
 )
 
 // TerminateOrphan implements the second orphan-handling option (§4.4.7):
@@ -240,6 +241,11 @@ func (fw *Framework) dropCallsOlderThan(client msg.ProcID, inc msg.Incarnation) 
 		})
 	})
 	for _, k := range keys {
-		fw.DropServerCall(k)
+		// Emit the kill only when the drop actually landed: if the call's
+		// execution won the race and took its own record, its reply is
+		// legitimate and must not be flagged as an escaped orphan.
+		if fw.DropServerCall(k) && fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KOrphanKilled, Client: k.Client, ID: k.ID})
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
+	"mrpc/internal/trace"
 )
 
 // UniqueExecution guarantees that a call is not executed more than once at
@@ -106,6 +107,9 @@ func (u *UniqueExecution) Attach(fw *Framework) error {
 					u.mu.Unlock()
 					// Already executed and unacknowledged: resend the
 					// retained response.
+					if fw.Tracing() {
+						fw.Emit(trace.Event{Kind: trace.KDupDropped, Client: m.Client, ID: m.ID})
+					}
 					fw.Net().Push(m.Sender, &msg.NetMsg{
 						Type:   msg.OpReply,
 						ID:     m.ID,
@@ -122,6 +126,9 @@ func (u *UniqueExecution) Attach(fw *Framework) error {
 				if u.oldCalls[key] {
 					u.mu.Unlock()
 					// Execution in progress (or acknowledged): discard.
+					if fw.Tracing() {
+						fw.Emit(trace.Event{Kind: trace.KDupDropped, Client: m.Client, ID: m.ID})
+					}
 					o.Cancel()
 					return
 				}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlerProfileConcurrent checks Observe under concurrent handler
+// completions (the event bus dispatches from many pooled workers): counts
+// must not be lost and max must reflect the largest sample.
+func TestHandlerProfileConcurrent(t *testing.T) {
+	p := NewHandlerProfile()
+	const workers = 8
+	const perWorker = 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.Observe(fakeEvent("MSG"), "RPCMain", time.Duration(w+1)*time.Millisecond, i%2 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := p.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	s := stats[0]
+	if s.Calls != workers*perWorker {
+		t.Fatalf("calls = %d, want %d", s.Calls, workers*perWorker)
+	}
+	if s.Cancels != workers*perWorker/2 {
+		t.Fatalf("cancels = %d, want %d", s.Cancels, workers*perWorker/2)
+	}
+	if s.Max != workers*time.Millisecond {
+		t.Fatalf("max = %v, want %v", s.Max, workers*time.Millisecond)
+	}
+}
+
+// TestHandlerProfileEmpty checks an untouched profile renders just the
+// header and returns no rows.
+func TestHandlerProfileEmpty(t *testing.T) {
+	p := NewHandlerProfile()
+	if rows := p.Stats(); len(rows) != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	out := p.String()
+	if !strings.Contains(out, "event/handler") {
+		t.Fatalf("String() = %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 1 {
+		t.Fatalf("empty profile rendered %d lines", lines)
+	}
+}
+
+// TestHandlerProfileSortsByTotalTime checks the report orders rows by
+// cumulative time, not call count.
+func TestHandlerProfileSortsByTotalTime(t *testing.T) {
+	p := NewHandlerProfile()
+	// "Cheap" runs often but briefly; "Costly" runs once but long.
+	for i := 0; i < 10; i++ {
+		p.Observe(fakeEvent("MSG"), "Cheap", time.Microsecond, false)
+	}
+	p.Observe(fakeEvent("MSG"), "Costly", time.Second, false)
+	stats := p.Stats()
+	if len(stats) != 2 || stats[0].Handler != "MSG/Costly" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Mean != time.Second {
+		t.Fatalf("mean = %v", stats[0].Mean)
+	}
+}

@@ -64,7 +64,12 @@ import (
 	"mrpc/internal/proc"
 	"mrpc/internal/stable"
 	"mrpc/internal/stub"
+	"mrpc/internal/trace"
 )
+
+// NewTraceLog returns an empty structured trace log for
+// SystemOptions.Trace.
+func NewTraceLog() *TraceLog { return trace.NewLog() }
 
 // Re-exported identifier and message types.
 type (
@@ -103,6 +108,12 @@ type (
 	NetParams = netsim.Params
 	// NetStats are the simulated network's counters.
 	NetStats = netsim.Stats
+	// TraceSink receives structured trace events (SystemOptions.Trace).
+	TraceSink = trace.Sink
+	// TraceEvent is one structured trace record.
+	TraceEvent = trace.Event
+	// TraceLog is the standard append-only TraceSink.
+	TraceLog = trace.Log
 	// Writer packs typed values into RPC argument bytes.
 	Writer = stub.Writer
 	// Reader unpacks RPC argument bytes.
@@ -208,6 +219,12 @@ type SystemOptions struct {
 	// ReconfigureTimeout bounds how long a drain-class reconfiguration
 	// waits for in-flight calls to complete (default 30s).
 	ReconfigureTimeout time.Duration
+	// Trace, when non-nil, receives structured trace events from every
+	// node (call issue/completion, execution, replies, duplicate drops,
+	// orphan kills) and from the system lifecycle (crash, recovery,
+	// reconfiguration). The conformance harness (internal/check) replays
+	// these through its per-property oracles.
+	Trace TraceSink
 }
 
 // System is a simulated distributed system: a network, a stable store, an
@@ -473,10 +490,18 @@ func (s *System) Reconfigure(newCfg Config) error {
 	if firstErr != nil {
 		return firstErr
 	}
-	for _, n := range nodes {
+	var oldCfg Config
+	for i, n := range nodes {
 		n.mu.Lock()
+		if i == 0 {
+			oldCfg = n.cfg
+		}
 		n.cfg = newCfg
 		n.mu.Unlock()
+	}
+	if sink := s.opts.Trace; sink != nil {
+		sink.Record(TraceEvent{Kind: trace.KReconfigure,
+			Note: fmt.Sprintf("%s -> %s", oldCfg, newCfg)})
 	}
 	return nil
 }
@@ -596,6 +621,7 @@ func (n *Node) start(isRecovery bool) error {
 		Net:        n.ep,
 		Server:     app,
 		Membership: n.sys.membershipFor(n),
+		Trace:      n.sys.opts.Trace,
 	}, protos...)
 	if err != nil {
 		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
@@ -731,6 +757,9 @@ func (n *Node) Crash() {
 	if det != nil {
 		det.Stop()
 	}
+	if sink := n.sys.opts.Trace; sink != nil {
+		sink.Record(TraceEvent{Kind: trace.KCrash, Site: n.id, SiteInc: n.site.Inc()})
+	}
 	n.site.Crash()
 	comp.Close()
 	if n.sys.oracle != nil {
@@ -757,6 +786,9 @@ func (n *Node) Recover() error {
 	n.site.Recover()
 	if err := n.start(true); err != nil {
 		return err
+	}
+	if sink := n.sys.opts.Trace; sink != nil {
+		sink.Record(TraceEvent{Kind: trace.KRecover, Site: n.id, SiteInc: n.site.Inc()})
 	}
 	if n.sys.oracle != nil {
 		n.sys.oracle.Recover(n.id)
@@ -826,6 +858,10 @@ func (n *Node) Reconfigure(newCfg Config) error {
 	n.mu.Lock()
 	n.cfg = newCfg
 	n.mu.Unlock()
+	if sink := n.sys.opts.Trace; sink != nil {
+		sink.Record(TraceEvent{Kind: trace.KReconfigure, Site: n.id,
+			Note: fmt.Sprintf("%s -> %s", oldCfg, newCfg)})
+	}
 	return nil
 }
 
