@@ -1,0 +1,314 @@
+package mrpc
+
+import (
+	"testing"
+	"time"
+)
+
+// asyncBatchConfig returns an exactly-once configuration with asynchronous
+// call semantics and the given flush size — the shape every batching test
+// wants, since only CallAsync can park several calls in one pipeline.
+func asyncBatchConfig(flushSize int) Config {
+	cfg := ExactlyOnce()
+	cfg.Call = CallAsynchronous
+	cfg.FlushSize = flushSize
+	return cfg
+}
+
+// TestBatchFlushSizeOne: FlushSize 1 disables coalescing entirely — even
+// inside a pipeline section every message goes out as itself, and no
+// OpBatch frame ever reaches the network.
+func TestBatchFlushSizeOne(t *testing.T) {
+	sys := NewSystem(SystemOptions{})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	cfg := asyncBatchConfig(1)
+	if _, err := sys.AddServer(1, cfg, func() App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client.PipelineBegin()
+	var ids []CallID
+	for i := 0; i < 4; i++ {
+		id, err := client.CallAsync(echo, []byte{byte('a' + i)}, sys.Group(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	client.PipelineEnd()
+	for i, id := range ids {
+		reply, status, err := client.Collect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("call %d: status = %v, want OK", i, status)
+		}
+		if want := "echo:" + string(byte('a'+i)); string(reply) != want {
+			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
+		}
+	}
+	if got := sys.Network().Stats().Batches; got != 0 {
+		t.Fatalf("FlushSize 1 produced %d batch frames, want 0", got)
+	}
+}
+
+// TestBatchExactlyFull: a pipeline that parks exactly FlushSize calls
+// flushes them as one full batch frame the moment the lane fills — before
+// PipelineEnd.
+func TestBatchExactlyFull(t *testing.T) {
+	sys := NewSystem(SystemOptions{})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	cfg := asyncBatchConfig(3)
+	if _, err := sys.AddServer(1, cfg, func() App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client.PipelineBegin()
+	var ids []CallID
+	for i := 0; i < 3; i++ {
+		id, err := client.CallAsync(echo, []byte{byte('a' + i)}, sys.Group(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// The lane reached the cap on the third call: the batch must already
+	// be on the wire even though the pipeline section is still open.
+	sys.Quiesce()
+	if got := sys.Network().Stats().Batches; got < 1 {
+		t.Fatalf("full lane did not flush inside the pipeline: Batches = %d, want >= 1", got)
+	}
+	client.PipelineEnd()
+	for i, id := range ids {
+		_, status, err := client.Collect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("call %d: status = %v, want OK", i, status)
+		}
+	}
+}
+
+// TestBatchOverflow: parking more calls than FlushSize splits the stream
+// into full frames plus a remainder; nothing is lost and every call
+// completes.
+func TestBatchOverflow(t *testing.T) {
+	sys := NewSystem(SystemOptions{})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	cfg := asyncBatchConfig(2)
+	if _, err := sys.AddServer(1, cfg, func() App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const calls = 5 // 2 full frames of 2, then a remainder single
+	client.PipelineBegin()
+	var ids []CallID
+	for i := 0; i < calls; i++ {
+		id, err := client.CallAsync(echo, []byte{byte('a' + i)}, sys.Group(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	client.PipelineEnd()
+	for i, id := range ids {
+		reply, status, err := client.Collect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("call %d: status = %v, want OK", i, status)
+		}
+		if want := "echo:" + string(byte('a'+i)); string(reply) != want {
+			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
+		}
+	}
+	if got := sys.Network().Stats().Batches; got < 2 {
+		t.Fatalf("overflowing 5 calls past FlushSize 2 produced %d batch frames, want >= 2", got)
+	}
+}
+
+// TestBatchInterleavedWaitNoWait: one batch frame carries both a no-wait
+// (CallAsync) call and a waiting (Call) call. The blocking Call issued
+// inside the pipeline fills the lane to the cap, which flushes the frame
+// and lets the Call's own reply come back — waiting and pipelined calls
+// compose in a single frame.
+func TestBatchInterleavedWaitNoWait(t *testing.T) {
+	sys := NewSystem(SystemOptions{})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	cfg := asyncBatchConfig(2)
+	if _, err := sys.AddServer(1, cfg, func() App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client.PipelineBegin()
+	id, err := client.CallAsync(echo, []byte("nowait"), sys.Group(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second call fills the FlushSize-2 lane: both requests leave in
+	// one frame, so this blocking Call can complete inside the pipeline.
+	reply, status, err := client.Call(echo, []byte("wait"), sys.Group(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusOK || string(reply) != "echo:wait" {
+		t.Fatalf("waiting call: status = %v reply = %q", status, reply)
+	}
+	client.PipelineEnd()
+	reply, status, err = client.Collect(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusOK || string(reply) != "echo:nowait" {
+		t.Fatalf("no-wait call: status = %v reply = %q", status, reply)
+	}
+	if got := sys.Network().Stats().Batches; got < 1 {
+		t.Fatalf("interleaved calls produced %d batch frames, want >= 1", got)
+	}
+}
+
+// TestBatchMemberCrashHalfFlushed: a member crashes while a pipeline holds
+// a half-flushed batch for it. The parked frame for the dead member is
+// dropped by the network; the surviving member's copy flushes at
+// PipelineEnd and satisfies acceptance, so every call still completes.
+func TestBatchMemberCrashHalfFlushed(t *testing.T) {
+	sys := NewSystem(SystemOptions{Membership: MembershipOracle})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	cfg := asyncBatchConfig(8) // large cap: nothing flushes until PipelineEnd
+	cfg.RetransTimeout = 5 * time.Millisecond
+	// Wait for every functioning member: the crashed member is excused by
+	// the membership oracle, but the survivor's real reply is required —
+	// so the collected result is deterministic, not a vacuous acceptance.
+	cfg.AcceptanceLimit = AcceptAll
+	group := sys.Group(1, 2)
+	for _, id := range group {
+		if _, err := sys.AddServer(id, cfg, func() App { return reg }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client.PipelineBegin()
+	var ids []CallID
+	for i := 0; i < 3; i++ {
+		id, err := client.CallAsync(echo, []byte{byte('a' + i)}, sys.Group(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Crash member 2 while its lane still holds the unflushed batch.
+	n2, _ := sys.Node(2)
+	n2.Crash()
+	client.PipelineEnd()
+	for i, id := range ids {
+		reply, status, err := client.Collect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("call %d: status = %v, want OK", i, status)
+		}
+		if want := "echo:" + string(byte('a'+i)); string(reply) != want {
+			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
+		}
+	}
+}
+
+// TestReconfigureForcesUnflushedBatch is the admission-gate regression
+// test: a drain-class reconfiguration racing a pipeline section with
+// parked, unflushed calls must force-flush them and drain to completion
+// rather than wedge behind the open pipeline hold. CloseAdmission's drain
+// barrier calls ForceFlush, so the parked calls reach the servers and
+// complete while the pipeline section is still open.
+func TestReconfigureForcesUnflushedBatch(t *testing.T) {
+	sys := NewSystem(SystemOptions{})
+	defer sys.Stop()
+
+	reg, echo := newEchoRegistry()
+	cfg := asyncBatchConfig(16) // cap far above the call count: all parked
+	if _, err := sys.AddServer(1, cfg, func() App { return reg }); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client.PipelineBegin()
+	var ids []CallID
+	for i := 0; i < 4; i++ {
+		id, err := client.CallAsync(echo, []byte{byte('a' + i)}, sys.Group(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// Switching the call mode is a drain-class transition: admission
+	// closes, which must flush the four parked calls or the drain would
+	// time out waiting for calls that never left the client.
+	syncCfg := cfg
+	syncCfg.Call = CallSynchronous
+	done := make(chan error, 1)
+	go func() { done <- client.Reconfigure(syncCfg) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Reconfigure failed against an unflushed batch: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Reconfigure wedged behind an unflushed pipelined batch")
+	}
+	client.PipelineEnd()
+
+	// The results were issued under the asynchronous composite; D14 keeps
+	// them collectable after the swap to synchronous semantics.
+	for i, id := range ids {
+		reply, status, err := client.Collect(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("call %d: status = %v, want OK", i, status)
+		}
+		if want := "echo:" + string(byte('a'+i)); string(reply) != want {
+			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
+		}
+	}
+	if got := sys.Network().Stats().Batches; got < 1 {
+		t.Fatalf("forced flush produced %d batch frames, want >= 1", got)
+	}
+}

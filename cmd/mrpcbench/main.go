@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mrpc/internal/experiments"
 )
@@ -33,8 +34,23 @@ func main() {
 		benchN    = flag.Int("n", 5, "interleaved whole-suite passes in -bench mode")
 		benchTime = flag.String("benchtime", "1s", "go test -benchtime value in -bench mode")
 		benchPkg  = flag.String("pkg", "./...", "package pattern benchmarked in -bench mode")
+
+		open        = flag.Bool("open", false, "run the open-loop heavy-traffic benchmark (see openloop.go)")
+		openRate    = flag.Int("rate", 20000, "open-loop arrival rate, calls/s")
+		openServers = flag.Int("servers", 3, "open-loop server group size")
+		openRuns    = flag.Int("runs", 3, "open-loop passes (median by p50 is reported)")
+		openDur     = flag.Duration("dur", 3*time.Second, "open-loop duration per pass")
+		openLabel   = flag.String("openlabel", "", "merge the open-loop median into BENCH_<label>.json")
 	)
 	flag.Parse()
+
+	if *open {
+		if err := runOpenMode(*openLabel, *openRate, *openServers, *openRuns, *openDur); err != nil {
+			fmt.Fprintf(os.Stderr, "mrpcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *bench != "" {
 		path, err := runBenchMode(*bench, *benchRe, *benchTime, *benchPkg, *benchN)

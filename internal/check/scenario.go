@@ -23,6 +23,7 @@ type ConfigSpec struct {
 	Order       string `json:"order"`  // "none" | "fifo" | "total" | "causal"
 	Orphan      string `json:"orphan"` // "ignore" | "avoid-interference" | "terminate"
 	Accept      int    `json:"accept"` // acceptance limit; -1 = all members
+	Flush       int    `json:"flush,omitempty"`
 }
 
 // SpecOf converts a configuration into its serializable spec.
@@ -33,6 +34,7 @@ func SpecOf(c config.Config) ConfigSpec {
 		TimeBoundMS: int(c.TimeBound / time.Millisecond),
 		Unique:      c.Unique,
 		Accept:      c.AcceptanceLimit,
+		Flush:       c.FlushSize,
 	}
 	if c.AcceptanceLimit >= core.AcceptAll {
 		s.Accept = -1
@@ -79,6 +81,7 @@ func (s ConfigSpec) Config() (config.Config, error) {
 		Bounded:   s.Bounded,
 		TimeBound: time.Duration(s.TimeBoundMS) * time.Millisecond,
 		Unique:    s.Unique,
+		FlushSize: s.Flush,
 	}
 	switch s.Call {
 	case "sync", "":
@@ -294,6 +297,19 @@ func Generate(masterSeed int64, n int) []Scenario {
 		}
 		if !ok {
 			continue
+		}
+		// A slice of every template runs with a tiny flush size, so batch
+		// frames form under ordinary traffic (not just explicit pipelines)
+		// and the oracles verify the batched call path too. Flush 1 disables
+		// coalescing entirely — the other boundary worth sampling.
+		switch rng.Intn(3) {
+		case 0:
+			sc.Config.Flush = 1 + rng.Intn(3) // 1 (no batching), 2, or 3
+			for i := range sc.Steps {
+				if sc.Steps[i].To != nil {
+					sc.Steps[i].To.Flush = sc.Config.Flush
+				}
+			}
 		}
 		sc.Seed = rng.Int63()
 		sc.Name = fmt.Sprintf("%s-%d", sc.Name, len(out))

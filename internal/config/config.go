@@ -182,6 +182,12 @@ type Config struct {
 	OrphanProbeInterval time.Duration
 	// OrphanProbeMisses is the consecutive-miss threshold (default 3).
 	OrphanProbeMisses int
+	// FlushSize caps how many outbound messages one batch frame of the
+	// flush queue carries (deviation D16). Zero means the default (16);
+	// 1 disables coalescing (every message is its own frame). Changing it
+	// is a live transition: a batch is a framing artifact, not a per-call
+	// semantic promise.
+	FlushSize int
 }
 
 // Validation errors, matching the edges of Figure 4.

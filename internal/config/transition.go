@@ -181,7 +181,19 @@ func PlanTransition(from, to Config) (Transition, error) {
 		string(from.CollateInit) != string(to.CollateInit) {
 		changed("collation", TransitionLive)
 	}
+	if normFlush(from.FlushSize) != normFlush(to.FlushSize) {
+		// Batch size only shapes framing of future sends; in-flight batches
+		// drain under whichever cap they were queued with.
+		changed("flush", TransitionLive)
+	}
 	return t, nil
+}
+
+func normFlush(n int) int {
+	if n <= 0 {
+		return 16
+	}
+	return n
 }
 
 // TransitionMatrix summarizes PlanTransition over every ordered pair of the

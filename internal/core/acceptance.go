@@ -58,19 +58,18 @@ func (a *Acceptance) Attach(fw *Framework) error {
 
 	b.On(event.NewRPCCall, "Acceptance.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
-			id := o.Arg.(msg.CallID)
+			id := *o.Arg.(*msg.CallID)
 			complete := false
 			var s *sem.Sem
 			fw.WithClient(id, func(rec *ClientRecord) {
 				alive := 0
-				for p, e := range rec.Pending {
+				for i, p := range rec.Server {
 					if fw.Membership().Down(p) {
-						e.Done = true
+						rec.Pending[i].Done = true
 					} else {
-						e.Done = false
+						rec.Pending[i].Done = false
 						alive++
 					}
-					rec.Pending[p] = e
 				}
 				rec.NRes = limit
 				if alive < rec.NRes {
@@ -107,12 +106,11 @@ func (a *Acceptance) Attach(fw *Framework) error {
 				if rec.Status != msg.StatusWaiting {
 					return
 				}
-				e, ok := rec.Pending[m.Sender]
-				if !ok || e.Done {
+				e := rec.PendingFor(m.Sender)
+				if e == nil || e.Done {
 					return
 				}
 				e.Done = true
-				rec.Pending[m.Sender] = e
 				rec.NRes--
 				fold = true
 			})
@@ -166,12 +164,11 @@ func (a *Acceptance) Attach(fw *Framework) error {
 			var wake []*ClientRecord
 			fw.ClientTx(func(tx ClientTx) {
 				tx.Each(func(rec *ClientRecord) {
-					e, ok := rec.Pending[c.Who]
-					if !ok || e.Done {
+					e := rec.PendingFor(c.Who)
+					if e == nil || e.Done {
 						return
 					}
 					e.Done = true
-					rec.Pending[c.Who] = e
 					rec.NRes--
 					if rec.NRes <= 0 && rec.Status == msg.StatusWaiting {
 						rec.Status = msg.StatusOK

@@ -91,7 +91,7 @@ func (bt *BoundedTermination) Attach(fw *Framework) error {
 
 	b.On(event.NewRPCCall, "BoundedTerm.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
-			id := o.Arg.(msg.CallID)
+			id := *o.Arg.(*msg.CallID)
 			bt.mu.Lock()
 			bt.queue = append(bt.queue, id)
 			bt.mu.Unlock()

@@ -209,7 +209,7 @@ func (c *CausalOrder) Attach(fw *Framework) error {
 				c.mu.Lock()
 				c.held[key] = causalHeld{vc: m.VC, client: client}
 				c.mu.Unlock()
-				o.OnCancel(func() {
+				o.OnCancel(func(*event.Occurrence) {
 					c.mu.Lock()
 					delete(c.held, key)
 					c.mu.Unlock()
@@ -219,7 +219,7 @@ func (c *CausalOrder) Attach(fw *Framework) error {
 
 	b.On(event.ReplyFromServer, "CausalOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
-			key := o.Arg.(msg.CallKey)
+			key := *o.Arg.(*msg.CallKey)
 			var client msg.ProcID
 			if !fw.WithServer(key, func(rec *ServerRecord) { client = rec.Client }) {
 				return

@@ -54,7 +54,7 @@ func (c *Collation) Attach(fw *Framework) error {
 
 	b.On(event.NewRPCCall, "Collation.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
-			id := o.Arg.(msg.CallID)
+			id := *o.Arg.(*msg.CallID)
 			fw.WithClient(id, func(rec *ClientRecord) {
 				rec.Args = c.Init
 			})

@@ -109,12 +109,27 @@ type ClientRecord struct {
 	Server   msg.Group
 	Sem      *sem.Sem // the client thread waits here
 	NRes     int      // number of responses still required
-	// Pending holds entries by value — update with Pending[p] = e, not
-	// through a retained pointer — so a group call costs one allocation
-	// for the map instead of one per member.
-	Pending map[msg.ProcID]PendingEntry
+	// Pending tracks each member's progress in lockstep with Server:
+	// Pending[i] is Server[i]'s entry. A slice keyed by group index
+	// replaces the paper's waiting_list map — groups are small enough that
+	// the linear scan beats hashing, and the backing array recycles with
+	// the record (D16).
+	Pending []PendingEntry
 	Status  msg.Status
 	VC      msg.VClock // causal timestamp of the call (Causal Order only)
+}
+
+// PendingFor returns the pending entry for member p, or nil when p is not
+// in the call's group. The pointer aliases the record's Pending slice: use
+// it only inside the scoped callback (or under Take* ownership) that
+// yielded the record.
+func (r *ClientRecord) PendingFor(p msg.ProcID) *PendingEntry {
+	for i, q := range r.Server {
+		if q == p {
+			return &r.Pending[i]
+		}
+	}
+	return nil
 }
 
 // ServerRecord is a pending client call at a server (Server_Record).
@@ -143,6 +158,60 @@ type NetEvent struct {
 	Thread *proc.Thread
 }
 
+// --- steady-state object pools (D16) --------------------------------------
+//
+// The call path recycles its fixed-shape envelopes and records through
+// sync.Pools, so a steady-state call allocates only what genuinely escapes
+// it: the wire messages and the group snapshot they reference. Recycling
+// leans on ownership rules enforced elsewhere — Take* transfers sole
+// ownership of a record and the table-escape lint keeps scoped pointers
+// from leaking — so the owner may scrub and repool. Slices that escape
+// into frozen wire messages (a record's Server snapshot, a relEntry's
+// group) are dropped at release, never reused: a recycled backing array
+// would mutate a frozen message.
+
+var (
+	clientRecPool = sync.Pool{New: func() any { return new(ClientRecord) }}
+	serverRecPool = sync.Pool{New: func() any { return new(ServerRecord) }}
+	netEventPool  = sync.Pool{New: func() any { return new(NetEvent) }}
+	userMsgPool   = sync.Pool{New: func() any { return new(msg.UserMsg) }}
+	callKeyPool   = sync.Pool{New: func() any { return new(msg.CallKey) }}
+	callIDPool    = sync.Pool{New: func() any { return new(msg.CallID) }}
+)
+
+// releaseClientRec scrubs and recycles a collected call record. The
+// semaphore is kept only when certainly quiescent: Close can race a stray
+// V onto an already-completed record, and such a semaphore is dropped
+// rather than poisoning a future call with a phantom unit.
+func releaseClientRec(rec *ClientRecord) {
+	s := rec.Sem
+	if s != nil && (s.Count() != 0 || s.Waiters() != 0) {
+		s = nil
+	}
+	*rec = ClientRecord{Sem: s, Pending: rec.Pending[:0]}
+	clientRecPool.Put(rec)
+}
+
+// getServerRec returns a scrubbed server record ready to fill.
+func getServerRec() *ServerRecord { return serverRecPool.Get().(*ServerRecord) }
+
+// releaseServerRec scrubs and recycles a server record the caller owns
+// (obtained via TakeServer).
+func releaseServerRec(rec *ServerRecord) {
+	*rec = ServerRecord{}
+	serverRecPool.Put(rec)
+}
+
+// PutUserMsg recycles a UserMsg obtained from Call, CallAdmitted or
+// Request once the caller has copied out the fields it needs. Optional —
+// an unreturned message is simply garbage collected.
+func PutUserMsg(um *msg.UserMsg) {
+	*um = msg.UserMsg{}
+	userMsgPool.Put(um)
+}
+
+func getUserMsg() *msg.UserMsg { return userMsgPool.Get().(*msg.UserMsg) }
+
 // Options configures a Framework.
 type Options struct {
 	Site       *proc.Site // identity + incarnation source (required)
@@ -156,6 +225,9 @@ type Options struct {
 	// The conformance harness replays these through its property oracles;
 	// a nil sink costs one pointer compare per site.
 	Trace trace.Sink
+	// FlushSize caps how many outbound messages one batch frame of the
+	// flush queue coalesces (deviation D16); 0 selects the default.
+	FlushSize int
 }
 
 // Framework is the composite-protocol framework: shared data structures,
@@ -177,7 +249,8 @@ type Options struct {
 type Framework struct {
 	site       *proc.Site
 	bus        *event.Bus
-	net        Transport
+	net        Transport // the flush queue wrapping the real transport (D16)
+	flusher    *Flusher
 	server     Server
 	membership member.Service
 	threads    *proc.Threads
@@ -259,12 +332,15 @@ func NewFramework(opts Options) (*Framework, error) {
 	fw := &Framework{
 		site:       opts.Site,
 		bus:        opts.Bus,
-		net:        opts.Net,
 		server:     opts.Server,
 		membership: ms,
 		threads:    proc.NewThreads(),
 		sink:       opts.Trace,
 	}
+	// Every sender goes through the flush queue; Net() hands it out as the
+	// Transport, so micro-protocols coalesce without knowing it.
+	fw.flusher = newFlusher(fw, opts.Net, opts.FlushSize)
+	fw.net = fw.flusher
 	fw.clients.init()
 	fw.servers.init()
 	fw.nextSeq.Store(1)
@@ -507,19 +583,25 @@ func (fw *Framework) NewClientRec(op msg.OpID, args []byte, group msg.Group, vc 
 	// paper's single args field; Collation replaces them with its init
 	// value before any reply arrives (deviation D7: retransmissions use
 	// CallArgs so the collation accumulator never leaks onto the wire).
-	rec := &ClientRecord{
+	rec := clientRecPool.Get().(*ClientRecord)
+	s := rec.Sem
+	if s == nil {
+		s = sem.New(0)
+	}
+	pending := rec.Pending[:0]
+	for range group {
+		pending = append(pending, PendingEntry{})
+	}
+	*rec = ClientRecord{
 		ID:       id,
 		Op:       op,
 		CallArgs: args,
 		Args:     args,
 		Server:   group.Clone(),
-		Sem:      sem.New(0),
-		Pending:  make(map[msg.ProcID]PendingEntry, len(group)),
+		Sem:      s,
+		Pending:  pending,
 		Status:   msg.StatusWaiting,
 		VC:       vc,
-	}
-	for _, p := range group {
-		rec.Pending[p] = PendingEntry{}
 	}
 	fw.clients.put(rec)
 	if fw.Tracing() {
@@ -576,6 +658,7 @@ func (fw *Framework) DropServerCall(key msg.CallKey) bool {
 		rec.Thread.Kill()
 		fw.threads.Finish(rec.Thread)
 	}
+	releaseServerRec(rec)
 	return true
 }
 
@@ -664,7 +747,9 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 	if th != nil && th.IsKilled() {
 		// Terminate Orphan (or a crash) killed the computation: suppress
 		// the reply.
-		fw.TakeServer(key)
+		if r, ok := fw.TakeServer(key); ok {
+			releaseServerRec(r)
+		}
 		fw.threads.Finish(th)
 		if fw.Tracing() {
 			fw.Emit(trace.Event{Kind: trace.KOrphanKilled, Client: key.Client, ID: key.ID})
@@ -677,8 +762,13 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 	// REPLY_FROM_SERVER runs while the record is still in sRPC (Unique
 	// Execution and the ordering protocols read it); then the record is
 	// removed and the reply pushed — the paper's order, with its
-	// read-after-delete slip fixed.
-	fw.bus.Trigger(event.ReplyFromServer, key)
+	// read-after-delete slip fixed. The key rides in a pooled box: boxing
+	// the 16-byte struct into the event argument directly would allocate
+	// on every reply.
+	kb := callKeyPool.Get().(*msg.CallKey)
+	*kb = key
+	fw.bus.Trigger(event.ReplyFromServer, kb)
+	callKeyPool.Put(kb)
 
 	// With Causal Order, the reply carries the server's delivered-vector
 	// (which already includes this call): merging it at the client makes
@@ -699,7 +789,10 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 		Inc:    fw.Inc(),
 		VC:     replyVC,
 	}
-	_, held := fw.TakeServer(key)
+	srec, held := fw.TakeServer(key)
+	if held {
+		releaseServerRec(srec)
+	}
 	if th != nil {
 		fw.threads.Finish(th)
 	}
@@ -726,7 +819,11 @@ func (fw *Framework) executeCall(key msg.CallKey) {
 // gate until OpenAdmission. It returns only once every caller that had
 // already passed the gate has finished its CALL_FROM_USER dispatch, so
 // after CloseAdmission returns, the set of pending client calls is exactly
-// what WaitingClientCalls sees — nothing is about to appear.
+// what WaitingClientCalls sees — nothing is about to appear. Batch frames
+// parked in the flush queue (an open pipeline racing the reconfiguration)
+// are force-flushed last: their calls already have records — the admission
+// count stays sound mid-batch — but the drain barrier needs them on the
+// wire, not wedged in a lane.
 func (fw *Framework) CloseAdmission() {
 	fw.admitMu.Lock()
 	fw.admitClosed = true
@@ -734,7 +831,27 @@ func (fw *Framework) CloseAdmission() {
 		fw.admitCond.Wait()
 	}
 	fw.admitMu.Unlock()
+	fw.flusher.ForceFlush()
 }
+
+// Flush force-flushes every lane of the flush queue (partial batches
+// included). Tests and the facade's drain paths use it to push parked
+// traffic onto the wire without closing admission.
+func (fw *Framework) Flush() { fw.flusher.ForceFlush() }
+
+// PipelineBegin opens a pipeline hold on the flush queue: no-wait calls
+// issued until PipelineEnd park per destination and go out as batch
+// frames. Holds nest; a full lane (FlushSize) flushes early, and a
+// drain-class reconfiguration force-flushes parked frames regardless.
+func (fw *Framework) PipelineBegin() { fw.flusher.PipelineBegin() }
+
+// PipelineEnd closes a pipeline hold and flushes everything parked once
+// the last hold is gone.
+func (fw *Framework) PipelineEnd() { fw.flusher.PipelineEnd() }
+
+// SetFlushSize changes the flush queue's batch size cap (live
+// reconfiguration of Config.FlushSize).
+func (fw *Framework) SetFlushSize(n int) { fw.flusher.SetMax(n) }
 
 // OpenAdmission reopens the admission gate, waking blocked callers.
 func (fw *Framework) OpenAdmission() {
@@ -819,9 +936,12 @@ func (fw *Framework) rehomeHeldCalls(seq Sequencer) {
 }
 
 // HandleNet is the delivery entry point wired to the transport: it turns an
-// arriving message into a MSG_FROM_NETWORK occurrence. For Call messages a
-// thread token is created first, so the orphan micro-protocols can track
-// and kill the computation.
+// arriving message into a MSG_FROM_NETWORK occurrence. A batch frame is
+// unpacked here, its sub-messages dispatched sequentially in send order
+// under one barrier acquisition — the transport contract is unordered, so
+// serializing what used to race as independent deliveries only narrows the
+// interleavings (D16). For Call messages a thread token is created first,
+// so the orphan micro-protocols can track and kill the computation.
 func (fw *Framework) HandleNet(m *msg.NetMsg) {
 	fw.cmu.Lock()
 	if fw.closed {
@@ -833,7 +953,27 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 	fw.dispatchMu.RLock()
 	defer fw.dispatchMu.RUnlock()
 
-	ev := &NetEvent{Msg: m}
+	if m.Type == msg.OpBatch {
+		if fw.Tracing() {
+			fw.Emit(trace.Event{Kind: trace.KBatchDelivered, From: m.Sender,
+				Op: msg.OpID(len(m.Batch))})
+		}
+		for _, sub := range m.Batch {
+			fw.handleOne(sub)
+		}
+		return
+	}
+	fw.handleOne(m)
+}
+
+// handleOne dispatches one (non-batch) delivered message. The caller holds
+// the dispatch barrier shared.
+func (fw *Framework) handleOne(m *msg.NetMsg) {
+	// The event envelope is pooled: handlers receive it synchronously and
+	// must not retain it past their return (handler discipline), so it can
+	// be scrubbed and recycled as soon as the trigger completes.
+	ev := netEventPool.Get().(*NetEvent)
+	ev.Msg, ev.Thread = m, nil
 	if m.Type == msg.OpCall {
 		ev.Thread = fw.threads.Spawn(m.Client)
 	}
@@ -842,13 +982,16 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 		// The occurrence was cancelled (duplicate, stale generation, ...):
 		// retire this delivery's token unless a stored record adopted it.
 		owned := false
+		thread := ev.Thread
 		fw.WithServer(m.Key(), func(rec *ServerRecord) {
-			owned = rec.Thread == ev.Thread
+			owned = rec.Thread == thread
 		})
 		if !owned {
-			fw.threads.Finish(ev.Thread)
+			fw.threads.Finish(thread)
 		}
 	}
+	ev.Msg, ev.Thread = nil, nil
+	netEventPool.Put(ev)
 }
 
 // Call issues a synchronous (or, with Asynchronous Call configured,
@@ -859,16 +1002,14 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 // blocking wait happens in the Collect continuation after dispatch, outside
 // the reconfiguration barrier.
 func (fw *Framework) Call(op msg.OpID, args []byte, group msg.Group) *msg.UserMsg {
-	um := &msg.UserMsg{Type: msg.UserCall, Op: op, Args: args, Server: group}
+	um := getUserMsg()
+	um.Type, um.Op, um.Args, um.Server = msg.UserCall, op, args, group
 	fw.admitEnter()
 	fw.dispatchMu.RLock()
 	fw.bus.Trigger(event.CallFromUser, um)
 	fw.dispatchMu.RUnlock()
 	fw.admitExit()
-	if um.Collect != nil {
-		um.Collect()
-		um.Collect = nil
-	}
+	fw.CollectUserMsg(um)
 	return um
 }
 
@@ -886,11 +1027,44 @@ func (fw *Framework) AdmitExit() { fw.admitExit() }
 // via AdmitEnter. It dispatches the call but does not run the Collect
 // continuation; the caller runs it, if set, after releasing the gate.
 func (fw *Framework) CallAdmitted(op msg.OpID, args []byte, group msg.Group) *msg.UserMsg {
-	um := &msg.UserMsg{Type: msg.UserCall, Op: op, Args: args, Server: group}
+	um := getUserMsg()
+	um.Type, um.Op, um.Args, um.Server = msg.UserCall, op, args, group
 	fw.dispatchMu.RLock()
 	fw.bus.Trigger(event.CallFromUser, um)
 	fw.dispatchMu.RUnlock()
 	return um
+}
+
+// CollectUserMsg runs the blocking collect step for a dispatched user
+// message whose Wait flag is set: park on the call's semaphore, then move
+// the result into um and retire the record. Call and Request run it
+// themselves; CallAdmitted callers run it after releasing the admission
+// gate. It happens outside the dispatch barrier, so a parked caller never
+// delays a swap.
+func (fw *Framework) CollectUserMsg(um *msg.UserMsg) {
+	if !um.Wait {
+		return
+	}
+	um.Wait = false
+	var s *sem.Sem
+	fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
+	if s == nil {
+		// Unknown or already-collected call.
+		um.Status = msg.StatusAborted
+		return
+	}
+	s.P()
+	// Take transfers record ownership; the shard mutex pairing gives the
+	// happens-before that makes the lock-free reads below safe.
+	rec, ok := fw.TakeClient(um.ID)
+	if !ok {
+		um.Status = msg.StatusAborted
+		return
+	}
+	um.Args = rec.Args
+	um.Status = rec.Status
+	um.Op = rec.Op
+	releaseClientRec(rec)
 }
 
 // Request retrieves the result of a previously issued asynchronous call,
@@ -898,14 +1072,12 @@ func (fw *Framework) CallAdmitted(op msg.OpID, args []byte, group msg.Group) *ms
 // Collecting needs no admission (it creates no new call); the blocking wait
 // happens outside the barrier, like Call's.
 func (fw *Framework) Request(id msg.CallID) *msg.UserMsg {
-	um := &msg.UserMsg{Type: msg.UserRequest, ID: id}
+	um := getUserMsg()
+	um.Type, um.ID = msg.UserRequest, id
 	fw.dispatchMu.RLock()
 	fw.bus.Trigger(event.CallFromUser, um)
 	fw.dispatchMu.RUnlock()
-	if um.Collect != nil {
-		um.Collect()
-		um.Collect = nil
-	}
+	fw.CollectUserMsg(um)
 	return um
 }
 
@@ -940,25 +1112,24 @@ func (fw *Framework) Close() {
 
 	// Abort every pending call atomically (a call issued concurrently with
 	// Close either completes normally or is aborted here, never missed),
-	// then wake the parked callers outside the table locks.
+	// then wake the parked callers outside the table locks. Only calls
+	// aborted here are woken: completed-but-uncollected records already
+	// carry their completion unit, and a gratuitous second V would leave a
+	// phantom unit behind on a semaphore the record pool might reuse.
 	var wake []*ClientRecord
-	var aborted []msg.CallID
 	fw.ClientTx(func(tx ClientTx) {
 		tx.Each(func(r *ClientRecord) {
 			if r.Status == msg.StatusWaiting {
 				r.Status = msg.StatusAborted
-				aborted = append(aborted, r.ID)
+				wake = append(wake, r)
 			}
-			wake = append(wake, r)
 		})
 	})
-	for _, id := range aborted {
+	for _, r := range wake {
 		if fw.Tracing() {
-			fw.Emit(trace.Event{Kind: trace.KCallDone, Client: fw.Self(), ID: id,
+			fw.Emit(trace.Event{Kind: trace.KCallDone, Client: fw.Self(), ID: r.ID,
 				Status: msg.StatusAborted})
 		}
-	}
-	for _, r := range wake {
 		r.Sem.V()
 	}
 

@@ -145,7 +145,7 @@ func (f *FIFOOrder) Attach(fw *Framework) error {
 
 	b.On(event.ReplyFromServer, "FIFOOrder.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
-			key := o.Arg.(msg.CallKey)
+			key := *o.Arg.(*msg.CallKey)
 			var inc msg.Incarnation
 			if !fw.WithServer(key, func(rec *ServerRecord) { inc = rec.Inc }) {
 				return

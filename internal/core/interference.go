@@ -94,7 +94,7 @@ func (ia *InterferenceAvoidance) Attach(fw *Framework) error {
 			// ci.inc == m.Inc: admit and count.
 			ci.count++
 			ia.mu.Unlock()
-			o.OnCancel(func() {
+			o.OnCancel(func(*event.Occurrence) {
 				// A later handler dropped the call (duplicate, ordering):
 				// it will never produce a reply, so uncount it.
 				ia.mu.Lock()
@@ -106,7 +106,7 @@ func (ia *InterferenceAvoidance) Attach(fw *Framework) error {
 
 	b.On(event.ReplyFromServer, "InterferenceAvoid.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
-			key := o.Arg.(msg.CallKey)
+			key := *o.Arg.(*msg.CallKey)
 			ia.mu.Lock()
 			if ci, ok := ia.info[key.Client]; ok {
 				ci.count--

@@ -53,13 +53,28 @@ var _ Stateful = (*ReliableCommunication)(nil)
 // has moved on, the lingering phase only needs every member to have
 // RECEIVED the call (the ordering protocols' same-set property).
 type relEntry struct {
-	id     msg.CallID
-	op     msg.OpID
-	args   []byte
-	group  msg.Group
-	vc     msg.VClock
-	acks   map[msg.ProcID]uint8 // relReceived/relReplied bits per member
+	id    msg.CallID
+	op    msg.OpID
+	args  []byte
+	group msg.Group
+	vc    msg.VClock
+	// acks holds relReceived/relReplied bits per member, in lockstep with
+	// group (acks[i] belongs to group[i]) — a slice instead of a map so a
+	// pooled entry's backing array is reused across calls.
+	acks   []uint8
 	linger int
+}
+
+// relEntryPool recycles transmission-state entries. group is dropped (not
+// reused) on release: it aliases the call record's Server slice, which may
+// still back frozen wire messages.
+var relEntryPool = sync.Pool{New: func() any { return new(relEntry) }}
+
+func getRelEntry() *relEntry { return relEntryPool.Get().(*relEntry) }
+
+func releaseRelEntry(e *relEntry) {
+	*e = relEntry{acks: e.acks[:0]}
+	relEntryPool.Put(e)
 }
 
 const (
@@ -137,27 +152,39 @@ func (r *ReliableCommunication) Attach(fw *Framework) error {
 			if reply {
 				bits |= relReplied
 			}
-			e.acks[from] |= bits
+			for i, p := range e.group {
+				if p == from {
+					e.acks[i] |= bits
+					break
+				}
+			}
 		}
 		r.mu.Unlock()
 	}
 
 	b.On(event.NewRPCCall, "ReliableComm.handleNewCall", event.DefaultPriority,
 		func(o *event.Occurrence) {
-			id := o.Arg.(msg.CallID)
+			id := *o.Arg.(*msg.CallID)
 			var e *relEntry
 			fw.WithClient(id, func(rec *ClientRecord) {
-				e = &relEntry{
-					id:    rec.ID,
-					op:    rec.Op,
-					args:  rec.CallArgs, // original input args (deviation D7)
-					group: rec.Server.Clone(),
-					vc:    rec.VC, // retransmissions carry the original timestamp
-					acks:  make(map[msg.ProcID]uint8, len(rec.Server)),
+				e = getRelEntry()
+				acks := e.acks[:0]
+				for range rec.Server {
+					acks = append(acks, 0)
 				}
-				for p, entry := range rec.Pending {
-					entry.Acked = false
-					rec.Pending[p] = entry
+				*e = relEntry{
+					id:   rec.ID,
+					op:   rec.Op,
+					args: rec.CallArgs, // original input args (deviation D7)
+					// The record's Server slice is immutable after insert and
+					// its backing is dropped (never scrubbed) when the record
+					// is repooled, so sharing it here is safe — no clone.
+					group: rec.Server,
+					vc:    rec.VC, // retransmissions carry the original timestamp
+					acks:  acks,
+				}
+				for i := range rec.Pending {
+					rec.Pending[i].Acked = false
 				}
 			})
 			if e == nil {
@@ -200,18 +227,16 @@ func (r *ReliableCommunication) Attach(fw *Framework) error {
 			case msg.OpReply:
 				mark(m.ID, m.Sender, true)
 				fw.WithClient(m.ID, func(rec *ClientRecord) {
-					if e, ok := rec.Pending[m.Sender]; ok {
+					if e := rec.PendingFor(m.Sender); e != nil {
 						e.Acked = true
-						rec.Pending[m.Sender] = e
 					}
 				})
 			case msg.OpCallAck:
 				// A member acknowledged receipt of our Call.
 				mark(m.AckID, m.Sender, false)
 				fw.WithClient(m.AckID, func(rec *ClientRecord) {
-					if e, ok := rec.Pending[m.Sender]; ok {
+					if e := rec.PendingFor(m.Sender); e != nil {
 						e.Acked = true
-						rec.Pending[m.Sender] = e
 					}
 				})
 			}
@@ -241,22 +266,24 @@ func (r *ReliableCommunication) Attach(fw *Framework) error {
 				e.linger++
 				if e.linger > lingerRounds {
 					delete(r.live, id)
+					releaseRelEntry(e)
 					continue
 				}
 			}
 			done := true
-			for _, p := range e.group {
-				if e.acks[p]&need == 0 {
+			for i := range e.group {
+				if e.acks[i]&need == 0 {
 					done = false
 					break
 				}
 			}
 			if done {
 				delete(r.live, id)
+				releaseRelEntry(e)
 				continue
 			}
-			for _, p := range e.group {
-				if e.acks[p]&need != 0 {
+			for i, p := range e.group {
+				if e.acks[i]&need != 0 {
 					continue
 				}
 				out = append(out, resend{to: p, m: &msg.NetMsg{

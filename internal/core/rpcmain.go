@@ -3,7 +3,6 @@ package core
 import (
 	"mrpc/internal/event"
 	"mrpc/internal/msg"
-	"mrpc/internal/sem"
 )
 
 // RPCMain handles the main control flow of an RPC on both the client and
@@ -29,7 +28,12 @@ func (r *RPCMain) Attach(fw *Framework) error {
 	r.b = b
 
 	// Server side: a Call arriving from the network is recorded in sRPC and
-	// offered to forward_up under the MAIN property.
+	// offered to forward_up under the MAIN property. The cancellation
+	// compensation is one long-lived closure reading its key from the
+	// occurrence: capturing the key per event would allocate on every call.
+	dropHeldCall := func(o *event.Occurrence) {
+		fw.DropServerCall(o.Arg.(*NetEvent).Msg.Key())
+	}
 	b.On(event.MsgFromNetwork, "RPCMain.msgFromNet", PrioMain,
 		func(o *event.Occurrence) {
 			ev := o.Arg.(*NetEvent)
@@ -38,7 +42,8 @@ func (r *RPCMain) Attach(fw *Framework) error {
 				return
 			}
 			key := m.Key()
-			rec := &ServerRecord{
+			rec := getServerRec()
+			*rec = ServerRecord{
 				Key:    key,
 				Op:     m.Op,
 				Args:   m.Args,
@@ -53,10 +58,11 @@ func (r *RPCMain) Attach(fw *Framework) error {
 				// while an ordering protocol defers it). Without Unique
 				// Execution nothing else filters this; drop the copy to
 				// keep the table consistent.
+				releaseServerRec(rec)
 				o.Cancel()
 				return
 			}
-			o.OnCancel(func() { fw.DropServerCall(key) })
+			o.OnCancel(dropHeldCall)
 			fw.ForwardUp(key, HoldMain)
 		})
 
@@ -82,9 +88,14 @@ func (r *RPCMain) Attach(fw *Framework) error {
 			// call runs the NEW_RPC_CALL chain (Reliable Communication,
 			// Bounded Termination, ...) to completion before the request is
 			// multicast. NEW_RPC_CALL handlers never trigger CALL_FROM_USER,
-			// so the recursion is one level deep by construction.
+			// so the recursion is one level deep by construction. The id
+			// rides in a pooled box: boxing the int64 into the event
+			// argument directly would allocate on every call.
+			ib := callIDPool.Get().(*msg.CallID)
+			*ib = rec.ID
 			//lint:ignore handler-discipline NEW_RPC_CALL cascade is the paper's design; no cycle back into CALL_FROM_USER
-			fw.Bus().Trigger(event.NewRPCCall, rec.ID)
+			fw.Bus().Trigger(event.NewRPCCall, ib)
+			callIDPool.Put(ib)
 
 			call := &msg.NetMsg{
 				Type:   msg.OpCall,
@@ -116,10 +127,10 @@ func (r *RPCMain) Detach(fw *Framework) {
 
 // SynchronousCall implements synchronous RPC semantics (§4.4.2): the
 // calling thread blocks on the call's semaphore until the call completes
-// (accepted, timed out, or aborted), then collects the result. The block
-// happens in the UserMsg's Collect continuation, which Framework.Call runs
-// after dispatch — outside the reconfiguration barrier, so a parked caller
-// never delays a swap.
+// (accepted, timed out, or aborted), then collects the result. The handler
+// only raises the UserMsg's Wait flag; Framework.CollectUserMsg does the
+// blocking after dispatch — outside the reconfiguration barrier, so a
+// parked caller never delays a swap.
 type SynchronousCall struct {
 	b *Binding
 }
@@ -143,23 +154,7 @@ func (sc *SynchronousCall) Attach(fw *Framework) error {
 			if um.Type != msg.UserCall {
 				return
 			}
-			var s *sem.Sem
-			fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
-			if s == nil {
-				return
-			}
-			um.Collect = func() {
-				s.P()
-				// Take transfers record ownership; the shard mutex pairing
-				// gives the happens-before that makes the lock-free reads
-				// below safe.
-				rec, ok := fw.TakeClient(um.ID)
-				if !ok {
-					return
-				}
-				um.Args = rec.Args
-				um.Status = rec.Status
-			}
+			um.Wait = fw.HasClient(um.ID)
 		})
 	// The synchronous composite normally has no uncollected results, but a
 	// reconfiguration that switches the call mode can leave some behind
@@ -176,7 +171,7 @@ func (sc *SynchronousCall) Detach(*Framework) { sc.b.Detach() }
 // AsynchronousCall implements asynchronous RPC semantics (§4.4.2): the
 // caller is not blocked when the call is issued; it later retrieves the
 // result with a Request message, blocking only then if the result is not
-// yet available (again via the Collect continuation, outside the barrier).
+// yet available (again via the Wait flag, outside the barrier).
 type AsynchronousCall struct {
 	b *Binding
 }
@@ -198,34 +193,22 @@ func (ac *AsynchronousCall) Attach(fw *Framework) error {
 }
 
 // collectRequest builds the UserRequest handler shared by both
-// call-semantics micro-protocols: block until the outstanding call
-// completes, then surrender its record to the requester. The asynchronous
-// protocol registers it as its Request primitive; the synchronous one
-// registers it so results left uncollected by a call-mode reconfiguration
-// stay reachable.
+// call-semantics micro-protocols: raise the Wait flag so the framework
+// blocks until the outstanding call completes and surrenders its record to
+// the requester. The asynchronous protocol registers it as its Request
+// primitive; the synchronous one registers it so results left uncollected
+// by a call-mode reconfiguration stay reachable.
 func collectRequest(fw *Framework) func(*event.Occurrence) {
 	return func(o *event.Occurrence) {
 		um := o.Arg.(*msg.UserMsg)
 		if um.Type != msg.UserRequest {
 			return
 		}
-		var s *sem.Sem
-		fw.WithClient(um.ID, func(rec *ClientRecord) { s = rec.Sem })
-		if s == nil {
+		if fw.HasClient(um.ID) {
+			um.Wait = true
+		} else {
 			// Unknown or already-collected call.
 			um.Status = msg.StatusAborted
-			return
-		}
-		um.Collect = func() {
-			s.P()
-			rec, ok := fw.TakeClient(um.ID)
-			if !ok {
-				um.Status = msg.StatusAborted
-				return
-			}
-			um.Args = rec.Args
-			um.Status = rec.Status
-			um.Op = rec.Op
 		}
 	}
 }

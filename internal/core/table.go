@@ -25,13 +25,13 @@ import (
 //     call back into the table layer and must not trigger events; it may
 //     read and write the record's mutable fields.
 //   - Record fields split into immutable-after-insert (ClientRecord: ID,
-//     Op, CallArgs, Server, Sem, VC, the Pending map structure;
+//     Op, CallArgs, Server, Sem, VC, the Pending slice structure;
 //     ServerRecord: Key, Op, Client, Server, Inc, Thread) and mutable
 //     (ClientRecord: Args, NRes, Status, Pending entries;
 //     ServerRecord: Args, hold, executing). Immutable fields may be read
 //     without the shard lock; mutable fields only inside a scoped callback
 //     — or after Take*, which transfers ownership of the record to the
-//     caller.
+//     caller (and, with it, the right to scrub and repool the record).
 //   - Each* iterates shard by shard, locking one shard at a time: cheap,
 //     but records inserted or removed concurrently in shards not yet
 //     visited may or may not be seen. Handlers that need a consistent

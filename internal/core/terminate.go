@@ -129,7 +129,7 @@ func (to *TerminateOrphan) Attach(fw *Framework) error {
 				ci.threads[th.ID()] = th
 				to.mu.Unlock()
 			}
-			o.OnCancel(func() {
+			o.OnCancel(func(*event.Occurrence) {
 				to.mu.Lock()
 				delete(ci.threads, th.ID())
 				to.mu.Unlock()
@@ -138,7 +138,7 @@ func (to *TerminateOrphan) Attach(fw *Framework) error {
 
 	b.On(event.ReplyFromServer, "TerminateOrphan.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
-			key := o.Arg.(msg.CallKey)
+			key := *o.Arg.(*msg.CallKey)
 			var th *proc.Thread
 			fw.WithServer(key, func(rec *ServerRecord) { th = rec.Thread })
 			if th == nil {

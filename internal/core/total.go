@@ -295,7 +295,7 @@ func (to *TotalOrder) Attach(fw *Framework) error {
 				if !ok {
 					st.waiting[key] = m
 					st.mu.Unlock()
-					o.OnCancel(func() {
+					o.OnCancel(func(*event.Occurrence) {
 						st.mu.Lock()
 						delete(st.waiting, key)
 						st.mu.Unlock()

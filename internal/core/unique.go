@@ -83,7 +83,7 @@ func (u *UniqueExecution) Attach(fw *Framework) error {
 	// Atomic Execution's checkpoint on the same event).
 	b.On(event.ReplyFromServer, "UniqueExec.handleReply", PrioReplyBookkeep,
 		func(o *event.Occurrence) {
-			key := o.Arg.(msg.CallKey)
+			key := *o.Arg.(*msg.CallKey)
 			var (
 				args []byte
 				ok   bool
@@ -95,6 +95,15 @@ func (u *UniqueExecution) Attach(fw *Framework) error {
 				u.mu.Unlock()
 			}
 		})
+
+	// One long-lived cancellation compensation (it reads its key from the
+	// occurrence) instead of a per-event capturing closure; see D6.
+	forgetOnCancel := func(o *event.Occurrence) {
+		key := o.Arg.(*NetEvent).Msg.Key()
+		u.mu.Lock()
+		delete(u.oldCalls, key)
+		u.mu.Unlock()
+	}
 
 	b.On(event.MsgFromNetwork, "UniqueExec.msgFromNet", PrioUnique,
 		func(o *event.Occurrence) {
@@ -137,11 +146,7 @@ func (u *UniqueExecution) Attach(fw *Framework) error {
 				// If a later handler cancels this delivery (the call never
 				// executes now), forget it so a retransmission can succeed
 				// (deviation D6).
-				o.OnCancel(func() {
-					u.mu.Lock()
-					delete(u.oldCalls, key)
-					u.mu.Unlock()
-				})
+				o.OnCancel(forgetOnCancel)
 
 			case msg.OpReply:
 				// Client side: acknowledge the response so the server can

@@ -66,7 +66,28 @@ type Occurrence struct {
 	Arg any
 
 	cancelled bool
-	cleanups  []func()
+	cleanups  []func(*Occurrence)
+}
+
+// occPool recycles occurrences (and their cleanup slices) across triggers:
+// dispatch is the hottest path in the composite, and an occurrence never
+// outlives its Trigger call — handlers receive it synchronously and the
+// compensation closures run before Trigger returns.
+var occPool = sync.Pool{New: func() any { return new(Occurrence) }}
+
+func getOcc(t Type, arg any) *Occurrence {
+	o := occPool.Get().(*Occurrence)
+	o.Type, o.Arg, o.cancelled = t, arg, false
+	return o
+}
+
+func putOcc(o *Occurrence) {
+	o.Arg = nil
+	for i := range o.cleanups {
+		o.cleanups[i] = nil // do not retain compensation closures
+	}
+	o.cleanups = o.cleanups[:0]
+	occPool.Put(o)
 }
 
 // Cancel marks the occurrence cancelled: the remaining handlers registered
@@ -81,7 +102,11 @@ func (o *Occurrence) Cancelled() bool { return o.cancelled }
 // resources or update counters use it so that cancellation by a
 // higher-numbered-priority handler does not leak state — a hazard the
 // paper's pseudocode leaves to inspection (deviation D6 in DESIGN.md).
-func (o *Occurrence) OnCancel(f func()) { o.cleanups = append(o.cleanups, f) }
+// The compensation receives the occurrence it was registered on, so
+// hot-path handlers can register one long-lived callback that reads its
+// context from o.Arg instead of allocating a fresh capturing closure per
+// event.
+func (o *Occurrence) OnCancel(f func(*Occurrence)) { o.cleanups = append(o.cleanups, f) }
 
 // Handler is an event handler. Handlers run on the triggering goroutine.
 type Handler func(*Occurrence)
@@ -198,7 +223,8 @@ func (b *Bus) Trigger(t Type, arg any) bool {
 	if len(hs) == 0 {
 		return true
 	}
-	occ := &Occurrence{Type: t, Arg: arg}
+	occ := getOcc(t, arg)
+	completed := true
 	for _, r := range hs {
 		if obs != nil {
 			t0 := b.clk.Now()
@@ -209,12 +235,14 @@ func (b *Bus) Trigger(t Type, arg any) bool {
 		}
 		if occ.cancelled {
 			for i := len(occ.cleanups) - 1; i >= 0; i-- {
-				occ.cleanups[i]()
+				occ.cleanups[i](occ)
 			}
-			return false
+			completed = false
+			break
 		}
 	}
-	return true
+	putOcc(occ)
+	return completed
 }
 
 // SetObserver installs (or with nil, removes) the handler-invocation
@@ -275,7 +303,7 @@ func (b *Bus) RegisterTimeout(name string, interval time.Duration, fn Handler) (
 		if closed {
 			return
 		}
-		occ := &Occurrence{Type: Timeout}
+		occ := getOcc(Timeout, nil)
 		// TIMEOUT firings report to the observer like ordinary dispatch, so
 		// handler-level profiling covers retransmission and failure-detector
 		// work too.
@@ -286,6 +314,7 @@ func (b *Bus) RegisterTimeout(name string, interval time.Duration, fn Handler) (
 		} else {
 			fn(occ)
 		}
+		putOcc(occ)
 	})
 	b.mu.Unlock()
 	return func() {

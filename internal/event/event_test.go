@@ -70,10 +70,10 @@ func TestOnCancelCompensationReverseOrder(t *testing.T) {
 	b := New(clock.NewReal())
 	var cleanups []string
 	b.Register(MsgFromNetwork, "a", 1, func(o *Occurrence) {
-		o.OnCancel(func() { cleanups = append(cleanups, "a") })
+		o.OnCancel(func(*Occurrence) { cleanups = append(cleanups, "a") })
 	})
 	b.Register(MsgFromNetwork, "b", 2, func(o *Occurrence) {
-		o.OnCancel(func() { cleanups = append(cleanups, "b") })
+		o.OnCancel(func(*Occurrence) { cleanups = append(cleanups, "b") })
 	})
 	b.Register(MsgFromNetwork, "c", 3, func(o *Occurrence) { o.Cancel() })
 	b.Trigger(MsgFromNetwork, nil)
@@ -86,7 +86,7 @@ func TestOnCancelNotRunOnCompletion(t *testing.T) {
 	b := New(clock.NewReal())
 	ran := false
 	b.Register(MsgFromNetwork, "a", 1, func(o *Occurrence) {
-		o.OnCancel(func() { ran = true })
+		o.OnCancel(func(*Occurrence) { ran = true })
 	})
 	b.Trigger(MsgFromNetwork, nil)
 	if ran {

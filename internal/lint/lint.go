@@ -22,6 +22,11 @@
 //     internal/msg and internal/netsim — messages are frozen on send and
 //     shared by every recipient (DESIGN.md D13), so a handler mutating one
 //     would corrupt its peers.
+//   - batch-freeze: batch frames may only be built by msg.NewBatch, which
+//     freezes the sub-messages and the frame before handoff (DESIGN.md D16)
+//     — hand-rolled NetMsg{Type: OpBatch} literals, literals setting the
+//     Batch field, and writes through .Batch are rejected outside
+//     internal/msg.
 //
 // The analysis is intraprocedural and syntax-plus-types driven; a sound
 // escape or call-graph analysis is out of scope. A violation that is
@@ -74,6 +79,7 @@ var rules = []rule{
 	{"goroutine-discipline", checkGoroutineDiscipline},
 	{"priority-constants", checkPriorityConstants},
 	{"msg-immutability", checkMsgImmutability},
+	{"batch-freeze", checkBatchFreeze},
 }
 
 // inScope reports whether a package path is subject to the invariants. The

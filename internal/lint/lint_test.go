@@ -143,6 +143,7 @@ func TestHandlerDisciplineFixture(t *testing.T)   { checkFixture(t, "handler") }
 func TestGoroutineDisciplineFixture(t *testing.T) { checkFixture(t, "goroutine") }
 func TestPriorityConstantsFixture(t *testing.T)   { checkFixture(t, "priority") }
 func TestMsgImmutabilityFixture(t *testing.T)     { checkFixture(t, "msgimmut") }
+func TestBatchFreezeFixture(t *testing.T)         { checkFixture(t, "batchfreeze") }
 func TestIgnoreDirectives(t *testing.T)           { checkFixture(t, "ignore") }
 
 // TestModuleIsClean is the acceptance gate: the tree this test ships with

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// checkBatchFreeze enforces that msg.NewBatch is the only producer of batch
+// frames (DESIGN.md deviation D16): NewBatch freezes every sub-message and
+// the frame itself before handoff, so a batch is immutable from birth. A
+// hand-rolled frame could still be mutated after its sub-messages were
+// shared with the flusher's per-destination queue — the exact corruption
+// msg-immutability exists to prevent, entered through the constructor-shaped
+// hole that rule leaves open. Outside internal/msg the rule rejects
+//
+//   - a NetMsg composite literal that sets the Batch field or gives Type
+//     the value msg.OpBatch,
+//   - any assignment through a .Batch selector (direct or element write).
+func checkBatchFreeze(p *Package) []Diagnostic {
+	if !inScope(p.Path) || p.Path == "mrpc/internal/msg" {
+		return nil
+	}
+	var ds []Diagnostic
+	flag := func(pos ast.Node, what string) {
+		ds = append(ds, Diagnostic{
+			Pos:  p.Fset.Position(pos.Pos()),
+			Rule: "batch-freeze",
+			Message: what + ": batch frames are frozen at construction and may only be " +
+				"built by msg.NewBatch (DESIGN.md D16)",
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if !isNetMsgLit(p, n) {
+					return true
+				}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch {
+					case key.Name == "Batch":
+						flag(kv, "NetMsg literal sets Batch")
+					case key.Name == "Type" && isOpBatch(p, kv.Value):
+						flag(kv, "NetMsg literal with Type OpBatch")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, field := msgFieldTarget(p, lhs); sel != nil && field == "Batch" {
+						flag(sel, "write through .Batch")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// isNetMsgLit reports whether a composite literal's type is msg.NetMsg.
+func isNetMsgLit(p *Package, lit *ast.CompositeLit) bool {
+	t := p.Info.TypeOf(lit)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "mrpc/internal/msg" && named.Obj().Name() == "NetMsg"
+}
+
+// isOpBatch reports whether an expression resolves to the msg.OpBatch
+// constant (directly or through a local constant declared equal to it).
+func isOpBatch(p *Package, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := p.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return false
+	}
+	if c.Pkg().Path() == "mrpc/internal/msg" && c.Name() == "OpBatch" {
+		return true
+	}
+	// A renamed constant with the same type and value is the same hole.
+	named, ok := c.Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "mrpc/internal/msg" || named.Obj().Name() != "NetOp" {
+		return false
+	}
+	op, ok := named.Obj().Pkg().Scope().Lookup("OpBatch").(*types.Const)
+	return ok && constant.Compare(op.Val(), token.EQL, c.Val())
+}

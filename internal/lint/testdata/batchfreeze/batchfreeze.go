@@ -1,0 +1,42 @@
+// Fixture for the batch-freeze rule: msg.NewBatch is the only legal
+// producer of OpBatch frames (DESIGN.md D16) — it freezes every
+// sub-message and the frame itself before handoff to the transport.
+package batchfreeze
+
+import "mrpc/internal/msg"
+
+const opAlias = msg.OpBatch
+
+func handRolled(sender msg.ProcID, subs []*msg.NetMsg) *msg.NetMsg {
+	return &msg.NetMsg{
+		Type:  msg.OpBatch, // want "NetMsg literal with Type OpBatch"
+		Batch: subs,        // want "NetMsg literal sets Batch"
+	}
+}
+
+func aliasedType() msg.NetMsg {
+	return msg.NetMsg{Type: opAlias} // want "NetMsg literal with Type OpBatch"
+}
+
+func fieldWrite(m *msg.NetMsg, subs []*msg.NetMsg) {
+	m.Batch = subs   // want "write through .Batch" // want "write of msg.NetMsg field Batch"
+	m.Batch[0] = nil // want "write through .Batch" // want "write of msg.NetMsg field Batch"
+}
+
+func ignored(m *msg.NetMsg) {
+	//lint:ignore * fixture demonstrates the escape hatch
+	m.Batch = nil
+}
+
+// legal: NewBatch, reads, non-batch literals, and other Type values.
+func legal(sender msg.ProcID, subs []*msg.NetMsg) *msg.NetMsg {
+	b := msg.NewBatch(sender, subs)
+	n := len(b.Batch)
+	_ = n
+	for _, s := range b.Batch {
+		_ = s
+	}
+	reply := &msg.NetMsg{Type: msg.OpReply, Sender: sender}
+	_ = reply
+	return b
+}

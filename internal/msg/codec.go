@@ -36,9 +36,27 @@ var (
 
 const fixedHeaderLen = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 2 + 4 + 2
 
+// An OpBatch frame reuses the v1 layout unchanged: its payload occupies the
+// args slot (the uint32 length counts the payload bytes), and consists of a
+// uint16 sub-frame count followed by uint32-length-prefixed standard
+// encodings. Batch frames carry no Args of their own and never nest.
+
+// batchPayloadLen returns the size of the batch payload in the args slot.
+func (m *NetMsg) batchPayloadLen() int {
+	n := 2
+	for _, s := range m.Batch {
+		n += 4 + s.EncodedLen()
+	}
+	return n
+}
+
 // EncodedLen returns the exact encoded size of m.
 func (m *NetMsg) EncodedLen() int {
-	return fixedHeaderLen + 4*len(m.Server) + len(m.Args) + 12*len(m.VC)
+	args := len(m.Args)
+	if m.Type == OpBatch {
+		args = m.batchPayloadLen()
+	}
+	return fixedHeaderLen + 4*len(m.Server) + args + 12*len(m.VC)
 }
 
 // Encode serializes m into a fresh buffer.
@@ -58,12 +76,24 @@ func (m *NetMsg) AppendEncode(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(m.AckID))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(m.Order))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Server)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Args)))
+	if m.Type == OpBatch {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(m.batchPayloadLen()))
+	} else {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Args)))
+	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.VC)))
 	for _, p := range m.Server {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
 	}
-	buf = append(buf, m.Args...)
+	if m.Type == OpBatch {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Batch)))
+		for _, s := range m.Batch {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(s.EncodedLen()))
+			buf = s.AppendEncode(buf)
+		}
+	} else {
+		buf = append(buf, m.Args...)
+	}
 	if len(m.VC) > 0 {
 		// The deterministic key order needs a sorted scratch slice; keep it
 		// on the stack for realistic clock sizes so the hot encode path
@@ -114,7 +144,7 @@ func decode(buf []byte, shareArgs bool) (*NetMsg, error) {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
 	}
 	m := &NetMsg{Type: NetOp(buf[1])}
-	if m.Type < OpCall || m.Type > OpOrderInfo {
+	if m.Type < OpCall || m.Type > OpBatch {
 		return nil, fmt.Errorf("msg: invalid message type %d", buf[1])
 	}
 	off := 2
@@ -149,7 +179,44 @@ func decode(buf []byte, shareArgs bool) (*NetMsg, error) {
 			off += 4
 		}
 	}
-	if nArgs > 0 {
+	if m.Type == OpBatch {
+		if nArgs < 2 {
+			return nil, fmt.Errorf("%w: truncated batch payload", ErrShortMessage)
+		}
+		payload := buf[off : off+nArgs]
+		off += nArgs
+		count := int(binary.BigEndian.Uint16(payload))
+		p := 2
+		m.Batch = make([]*NetMsg, 0, count)
+		for i := 0; i < count; i++ {
+			if len(payload)-p < 4 {
+				return nil, fmt.Errorf("%w: truncated batch payload", ErrShortMessage)
+			}
+			sl := int(binary.BigEndian.Uint32(payload[p:]))
+			p += 4
+			if len(payload)-p < sl {
+				return nil, fmt.Errorf("%w: truncated batch sub-frame %d", ErrShortMessage, i)
+			}
+			sub, err := decode(payload[p:p+sl:p+sl], shareArgs)
+			if err != nil {
+				return nil, fmt.Errorf("msg: batch sub-frame %d: %w", i, err)
+			}
+			p += sl
+			if sub.Type == OpBatch {
+				return nil, fmt.Errorf("msg: batch sub-frame %d: batch frames do not nest", i)
+			}
+			if shareArgs {
+				// Sub-messages borrow from the shared wire buffer exactly
+				// like a top-level DecodeShared would; they are frozen for
+				// the same reason.
+				sub.Freeze()
+			}
+			m.Batch = append(m.Batch, sub)
+		}
+		if p != len(payload) {
+			return nil, fmt.Errorf("msg: batch payload has %d trailing bytes", len(payload)-p)
+		}
+	} else if nArgs > 0 {
 		if shareArgs {
 			m.Args = buf[off : off+nArgs : off+nArgs]
 		} else {

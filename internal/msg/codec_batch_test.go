@@ -1,0 +1,144 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleBatch() *NetMsg {
+	subs := []*NetMsg{
+		{Type: OpCall, ID: 7, Client: 100, Op: 3, Args: []byte("first"),
+			Server: NewGroup(1, 2), Sender: 100, Inc: 1},
+		{Type: OpCall, ID: 8, Client: 100, Op: 3, Args: []byte("second"),
+			Server: NewGroup(1, 2), Sender: 100, Inc: 1},
+		{Type: OpCallAck, ID: 5, Client: 100, Sender: 2, AckID: 5},
+	}
+	return NewBatch(100, subs)
+}
+
+func TestNewBatchFreezes(t *testing.T) {
+	b := sampleBatch()
+	if !b.Frozen() {
+		t.Fatal("NewBatch returned an unfrozen frame")
+	}
+	for i, s := range b.Batch {
+		if !s.Frozen() {
+			t.Fatalf("sub-message %d not frozen by NewBatch", i)
+		}
+	}
+}
+
+func TestNewBatchRejectsNesting(t *testing.T) {
+	inner := sampleBatch()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBatch accepted a nested batch frame")
+		}
+	}()
+	NewBatch(100, []*NetMsg{inner})
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := sampleBatch()
+	wire := b.Encode()
+	if len(wire) != b.EncodedLen() {
+		t.Fatalf("EncodedLen = %d, actual %d", b.EncodedLen(), len(wire))
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != OpBatch || got.Sender != b.Sender {
+		t.Fatalf("frame header mismatch: %+v", got)
+	}
+	if len(got.Batch) != len(b.Batch) {
+		t.Fatalf("decoded %d sub-messages, want %d", len(got.Batch), len(b.Batch))
+	}
+	for i, want := range b.Batch {
+		g := got.Batch[i]
+		// Compare the exported fields; frozen state differs by design
+		// (Decode copies, so its results start mutable).
+		w := want.Clone()
+		gc := g.Clone()
+		if !reflect.DeepEqual(w, gc) {
+			t.Fatalf("sub-message %d mismatch:\n in  %+v\n out %+v", i, w, gc)
+		}
+	}
+}
+
+func TestBatchDecodeShared(t *testing.T) {
+	b := sampleBatch()
+	wire := b.Encode()
+	got, err := DecodeShared(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Frozen() {
+		t.Fatal("DecodeShared returned an unfrozen frame")
+	}
+	for i, s := range got.Batch {
+		if !s.Frozen() {
+			t.Fatalf("shared-decoded sub-message %d not frozen", i)
+		}
+		if len(s.Args) > 0 {
+			// Sub-message Args must borrow the one shared wire buffer.
+			argByte := &s.Args[0]
+			*argByte ^= 0xFF
+			if !bytes.Contains(wire, s.Args) {
+				t.Fatalf("sub-message %d Args copied instead of borrowed", i)
+			}
+			*argByte ^= 0xFF
+			if cap(s.Args) != len(s.Args) {
+				t.Fatalf("sub-message %d Args not capacity-clamped", i)
+			}
+		}
+	}
+}
+
+func TestBatchDecodeErrors(t *testing.T) {
+	b := sampleBatch()
+	good := b.Encode()
+
+	// Truncating the frame fails the exact-length check.
+	if _, err := Decode(good[:len(good)-1]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated frame: err = %v, want ErrShortMessage", err)
+	}
+
+	// Corrupt the count so a sub-frame is missing.
+	bad := append([]byte(nil), good...)
+	off := fixedHeaderLen // payload starts right after the header (no group/VC)
+	binary.BigEndian.PutUint16(bad[off:], uint16(len(b.Batch)+1))
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("over-counted batch accepted")
+	}
+	binary.BigEndian.PutUint16(bad[off:], uint16(len(b.Batch)-1))
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("batch with trailing sub-frame bytes accepted")
+	}
+
+	// A nested batch on the wire is rejected even though the codec could
+	// mechanically parse it.
+	inner := &NetMsg{Type: OpCall, ID: 1, Client: 100, Sender: 100}
+	innerBatch := NewBatch(100, []*NetMsg{inner})
+	outer := &NetMsg{Type: OpBatch, Sender: 100, Batch: []*NetMsg{innerBatch}}
+	if _, err := Decode(outer.Encode()); err == nil {
+		t.Fatal("nested batch frame accepted by decode")
+	}
+}
+
+func TestBatchEncodedLenExact(t *testing.T) {
+	one := NewBatch(1, []*NetMsg{{Type: OpAck, ID: 1}})
+	if got := len(one.Encode()); got != one.EncodedLen() {
+		t.Fatalf("singleton batch: EncodedLen = %d, actual %d", one.EncodedLen(), got)
+	}
+	empty := NewBatch(1, nil)
+	if got := len(empty.Encode()); got != empty.EncodedLen() {
+		t.Fatalf("empty batch: EncodedLen = %d, actual %d", empty.EncodedLen(), got)
+	}
+	if back, err := Decode(empty.Encode()); err != nil || len(back.Batch) != 0 {
+		t.Fatalf("empty batch round trip: %v %+v", err, back)
+	}
+}

@@ -130,9 +130,15 @@ const (
 	// with their order tables serialized in Args.
 	OpOrderQuery
 	OpOrderInfo
+
+	// OpBatch is a frame carrying several coalesced messages to one
+	// destination (deviation D16): the flush queue amortizes framing and
+	// network admission across the batch. Batch frames are built only by
+	// NewBatch (mrpclint: batch-freeze) and never nest.
+	OpBatch
 )
 
-var netOpNames = [...]string{"", "CALL", "REPLY", "ACK", "ORDER", "HEARTBEAT", "PROBE", "PROBE_ACK", "CALL_ACK", "ORDER_QUERY", "ORDER_INFO"}
+var netOpNames = [...]string{"", "CALL", "REPLY", "ACK", "ORDER", "HEARTBEAT", "PROBE", "PROBE_ACK", "CALL_ACK", "ORDER_QUERY", "ORDER_INFO", "BATCH"}
 
 // String returns the paper's name for the message type.
 func (o NetOp) String() string {
@@ -165,6 +171,11 @@ type NetMsg struct {
 	Order  int64       // total order sequence number (ORDER)
 	VC     VClock      // causal timestamp (Causal Order extension)
 
+	// Batch holds the coalesced sub-messages of an OpBatch frame, in send
+	// order. Set only by NewBatch (and the codec on decode); the frame and
+	// every element are frozen before they can be shared.
+	Batch []*NetMsg
+
 	// frozen marks the message shared and immutable. Accessed atomically:
 	// Freeze happens-before every share, but concurrent Frozen reads from
 	// delivery goroutines must not race the flag itself.
@@ -191,7 +202,9 @@ func (m *NetMsg) Mutable() *NetMsg {
 	return m
 }
 
-// Clone returns a deep, unfrozen copy with an independent lifetime.
+// Clone returns a deep, unfrozen copy with an independent lifetime. The
+// elements of a batch frame stay shared (and frozen): a batch is a routing
+// envelope, and its sub-messages are immutable by construction.
 func (m *NetMsg) Clone() *NetMsg {
 	c := *m
 	c.frozen = 0
@@ -200,7 +213,28 @@ func (m *NetMsg) Clone() *NetMsg {
 	if m.Args != nil {
 		c.Args = append([]byte(nil), m.Args...)
 	}
+	if m.Batch != nil {
+		c.Batch = append([]*NetMsg(nil), m.Batch...)
+	}
 	return &c
+}
+
+// NewBatch builds an OpBatch frame coalescing subs (in order) for one
+// destination. It freezes every sub-message and the frame itself, so the
+// result is immutable from birth — the only state in which a batch may be
+// handed to the transport (mrpclint: batch-freeze). Batches do not nest,
+// and a batch of one message is legal but pointless; callers should send
+// singletons directly.
+func NewBatch(sender ProcID, subs []*NetMsg) *NetMsg {
+	for _, s := range subs {
+		if s.Type == OpBatch {
+			panic("msg: batch frames do not nest")
+		}
+		s.Freeze()
+	}
+	b := &NetMsg{Type: OpBatch, Sender: sender, Batch: subs}
+	b.Freeze()
+	return b
 }
 
 // String renders a compact human-readable form for traces.
@@ -254,9 +288,11 @@ type UserMsg struct {
 	Server Group
 	Status Status
 
-	// Collect is set by the call-semantics micro-protocol during dispatch:
-	// it blocks until the call completes and fills Args/Status/Op. The
-	// framework invokes it after the dispatch handlers return, outside the
-	// reconfiguration barrier, so a parked caller never blocks a swap.
-	Collect func()
+	// Wait is set by the call-semantics micro-protocol during dispatch when
+	// the caller must block for the result: the framework then parks on the
+	// call's semaphore and collects Args/Status/Op after the dispatch
+	// handlers return, outside the reconfiguration barrier, so a parked
+	// caller never blocks a swap. A flag instead of a continuation keeps the
+	// dispatch path closure-free (the collect logic lives in the framework).
+	Wait bool
 }

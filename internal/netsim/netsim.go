@@ -62,6 +62,7 @@ type Stats struct {
 	Duplicated int64
 	Partition  int64 // drops due to partitions
 	DownDrops  int64 // drops due to a crashed endpoint
+	Batches    int64 // OpBatch frames offered (each admitted and fault-rolled as one unit)
 }
 
 // Handler receives a delivered message. Each arrival is an independent
@@ -128,7 +129,7 @@ type Network struct {
 	flightC  sync.Cond // signalled when inflight drops to zero
 	inflight int
 
-	sent, delivered, dropped, duplicated, partition, downDrops atomic.Int64
+	sent, delivered, dropped, duplicated, partition, downDrops, batches atomic.Int64
 }
 
 // addFlight records k admitted deliveries. Send paths call it while
@@ -319,6 +320,7 @@ func (n *Network) Stats() Stats {
 		Duplicated: n.duplicated.Load(),
 		Partition:  n.partition.Load(),
 		DownDrops:  n.downDrops.Load(),
+		Batches:    n.batches.Load(),
 	}
 }
 
@@ -406,6 +408,9 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 		return // a crashed site sends nothing
 	}
 	m.Freeze()
+	if m.Type == msg.OpBatch {
+		n.batches.Add(1)
+	}
 
 	n.mu.Lock()
 	if n.stopped {

@@ -122,7 +122,13 @@ func (s *Sem) V() {
 	s.mu.Lock()
 	if len(s.wait) > 0 {
 		ch := s.wait[0]
-		s.wait = s.wait[1:]
+		// Copy down instead of reslicing so the wait slice keeps its
+		// allocated capacity: a reslice walks the backing array forward and
+		// forces a fresh allocation on every later park, which matters for
+		// pooled semaphores reused across many calls.
+		n := copy(s.wait, s.wait[1:])
+		s.wait[n] = nil
+		s.wait = s.wait[:n]
 		s.mu.Unlock()
 		ch <- struct{}{}
 		return

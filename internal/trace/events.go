@@ -48,11 +48,19 @@ const (
 	// the transition description. Events before/after this marker ran
 	// under different configurations.
 	KReconfigure
+	// KBatchFlushed: the flush queue coalesced two or more outbound
+	// messages into one batch frame (deviation D16). Site is the sender,
+	// From the destination; Op carries the batch size.
+	KBatchFlushed
+	// KBatchDelivered: a batch frame arrived and its sub-messages are
+	// about to dispatch sequentially in send order. Site is the receiver,
+	// From the sender; Op carries the batch size.
+	KBatchDelivered
 )
 
 var kindNames = [...]string{"", "CALL_ISSUED", "CALL_DONE", "REPLY_ACCEPTED",
 	"EXEC_BEGIN", "EXEC_END", "REPLY_SENT", "DUP_DROPPED", "ORPHAN_KILLED",
-	"CRASH", "RECOVER", "RECONFIGURE"}
+	"CRASH", "RECOVER", "RECONFIGURE", "BATCH_FLUSHED", "BATCH_DELIVERED"}
 
 // String returns the event kind's name.
 func (k Kind) String() string {

@@ -490,6 +490,9 @@ func (s *System) Reconfigure(newCfg Config) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	for _, t := range ups {
+		t.comp.Framework().SetFlushSize(newCfg.FlushSize)
+	}
 	var oldCfg Config
 	for i, n := range nodes {
 		n.mu.Lock()
@@ -622,6 +625,7 @@ func (n *Node) start(isRecovery bool) error {
 		Server:     app,
 		Membership: n.sys.membershipFor(n),
 		Trace:      n.sys.opts.Trace,
+		FlushSize:  n.config().FlushSize,
 	}, protos...)
 	if err != nil {
 		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
@@ -686,12 +690,17 @@ func (n *Node) Call(op OpID, args []byte, group Group) ([]byte, Status, error) {
 	if down {
 		return nil, StatusAborted, fmt.Errorf("mrpc: node %d is down", n.id)
 	}
-	um := comp.Framework().Call(op, args, group)
+	fw := comp.Framework()
+	um := fw.Call(op, args, group)
 	if um.Status == StatusWaiting {
 		// Asynchronous composite: the issue did not block. Collect now.
-		um = comp.Framework().Request(um.ID)
+		id := um.ID
+		core.PutUserMsg(um)
+		um = fw.Request(id)
 	}
-	return um.Args, um.Status, nil
+	res, status := um.Args, um.Status
+	core.PutUserMsg(um)
+	return res, status, nil
 }
 
 // CallAsync issues an asynchronous RPC and returns its call id. The node
@@ -715,11 +724,12 @@ func (n *Node) CallAsync(op OpID, args []byte, group Group) (CallID, error) {
 	}
 	um := fw.CallAdmitted(op, args, group)
 	fw.AdmitExit()
-	if um.Collect != nil {
-		um.Collect()
-		um.Collect = nil
-	}
-	return um.ID, nil
+	// An asynchronous issue never waits, but collect defensively in case a
+	// handler raised the flag (e.g. a mixed composite mid-swap).
+	fw.CollectUserMsg(um)
+	id := um.ID
+	core.PutUserMsg(um)
+	return id, nil
 }
 
 // Collect blocks until the asynchronous call id completes and returns its
@@ -732,7 +742,49 @@ func (n *Node) Collect(id CallID) ([]byte, Status, error) {
 		return nil, StatusAborted, fmt.Errorf("mrpc: node %d is down", n.id)
 	}
 	um := comp.Framework().Request(id)
-	return um.Args, um.Status, nil
+	res, status := um.Args, um.Status
+	core.PutUserMsg(um)
+	return res, status, nil
+}
+
+// PipelineBegin opens a pipeline section: outbound messages (calls issued
+// with CallAsync, retransmissions, acks) are held in the per-destination
+// flush queue and coalesced into batch frames instead of being sent
+// immediately. Sections nest; each PipelineBegin must be matched by a
+// PipelineEnd. A full lane (Config.FlushSize) still flushes early, so a
+// long pipeline is bounded in memory.
+func (n *Node) PipelineBegin() {
+	n.mu.Lock()
+	comp, down := n.comp, n.down
+	n.mu.Unlock()
+	if down {
+		return
+	}
+	comp.Framework().PipelineBegin()
+}
+
+// PipelineEnd closes the innermost pipeline section; when the outermost
+// section closes, every held batch is flushed.
+func (n *Node) PipelineEnd() {
+	n.mu.Lock()
+	comp, down := n.comp, n.down
+	n.mu.Unlock()
+	if down {
+		return
+	}
+	comp.Framework().PipelineEnd()
+}
+
+// Flush forces every partially filled batch in the node's flush queue onto
+// the network immediately, regardless of pipeline sections.
+func (n *Node) Flush() {
+	n.mu.Lock()
+	comp, down := n.comp, n.down
+	n.mu.Unlock()
+	if down {
+		return
+	}
+	comp.Framework().Flush()
 }
 
 // Crash fails the node: its endpoint goes silent, volatile state (pending
@@ -854,6 +906,7 @@ func (n *Node) Reconfigure(newCfg Config) error {
 	if err != nil {
 		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
 	}
+	fw.SetFlushSize(newCfg.FlushSize)
 
 	n.mu.Lock()
 	n.cfg = newCfg
