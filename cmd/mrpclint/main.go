@@ -1,48 +1,111 @@
 // Command mrpclint statically enforces the framework invariants documented
-// in DESIGN.md ("Statically enforced invariants"): table-escape,
-// determinism, handler-discipline, goroutine-discipline, and
-// priority-constants.
+// in DESIGN.md ("Statically enforced invariants") — ten rules from
+// table-escape to the flow-sensitive pool-safety, lock-order, and
+// frozen-flow analyses.
 //
 // Usage:
 //
-//	go run ./cmd/mrpclint ./...
+//	go run ./cmd/mrpclint              # human-readable diagnostics
+//	go run ./cmd/mrpclint -json        # machine-readable (CI artifact)
+//	go run ./cmd/mrpclint -graph      # lock-order graph in Graphviz DOT
+//	go run ./cmd/mrpclint -list        # registered rules, one per line
+//	go run ./cmd/mrpclint -rules pool-safety,lock-order
 //
 // The whole module is always analyzed (package arguments are accepted for
 // familiarity but do not narrow the scope; examples/ and test files are
 // exempt by design). Exit status is 1 when violations are found, 2 when
-// the module cannot be loaded.
+// the module cannot be loaded or a flag is invalid.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mrpc/internal/lint"
 )
 
+// jsonDiag is the -json wire shape of one diagnostic, stable for CI
+// consumers.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	quiet := flag.Bool("q", false, "print nothing on success")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	graph := flag.Bool("graph", false, "print the lock-order graph in DOT form and exit")
+	list := flag.Bool("list", false, "print the registered rules and exit")
+	ruleList := flag.String("rules", "", "comma-separated rule subset to run (default: all)")
 	flag.Parse()
+
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-22s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
 
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	ds, err := lint.LintModule(root)
+
+	if *graph {
+		dot, err := lint.ModuleLockGraphDOT(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(dot)
+		return
+	}
+
+	var names []string
+	if *ruleList != "" {
+		for _, n := range strings.Split(*ruleList, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	ds, err := lint.LintModuleRules(root, names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range ds {
-		fmt.Println(d)
+
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(ds))
+		for _, d := range ds {
+			out = append(out, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range ds {
+			fmt.Println(d)
+		}
 	}
 	if len(ds) > 0 {
 		fmt.Fprintf(os.Stderr, "mrpclint: %d violation(s)\n", len(ds))
 		os.Exit(1)
 	}
-	if !*quiet {
+	if !*quiet && !*asJSON {
 		fmt.Println("mrpclint: ok")
 	}
 }

@@ -171,12 +171,12 @@ type NetEvent struct {
 // would mutate a frozen message.
 
 var (
-	clientRecPool = sync.Pool{New: func() any { return new(ClientRecord) }}
-	serverRecPool = sync.Pool{New: func() any { return new(ServerRecord) }}
-	netEventPool  = sync.Pool{New: func() any { return new(NetEvent) }}
-	userMsgPool   = sync.Pool{New: func() any { return new(msg.UserMsg) }}
-	callKeyPool   = sync.Pool{New: func() any { return new(msg.CallKey) }}
-	callIDPool    = sync.Pool{New: func() any { return new(msg.CallID) }}
+	clientRecPool = newPool(func() any { return new(ClientRecord) })
+	serverRecPool = newPool(func() any { return new(ServerRecord) })
+	netEventPool  = newPool(func() any { return new(NetEvent) })
+	userMsgPool   = newPool(func() any { return new(msg.UserMsg) })
+	callKeyPool   = newPool(func() any { return new(msg.CallKey) })
+	callIDPool    = newPool(func() any { return new(msg.CallID) })
 )
 
 // releaseClientRec scrubs and recycles a collected call record. The
@@ -205,6 +205,8 @@ func releaseServerRec(rec *ServerRecord) {
 // PutUserMsg recycles a UserMsg obtained from Call, CallAdmitted or
 // Request once the caller has copied out the fields it needs. Optional —
 // an unreturned message is simply garbage collected.
+//
+//lint:owns um
 func PutUserMsg(um *msg.UserMsg) {
 	*um = msg.UserMsg{}
 	userMsgPool.Put(um)
@@ -631,6 +633,12 @@ func (fw *Framework) PendingCalls() int { return fw.clients.len() }
 // PutServerRec inserts rec unless a record with its key is already held,
 // and reports whether the insert happened (false = duplicate). rec must be
 // fully initialized: it is reachable by other goroutines on return.
+//
+// The table takes ownership on the true path; on the false path the caller
+// still holds the only reference and typically releases it. That
+// conditional handoff is declared, not inferred:
+//
+//lint:owns rec
 func (fw *Framework) PutServerRec(rec *ServerRecord) bool {
 	return fw.servers.putIfAbsent(rec)
 }

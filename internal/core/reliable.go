@@ -68,7 +68,7 @@ type relEntry struct {
 // relEntryPool recycles transmission-state entries. group is dropped (not
 // reused) on release: it aliases the call record's Server slice, which may
 // still back frozen wire messages.
-var relEntryPool = sync.Pool{New: func() any { return new(relEntry) }}
+var relEntryPool = newPool(func() any { return new(relEntry) })
 
 func getRelEntry() *relEntry { return relEntryPool.Get().(*relEntry) }
 

@@ -73,7 +73,7 @@ type Occurrence struct {
 // dispatch is the hottest path in the composite, and an occurrence never
 // outlives its Trigger call — handlers receive it synchronously and the
 // compensation closures run before Trigger returns.
-var occPool = sync.Pool{New: func() any { return new(Occurrence) }}
+var occPool = newPool(func() any { return new(Occurrence) })
 
 func getOcc(t Type, arg any) *Occurrence {
 	o := occPool.Get().(*Occurrence)
@@ -81,6 +81,9 @@ func getOcc(t Type, arg any) *Occurrence {
 	return o
 }
 
+// putOcc takes ownership of a finished occurrence and recycles it.
+//
+//lint:owns o
 func putOcc(o *Occurrence) {
 	o.Arg = nil
 	for i := range o.cleanups {

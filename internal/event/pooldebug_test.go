@@ -1,0 +1,34 @@
+//go:build mrpcdebug
+
+package event
+
+import "testing"
+
+func TestOccPoolDebug(t *testing.T) {
+	p := newPool(func() any { return new(Occurrence) })
+	o := p.Get().(*Occurrence)
+	o.Arg = nil
+	p.Put(o)
+	if o.Arg != poisonedArg {
+		t.Fatal("Put did not poison Arg")
+	}
+	o.Arg = "stale" // use-after-Put
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected dirty-Get panic")
+			}
+		}()
+		checkPoison(o)
+	}()
+
+	q := newPool(func() any { return new(Occurrence) })
+	o2 := q.Get().(*Occurrence)
+	q.Put(o2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected double-Put panic")
+		}
+	}()
+	q.Put(o2)
+}

@@ -1,0 +1,252 @@
+package lint
+
+// Analysis is the shared substrate behind the flow-sensitive rules: a
+// module-wide function index, a demand-computed summary cache (pool
+// ownership, escapes, lock sets), and the lock graph accumulated while
+// lock-order runs. One Analysis spans every package of a lint run, so a
+// summary computed for core.getServerRec while linting internal/core is
+// reused when rpcmain's callers are analyzed.
+//
+// Functions are keyed by a stable fully-qualified name rather than by
+// *types.Func identity: each package is type-checked separately against
+// export data, so the object for core.PutUserMsg seen from a client package
+// is not the object created when core itself was checked.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type Analysis struct {
+	pkgs []*Package
+
+	funcs     map[string]*funcInfo
+	summaries map[string]*summary
+	computing map[string]bool
+
+	// lock graph, filled in by rule lock-order
+	lockEdges map[lockEdge][]token.Position
+
+	triggerLockSet map[string]bool
+	triggerLockRun bool
+}
+
+type funcInfo struct {
+	key  string
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+type lockEdge struct{ from, to string }
+
+// NewAnalysis indexes every function declaration of the given packages.
+func NewAnalysis(pkgs []*Package) *Analysis {
+	a := &Analysis{
+		pkgs:      pkgs,
+		funcs:     make(map[string]*funcInfo),
+		summaries: make(map[string]*summary),
+		computing: make(map[string]bool),
+		lockEdges: make(map[lockEdge][]token.Position),
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				if key == "" {
+					continue
+				}
+				a.funcs[key] = &funcInfo{key: key, pkg: p, decl: fd}
+			}
+		}
+	}
+	return a
+}
+
+// funcKey names a function or method unambiguously across packages:
+// "pkg/path.Name" or "pkg/path.(Type).Name" (pointerness of the receiver is
+// deliberately erased — a method set has one body either way).
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if pkg, typ := recvNamed(fn); typ != "" {
+		return pkg + ".(" + typ + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// calleeFunc resolves the static callee of a call, or nil for calls through
+// function values, interfaces (no devirtualization — see DESIGN.md §6), and
+// type conversions.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[fun]; ok && s.Kind() != types.MethodVal {
+			return nil
+		}
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeInfo returns the in-module declaration of a call's static callee, if
+// the module defines it (stdlib and interface calls return nil).
+func (a *Analysis) calleeInfo(p *Package, call *ast.CallExpr) *funcInfo {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			return nil
+		}
+	}
+	return a.funcs[funcKey(fn)]
+}
+
+// pkgShort maps a module package path to the short name used in lock-graph
+// nodes and diagnostics: mrpc/internal/core -> core, mrpc -> mrpc.
+func pkgShort(path string) string {
+	if s, ok := strings.CutPrefix(path, "mrpc/internal/"); ok {
+		return s
+	}
+	if s, ok := strings.CutPrefix(path, "mrpc/cmd/"); ok {
+		return s
+	}
+	if strings.HasPrefix(path, "mrpc/internal/lint/testdata/") {
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return path
+}
+
+// --- pool and lock site classification ------------------------------------
+
+// poolMethod returns "Get" or "Put" when the call invokes that method on a
+// sync.Pool (any pool — the module's eight and fixture-local ones alike).
+func poolMethod(p *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if pkg, typ := recvNamed(fn); pkg == "sync" && typ == "Pool" {
+		if n := fn.Name(); n == "Get" || n == "Put" {
+			return n
+		}
+	}
+	return ""
+}
+
+// poolGetSource reports whether an expression draws a fresh value from a
+// pool: `pool.Get().(*T)` or a call to a function whose summary returns a
+// fresh pooled value.
+func (a *Analysis) poolGetSource(p *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		if call, ok := ast.Unparen(ta.X).(*ast.CallExpr); ok {
+			return poolMethod(p, call) == "Get"
+		}
+		return false
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fi := a.calleeInfo(p, call); fi != nil {
+			return a.summaryOf(fi).returnsFresh
+		}
+	}
+	return false
+}
+
+// lockOp is one classified Lock/Unlock call site.
+type lockOp struct {
+	node    string // graph node; "" when the mutex is untracked (a local)
+	acquire bool
+	try     bool
+	pos     token.Pos
+}
+
+// lockSite classifies a call as a mutex operation. The node identity is
+// (package, owner type, field) for mutex fields, (package, var) for
+// package-level mutexes; both table shard types collapse into the single
+// node core.tableShard (the 16 shards are acquired in a fixed order by
+// lockAll and count as one rank in the lock order). Locally declared
+// mutexes get node "" and participate only in the missing-unlock check.
+func lockSite(p *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return lockOp{}, false
+	}
+	if pkg, typ := recvNamed(fn); pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return lockOp{}, false
+	}
+	op := lockOp{pos: call.Pos()}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op.acquire = true
+	case "TryLock", "TryRLock":
+		op.acquire, op.try = true, true
+	case "Unlock", "RUnlock":
+	default:
+		return lockOp{}, false
+	}
+	op.node = lockNode(p, sel.X)
+	return op, true
+}
+
+// lockNode names the mutex an expression denotes, or "" if untracked.
+func lockNode(p *Package, x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[x]; !ok || s.Kind() != types.FieldVal {
+			return ""
+		}
+		t := p.Info.TypeOf(x.X)
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		pkg := named.Obj().Pkg().Path()
+		if !inScope(pkg) && !strings.HasPrefix(pkg, "mrpc") {
+			return ""
+		}
+		owner := named.Obj().Name()
+		if pkg == corePath && (owner == "clientShard" || owner == "serverShard") {
+			return "core.tableShard"
+		}
+		return pkgShort(pkg) + "." + owner + "." + x.Sel.Name
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil || !isGlobalVar(obj) || obj.Pkg() == nil {
+			return ""
+		}
+		if !strings.HasPrefix(obj.Pkg().Path(), "mrpc") {
+			return ""
+		}
+		return pkgShort(obj.Pkg().Path()) + "." + obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,305 @@
+package lint
+
+// Control-flow graphs over ast.Stmt — the spine of the flow-sensitive rules
+// (pool-safety, lock-order, frozen-flow). The CFG is deliberately modest: it
+// models exactly the control constructs this module uses (no goto, no
+// fallthrough in linted code) and leaves expression-level ordering to the
+// transfer functions, which walk each atom's AST in source order.
+
+import "go/ast"
+
+// block is one basic block. atoms are executed in order; each atom is either
+// a simple statement (*ast.AssignStmt, *ast.ExprStmt, ...), a control
+// expression hoisted out of its construct (an if/for condition, a switch
+// dispatch), or — in the exit block only — a bare *ast.CallExpr replayed
+// from a defer.
+type block struct {
+	atoms []ast.Node
+	succs []*block
+	index int // position in cfg.blocks, for deterministic iteration
+}
+
+// cfg is the control-flow graph of one function body. Function literals
+// nested in the body are not descended into: a literal executes elsewhere
+// (or never), so it appears only as an atom of the block that creates it and
+// is analyzed as its own function.
+type cfg struct {
+	entry  *block
+	exit   *block
+	blocks []*block
+}
+
+// buildCFG lowers a function body. Deferred calls are replayed as atoms of
+// the exit block in reverse registration order — an approximation (a defer
+// registered on one path replays on all), but the module's defers are
+// unconditional mutex releases and pool returns, for which "runs at every
+// exit" is exactly the semantics the analyses want.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{c: &cfg{}}
+	b.c.entry = b.newBlock()
+	b.c.exit = b.newBlock()
+	b.cur = b.c.entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.c.exit) // fall off the end
+	// Replay defers at exit, last registered first.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.c.exit.atoms = append(b.c.exit.atoms, b.defers[i])
+	}
+	return b.c
+}
+
+type loopFrame struct {
+	label   string
+	breakTo *block
+	contTo  *block
+}
+
+type cfgBuilder struct {
+	c      *cfg
+	cur    *block
+	loops  []loopFrame
+	defers []*ast.CallExpr
+	label  string // pending label for the next loop/switch
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.c.blocks)}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) atom(n ast.Node) {
+	if n != nil {
+		b.cur.atoms = append(b.cur.atoms, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		b.atom(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.atoms = append(head.atoms, s.Cond)
+			b.edge(head, after)
+		}
+		b.edge(head, body)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, contTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			post.atoms = append(post.atoms, s.Post)
+		}
+		b.edge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt atom models per-iteration rebinding of the key and
+		// value variables; it sits in the loop header so it executes on the
+		// path into every iteration.
+		head.atoms = append(head.atoms, s)
+		b.edge(head, body)
+		b.edge(head, after)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, contTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		if s.Tag != nil {
+			b.atom(s.Tag)
+		}
+		b.caseDispatch(label, s.Body.List, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt) {
+			return cc.List, cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.atom(s.Init)
+		}
+		b.atom(s.Assign)
+		b.caseDispatch(label, s.Body.List, func(cc *ast.CaseClause) ([]ast.Expr, []ast.Stmt) {
+			return nil, cc.Body
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		dispatch := b.cur
+		after := b.newBlock()
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			body := b.newBlock()
+			b.edge(dispatch, body)
+			b.cur = body
+			if comm.Comm != nil {
+				b.atom(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, after)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 {
+			b.edge(dispatch, after) // select{} blocks forever; keep the graph connected
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.atom(s)
+		b.edge(b.cur, b.c.exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		// Argument evaluation happens here; the call's effect replays at exit.
+		b.atom(s)
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, ExprStmt, IncDecStmt, DeclStmt, SendStmt, GoStmt, ...
+		b.atom(s)
+	}
+}
+
+// caseDispatch lowers switch-shaped constructs: one dispatch block holding
+// all guard expressions (over-approximating their evaluation), an edge to
+// each clause body, and an edge past the construct unless a default exists.
+func (b *cfgBuilder) caseDispatch(label string, clauses []ast.Stmt, split func(*ast.CaseClause) ([]ast.Expr, []ast.Stmt)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: after})
+	for _, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		exprs, body := split(cc)
+		for _, e := range exprs {
+			dispatch.atoms = append(dispatch.atoms, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(dispatch, blk)
+		b.cur = blk
+		b.stmtList(body)
+		b.edge(b.cur, after)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	want := ""
+	if s.Label != nil {
+		want = s.Label.Name
+	}
+	find := func(cont bool) *block {
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			fr := b.loops[i]
+			if cont && fr.contTo == nil {
+				continue // break-only frame (switch/select)
+			}
+			if want == "" || fr.label == want {
+				if cont {
+					return fr.contTo
+				}
+				return fr.breakTo
+			}
+		}
+		return nil
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := find(false); t != nil {
+			b.edge(b.cur, t)
+		}
+	case "continue":
+		if t := find(true); t != nil {
+			b.edge(b.cur, t)
+		}
+	case "goto":
+		// Not used in linted code; treat as an exit so analysis stays sound
+		// for facts that must hold on every path.
+		b.edge(b.cur, b.c.exit)
+	}
+	b.cur = b.newBlock() // unreachable continuation
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}

@@ -1,0 +1,92 @@
+package lint
+
+// A tiny forward dataflow engine over the CFGs of cfg.go. Facts are
+// analysis-defined; the engine only needs clone/join/transfer. Transfer
+// functions may emit diagnostics — because blocks are re-visited until
+// fixpoint, emitters must deduplicate (see diagSet).
+//
+// Termination: every client fact is a finite map over the function's
+// objects/locks with monotone joins, so the fixpoint exists; a generous
+// iteration cap guards against a non-monotone client bug turning into a
+// hang of the whole lint run.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+type flowFuncs[F any] struct {
+	clone    func(F) F
+	join     func(dst F, src F) bool // dst ∪= src; reports whether dst changed
+	transfer func(atom ast.Node, f F)
+}
+
+// runForward propagates facts from entry to fixpoint and returns the final
+// in-fact of every block (exit included). entry is the fact at function
+// entry; it is not aliased by the engine.
+func runForward[F any](c *cfg, entry F, fns flowFuncs[F]) map[*block]F {
+	in := make(map[*block]F, len(c.blocks))
+	seen := make(map[*block]bool, len(c.blocks))
+	in[c.entry] = fns.clone(entry)
+	seen[c.entry] = true
+
+	work := []*block{c.entry}
+	cap := len(c.blocks)*64 + 256
+	for len(work) > 0 && cap > 0 {
+		cap--
+		blk := work[0]
+		work = work[1:]
+
+		out := fns.clone(in[blk])
+		for _, a := range blk.atoms {
+			fns.transfer(a, out)
+		}
+		for _, succ := range blk.succs {
+			if !seen[succ] {
+				seen[succ] = true
+				in[succ] = fns.clone(out)
+				work = append(work, succ)
+				continue
+			}
+			if fns.join(in[succ], out) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// applyBlock runs the transfer function over one block's atoms starting from
+// a clone of the given fact, returning the out-fact. Used to compute exit
+// facts (in-fact of exit + its replayed defer atoms).
+func applyBlock[F any](blk *block, f F, fns flowFuncs[F]) F {
+	out := fns.clone(f)
+	for _, a := range blk.atoms {
+		fns.transfer(a, out)
+	}
+	return out
+}
+
+// diagSet deduplicates diagnostics emitted from transfer functions, which
+// run multiple times per atom during fixpoint iteration.
+type diagSet struct {
+	seen map[diagKey]bool
+	ds   []Diagnostic
+}
+
+type diagKey struct {
+	pos token.Pos
+	msg string
+}
+
+func (s *diagSet) add(p *Package, pos token.Pos, rule, msg string) {
+	if s.seen == nil {
+		s.seen = make(map[diagKey]bool)
+	}
+	k := diagKey{pos, rule + msg}
+	if s.seen[k] {
+		return
+	}
+	s.seen[k] = true
+	s.ds = append(s.ds, Diagnostic{Pos: p.Fset.Position(pos), Rule: rule, Message: msg})
+}

@@ -5,14 +5,16 @@
 //
 //   - table-escape: *ClientRecord/*ServerRecord pointers obtained inside a
 //     scoped table callback (WithClient/WithServer/Each*/ClientTx/ServerTx)
-//     must not be stored in fields, globals, or channels, or escape via
-//     return — outside the callback the shard mutex no longer protects them.
+//     must not be stored in fields, globals, or channels, escape via
+//     return, or be handed to a helper whose summary stores them — outside
+//     the callback the shard mutex no longer protects them.
 //   - determinism: wall-clock and global-randomness calls (time.Now,
 //     time.Sleep, time.After, math/rand top-level functions, ...) are banned
 //     outside internal/clock; netsim replay depends on the injected clock.
 //   - handler-discipline: event handlers registered with Bus.Register or
 //     Bus.RegisterTimeout must not call Bus.Trigger synchronously
-//     (re-entrant dispatch) and must not call lockAll/unlockAll.
+//     (re-entrant dispatch) and must not call lockAll/unlockAll — directly,
+//     or through a helper one call deep.
 //   - goroutine-discipline: bare go statements outside internal/proc and
 //     internal/netsim must go through proc.Go / proc.(*Threads).Go so crash
 //     injection can reap the goroutine.
@@ -27,10 +29,25 @@
 //     — hand-rolled NetMsg{Type: OpBatch} literals, literals setting the
 //     Batch field, and writes through .Batch are rejected outside
 //     internal/msg.
+//   - pool-safety: values drawn from the module's sync.Pools are tracked
+//     through a per-function dataflow lattice plus call summaries:
+//     use-after-Put, double-Put, and Put of a value that escaped to a
+//     field/global/channel/closure are rejected; ownership handoff is
+//     declared with a //lint:owns annotation on the accepting function.
+//   - lock-order: a module-wide static graph over the named mutexes must
+//     stay acyclic; mutexes may not be acquired inside scoped table
+//     callbacks; a Lock released on some exits but not all is flagged.
+//   - frozen-flow: inside internal/msg and internal/netsim (where
+//     msg-immutability does not apply), writing a NetMsg field after
+//     Freeze() was called on a path reaching the write is rejected.
 //
-// The analysis is intraprocedural and syntax-plus-types driven; a sound
-// escape or call-graph analysis is out of scope. A violation that is
-// deliberate is silenced with a directive on the same or preceding line:
+// The first seven rules are syntax-plus-types driven; pool-safety,
+// lock-order, and frozen-flow run on a shared analysis substrate — a
+// per-function CFG (cfg.go), a forward dataflow engine (dataflow.go), and a
+// module-wide call-graph summary cache (analysis.go, summary.go) — which
+// also lends table-escape and handler-discipline one level of
+// interprocedural depth. A violation that is deliberate is silenced with a
+// directive on the same or preceding line:
 //
 //	//lint:ignore <rule> <reason>
 //
@@ -68,18 +85,60 @@ type Package struct {
 
 type rule struct {
 	name string
-	run  func(*Package) []Diagnostic
+	doc  string
+	run  func(*Analysis, *Package) []Diagnostic
+	// module runs once after every package's run, over shared state the
+	// per-package passes accumulated (the lock graph's cycle check).
+	module func(*Analysis) []Diagnostic
 }
 
 // rules are run in order; diagnostics are position-sorted afterwards.
 var rules = []rule{
-	{"table-escape", checkTableEscape},
-	{"determinism", checkDeterminism},
-	{"handler-discipline", checkHandlerDiscipline},
-	{"goroutine-discipline", checkGoroutineDiscipline},
-	{"priority-constants", checkPriorityConstants},
-	{"msg-immutability", checkMsgImmutability},
-	{"batch-freeze", checkBatchFreeze},
+	{name: "table-escape", run: checkTableEscape,
+		doc: "table records must not outlive their scoped callback"},
+	{name: "determinism", run: checkDeterminism,
+		doc: "wall clock and global randomness are banned outside internal/clock"},
+	{name: "handler-discipline", run: checkHandlerDiscipline,
+		doc: "handlers must not re-enter dispatch or take whole-table locks"},
+	{name: "goroutine-discipline", run: checkGoroutineDiscipline,
+		doc: "goroutines must be spawned through proc so crashes can reap them"},
+	{name: "priority-constants", run: checkPriorityConstants,
+		doc: "registration priorities must be named constants"},
+	{name: "msg-immutability", run: checkMsgImmutability,
+		doc: "NetMsg fields must not be written outside internal/msg and netsim"},
+	{name: "batch-freeze", run: checkBatchFreeze,
+		doc: "batch frames may only be built by msg.NewBatch"},
+	{name: "pool-safety", run: checkPoolSafety,
+		doc: "pooled values: no use-after-Put, double-Put, or Put of an escaped value"},
+	{name: "lock-order", run: checkLockOrder, module: checkLockCycles,
+		doc: "the named-mutex graph stays acyclic; no locks in scoped callbacks"},
+	{name: "frozen-flow", run: checkFrozenFlow,
+		doc: "no NetMsg writes after Freeze inside internal/msg and netsim"},
+}
+
+// RuleInfo describes one registered rule (for cmd/mrpclint -list).
+type RuleInfo struct {
+	Name string
+	Doc  string
+}
+
+// Rules lists the registry in registration order.
+func Rules() []RuleInfo {
+	out := make([]RuleInfo, len(rules))
+	for i, r := range rules {
+		out[i] = RuleInfo{Name: r.name, Doc: r.doc}
+	}
+	return out
+}
+
+// KnownRule reports whether name is a registered rule.
+func KnownRule(name string) bool {
+	for _, r := range rules {
+		if r.name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // inScope reports whether a package path is subject to the invariants. The
@@ -91,14 +150,33 @@ func inScope(path string) bool {
 		strings.HasPrefix(path, "mrpc/cmd/")
 }
 
-// Analyze runs every rule over one package and returns the surviving
-// diagnostics, position-sorted, with //lint:ignore directives applied.
+// Analyze runs every rule over one package in isolation — the fixture
+// harness's entry point. Cross-package summaries are unavailable; module
+// rules (the lock-cycle check) still run over the single package's graph.
 func Analyze(p *Package) []Diagnostic {
+	return AnalyzeModule([]*Package{p}, nil)
+}
+
+// AnalyzeModule runs the registry over a set of packages sharing one
+// Analysis, so summaries computed in one package serve callers in another
+// and the lock graph spans the module. only, when non-nil, restricts the
+// run to the named rules (malformed //lint:ignore directives are always
+// reported).
+func AnalyzeModule(pkgs []*Package, only map[string]bool) []Diagnostic {
+	a := NewAnalysis(pkgs)
 	var ds []Diagnostic
 	for _, r := range rules {
-		ds = append(ds, r.run(p)...)
+		if only != nil && !only[r.name] {
+			continue
+		}
+		for _, p := range pkgs {
+			ds = append(ds, r.run(a, p)...)
+		}
+		if r.module != nil {
+			ds = append(ds, r.module(a)...)
+		}
 	}
-	malformed := applyIgnores(p, &ds)
+	malformed := applyIgnores(pkgs, &ds)
 	ds = append(ds, malformed...)
 	sortDiagnostics(ds)
 	return ds
@@ -106,6 +184,21 @@ func Analyze(p *Package) []Diagnostic {
 
 // LintModule analyzes every in-scope package of the module rooted at root.
 func LintModule(root string) ([]Diagnostic, error) {
+	return LintModuleRules(root, nil)
+}
+
+// LintModuleRules analyzes the module with an optional rule subset.
+func LintModuleRules(root string, ruleNames []string) ([]Diagnostic, error) {
+	var only map[string]bool
+	if len(ruleNames) > 0 {
+		only = make(map[string]bool, len(ruleNames))
+		for _, n := range ruleNames {
+			if !KnownRule(n) {
+				return nil, fmt.Errorf("unknown rule %q (see mrpclint -list)", n)
+			}
+			only[n] = true
+		}
+	}
 	l, err := NewLoader(root)
 	if err != nil {
 		return nil, err
@@ -114,12 +207,25 @@ func LintModule(root string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var ds []Diagnostic
-	for _, p := range pkgs {
-		ds = append(ds, Analyze(p)...)
+	return AnalyzeModule(pkgs, only), nil
+}
+
+// ModuleLockGraphDOT loads the module and renders its lock-order graph in
+// DOT form (cmd/mrpclint -graph; the committed copy lives in DESIGN.md §6).
+func ModuleLockGraphDOT(root string) (string, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return "", err
 	}
-	sortDiagnostics(ds)
-	return ds, nil
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		return "", err
+	}
+	a := NewAnalysis(pkgs)
+	for _, p := range pkgs {
+		checkLockOrder(a, p) // diagnostics discarded; this accumulates edges
+	}
+	return a.LockGraphDOT(), nil
 }
 
 func sortDiagnostics(ds []Diagnostic) {
@@ -145,30 +251,33 @@ type ignoreDirective struct {
 }
 
 // applyIgnores filters *ds in place, dropping diagnostics suppressed by a
-// well-formed //lint:ignore directive on the same or the preceding line. It
-// returns extra diagnostics for malformed directives.
-func applyIgnores(p *Package, ds *[]Diagnostic) []Diagnostic {
+// well-formed //lint:ignore directive on the same or the preceding line in
+// any of the given packages. It returns extra diagnostics for malformed
+// directives (missing rule or missing reason).
+func applyIgnores(pkgs []*Package, ds *[]Diagnostic) []Diagnostic {
 	byFile := make(map[string][]ignoreDirective)
 	var malformed []Diagnostic
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "lint:ignore") {
-					continue
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					pos := p.Fset.Position(c.End())
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:     p.Fset.Position(c.Pos()),
+							Rule:    "lint-directive",
+							Message: "malformed //lint:ignore directive: want `//lint:ignore <rule> <reason>`",
+						})
+						continue
+					}
+					byFile[pos.Filename] = append(byFile[pos.Filename],
+						ignoreDirective{rule: fields[0], line: pos.Line})
 				}
-				pos := p.Fset.Position(c.End())
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
-				if len(fields) < 2 {
-					malformed = append(malformed, Diagnostic{
-						Pos:     p.Fset.Position(c.Pos()),
-						Rule:    "lint-directive",
-						Message: "malformed //lint:ignore directive: want `//lint:ignore <rule> <reason>`",
-					})
-					continue
-				}
-				byFile[pos.Filename] = append(byFile[pos.Filename],
-					ignoreDirective{rule: fields[0], line: pos.Line})
 			}
 		}
 	}

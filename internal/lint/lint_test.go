@@ -137,6 +137,21 @@ func checkFixture(t *testing.T, dir string) {
 	}
 }
 
+// fixtureDirs maps every registered rule to the testdata directory that
+// exercises it; TestEveryRuleHasFixture keeps the two in lockstep.
+var fixtureDirs = map[string]string{
+	"table-escape":         "escape",
+	"determinism":          "determinism",
+	"handler-discipline":   "handler",
+	"goroutine-discipline": "goroutine",
+	"priority-constants":   "priority",
+	"msg-immutability":     "msgimmut",
+	"batch-freeze":         "batchfreeze",
+	"pool-safety":          "pool",
+	"lock-order":           "lockorder",
+	"frozen-flow":          "frozenflow",
+}
+
 func TestTableEscapeFixture(t *testing.T)         { checkFixture(t, "escape") }
 func TestDeterminismFixture(t *testing.T)         { checkFixture(t, "determinism") }
 func TestHandlerDisciplineFixture(t *testing.T)   { checkFixture(t, "handler") }
@@ -144,20 +159,82 @@ func TestGoroutineDisciplineFixture(t *testing.T) { checkFixture(t, "goroutine")
 func TestPriorityConstantsFixture(t *testing.T)   { checkFixture(t, "priority") }
 func TestMsgImmutabilityFixture(t *testing.T)     { checkFixture(t, "msgimmut") }
 func TestBatchFreezeFixture(t *testing.T)         { checkFixture(t, "batchfreeze") }
+func TestPoolSafetyFixture(t *testing.T)          { checkFixture(t, "pool") }
+func TestLockOrderFixture(t *testing.T)           { checkFixture(t, "lockorder") }
+func TestFrozenFlowFixture(t *testing.T)          { checkFixture(t, "frozenflow") }
 func TestIgnoreDirectives(t *testing.T)           { checkFixture(t, "ignore") }
 
+// TestEveryRuleHasFixture fails when a rule is registered without a fixture
+// (or a fixture names a rule that no longer exists), and when a fixture
+// directory carries no want markers for its rule — an accidentally
+// always-clean fixture proves nothing.
+func TestEveryRuleHasFixture(t *testing.T) {
+	l := testLoader(t)
+	for _, r := range Rules() {
+		dir, ok := fixtureDirs[r.Name]
+		if !ok {
+			t.Errorf("rule %s has no fixture directory; add one and map it in fixtureDirs", r.Name)
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(l.root, "internal", "lint", "testdata", dir))
+		if err != nil {
+			t.Errorf("rule %s: fixture dir: %v", r.Name, err)
+			continue
+		}
+		found := false
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(l.root, "internal", "lint", "testdata", dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantRe.Match(src) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule %s: fixture %s has no want markers", r.Name, dir)
+		}
+	}
+	for name := range fixtureDirs {
+		if !KnownRule(name) {
+			t.Errorf("fixtureDirs names unregistered rule %s", name)
+		}
+	}
+}
+
 // TestModuleIsClean is the acceptance gate: the tree this test ships with
-// must carry zero violations (modulo annotated //lint:ignore sites).
+// must carry zero violations (modulo annotated //lint:ignore sites). The
+// whole module is analyzed as one unit, so cross-package summaries and the
+// module-wide lock graph are in force.
 func TestModuleIsClean(t *testing.T) {
 	l := testLoader(t)
 	pkgs, err := l.LoadModule()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range pkgs {
-		for _, d := range Analyze(p) {
-			t.Errorf("%s", d)
-		}
+	for _, d := range AnalyzeModule(pkgs, nil) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRuleRegistry pins the -list output: rule names, order, and one-line
+// docs are part of the tool's interface (testdata/rules.golden).
+func TestRuleRegistry(t *testing.T) {
+	l := testLoader(t)
+	var b strings.Builder
+	for _, r := range Rules() {
+		fmt.Fprintf(&b, "%-22s %s\n", r.Name, r.Doc)
+	}
+	goldenPath := filepath.Join(l.root, "internal", "lint", "testdata", "rules.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("rule registry drifted from testdata/rules.golden:\ngot:\n%swant:\n%s", b.String(), want)
 	}
 }
 

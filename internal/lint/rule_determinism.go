@@ -33,7 +33,7 @@ var allowedRand = map[string]bool{
 }
 
 // checkDeterminism flags wall-clock and global-randomness references.
-func checkDeterminism(p *Package) []Diagnostic {
+func checkDeterminism(_ *Analysis, p *Package) []Diagnostic {
 	if !inScope(p.Path) || p.Path == "mrpc/internal/clock" {
 		return nil
 	}

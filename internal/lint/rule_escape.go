@@ -26,8 +26,10 @@ import (
 // dropped there (the wake-outside-the-locks pattern) is legal and not
 // flagged, provided only immutable record fields are touched after the
 // callback — that part of the rule remains a code-review obligation.
-// Passing the record to an arbitrary function is likewise not tracked.
-func checkTableEscape(p *Package) []Diagnostic {
+// Passing the record to a module function is checked one level deep via its
+// summary: a callee that stores the parameter in a field, global, channel,
+// or closure counts as an escape at the call site.
+func checkTableEscape(a *Analysis, p *Package) []Diagnostic {
 	if !inScope(p.Path) {
 		return nil
 	}
@@ -43,7 +45,7 @@ func checkTableEscape(p *Package) []Diagnostic {
 			}
 			if lit, ok := n.(*ast.FuncLit); ok {
 				if kind, params := recordParams(p, lit); kind != "" {
-					ds = append(ds, analyzeRecordClosure(p, lit, enclosingFunc(stack), kind, params)...)
+					ds = append(ds, analyzeRecordClosure(a, p, lit, enclosingFunc(stack), kind, params)...)
 				}
 			}
 			stack = append(stack, n)
@@ -88,7 +90,7 @@ func recordParams(p *Package, lit *ast.FuncLit) (string, map[types.Object]bool) 
 	return kind, params
 }
 
-func analyzeRecordClosure(p *Package, lit *ast.FuncLit, outer ast.Node, kind string, tainted map[types.Object]bool) []Diagnostic {
+func analyzeRecordClosure(a *Analysis, p *Package, lit *ast.FuncLit, outer ast.Node, kind string, tainted map[types.Object]bool) []Diagnostic {
 	var ds []Diagnostic
 	diag := func(pos ast.Node, what string) {
 		ds = append(ds, Diagnostic{
@@ -181,6 +183,27 @@ func analyzeRecordClosure(p *Package, lit *ast.FuncLit, outer ast.Node, kind str
 		case *ast.SendStmt:
 			if isTainted(n.Value) {
 				diag(n, "is sent on a channel")
+			}
+		case *ast.CallExpr:
+			// One level interprocedural: a module callee whose summary says
+			// it stores this parameter escapes the record just as a direct
+			// field write here would.
+			fi := a.calleeInfo(p, n)
+			if fi == nil {
+				return true
+			}
+			sum := a.summaryOf(fi)
+			for i, arg := range n.Args {
+				if !isTainted(arg) {
+					continue
+				}
+				k := i
+				if k >= len(sum.params) {
+					k = len(sum.params) - 1 // variadic tail
+				}
+				if k >= 0 && k < len(sum.escapesParam) && sum.escapesParam[k] {
+					diag(n, "is stored by "+fi.decl.Name.Name+" (callee summary)")
+				}
 			}
 		case *ast.ReturnStmt:
 			// Only returns of this closure itself; nested literals get their

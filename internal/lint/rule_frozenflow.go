@@ -1,0 +1,222 @@
+package lint
+
+// Rule frozen-flow: the flow-sensitive upgrade of msg-immutability for the
+// packages that the whitelist exempts. msg-immutability bans NetMsg field
+// writes everywhere OUTSIDE internal/msg and internal/netsim; inside them,
+// writes are the point — but only before the message freezes. This rule
+// tracks, per function, the *NetMsg variables on which Freeze() has been
+// called on some path (including the result of and the sub-messages handed
+// to msg.NewBatch, which freezes them); any later field write, element
+// write, delete, or in-place append through such a variable is a
+// diagnostic.
+//
+// Clone() and Mutable() launder a frozen value into a writable one, so
+// their results are untracked. Parameters start unfrozen: a function that
+// writes a message it received is the constructor idiom (codec Decode), and
+// cross-function freezing is the caller's flow to check.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func modelsMsgInternal(path string) bool {
+	return path == "mrpc/internal/msg" || path == "mrpc/internal/netsim" ||
+		path == "mrpc/internal/lint/testdata/frozenflow"
+}
+
+type frozenFact map[types.Object]bool
+
+func cloneFrozenFact(f frozenFact) frozenFact {
+	g := make(frozenFact, len(f))
+	for k := range f {
+		g[k] = true
+	}
+	return g
+}
+
+func joinFrozenFact(dst, src frozenFact) bool {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func checkFrozenFlow(a *Analysis, p *Package) []Diagnostic {
+	if !modelsMsgInternal(p.Path) {
+		return nil
+	}
+	var out diagSet
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				frozenFlow(a, p, fd.Body, &out)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				frozenFlow(a, p, lit.Body, &out)
+			}
+			return true
+		})
+	}
+	return out.ds
+}
+
+func frozenFlow(a *Analysis, p *Package, body *ast.BlockStmt, out *diagSet) {
+	c := buildCFG(body)
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[id]
+	}
+
+	// netMsgMethod returns the method name when call is m.<Name>() on a
+	// *NetMsg receiver whose base is an identifier, plus that identifier's
+	// object.
+	netMsgMethod := func(call *ast.CallExpr) (string, types.Object) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", nil
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return "", nil
+		}
+		if pkg, typ := recvNamed(fn); pkg != "mrpc/internal/msg" || typ != "NetMsg" {
+			return "", nil
+		}
+		return fn.Name(), objOf(sel.X)
+	}
+	isNewBatch := func(call *ast.CallExpr) bool {
+		fn := calleeFunc(p, call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "mrpc/internal/msg" &&
+			fn.Name() == "NewBatch" && fn.Type().(*types.Signature).Recv() == nil
+	}
+
+	// flag writes through a frozen base. e is the written expression (the
+	// assignment target or builtin argument).
+	checkWrite := func(e ast.Expr, f frozenFact, what string) {
+		sel, field := msgFieldTarget(p, e)
+		if sel == nil {
+			return
+		}
+		base := ast.Unparen(sel.X)
+		if ix, ok := base.(*ast.IndexExpr); ok {
+			base = ast.Unparen(ix.X) // subs[i].Field after NewBatch(subs)
+		}
+		obj := objOf(base)
+		if obj == nil || !f[obj] {
+			return
+		}
+		out.add(p, sel.Pos(), "frozen-flow",
+			what+" of NetMsg field "+field+" after "+obj.Name()+" was frozen on this path; "+
+				"a frozen message may already be shared with other recipients (DESIGN.md D13)")
+	}
+
+	transfer := func(atom ast.Node, f frozenFact) {
+		if _, ok := atom.(*ast.GoStmt); ok {
+			return
+		}
+		// Writes first: `m.F = x` on an already-frozen m flags even if the
+		// same atom refreezes something.
+		switch n := atom.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(lhs, f, "write")
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X, f, "write")
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if obj := objOf(e); obj != nil {
+					delete(f, obj) // rebound each iteration
+				}
+			}
+			return
+		}
+		ast.Inspect(atom, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) > 0 {
+				if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+					switch id.Name {
+					case "delete":
+						checkWrite(call.Args[0], f, "delete through")
+					case "append":
+						checkWrite(call.Args[0], f, "append to")
+					}
+					return true
+				}
+			}
+			if name, obj := netMsgMethod(call); name == "Freeze" && obj != nil {
+				f[obj] = true
+			}
+			if isNewBatch(call) && len(call.Args) >= 2 {
+				// NewBatch freezes the sub-messages it is handed.
+				if obj := objOf(call.Args[1]); obj != nil {
+					f[obj] = true
+				}
+			}
+			return true
+		})
+		// Assignments: aliases propagate frozenness; Clone/Mutable results
+		// and any other rebinding clear it.
+		if as, ok := atom.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, rhs := range as.Rhs {
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(id)
+				if obj == nil {
+					continue
+				}
+				switch {
+				case objOf(rhs) != nil && f[objOf(rhs)]:
+					f[obj] = true
+				case isFreshFromNewBatch(p, rhs):
+					f[obj] = true
+				default:
+					delete(f, obj)
+				}
+			}
+		}
+	}
+
+	fns := flowFuncs[frozenFact]{clone: cloneFrozenFact, join: joinFrozenFact, transfer: transfer}
+	in := runForward(c, frozenFact{}, fns)
+	if exitIn, ok := in[c.exit]; ok {
+		applyBlock(c.exit, exitIn, fns)
+	}
+}
+
+// isFreshFromNewBatch reports whether an expression is a direct
+// msg.NewBatch(...) call — its result is born frozen.
+func isFreshFromNewBatch(p *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "mrpc/internal/msg" &&
+		fn.Name() == "NewBatch"
+}

@@ -17,7 +17,7 @@ var goroutineAllowed = map[string]bool{
 // proc.Go / proc.(*Threads).Go carry a Thread handle, so crash injection
 // (Threads.KillAll) and shutdown paths can reap them; a bare go statement
 // is invisible to both.
-func checkGoroutineDiscipline(p *Package) []Diagnostic {
+func checkGoroutineDiscipline(_ *Analysis, p *Package) []Diagnostic {
 	if !inScope(p.Path) || goroutineAllowed[p.Path] {
 		return nil
 	}

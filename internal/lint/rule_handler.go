@@ -22,9 +22,10 @@ import (
 // Function literals that the handler hands to deferred-execution APIs
 // (Register, RegisterTimeout, AfterFunc) run outside the handler and are
 // not attributed to it; they are analyzed on their own when registered.
-// The analysis is intraprocedural: a Trigger buried in a helper the handler
-// calls is not seen.
-func checkHandlerDiscipline(p *Package) []Diagnostic {
+// The analysis sees one call level deep: a helper whose summary triggers
+// dispatch or takes the whole-table locks is flagged at its call site
+// (a Trigger two helpers down is still invisible).
+func checkHandlerDiscipline(a *Analysis, p *Package) []Diagnostic {
 	if !inScope(p.Path) {
 		return nil
 	}
@@ -69,7 +70,7 @@ func checkHandlerDiscipline(p *Package) []Diagnostic {
 			if lit == nil {
 				return true
 			}
-			ds = append(ds, analyzeHandlerBody(p, lit.Body, name)...)
+			ds = append(ds, analyzeHandlerBody(a, p, lit.Body, name)...)
 			return true
 		})
 
@@ -92,7 +93,7 @@ func checkHandlerDiscipline(p *Package) []Diagnostic {
 			if t := receiverTypeName(fd); t != "" {
 				name = t + "." + name
 			}
-			ds = append(ds, analyzeHandlerBody(p, fd.Body, name)...)
+			ds = append(ds, analyzeHandlerBody(a, p, fd.Body, name)...)
 		}
 	}
 	return ds
@@ -173,7 +174,7 @@ func resolveFuncLit(p *Package, e ast.Expr, lits map[types.Object]*ast.FuncLit) 
 	return nil
 }
 
-func analyzeHandlerBody(p *Package, body ast.Node, name string) []Diagnostic {
+func analyzeHandlerBody(a *Analysis, p *Package, body ast.Node, name string) []Diagnostic {
 	var ds []Diagnostic
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
@@ -204,9 +205,9 @@ func analyzeHandlerBody(p *Package, body ast.Node, name string) []Diagnostic {
 					// Deferred execution: analyze the registered literal as
 					// its own handler (the outer Inspect already does), but
 					// keep walking the non-literal arguments.
-					for _, a := range n.Args {
-						if _, isLit := a.(*ast.FuncLit); !isLit {
-							walk(a)
+					for _, arg := range n.Args {
+						if _, isLit := arg.(*ast.FuncLit); !isLit {
+							walk(arg)
 						}
 					}
 					return false
@@ -218,12 +219,42 @@ func analyzeHandlerBody(p *Package, body ast.Node, name string) []Diagnostic {
 				}
 				// AfterFunc callbacks run from the clock, not this dispatch.
 				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AfterFunc" {
-					for _, a := range n.Args {
-						if _, isLit := a.(*ast.FuncLit); !isLit {
-							walk(a)
+					for _, arg := range n.Args {
+						if _, isLit := arg.(*ast.FuncLit); !isLit {
+							walk(arg)
 						}
 					}
 					return false
+				}
+				// One level deep: a helper that itself triggers dispatch or
+				// takes the whole-table locks carries the violation to this
+				// call site. The scoped table API is exempt — ClientTx/
+				// ServerTx ARE the sanctioned way to lock the whole table,
+				// releasing before they return.
+				if fn := calleeFunc(p, n); fn != nil {
+					if pkg, typ := recvNamed(fn); pkg == corePath && scopedCallbackMethods[typ][fn.Name()] {
+						return true
+					}
+				}
+				if fi := a.calleeInfo(p, n); fi != nil {
+					sum := a.summaryOf(fi)
+					if sum.directTrigger {
+						ds = append(ds, Diagnostic{
+							Pos:  p.Fset.Position(n.Pos()),
+							Rule: "handler-discipline",
+							Message: "handler " + name + " calls " + fi.decl.Name.Name +
+								", which calls Bus.Trigger synchronously (re-entrant dispatch)",
+						})
+					}
+					if sum.directLockAll {
+						ds = append(ds, Diagnostic{
+							Pos:  p.Fset.Position(n.Pos()),
+							Rule: "handler-discipline",
+							Message: "handler " + name + " calls " + fi.decl.Name.Name +
+								", which calls lockAll/unlockAll; use ClientTx/ServerTx " +
+								"for a consistent table view",
+						})
+					}
 				}
 			}
 			return true

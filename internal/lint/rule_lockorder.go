@@ -1,0 +1,369 @@
+package lint
+
+// Rule lock-order: a module-wide static lock graph over the named mutexes
+// (mutex-typed struct fields and package-level mutex vars; the 16 table
+// shard locks collapse to the single node core.tableShard). Three checks:
+//
+//  1. order — while any tracked mutex is (may-)held, acquiring another —
+//     directly or through a resolvable callee's transitive lock set, with
+//     Bus.Trigger standing for every registered handler — adds an edge;
+//     the module graph must be acyclic. Cycles are reported once each by
+//     the module-level pass.
+//  2. scoped callbacks — a function literal passed to the scoped table API
+//     (Framework.WithClient/WithServer/EachClient/EachServer/ClientTx/
+//     ServerTx, tx.Each, and the internal shard helpers) runs under a shard
+//     mutex; acquiring any mutex inside one is rejected outright.
+//  3. missing unlock — a Lock whose mutex is held at some exits of the
+//     function but not all (a forgotten early-return path) is flagged.
+//     Helpers that exit holding on EVERY path (lockAll) and functions that
+//     release on every path are both fine by construction.
+//
+// Interface calls are not devirtualized and function-typed values are not
+// resolved; both under-approximate the graph (documented in DESIGN.md §6).
+// RLock counts as an acquire of the same node — ordering discipline does
+// not distinguish read from write acquisition.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+type lockFact struct {
+	may  map[string]bool
+	must map[string]bool
+}
+
+func cloneLockFact(f lockFact) lockFact {
+	g := lockFact{may: make(map[string]bool, len(f.may)), must: make(map[string]bool, len(f.must))}
+	for k := range f.may {
+		g.may[k] = true
+	}
+	for k := range f.must {
+		g.must[k] = true
+	}
+	return g
+}
+
+func joinLockFact(dst, src lockFact) bool {
+	changed := false
+	for k := range src.may {
+		if !dst.may[k] {
+			dst.may[k] = true
+			changed = true
+		}
+	}
+	for k := range dst.must {
+		if !src.must[k] {
+			delete(dst.must, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func checkLockOrder(a *Analysis, p *Package) []Diagnostic {
+	if !inScope(p.Path) {
+		return nil
+	}
+	var out diagSet
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lockFlow(a, p, fd.Body, &out)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lockFlow(a, p, lit.Body, &out)
+			}
+			return true
+		})
+		checkScopedCallbacks(a, p, f, &out)
+	}
+	return out.ds
+}
+
+// lockFlow runs the held-set analysis over one function body, recording
+// graph edges into the shared Analysis and flagging mixed-exit locks.
+func lockFlow(a *Analysis, p *Package, body *ast.BlockStmt, out *diagSet) {
+	c := buildCFG(body)
+
+	// Syntactic acquire sites (non-try, non-deferred), for mixed-exit
+	// attribution.
+	sites := make(map[string]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := lockSite(p, n); ok && op.acquire && !op.try && op.node != "" {
+				if _, dup := sites[op.node]; !dup {
+					sites[op.node] = op.pos
+				}
+			}
+		}
+		return true
+	})
+
+	transfer := func(atom ast.Node, f lockFact) {
+		switch atom.(type) {
+		case *ast.DeferStmt:
+			return // effect replays at exit
+		case *ast.GoStmt:
+			return // runs on another goroutine
+		}
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// A directly invoked function literal — an IIFE, or a deferred
+			// `func() { ... }()` replayed at exit — runs inline: its lock
+			// effects (the loop-release idiom pairing a loop of Locks with
+			// one deferred closure of Unlocks) apply to this held set.
+			if flit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				for _, arg := range call.Args {
+					ast.Inspect(arg, visit)
+				}
+				ast.Inspect(flit.Body, visit)
+				return false
+			}
+			if op, ok := lockSite(p, call); ok {
+				if op.node == "" {
+					return true
+				}
+				if op.acquire {
+					for held := range f.may {
+						a.addLockEdge(held, op.node, p.Fset.Position(op.pos))
+					}
+					f.may[op.node] = true
+					if !op.try {
+						f.must[op.node] = true
+					}
+				} else {
+					delete(f.may, op.node)
+					delete(f.must, op.node)
+				}
+				return true
+			}
+			var callee map[string]bool
+			if busMethod(p, call) == "Trigger" {
+				callee = a.triggerLocks()
+			} else if fi := a.calleeInfo(p, call); fi != nil {
+				callee = a.summaryOf(fi).locks
+			}
+			for node := range callee {
+				for held := range f.may {
+					a.addLockEdge(held, node, p.Fset.Position(call.Pos()))
+				}
+			}
+			return true
+		}
+		ast.Inspect(atom, visit)
+	}
+
+	fns := flowFuncs[lockFact]{clone: cloneLockFact, join: joinLockFact, transfer: transfer}
+	entry := lockFact{may: map[string]bool{}, must: map[string]bool{}}
+	in := runForward(c, entry, fns)
+	exitIn, ok := in[c.exit]
+	if !ok {
+		return // exit unreachable (infinite loop)
+	}
+	exitOut := applyBlock(c.exit, exitIn, fns)
+	for node, pos := range sites {
+		if exitOut.may[node] && !exitOut.must[node] {
+			out.add(p, pos, "lock-order",
+				"mutex "+node+" is not released on every path from this Lock "+
+					"(early return without Unlock? prefer defer)")
+		}
+	}
+}
+
+// scopedCallbackMethods maps (core receiver type, method) pairs whose
+// function-literal argument runs under a table shard mutex.
+var scopedCallbackMethods = map[string]map[string]bool{
+	"Framework":   {"WithClient": true, "WithServer": true, "EachClient": true, "EachServer": true, "ClientTx": true, "ServerTx": true},
+	"ClientTx":    {"Each": true},
+	"ServerTx":    {"Each": true},
+	"clientTable": {"with": true, "each": true},
+	"serverTable": {"with": true, "each": true},
+}
+
+func checkScopedCallbacks(a *Analysis, p *Package, f *ast.File, out *diagSet) {
+	lits := localFuncLits(p, f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		pkg, typ := recvNamed(fn)
+		if pkg != corePath || !scopedCallbackMethods[typ][fn.Name()] {
+			return true
+		}
+		lit := resolveFuncLit(p, call.Args[len(call.Args)-1], lits)
+		if lit == nil {
+			return true
+		}
+		where := typ + "." + fn.Name()
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.GoStmt); ok {
+				return false // spawned work does not hold the shard lock
+			}
+			inner, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, ok := lockSite(p, inner); ok {
+				if op.acquire {
+					name := op.node
+					if name == "" {
+						name = "a mutex"
+					}
+					out.add(p, inner.Pos(), "lock-order",
+						"acquires "+name+" inside a "+where+" callback; the shard mutex is "+
+							"held — take locks before entering, or collect and act after")
+				}
+				return true
+			}
+			if fi := a.calleeInfo(p, inner); fi != nil {
+				sum := a.summaryOf(fi)
+				if len(sum.locks) > 0 {
+					nodes := make([]string, 0, len(sum.locks))
+					for node := range sum.locks {
+						nodes = append(nodes, node)
+					}
+					sort.Strings(nodes)
+					out.add(p, inner.Pos(), "lock-order",
+						"acquires "+strings.Join(nodes, ", ")+" via "+fi.decl.Name.Name+
+							" inside a "+where+" callback; the shard mutex is held")
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// --- module-wide graph ----------------------------------------------------
+
+func (a *Analysis) addLockEdge(from, to string, pos token.Position) {
+	if from == to {
+		return // tableShard self-edges: lockAll's fixed shard order
+	}
+	a.lockEdges[lockEdge{from, to}] = append(a.lockEdges[lockEdge{from, to}], pos)
+}
+
+// checkLockCycles reports each elementary cycle of the accumulated lock
+// graph once, anchored at the lexicographically smallest node.
+func checkLockCycles(a *Analysis) []Diagnostic {
+	adj := make(map[string][]string)
+	for e := range a.lockEdges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	var ds []Diagnostic
+	seen := make(map[string]bool)
+	// DFS from each node; a back edge to the root yields a cycle. Bounded:
+	// the graph is tiny (tens of nodes).
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(root, cur string)
+	dfs = func(root, cur string) {
+		for _, next := range adj[cur] {
+			if next == root {
+				cycle := append(append([]string{}, path...), root)
+				key := strings.Join(cycle, "→")
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				edge := lockEdge{cycle[len(cycle)-2], root}
+				if len(cycle) == 2 {
+					edge = lockEdge{root, root}
+				}
+				poss := a.lockEdges[edge]
+				pos := token.Position{Filename: "lock-graph"}
+				if len(poss) > 0 {
+					pos = poss[0]
+				}
+				ds = append(ds, Diagnostic{
+					Pos:  pos,
+					Rule: "lock-order",
+					Message: fmt.Sprintf("lock-order cycle: %s — a thread holding %s can block "+
+						"behind one holding %s", strings.Join(cycle, " → "), cycle[0], cycle[len(cycle)-2]),
+				})
+				continue
+			}
+			if next < root || onPath[next] {
+				continue // canonical start: only cycles rooted at their min node
+			}
+			path = append(path, next)
+			onPath[next] = true
+			dfs(root, next)
+			onPath[next] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for _, n := range nodes {
+		path = []string{n}
+		onPath = map[string]bool{n: true}
+		dfs(n, n)
+	}
+	return ds
+}
+
+// LockGraphDOT renders the accumulated lock graph in Graphviz DOT form,
+// nodes and edges sorted for a stable, committable output.
+func (a *Analysis) LockGraphDOT() string {
+	nodeSet := make(map[string]bool)
+	edges := make([]lockEdge, 0, len(a.lockEdges))
+	for e := range a.lockEdges {
+		nodeSet[e.from], nodeSet[e.to] = true, true
+		edges = append(edges, e)
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("\trankdir=LR;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "\t%q;\n", n)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "\t%q -> %q;\n", e.from, e.to)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

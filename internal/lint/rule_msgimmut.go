@@ -20,8 +20,11 @@ import (
 // Construction via composite literal is unaffected; code that genuinely
 // needs a private copy spells it msg.NetMsg.Mutable() (clone-on-write) or
 // Clone() and builds a fresh message from it.
-func checkMsgImmutability(p *Package) []Diagnostic {
-	if !inScope(p.Path) || p.Path == "mrpc/internal/msg" || p.Path == "mrpc/internal/netsim" {
+func checkMsgImmutability(_ *Analysis, p *Package) []Diagnostic {
+	// Inside internal/msg and internal/netsim (and the frozen-flow fixture
+	// tree that stands in for them) writes are legal until Freeze; the
+	// flow-sensitive frozen-flow rule takes over there.
+	if !inScope(p.Path) || modelsMsgInternal(p.Path) {
 		return nil
 	}
 	var ds []Diagnostic

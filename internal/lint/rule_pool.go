@@ -1,0 +1,397 @@
+package lint
+
+// Rule pool-safety: flow-sensitive lifetime tracking for values drawn from
+// the module's sync.Pools (DESIGN.md D16's zero-alloc call path). A value
+// obtained by `pool.Get().(*T)` — or from a helper whose summary returns a
+// fresh pooled value — is tracked through the function's CFG:
+//
+//	Live ──Put/release-helper──▶ Released   any later use is use-after-Put;
+//	                                        a later Put is a double-Put
+//	Live ──store to field of a non-local, global, channel send, closure
+//	       capture, go-statement handoff──▶ Escaped
+//	                                        a later Put is flagged: another
+//	                                        reference may still be live
+//	Live ──passed to a //lint:owns callee, returned to the caller──▶ untracked
+//	                                        (ownership moved; the accepting
+//	                                        side is now responsible)
+//
+// The lattice is a may-analysis (joins union the states), so a Put that is
+// only sometimes preceded by another Put still flags. Handing a tracked
+// value to a call without a release/owns/escape summary is a borrow and
+// changes nothing — that is the hot path's dominant idiom (Trigger's event
+// argument, handler closures).
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	psLive uint8 = 1 << iota
+	psReleased
+	psEscaped
+)
+
+type poolFact map[types.Object]uint8
+
+func clonePoolFact(f poolFact) poolFact {
+	g := make(poolFact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+func joinPoolFact(dst, src poolFact) bool {
+	changed := false
+	for k, v := range src {
+		if dst[k]|v != dst[k] {
+			dst[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+func checkPoolSafety(a *Analysis, p *Package) []Diagnostic {
+	if !inScope(p.Path) {
+		return nil
+	}
+	var out diagSet
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				poolFlow(a, p, fd.Body, &out)
+			}
+		}
+		// Function literals are their own analysis unit (a value drawn
+		// inside a callback lives and dies there); the enclosing unit sees
+		// the literal only as a capture point.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				poolFlow(a, p, lit.Body, &out)
+			}
+			return true
+		})
+	}
+	return out.ds
+}
+
+// relKind classifies what a call site does to one of its pooled arguments.
+type relKind int
+
+const (
+	relPut    relKind = iota + 1 // pool.Put or a helper that releases
+	relOwns                      // //lint:owns transfer
+	relEscape                    // helper stores it beyond its locals
+)
+
+type relArg struct {
+	kind relKind
+	pos  token.Pos
+}
+
+func poolFlow(a *Analysis, p *Package, body *ast.BlockStmt, out *diagSet) {
+	c := buildCFG(body)
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[id]
+	}
+	isLocal := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				obj := objOf(x)
+				return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+			default:
+				return false
+			}
+		}
+	}
+
+	transfer := func(atom ast.Node, f poolFact) {
+		switch n := atom.(type) {
+		case *ast.RangeStmt:
+			checkPoolUses(p, n.X, f, nil, out)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if obj := objOf(e); obj != nil {
+					delete(f, obj) // rebound every iteration
+				}
+			}
+			return
+		case *ast.DeferStmt:
+			// Arguments are evaluated now; the call's effect replays at the
+			// exit block (see buildCFG).
+			for _, arg := range n.Call.Args {
+				checkPoolUses(p, arg, f, nil, out)
+			}
+			return
+		case *ast.GoStmt:
+			checkPoolUses(p, n.Call, f, nil, out)
+			escapeTrackedIn(p, n, f)
+			return
+		case *ast.ReturnStmt:
+			checkPoolUses(p, n, f, nil, out)
+			for _, r := range n.Results {
+				if obj := objOf(r); obj != nil {
+					delete(f, obj) // ownership moves to the caller
+				}
+			}
+			return
+		}
+
+		// Generic atom: classify call effects, check uses, apply escapes,
+		// releases, then sources/aliases (assignment last, as evaluated).
+		rels := make(map[*ast.Ident]relArg)
+		skip := make(map[*ast.Ident]bool)
+		collectRelArgs(a, p, atom, rels)
+		for id := range rels {
+			skip[id] = true
+		}
+		if as, ok := atom.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+		}
+		checkPoolUses(p, atom, f, skip, out)
+
+		// Escapes.
+		ast.Inspect(atom, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				escapeTrackedIn(p, n.Body, f)
+				return false
+			case *ast.SendStmt:
+				if obj := objOf(n.Value); obj != nil && f[obj]&psLive != 0 {
+					f[obj] |= psEscaped
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if obj := objOf(el); obj != nil && f[obj]&psLive != 0 {
+						f[obj] |= psEscaped
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, isB := p.Info.Uses[id].(*types.Builtin); isB && len(n.Args) > 1 {
+						for _, arg := range n.Args[1:] {
+							if obj := objOf(arg); obj != nil && f[obj]&psLive != 0 && !isLocal(n.Args[0]) {
+								f[obj] |= psEscaped
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if as, ok := atom.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, rhs := range as.Rhs {
+				obj := objOf(rhs)
+				if obj == nil || f[obj] == 0 {
+					continue
+				}
+				switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if !isLocal(lhs.X) {
+						f[obj] |= psEscaped
+					}
+				case *ast.IndexExpr:
+					if !isLocal(lhs.X) {
+						f[obj] |= psEscaped
+					}
+				case *ast.StarExpr:
+					f[obj] |= psEscaped
+				case *ast.Ident:
+					if lo := p.Info.Uses[lhs]; lo != nil && isGlobalVar(lo) {
+						f[obj] |= psEscaped
+					}
+				}
+			}
+		}
+
+		// Releases and ownership transfers.
+		for id, rel := range rels {
+			obj := objOf(id)
+			if obj == nil {
+				continue
+			}
+			st, tracked := f[obj]
+			if !tracked {
+				continue
+			}
+			switch rel.kind {
+			case relOwns:
+				delete(f, obj)
+			case relEscape:
+				f[obj] |= psEscaped
+			case relPut:
+				switch {
+				case st&psReleased != 0:
+					out.add(p, rel.pos, "pool-safety",
+						"pooled value "+obj.Name()+" is returned to its pool twice (double-Put)")
+				case st&psEscaped != 0:
+					out.add(p, rel.pos, "pool-safety",
+						"pooled value "+obj.Name()+" is returned to its pool after a reference "+
+							"escaped (field/global/channel/closure); the escapee would alias a recycled object")
+				}
+				f[obj] = psReleased
+			}
+		}
+
+		// Sources, aliases, kills.
+		if as, ok := atom.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i, rhs := range as.Rhs {
+				id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(id)
+				if obj == nil {
+					continue
+				}
+				switch {
+				case a.poolGetSource(p, rhs):
+					f[obj] = psLive
+				case objOf(rhs) != nil && f[objOf(rhs)] != 0:
+					f[obj] = f[objOf(rhs)] // alias carries the state
+				default:
+					delete(f, obj) // rebound to something untracked
+				}
+			}
+		}
+		if ds, ok := atom.(*ast.DeclStmt); ok {
+			if gd, ok := ds.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && a.poolGetSource(p, vs.Values[i]) {
+							if obj := p.Info.Defs[name]; obj != nil {
+								f[obj] = psLive
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	fns := flowFuncs[poolFact]{clone: clonePoolFact, join: joinPoolFact, transfer: transfer}
+	in := runForward(c, poolFact{}, fns)
+	if exitIn, ok := in[c.exit]; ok {
+		applyBlock(c.exit, exitIn, fns) // replayed defers (deferred Puts)
+	}
+}
+
+// collectRelArgs finds, within one atom, every identifier handed to a pool
+// Put or to a callee whose summary releases/owns/escapes that parameter.
+func collectRelArgs(a *Analysis, p *Package, atom ast.Node, rels map[*ast.Ident]relArg) {
+	ast.Inspect(atom, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if poolMethod(p, call) == "Put" && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				rels[id] = relArg{kind: relPut, pos: call.Pos()}
+			}
+			return true
+		}
+		fi := a.calleeInfo(p, call)
+		if fi == nil {
+			return true
+		}
+		sum := a.summaryOf(fi)
+		for j, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			k := j
+			if k >= len(sum.params) {
+				k = len(sum.params) - 1
+			}
+			if k < 0 {
+				continue
+			}
+			switch {
+			case sum.ownsParam[k]:
+				rels[id] = relArg{kind: relOwns, pos: call.Pos()}
+			case sum.releasesParam[k]:
+				rels[id] = relArg{kind: relPut, pos: call.Pos()}
+			case sum.escapesParam[k]:
+				if _, have := rels[id]; !have {
+					rels[id] = relArg{kind: relEscape, pos: call.Pos()}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkPoolUses flags every read of a Released value within n. skip lists
+// identifiers that are themselves the release/assignment target this atom
+// (they get the more specific double-Put/rebind treatment instead).
+func checkPoolUses(p *Package, n ast.Node, f poolFact, skip map[*ast.Ident]bool, out *diagSet) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if f[obj]&psReleased != 0 {
+			out.add(p, id.Pos(), "pool-safety",
+				"pooled value "+obj.Name()+" is used after being returned to its pool "+
+					"(use-after-Put); the pool may already have handed it to another goroutine")
+		}
+		return true
+	})
+}
+
+// escapeTrackedIn marks every tracked value referenced under n as escaped —
+// used for closure captures and go-statement handoffs, whose execution
+// context outlives (or races) the current flow.
+func escapeTrackedIn(p *Package, n ast.Node, f poolFact) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				if f[obj]&psLive != 0 {
+					f[obj] |= psEscaped
+				}
+			}
+		}
+		return true
+	})
+}

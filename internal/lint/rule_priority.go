@@ -11,7 +11,7 @@ import (
 // priority argument does not reference a named constant. Handler priorities
 // order the whole composite protocol's dispatch (DESIGN.md §3); a magic int
 // hides that ordering relationship from the reader and from grep.
-func checkPriorityConstants(p *Package) []Diagnostic {
+func checkPriorityConstants(_ *Analysis, p *Package) []Diagnostic {
 	if !inScope(p.Path) {
 		return nil
 	}

@@ -1,0 +1,387 @@
+package lint
+
+// Function summaries: the one-level (transitively memoized) interprocedural
+// layer of the substrate. A summary answers, for one declared function:
+//
+//   - which parameters it releases back to a sync.Pool (directly or via a
+//     callee that does),
+//   - which parameters it takes ownership of, declared by the //lint:owns
+//     annotation (see DESIGN.md §6) or inherited by forwarding the value to
+//     an owning callee,
+//   - which parameters it stores beyond its own locals (fields of non-local
+//     values, globals, channels, captures, goroutine handoff),
+//   - whether it returns a freshly drawn pooled value,
+//   - which named mutexes it (transitively) acquires, and whether it calls
+//     Bus.Trigger or lockAll/unlockAll directly.
+//
+// Summaries are computed on demand and memoized; recursion is cut by
+// returning the partial (zero) summary for a function currently being
+// computed, which under-approximates on call cycles — the module's release
+// helpers and lock helpers are leaf-ish, so nothing is lost in practice.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+type summary struct {
+	params        []types.Object // nil for unnamed parameters
+	releasesParam []bool
+	escapesParam  []bool
+	ownsParam     []bool
+	returnsFresh  bool
+	locks         map[string]bool // lock-graph nodes transitively acquired
+	directTrigger bool
+	directLockAll bool
+}
+
+var emptySummary = &summary{locks: map[string]bool{}}
+
+func (a *Analysis) summaryOf(fi *funcInfo) *summary {
+	if s, ok := a.summaries[fi.key]; ok {
+		return s
+	}
+	if a.computing[fi.key] {
+		return emptySummary
+	}
+	a.computing[fi.key] = true
+	s := a.computeSummary(fi)
+	delete(a.computing, fi.key)
+	a.summaries[fi.key] = s
+	return s
+}
+
+// ownsNames parses a //lint:owns annotation out of a doc comment:
+//
+//	//lint:owns <param> [<param>...]
+//
+// naming the parameters whose pooled value the function takes ownership of.
+// Callers stop tracking the value at the call; the function (and what it
+// hands the value to) becomes responsible for the eventual pool return.
+func ownsNames(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, "lint:owns"); ok {
+			names = append(names, strings.Fields(rest)...)
+		}
+	}
+	return names
+}
+
+func (a *Analysis) computeSummary(fi *funcInfo) *summary {
+	p, fd := fi.pkg, fi.decl
+	s := &summary{locks: make(map[string]bool)}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			s.params = append(s.params, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			s.params = append(s.params, p.Info.Defs[name])
+		}
+	}
+	n := len(s.params)
+	s.releasesParam = make([]bool, n)
+	s.escapesParam = make([]bool, n)
+	s.ownsParam = make([]bool, n)
+	for _, name := range ownsNames(fd.Doc) {
+		for i, obj := range s.params {
+			if obj != nil && obj.Name() == name {
+				s.ownsParam[i] = true
+			}
+		}
+	}
+
+	paramIdx := func(e ast.Expr) int {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return -1
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return -1
+		}
+		for i, po := range s.params {
+			if po == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	escapeAllParamsIn := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if i := paramIdx(id); i >= 0 {
+					s.escapesParam[i] = true
+				}
+			}
+			return true
+		})
+	}
+
+	fresh := make(map[types.Object]bool) // locals assigned from a pool Get
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			// A capture outlives this call as far as the caller can tell.
+			escapeAllParamsIn(node.Body)
+			return false
+		case *ast.GoStmt:
+			// Handed to another goroutine.
+			escapeAllParamsIn(node)
+			return false
+		case *ast.SendStmt:
+			if i := paramIdx(node.Value); i >= 0 {
+				s.escapesParam[i] = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range node.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if i := paramIdx(el); i >= 0 {
+					s.escapesParam[i] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(node.Lhs) != len(node.Rhs) {
+				return true
+			}
+			for i, rhs := range node.Rhs {
+				lhs := ast.Unparen(node.Lhs[i])
+				if a.poolGetSource(p, rhs) {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							fresh[obj] = true
+						} else if obj := p.Info.Uses[id]; obj != nil {
+							fresh[obj] = true
+						}
+					}
+					continue
+				}
+				pi := paramIdx(rhs)
+				if pi < 0 {
+					continue
+				}
+				switch lhs := lhs.(type) {
+				case *ast.SelectorExpr:
+					if !localBase(p, fd, lhs.X) {
+						s.escapesParam[pi] = true
+					}
+				case *ast.IndexExpr:
+					if !localBase(p, fd, lhs.X) {
+						s.escapesParam[pi] = true
+					}
+				case *ast.StarExpr:
+					s.escapesParam[pi] = true
+				case *ast.Ident:
+					if obj := p.Info.Uses[lhs]; obj != nil && isGlobalVar(obj) {
+						s.escapesParam[pi] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if poolMethod(p, node) == "Put" && len(node.Args) == 1 {
+				if i := paramIdx(node.Args[0]); i >= 0 {
+					s.releasesParam[i] = true
+				}
+				return true
+			}
+			switch busMethod(p, node) {
+			case "Trigger":
+				s.directTrigger = true
+			}
+			if isLockAllCall(node) {
+				s.directLockAll = true
+			}
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isB := p.Info.Uses[id].(*types.Builtin); isB {
+					// append(container, param): escapes unless the slice is local.
+					for _, arg := range node.Args[1:] {
+						if i := paramIdx(arg); i >= 0 && !localBase(p, fd, node.Args[0]) {
+							s.escapesParam[i] = true
+						}
+					}
+					return true
+				}
+			}
+			if fi2 := a.calleeInfo(p, node); fi2 != nil {
+				sub := a.summaryOf(fi2)
+				for j, arg := range node.Args {
+					i := paramIdx(arg)
+					if i < 0 {
+						continue
+					}
+					k := j
+					if k >= len(sub.params) {
+						k = len(sub.params) - 1 // variadic tail
+					}
+					if k < 0 {
+						continue
+					}
+					if sub.releasesParam[k] {
+						s.releasesParam[i] = true
+					}
+					if sub.ownsParam[k] {
+						s.ownsParam[i] = true
+					}
+					if sub.escapesParam[k] {
+						s.escapesParam[i] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range node.Results {
+				if a.poolGetSource(p, r) {
+					s.returnsFresh = true
+				} else if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil && fresh[obj] {
+						s.returnsFresh = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	a.collectLocks(p, fd.Body, s.locks)
+	return s
+}
+
+// localBase peels selectors, indexes, derefs and calls off an expression and
+// reports whether the base is a variable declared inside the function body —
+// a store through such a base stays local as far as the caller can observe.
+// (A local pointer into a shared structure defeats this; the module's
+// ownership-transferring entry points carry //lint:owns instead of relying
+// on escape inference.)
+func localBase(p *Package, fd *ast.FuncDecl, e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// isLockAllCall matches direct calls to the whole-table lockAll/unlockAll
+// helpers by name (they are unexported core functions; name matching keeps
+// the check cheap and is exact within the module).
+func isLockAllCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return isTableLockAll(fun.Name)
+	case *ast.SelectorExpr:
+		return isTableLockAll(fun.Sel.Name)
+	}
+	return false
+}
+
+// collectLocks unions into out the lock-graph nodes acquired anywhere in
+// body: direct Lock/RLock sites plus the transitive lock sets of resolvable
+// callees. Nested function literals and go statements are excluded (they
+// run in another context); a Bus.Trigger call pulls in the locks of every
+// registered handler literal, the dispatch layer's dynamic edge.
+func (a *Analysis) collectLocks(p *Package, body ast.Node, out map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if op, ok := lockSite(p, n); ok {
+				if op.acquire && op.node != "" {
+					out[op.node] = true
+				}
+				return true
+			}
+			if busMethod(p, n) == "Trigger" {
+				for node := range a.triggerLocks() {
+					out[node] = true
+				}
+			}
+			if fi := a.calleeInfo(p, n); fi != nil {
+				for node := range a.summaryOf(fi).locks {
+					out[node] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// triggerLocks returns (and caches) the union of the lock sets of every
+// event-handler literal registered anywhere in the analyzed packages: the
+// static stand-in for "whatever dispatch may run".
+func (a *Analysis) triggerLocks() map[string]bool {
+	if a.triggerLockRun {
+		return a.triggerLockSet
+	}
+	a.triggerLockRun = true
+	a.triggerLockSet = make(map[string]bool)
+	for _, p := range a.pkgs {
+		for _, f := range p.Files {
+			lits := localFuncLits(p, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if lit := handlerLitOf(p, call, lits); lit != nil {
+					a.collectLocks(p, lit.Body, a.triggerLockSet)
+				}
+				return true
+			})
+		}
+	}
+	return a.triggerLockSet
+}
+
+// handlerLitOf resolves the handler literal a registration call installs
+// (Bus.Register/RegisterTimeout and Binding.On/After), or nil.
+func handlerLitOf(p *Package, call *ast.CallExpr, lits map[types.Object]*ast.FuncLit) *ast.FuncLit {
+	var arg ast.Expr
+	switch busMethod(p, call) {
+	case "Register":
+		if len(call.Args) == 4 {
+			arg = call.Args[3]
+		}
+	case "RegisterTimeout":
+		if len(call.Args) == 3 {
+			arg = call.Args[2]
+		}
+	}
+	switch bindingMethod(p, call) {
+	case "On":
+		if len(call.Args) == 4 {
+			arg = call.Args[3]
+		}
+	case "After":
+		if len(call.Args) == 3 {
+			arg = call.Args[2]
+		}
+	}
+	if arg == nil {
+		return nil
+	}
+	return resolveFuncLit(p, arg, lits)
+}

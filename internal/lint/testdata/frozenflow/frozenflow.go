@@ -1,0 +1,82 @@
+// Fixture for the frozen-flow rule. This package stands in for
+// internal/msg and internal/netsim (the packages exempt from the blanket
+// msg-immutability rule): writes to a NetMsg are legal right up to the
+// Freeze() call on some path, and violations after it.
+package frozenflow
+
+import "mrpc/internal/msg"
+
+// Seeded bug (ISSUE 7): a field write after the message froze.
+func postFreezeWrite(m *msg.NetMsg) {
+	m.Freeze()
+	m.Order = 1 // want "after m was frozen on this path"
+}
+
+// The analysis is path-sensitive at joins: frozen on one branch poisons the
+// merge point.
+func branchFreeze(m *msg.NetMsg, send bool) {
+	if send {
+		m.Freeze()
+	}
+	m.Order = 2 // want "after m was frozen on this path"
+}
+
+func mapDelete(m *msg.NetMsg, p msg.ProcID) {
+	m.Freeze()
+	delete(m.VC, p) // want "delete through"
+}
+
+func sliceAppend(m *msg.NetMsg) {
+	m.Freeze()
+	m.Args = append(m.Args, 0) // want "write" // want "append to"
+}
+
+// Aliases carry frozenness.
+func aliasWrite(m *msg.NetMsg) {
+	m.Freeze()
+	n := m
+	n.Order = 3 // want "after n was frozen on this path"
+}
+
+// NewBatch freezes both its result and the sub-messages handed to it.
+func batchSubs(sender msg.ProcID, subs []*msg.NetMsg) *msg.NetMsg {
+	b := msg.NewBatch(sender, subs)
+	subs[0].Order = 4 // want "after subs was frozen on this path"
+	return b
+}
+
+func batchResult(sender msg.ProcID, subs []*msg.NetMsg) *msg.NetMsg {
+	b := msg.NewBatch(sender, subs)
+	b.Order = 5 // want "after b was frozen on this path"
+	return b
+}
+
+// The constructor idiom is clean: fill first, freeze last.
+func build(order int64) *msg.NetMsg {
+	m := &msg.NetMsg{Type: msg.OpOrder}
+	m.Order = order
+	m.VC = msg.VClock{}
+	m.Freeze()
+	return m
+}
+
+// Clone and Mutable launder a frozen message into a private writable copy.
+func launder(m *msg.NetMsg) *msg.NetMsg {
+	m.Freeze()
+	c := m.Clone()
+	c.Order = 6
+	w := m.Mutable()
+	w.Order = 7
+	return w
+}
+
+// Freezing only after the last write, under a branch that returns early, is
+// clean: no path reaches a write after its Freeze.
+func freezeThenReturn(m *msg.NetMsg, ready bool) {
+	m.Order = 8
+	if ready {
+		m.Freeze()
+		return
+	}
+	m.Order = 9
+}

@@ -1,0 +1,108 @@
+// Fixture for the lock-order rule: the named-mutex graph must stay acyclic,
+// no mutex may be acquired inside a scoped table callback, and a Lock
+// released on some exits but not all is a leak.
+package lockorder
+
+import (
+	"sync"
+
+	"mrpc/internal/core"
+	"mrpc/internal/msg"
+)
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// lockAB establishes the order a -> b.
+func lockAB(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// lockBA closes the cycle: b -> a. The module pass reports it once, at the
+// acquisition that completes it.
+func lockBA(p *pair) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want "lock-order cycle"
+	defer p.a.Unlock()
+}
+
+// disp models a dispatch barrier living next to the table layer.
+type disp struct {
+	dispatchMu sync.RWMutex
+}
+
+// Seeded bug (ISSUE 7): taking a dispatch-shaped mutex inside a scoped
+// table callback, where the shard mutex is already held.
+func scopedAcquire(fw *core.Framework, id msg.CallID, d *disp) {
+	fw.WithClient(id, func(rec *core.ClientRecord) {
+		d.dispatchMu.RLock() // want "inside a Framework.WithClient callback"
+		defer d.dispatchMu.RUnlock()
+		_ = rec
+	})
+}
+
+// lockDisp acquires the barrier; scoped callbacks must not reach it even
+// one call away.
+func lockDisp(d *disp) {
+	d.dispatchMu.Lock()
+	defer d.dispatchMu.Unlock()
+}
+
+func scopedAcquireViaHelper(fw *core.Framework, key msg.CallKey, d *disp) {
+	fw.WithServer(key, func(rec *core.ServerRecord) {
+		lockDisp(d) // want "via lockDisp inside a Framework.WithServer callback"
+		_ = rec
+	})
+}
+
+// missingUnlock holds a on the early return but releases it on the fall
+// through: a mixed-exit leak.
+func missingUnlock(p *pair, cond bool) bool {
+	p.a.Lock() // want "not released on every path"
+	if cond {
+		return false
+	}
+	p.a.Unlock()
+	return true
+}
+
+// allPathsHeld is the lockAll shape: every exit holds a. Deliberate
+// exit-holding helpers are not mixed-exit and are not flagged.
+func allPathsHeld(p *pair) {
+	p.a.Lock()
+}
+
+func allPathsRelease(p *pair) {
+	p.a.Unlock()
+}
+
+// loopRelease pairs a loop of Locks with one deferred closure of Unlocks —
+// the id-ordered multi-node barrier idiom. Clean: the deferred literal runs
+// inline at exit.
+func loopRelease(ps []*pair) {
+	for _, p := range ps {
+		p.a.Lock()
+	}
+	defer func() {
+		for i := len(ps) - 1; i >= 0; i-- {
+			ps[i].a.Unlock()
+		}
+	}()
+}
+
+// scopedClean collects under the shard lock and acts after — the sanctioned
+// pattern.
+func scopedClean(fw *core.Framework, d *disp) {
+	var woken []*core.ClientRecord
+	fw.EachClient(func(rec *core.ClientRecord) {
+		woken = append(woken, rec)
+	})
+	lockDisp(d)
+	_ = woken
+}

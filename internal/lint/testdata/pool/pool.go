@@ -1,0 +1,129 @@
+// Fixture for the pool-safety rule: values drawn from a sync.Pool are
+// tracked through the CFG; use-after-Put, double-Put, and Put-after-escape
+// are violations, while borrows, deferred Puts, returns, and //lint:owns
+// handoffs are the sanctioned idioms.
+package pool
+
+import (
+	"sync"
+
+	"mrpc/internal/core"
+	"mrpc/internal/msg"
+)
+
+type box struct {
+	n    int
+	next *box
+}
+
+var (
+	boxPool   = sync.Pool{New: func() any { return new(box) }}
+	eventPool = sync.Pool{New: func() any { return new(core.NetEvent) }}
+)
+
+var sink *box
+
+// Seeded bug (ISSUE 7): reading a *NetEvent after it went back to the pool.
+func useAfterPut() *msg.NetMsg {
+	ev := eventPool.Get().(*core.NetEvent)
+	ev.Msg, ev.Thread = nil, nil
+	eventPool.Put(ev)
+	return ev.Msg // want "use-after-Put"
+}
+
+func doublePut() {
+	b := boxPool.Get().(*box)
+	b.n = 0
+	boxPool.Put(b)
+	boxPool.Put(b) // want "double-Put"
+}
+
+func escapePut() {
+	b := boxPool.Get().(*box)
+	sink = b
+	boxPool.Put(b) // want "after a reference escaped"
+}
+
+// The lattice is a may-analysis: a Put on only one branch still poisons the
+// merge point.
+func maybePut(cond bool) {
+	b := boxPool.Get().(*box)
+	if cond {
+		boxPool.Put(b)
+	}
+	b.n++ // want "use-after-Put"
+}
+
+// release recycles its argument; callers see this through its summary.
+func release(b *box) {
+	b.next = nil
+	boxPool.Put(b)
+}
+
+func helperRelease() {
+	b := boxPool.Get().(*box)
+	release(b)
+	_ = b.n // want "use-after-Put"
+}
+
+// getBox returns a freshly drawn value; callers track the result.
+func getBox() *box { return boxPool.Get().(*box) }
+
+func freshFromHelper() *box {
+	b := getBox()
+	boxPool.Put(b)
+	return b // want "use-after-Put"
+}
+
+func closureEscape() func() int {
+	b := boxPool.Get().(*box)
+	get := func() int { return b.n }
+	boxPool.Put(b) // want "after a reference escaped"
+	return get
+}
+
+// consume takes ownership of b (and is responsible for the eventual pool
+// return on every path, which this fixture deliberately does not model).
+//
+//lint:owns b
+func consume(b *box) {
+	if b.n > 0 {
+		boxPool.Put(b)
+	}
+}
+
+// ownsHandoff is clean: the //lint:owns contract moves responsibility to
+// consume, so the caller-side tracking ends at the call.
+func ownsHandoff() {
+	b := boxPool.Get().(*box)
+	b.n = 1
+	consume(b)
+}
+
+// borrow only reads; handing a tracked value to it changes nothing.
+func borrow(b *box) int { return b.n }
+
+// cleanCycle is the hot-path idiom: draw, fill, lend, release.
+func cleanCycle() int {
+	b := boxPool.Get().(*box)
+	b.n = 7
+	n := borrow(b)
+	boxPool.Put(b)
+	return n
+}
+
+// deferredPut is clean: the deferred release replays at function exit,
+// after every use.
+func deferredPut() int {
+	b := boxPool.Get().(*box)
+	defer boxPool.Put(b)
+	b.n++
+	return b.n
+}
+
+// returnFresh is clean: returning a tracked value moves ownership to the
+// caller.
+func returnFresh() *core.NetEvent {
+	ev := eventPool.Get().(*core.NetEvent)
+	return ev
+}
