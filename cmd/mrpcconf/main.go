@@ -83,18 +83,24 @@ func run(properties, registrations, graph, enumerate, list, transitions, profile
 }
 
 // transitionMatrix summarizes config.PlanTransition over every ordered pair
-// of the 198 enumerated configurations — the dynamic companion of the
-// -enumerate count — plus a few named example transitions.
+// of the enumerated configurations — the paper's 198 semantic services
+// crossed with the dissemination dimension (flat, tree(2), tree(3); D17) —
+// the dynamic companion of the -enumerate count, plus a few named example
+// transitions.
 func transitionMatrix() string {
 	var b strings.Builder
 	m := config.EnumerateTransitions()
 	fmt.Fprintln(&b, "=== live-reconfiguration transition matrix (ordered pairs of enumerated configs)")
+	fmt.Fprintln(&b, "  dimensions: 198 semantic services x dissemination {flat, tree(2), tree(3)}")
 	fmt.Fprintf(&b, "  configurations: %d\n", m.Configs)
 	fmt.Fprintf(&b, "  ordered pairs:  %d\n", m.Pairs)
-	fmt.Fprintf(&b, "  live:           %5d  (swap under the dispatch barrier alone)\n", m.Live)
-	fmt.Fprintf(&b, "  drain:          %5d  (in-flight calls complete before the swap)\n", m.Drain)
-	fmt.Fprintf(&b, "  illegal:        %5d  (atomicity changes; restart the node instead)\n", m.Illegal)
+	fmt.Fprintf(&b, "  live:           %6d  (swap under the dispatch barrier alone)\n", m.Live)
+	fmt.Fprintf(&b, "  drain:          %6d  (in-flight calls complete before the swap)\n", m.Drain)
+	fmt.Fprintf(&b, "  illegal:        %6d  (atomicity changes; restart the node instead)\n", m.Illegal)
 
+	tree3 := config.ExactlyOncePreset()
+	tree3.Dissemination = config.DissTree
+	tree3.TreeFanout = 3
 	examples := []struct {
 		name     string
 		from, to config.Config
@@ -103,6 +109,7 @@ func transitionMatrix() string {
 		{"replicated-service -> exactly-once", config.ReplicatedService(), config.ExactlyOncePreset()},
 		{"exactly-once -> at-least-once", config.ExactlyOncePreset(), config.AtLeastOncePreset()},
 		{"exactly-once -> at-most-once", config.ExactlyOncePreset(), config.AtMostOncePreset()},
+		{"exactly-once flat -> tree(3)", config.ExactlyOncePreset(), tree3},
 	}
 	fmt.Fprintln(&b, "  examples:")
 	for _, e := range examples {

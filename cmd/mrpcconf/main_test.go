@@ -6,20 +6,24 @@ import (
 )
 
 // TestTransitionsGolden pins the -transitions output the way the config
-// tests pin the -enumerate/198 count: 198 configurations give 39204 ordered
-// pairs, split into 1710 live, 20070 drain, and 17424 illegal transitions
-// (exactly the pairs that add or remove atomic execution).
+// tests pin the -enumerate/198 count: the 198 semantic services crossed
+// with the dissemination dimension (flat, tree(2), tree(3) — D17) give 594
+// configurations and 352836 ordered pairs, split into 5130 live, 190890
+// drain, and 156816 illegal transitions (exactly the pairs that add or
+// remove atomic execution, times the 9 dissemination combinations).
 func TestTransitionsGolden(t *testing.T) {
 	out := transitionMatrix()
 	for _, want := range []string{
-		"configurations: 198",
-		"ordered pairs:  39204",
-		"live:            1710",
-		"drain:          20070",
-		"illegal:        17424",
+		"dimensions: 198 semantic services x dissemination {flat, tree(2), tree(3)}",
+		"configurations: 594",
+		"ordered pairs:  352836",
+		"live:             5130",
+		"drain:          190890",
+		"illegal:        156816",
 		"exactly-once -> replicated-service   drain changed: [ordering execution acceptance]",
 		"exactly-once -> at-least-once        live  changed: [unique]",
 		"exactly-once -> at-most-once         illegal",
+		"exactly-once flat -> tree(3)         drain changed: [dissemination]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("transition matrix output missing %q:\n%s", want, out)

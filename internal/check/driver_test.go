@@ -117,10 +117,10 @@ func TestScenarioValidate(t *testing.T) {
 }
 
 // TestSpecRoundTrip checks ConfigSpec survives a round trip for every
-// enumerated configuration (the seed-artifact serialization is lossless
-// over the sweep space).
+// enumerated configuration — including the dissemination dimension (D17) —
+// so the seed-artifact serialization is lossless over the sweep space.
 func TestSpecRoundTrip(t *testing.T) {
-	for _, c := range config.Enumerate() {
+	for _, c := range config.EnumerateWithDissemination() {
 		back, err := SpecOf(c).Config()
 		if err != nil {
 			t.Fatalf("%s: %v", c, err)
@@ -128,6 +128,38 @@ func TestSpecRoundTrip(t *testing.T) {
 		if SpecOf(back) != SpecOf(c) {
 			t.Fatalf("round trip changed %s into %s", c, back)
 		}
+	}
+}
+
+// TestGenerateSamplesTree checks the generator actually exercises tree
+// dissemination: across a smoke-sized sample, some scenarios run over
+// tree(2)/tree(3) — among them a crash-recover (the member-crash
+// re-parenting path) — and tree scenarios outside blackhole get a group
+// larger than the fanout, so the tree engages rather than falling back
+// flat.
+func TestGenerateSamplesTree(t *testing.T) {
+	scs := Generate(1, 30) // the default `mrpccheck -smoke` sample
+	trees, crashTrees := 0, 0
+	for _, sc := range scs {
+		if sc.Config.Diss != "tree" {
+			continue
+		}
+		trees++
+		if sc.Config.TreeK < 2 || sc.Config.TreeK > 3 {
+			t.Fatalf("%s: tree_k = %d, want 2 or 3", sc.Name, sc.Config.TreeK)
+		}
+		if sc.Name[:5] != "black" && sc.Servers <= sc.Config.TreeK {
+			t.Fatalf("%s: %d servers with tree(%d) never relays", sc.Name, sc.Servers, sc.Config.TreeK)
+		}
+		if len(sc.Name) >= 5 && sc.Name[:5] == "crash" {
+			crashTrees++
+		}
+	}
+	if trees < 5 {
+		t.Fatalf("tree scenarios = %d of %d, want a healthy slice (~1/3)", trees, len(scs))
+	}
+	if crashTrees < 1 {
+		t.Fatalf("no crash-recover scenario sampled tree dissemination (re-parenting untested)")
 	}
 }
 

@@ -24,6 +24,8 @@ type ConfigSpec struct {
 	Orphan      string `json:"orphan"` // "ignore" | "avoid-interference" | "terminate"
 	Accept      int    `json:"accept"` // acceptance limit; -1 = all members
 	Flush       int    `json:"flush,omitempty"`
+	Diss        string `json:"diss,omitempty"`   // "" | "flat" | "tree" (D17)
+	TreeK       int    `json:"tree_k,omitempty"` // tree fanout; 0 = default
 }
 
 // SpecOf converts a configuration into its serializable spec.
@@ -70,6 +72,10 @@ func SpecOf(c config.Config) ConfigSpec {
 		s.Orphan = "terminate"
 	default:
 		s.Orphan = "ignore"
+	}
+	if c.Dissemination == config.DissTree {
+		s.Diss = "tree"
+		s.TreeK = c.TreeFanout
 	}
 	return s
 }
@@ -130,6 +136,15 @@ func (s ConfigSpec) Config() (config.Config, error) {
 		c.AcceptanceLimit = 1
 	default:
 		c.AcceptanceLimit = s.Accept
+	}
+	switch s.Diss {
+	case "", "flat":
+		c.Dissemination = config.DissFlat
+	case "tree":
+		c.Dissemination = config.DissTree
+		c.TreeFanout = s.TreeK
+	default:
+		return c, fmt.Errorf("check: unknown dissemination mode %q", s.Diss)
 	}
 	return c, c.Validate()
 }
@@ -308,6 +323,31 @@ func Generate(masterSeed int64, n int) []Scenario {
 			for i := range sc.Steps {
 				if sc.Steps[i].To != nil {
 					sc.Steps[i].To.Flush = sc.Config.Flush
+				}
+			}
+		}
+		// A slice of every template runs over tree dissemination (D17) so
+		// the oracles verify the relayed call path — in crash-recover that
+		// includes re-parenting around a crashed interior member. A tree
+		// only engages when the group is larger than the fanout, so these
+		// scenarios get a bigger group — except blackhole, whose full-
+		// partition semantics assume exactly the 3 servers its steps name
+		// (tree(2) still relays at g=3).
+		switch rng.Intn(3) {
+		case 0:
+			k := 2 + rng.Intn(2) // tree(2) or tree(3)
+			if sc.Name == "blackhole" {
+				k = 2
+			} else if sc.Servers < k+3 {
+				sc.Servers = k + 3
+			}
+			sc.Config.Diss, sc.Config.TreeK = "tree", k
+			for i := range sc.Steps {
+				if sc.Steps[i].To != nil {
+					// Reconfigurations keep the dissemination dimension
+					// fixed: changing it is drain-class and orthogonal to
+					// the transition the template is exercising.
+					sc.Steps[i].To.Diss, sc.Steps[i].To.TreeK = "tree", k
 				}
 			}
 		}

@@ -116,6 +116,35 @@ func (o OrphanMode) String() string {
 	}
 }
 
+// Dissemination selects how a group multicast reaches the members
+// (DESIGN.md D17): flat direct fanout from the sender, or relay over a
+// deterministic sender-rooted k-ary spanning tree. The zero value is flat,
+// so existing configurations are unchanged.
+type Dissemination int
+
+// Dissemination modes.
+const (
+	// DissFlat sends every group multicast directly to all g members:
+	// O(g) sender egress, no relaying. The default.
+	DissFlat Dissemination = iota
+	// DissTree relays the frozen wire frame over a k-ary spanning tree
+	// (k = TreeFanout): O(k) sender egress, acks aggregated up the tree,
+	// deterministic re-parenting on member failure.
+	DissTree
+)
+
+// String returns the variant name.
+func (d Dissemination) String() string {
+	switch d {
+	case DissFlat:
+		return "flat"
+	case DissTree:
+		return "tree"
+	default:
+		return fmt.Sprintf("diss(%d)", int(d))
+	}
+}
+
 // FailureSemantics is the traditional classification subsumed by the
 // unique/atomic execution properties (Figure 1).
 type FailureSemantics int
@@ -188,6 +217,14 @@ type Config struct {
 	// is a live transition: a batch is a framing artifact, not a per-call
 	// semantic promise.
 	FlushSize int
+	// Dissemination selects flat or tree-relay multicast (D17). Changing
+	// it is a drain-class transition: the relay window, ack aggregation
+	// and retransmission state all assume one tree shape per frame, so the
+	// swap waits until no frame is in flight.
+	Dissemination Dissemination
+	// TreeFanout is the tree arity k (DissTree only). Zero means the
+	// default (3); values below 2 are rejected otherwise.
+	TreeFanout int
 }
 
 // Validation errors, matching the edges of Figure 4.
@@ -200,6 +237,8 @@ var (
 	ErrBadOrder              = errors.New("config: ordering must be none, fifo or total")
 	ErrBadOrphan             = errors.New("config: orphan handling must be ignore, avoid-interference or terminate")
 	ErrBadAcceptance         = errors.New("config: acceptance limit must be at least 1")
+	ErrBadDissemination      = errors.New("config: dissemination must be flat or tree")
+	ErrBadTreeFanout         = errors.New("config: tree fanout must be at least 2 (or 0 for the default)")
 )
 
 // Validate checks the configuration against the dependency graph of
@@ -227,6 +266,14 @@ func (c Config) Validate() error {
 	}
 	if c.AcceptanceLimit < 1 {
 		return ErrBadAcceptance
+	}
+	switch c.Dissemination {
+	case DissFlat, DissTree:
+	default:
+		return ErrBadDissemination
+	}
+	if c.Dissemination == DissTree && c.TreeFanout != 0 && c.TreeFanout < 2 {
+		return ErrBadTreeFanout
 	}
 	if c.Ordering != OrderNone {
 		if !c.Reliable {
@@ -256,8 +303,24 @@ func (c Config) FailureSemantics() FailureSemantics {
 
 // String summarizes the selected variants.
 func (c Config) String() string {
-	return fmt.Sprintf("call=%s reliable=%t bounded=%t unique=%t exec=%s order=%s orphan=%s accept=%s",
-		c.Call, c.Reliable, c.Bounded, c.Unique, c.Execution, c.Ordering, c.Orphan, acceptString(c.AcceptanceLimit))
+	diss := "flat"
+	if c.Dissemination == DissTree {
+		diss = fmt.Sprintf("tree(%d)", c.EffectiveFanout())
+	}
+	return fmt.Sprintf("call=%s reliable=%t bounded=%t unique=%t exec=%s order=%s orphan=%s accept=%s diss=%s",
+		c.Call, c.Reliable, c.Bounded, c.Unique, c.Execution, c.Ordering, c.Orphan, acceptString(c.AcceptanceLimit), diss)
+}
+
+// EffectiveFanout resolves the dissemination fanout the core layer runs
+// with: 0 for flat, the defaulted tree arity otherwise.
+func (c Config) EffectiveFanout() int {
+	if c.Dissemination != DissTree {
+		return 0
+	}
+	if c.TreeFanout < 2 {
+		return 3
+	}
+	return c.TreeFanout
 }
 
 func acceptString(k int) string {

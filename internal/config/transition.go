@@ -160,6 +160,13 @@ func PlanTransition(from, to Config) (Transition, error) {
 		// regime's calls finish first (held ones are re-homed).
 		changed("ordering", TransitionDrain)
 	}
+	if from.Dissemination != to.Dissemination ||
+		from.EffectiveFanout() != to.EffectiveFanout() {
+		// A frame's tree shape is stamped at send time and drives relay,
+		// ack aggregation and repair at every hop until the frame settles;
+		// mixing shapes mid-call would strand aggregation state (D17).
+		changed("dissemination", TransitionDrain)
+	}
 
 	// Live-class properties act per call at a single point.
 	if from.Unique != to.Unique {
@@ -197,7 +204,9 @@ func normFlush(n int) int {
 }
 
 // TransitionMatrix summarizes PlanTransition over every ordered pair of the
-// enumerated configurations (the 198 of Enumerate).
+// enumerated configurations — the 198 semantic services of Enumerate
+// crossed with the dissemination dimension (flat, tree(2), tree(3)), which
+// is orthogonal to the Figure 4 dependency graph (D17).
 type TransitionMatrix struct {
 	Configs int // enumerated configurations
 	Pairs   int // ordered pairs, including identity
@@ -206,11 +215,29 @@ type TransitionMatrix struct {
 	Illegal int
 }
 
+// EnumerateWithDissemination crosses the paper's 198 semantic services
+// with the dissemination dimension: flat, tree(2) and tree(3). The
+// dimension is orthogonal (every cross is legal), so the count is 594.
+func EnumerateWithDissemination() []Config {
+	base := Enumerate()
+	all := make([]Config, 0, 3*len(base))
+	for _, c := range base {
+		all = append(all, c)
+		for _, k := range []int{2, 3} {
+			t := c
+			t.Dissemination = DissTree
+			t.TreeFanout = k
+			all = append(all, t)
+		}
+	}
+	return all
+}
+
 // EnumerateTransitions classifies every ordered pair of enumerated
-// configurations. Identity pairs (from == to) count as live (an empty
-// swap).
+// configurations (including the dissemination dimension). Identity pairs
+// (from == to) count as live (an empty swap).
 func EnumerateTransitions() TransitionMatrix {
-	all := Enumerate()
+	all := EnumerateWithDissemination()
 	m := TransitionMatrix{Configs: len(all), Pairs: len(all) * len(all)}
 	for _, from := range all {
 		for _, to := range all {

@@ -138,21 +138,67 @@ func TestTransitionAtomicIllegal(t *testing.T) {
 }
 
 // TestTransitionMatrixGolden pins the transition matrix over the paper's 198
-// enumerated configurations, mirroring the -enumerate/198 golden: 39204
-// ordered pairs, of which 17424 are illegal (exactly the pairs that add or
-// remove atomic execution: 2*66*132).
+// enumerated configurations crossed with the dissemination dimension (flat,
+// tree(2), tree(3) — D17): 594 configurations, 352836 ordered pairs. The
+// atomic-execution illegality is orthogonal to dissemination, so illegal
+// pairs scale by 9 (17424*9 = 156816). Live pairs require identical
+// dissemination (a fanout change is drain), so they scale by 3 (1710*3 =
+// 5130); everything else is drain.
 func TestTransitionMatrixGolden(t *testing.T) {
 	m := EnumerateTransitions()
-	if m.Configs != 198 || m.Pairs != 39204 {
+	if m.Configs != 594 || m.Pairs != 352836 {
 		t.Fatalf("matrix size: configs=%d pairs=%d", m.Configs, m.Pairs)
 	}
 	if m.Live+m.Drain+m.Illegal != m.Pairs {
 		t.Fatalf("classes do not partition the pairs: %+v", m)
 	}
-	if m.Illegal != 17424 {
-		t.Fatalf("illegal = %d, want 2*66*132 = 17424", m.Illegal)
+	if m.Illegal != 156816 {
+		t.Fatalf("illegal = %d, want 9*2*66*132 = 156816", m.Illegal)
 	}
-	if m.Live != 1710 || m.Drain != 20070 {
-		t.Fatalf("live=%d drain=%d, want 1710/20070", m.Live, m.Drain)
+	if m.Live != 5130 || m.Drain != 190890 {
+		t.Fatalf("live=%d drain=%d, want 5130/190890", m.Live, m.Drain)
+	}
+}
+
+// TestTransitionDissemination pins the dissemination dimension's transition
+// semantics: any shape or fanout change drains; flat->flat and same-k
+// tree->tree are no-ops.
+func TestTransitionDissemination(t *testing.T) {
+	flat := ExactlyOncePreset()
+	tree2, tree3 := flat, flat
+	tree2.Dissemination, tree2.TreeFanout = DissTree, 2
+	tree3.Dissemination, tree3.TreeFanout = DissTree, 3
+
+	for _, tc := range []struct {
+		from, to Config
+		drain    bool
+	}{
+		{flat, tree3, true},
+		{tree3, flat, true},
+		{tree2, tree3, true},
+		{tree3, tree3, false},
+	} {
+		plan, err := PlanTransition(tc.from, tc.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.drain {
+			if plan.Class != TransitionDrain || len(plan.Changed) != 1 || plan.Changed[0] != "dissemination" {
+				t.Fatalf("%s -> %s: class=%v changed=%v", tc.from, tc.to, plan.Class, plan.Changed)
+			}
+		} else if len(plan.Changed) != 0 {
+			t.Fatalf("%s -> %s: changed=%v, want none", tc.from, tc.to, plan.Changed)
+		}
+	}
+
+	// TreeFanout 0 normalizes to the default 3: tree(0) -> tree(3) is a no-op.
+	tree0 := flat
+	tree0.Dissemination = DissTree
+	plan, err := PlanTransition(tree0, tree3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Changed) != 0 {
+		t.Fatalf("tree(default) -> tree(3): changed=%v, want none", plan.Changed)
 	}
 }

@@ -230,6 +230,10 @@ type Options struct {
 	// FlushSize caps how many outbound messages one batch frame of the
 	// flush queue coalesces (deviation D16); 0 selects the default.
 	FlushSize int
+	// TreeFanout selects the dissemination mode (D17): 0 or 1 sends every
+	// group multicast flat; k ≥ 2 disseminates over a deterministic k-ary
+	// relay tree, dropping sender egress from O(g) to O(k).
+	TreeFanout int
 }
 
 // Framework is the composite-protocol framework: shared data structures,
@@ -253,6 +257,7 @@ type Framework struct {
 	bus        *event.Bus
 	net        Transport // the flush queue wrapping the real transport (D16)
 	flusher    *Flusher
+	dissem     *Disseminator // dissemination layer under the flush queue (D17)
 	server     Server
 	membership member.Service
 	threads    *proc.Threads
@@ -339,9 +344,12 @@ func NewFramework(opts Options) (*Framework, error) {
 		threads:    proc.NewThreads(),
 		sink:       opts.Trace,
 	}
-	// Every sender goes through the flush queue; Net() hands it out as the
-	// Transport, so micro-protocols coalesce without knowing it.
-	fw.flusher = newFlusher(fw, opts.Net, opts.FlushSize)
+	// Every sender goes through the flush queue, which sits on the
+	// dissemination layer, which sits on the raw transport; Net() hands out
+	// the top of the stack, so micro-protocols coalesce and disseminate
+	// without knowing either exists.
+	fw.dissem = newDisseminator(fw, opts.Net, opts.TreeFanout)
+	fw.flusher = newFlusher(fw, fw.dissem, opts.FlushSize)
 	fw.net = fw.flusher
 	fw.clients.init()
 	fw.servers.init()
@@ -355,6 +363,9 @@ func NewFramework(opts Options) (*Framework, error) {
 		return fw.dispatchMu.RUnlock
 	})
 	fw.unsubscribe = ms.Subscribe(func(c member.Change) {
+		// Tree repair first: re-delivering the window before the protocols
+		// react means a handler that retransmits sees the repaired tree.
+		fw.dissem.OnMembership(c)
 		fw.dispatchMu.RLock()
 		defer fw.dispatchMu.RUnlock()
 		fw.bus.Trigger(event.MembershipChange, c)
@@ -861,6 +872,15 @@ func (fw *Framework) PipelineEnd() { fw.flusher.PipelineEnd() }
 // reconfiguration of Config.FlushSize).
 func (fw *Framework) SetFlushSize(n int) { fw.flusher.SetMax(n) }
 
+// SetTreeFanout changes the dissemination mode (reconfiguration of
+// Config.Dissemination, D17): 0/1 = flat, k ≥ 2 = k-ary relay tree.
+// Dissemination swaps are drain-class, so this runs with no frame in
+// flight.
+func (fw *Framework) SetTreeFanout(k int) { fw.dissem.SetFanout(k) }
+
+// TreeFanout returns the current dissemination fanout (0 = flat).
+func (fw *Framework) TreeFanout() int { return fw.dissem.Fanout() }
+
 // OpenAdmission reopens the admission gate, waking blocked callers.
 func (fw *Framework) OpenAdmission() {
 	fw.admitMu.Lock()
@@ -957,6 +977,19 @@ func (fw *Framework) HandleNet(m *msg.NetMsg) {
 		return
 	}
 	fw.cmu.Unlock()
+
+	// Dissemination-tree hooks (D17) run before the reconfiguration
+	// barrier: relaying only touches the raw transport, and keeping the
+	// frozen bytes moving during a drain helps the drain finish. A relay
+	// ack addressed to another node's call is consumed here; everything
+	// else still dispatches below.
+	if m.Type == msg.OpRelayAck {
+		if fw.dissem.ConsumeRelayAck(m) {
+			return
+		}
+	} else if m.Relay != 0 {
+		fw.dissem.HandleRelay(m)
+	}
 
 	fw.dispatchMu.RLock()
 	defer fw.dispatchMu.RUnlock()

@@ -239,6 +239,22 @@ func (r *ReliableCommunication) Attach(fw *Framework) error {
 						e.Acked = true
 					}
 				})
+			case msg.OpRelayAck:
+				// A dissemination subtree acknowledged receipt in one merged
+				// message (D17): Args carries the covered members. Only the
+				// call's origin dispatches this — interior tree nodes consume
+				// and aggregate relay acks before dispatch.
+				covered := msg.DecodeProcIDs(m.Args)
+				for _, p := range covered {
+					mark(m.AckID, p, false)
+				}
+				fw.WithClient(m.AckID, func(rec *ClientRecord) {
+					for _, p := range covered {
+						if e := rec.PendingFor(p); e != nil {
+							e.Acked = true
+						}
+					}
+				})
 			}
 		})
 

@@ -113,7 +113,7 @@ var rules = []rule{
 	{name: "lock-order", run: checkLockOrder, module: checkLockCycles,
 		doc: "the named-mutex graph stays acyclic; no locks in scoped callbacks"},
 	{name: "frozen-flow", run: checkFrozenFlow,
-		doc: "no NetMsg writes after Freeze inside internal/msg and netsim"},
+		doc: "no NetMsg writes or relay stamps after Freeze inside internal/msg and netsim"},
 }
 
 // RuleInfo describes one registered rule (for cmd/mrpclint -list).

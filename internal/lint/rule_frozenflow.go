@@ -7,7 +7,8 @@ package lint
 // tracks, per function, the *NetMsg variables on which Freeze() has been
 // called on some path (including the result of and the sub-messages handed
 // to msg.NewBatch, which freezes them); any later field write, element
-// write, delete, or in-place append through such a variable is a
+// write, delete, in-place append, or SetRelay stamp (the dissemination
+// tree's field write in method clothing, D17) through such a variable is a
 // diagnostic.
 //
 // Clone() and Mutable() launder a frozen value into a writable one, so
@@ -167,8 +168,19 @@ func frozenFlow(a *Analysis, p *Package, body *ast.BlockStmt, out *diagSet) {
 					return true
 				}
 			}
-			if name, obj := netMsgMethod(call); name == "Freeze" && obj != nil {
-				f[obj] = true
+			if name, obj := netMsgMethod(call); obj != nil {
+				switch name {
+				case "Freeze":
+					f[obj] = true
+				case "SetRelay":
+					// The relay stamp (D17) is a field write in method
+					// clothing; at run time it panics on a frozen frame.
+					if f[obj] {
+						out.add(p, call.Pos(), "frozen-flow",
+							"SetRelay on "+obj.Name()+" after it was frozen on this path; "+
+								"the tree origin must stamp the fanout before the transport freezes the frame (DESIGN.md D17)")
+					}
+				}
 			}
 			if isNewBatch(call) && len(call.Args) >= 2 {
 				// NewBatch freezes the sub-messages it is handed.

@@ -70,6 +70,30 @@ func launder(m *msg.NetMsg) *msg.NetMsg {
 	return w
 }
 
+// SetRelay is the dissemination tree's field write in method clothing
+// (D17): stamping a frozen frame would mutate state already shared with
+// other recipients, so the method panics at run time and the flow rule
+// flags it statically.
+func relayAfterFreeze(m *msg.NetMsg) {
+	m.Freeze()
+	m.SetRelay(2) // want "SetRelay on m after it was frozen on this path"
+}
+
+// Frozen on one branch poisons the stamp at the join, like any write.
+func relayBranchFreeze(m *msg.NetMsg, send bool) {
+	if send {
+		m.Freeze()
+	}
+	m.SetRelay(3) // want "SetRelay on m after it was frozen on this path"
+}
+
+// The disseminator idiom is clean: the origin stamps the fanout first and
+// the transport freezes afterwards.
+func relayThenFreeze(m *msg.NetMsg) {
+	m.SetRelay(3)
+	m.Freeze()
+}
+
 // Freezing only after the last write, under a branch that returns early, is
 // clean: no path reaches a write after its Freeze.
 func freezeThenReturn(m *msg.NetMsg, ready bool) {

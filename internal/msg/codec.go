@@ -11,6 +11,7 @@ import (
 //
 //	byte    version (1)
 //	byte    type
+//	byte    relay (dissemination-tree fanout; 0 = flat)
 //	int64   id
 //	int32   client
 //	uint32  op
@@ -34,7 +35,7 @@ var (
 	ErrBadVersion   = errors.New("msg: unknown wire version")
 )
 
-const fixedHeaderLen = 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 2 + 4 + 2
+const fixedHeaderLen = 1 + 1 + 1 + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 2 + 4 + 2
 
 // An OpBatch frame reuses the v1 layout unchanged: its payload occupies the
 // args slot (the uint32 length counts the payload bytes), and consists of a
@@ -67,7 +68,7 @@ func (m *NetMsg) Encode() []byte {
 
 // AppendEncode serializes m, appending to buf and returning the result.
 func (m *NetMsg) AppendEncode(buf []byte) []byte {
-	buf = append(buf, wireVersion, byte(m.Type))
+	buf = append(buf, wireVersion, byte(m.Type), m.Relay)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(m.ID))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Client))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Op))
@@ -143,11 +144,17 @@ func decode(buf []byte, shareArgs bool) (*NetMsg, error) {
 	if buf[0] != wireVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
 	}
-	m := &NetMsg{Type: NetOp(buf[1])}
-	if m.Type < OpCall || m.Type > OpBatch {
+	m := &NetMsg{Type: NetOp(buf[1]), Relay: buf[2]}
+	if m.Type < OpCall || m.Type > OpRelayAck {
 		return nil, fmt.Errorf("msg: invalid message type %d", buf[1])
 	}
-	off := 2
+	if shareArgs {
+		// Remember the exact frame for zero-re-encode relaying (D17): the
+		// caller declared buf immutable, and the decode below proves buf is
+		// exactly this message's encoding.
+		m.wire = buf[:len(buf):len(buf)]
+	}
+	off := 3
 	m.ID = CallID(binary.BigEndian.Uint64(buf[off:]))
 	off += 8
 	m.Client = ProcID(binary.BigEndian.Uint32(buf[off:]))

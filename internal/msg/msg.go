@@ -136,9 +136,17 @@ const (
 	// network admission across the batch. Batch frames are built only by
 	// NewBatch (mrpclint: batch-freeze) and never nest.
 	OpBatch
+
+	// OpRelayAck aggregates receipt acknowledgements up a dissemination
+	// tree (D17): Args carries the ProcIDs of the members covered (encoded
+	// by AppendProcIDs), AckID the call being acknowledged, Client the
+	// call's originating client. Interior nodes merge their children's
+	// covers with their own before forwarding toward the origin, so the
+	// origin's Reliable Communication settles a whole subtree per message.
+	OpRelayAck
 )
 
-var netOpNames = [...]string{"", "CALL", "REPLY", "ACK", "ORDER", "HEARTBEAT", "PROBE", "PROBE_ACK", "CALL_ACK", "ORDER_QUERY", "ORDER_INFO", "BATCH"}
+var netOpNames = [...]string{"", "CALL", "REPLY", "ACK", "ORDER", "HEARTBEAT", "PROBE", "PROBE_ACK", "CALL_ACK", "ORDER_QUERY", "ORDER_INFO", "BATCH", "RELAY_ACK"}
 
 // String returns the paper's name for the message type.
 func (o NetOp) String() string {
@@ -170,6 +178,7 @@ type NetMsg struct {
 	AckID  CallID      // id of a call being acknowledged (ACK)
 	Order  int64       // total order sequence number (ORDER)
 	VC     VClock      // causal timestamp (Causal Order extension)
+	Relay  uint8       // dissemination-tree fanout k; 0 = flat (D17)
 
 	// Batch holds the coalesced sub-messages of an OpBatch frame, in send
 	// order. Set only by NewBatch (and the codec on decode); the frame and
@@ -180,10 +189,34 @@ type NetMsg struct {
 	// Freeze happens-before every share, but concurrent Frozen reads from
 	// delivery goroutines must not race the flag itself.
 	frozen uint32
+
+	// wire holds the exact encoded frame this message was decoded from
+	// (DecodeShared only). A relay that forwards the message re-uses these
+	// immutable bytes instead of re-encoding — the dissemination tree's
+	// zero-re-encode hop (D17). Never set on a mutable message: Clone (and
+	// hence Mutable) drops it, since a modified copy would go stale.
+	wire []byte
 }
 
 // Key returns the global call key the message refers to.
 func (m *NetMsg) Key() CallKey { return CallKey{Client: m.Client, ID: m.ID} }
+
+// Wire returns the encoded frame m was decoded from, or nil when m was
+// built locally. The bytes are immutable and shared (D13): a transport may
+// forward them verbatim but must never write into them.
+func (m *NetMsg) Wire() []byte { return m.wire }
+
+// SetRelay stamps the dissemination-tree fanout on a message about to be
+// multicast in tree mode (D17). Only the tree's origin stamps; relays
+// forward the frame untouched. Stamping a frozen message would mutate
+// shared state, so it panics — the disseminator stamps before the
+// transport freezes.
+func (m *NetMsg) SetRelay(k int) {
+	if m.Frozen() {
+		panic("msg: SetRelay on a frozen message")
+	}
+	m.Relay = uint8(k)
+}
 
 // Freeze marks m immutable. The transport freezes every message it accepts
 // before sharing it across destinations; from then on all fields are
@@ -208,6 +241,7 @@ func (m *NetMsg) Mutable() *NetMsg {
 func (m *NetMsg) Clone() *NetMsg {
 	c := *m
 	c.frozen = 0
+	c.wire = nil // a copy may be modified; retained bytes would go stale
 	c.Server = m.Server.Clone()
 	c.VC = m.VC.Clone()
 	if m.Args != nil {

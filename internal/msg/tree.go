@@ -1,0 +1,179 @@
+package msg
+
+import "encoding/binary"
+
+// Dissemination-tree topology (DESIGN.md D17).
+//
+// Tree mode replaces the flat O(g) multicast with a deterministic k-ary
+// spanning tree rooted at the message's origin: the origin sends to at most
+// k members, each of whom relays the same frozen frame to its own children.
+// The tree is a pure function of (group, origin, k) so every node — and
+// every retransmission — derives the identical shape from the frame alone,
+// with no negotiation and no per-tree state on the wire beyond the fanout
+// byte (NetMsg.Relay).
+//
+// Shape: the members are group minus the origin, in the group's normalized
+// (sorted) order; position j's static parent is the origin for j < k and
+// position j/k−1 otherwise, i.e. the classic array heap laid out k-ary.
+//
+// Failures re-parent deterministically: a member whose static ancestors are
+// all down (per the local failure-detector view) is adopted by its first
+// live static ancestor — equivalently, the effective tree is the static
+// tree with down interior nodes spliced out. Because the effective ancestor
+// chain is exactly the live subsequence of the static chain, a live node's
+// effective subtree equals its static subtree, which keeps ack-aggregation
+// expectations stable across repair.
+
+// treeIndex returns self's position among group\{origin}: −1 for the
+// origin itself, −2 when self is in neither role.
+func treeIndex(group Group, origin, self ProcID) int {
+	if self == origin {
+		return -1
+	}
+	j := 0
+	for _, p := range group {
+		if p == origin {
+			continue
+		}
+		if p == self {
+			return j
+		}
+		j++
+	}
+	return -2
+}
+
+// treeMember returns the member at tree position j.
+func treeMember(group Group, origin ProcID, j int) ProcID {
+	i := 0
+	for _, p := range group {
+		if p == origin {
+			continue
+		}
+		if i == j {
+			return p
+		}
+		i++
+	}
+	return 0
+}
+
+// treeParentIdx returns the static parent position of j (−1 = origin).
+func treeParentIdx(j, k int) int {
+	if j < k {
+		return -1
+	}
+	return j/k - 1
+}
+
+// TreeChildren returns the members self relays to in the k-ary tree of
+// group rooted at origin: the live members whose first live static
+// ancestor (per down, which may be nil) is self. The result is in the
+// group's sorted order. It is empty for leaves and for processes outside
+// the tree.
+func TreeChildren(group Group, origin, self ProcID, k int, down func(ProcID) bool) Group {
+	if k < 1 {
+		return nil
+	}
+	selfIdx := treeIndex(group, origin, self)
+	if selfIdx == -2 {
+		return nil
+	}
+	var out Group
+	j := 0
+	for _, p := range group {
+		if p == origin {
+			continue
+		}
+		idx := j
+		j++
+		if idx == selfIdx || (down != nil && down(p)) {
+			continue
+		}
+		a := treeParentIdx(idx, k)
+		for a >= 0 && a != selfIdx && down != nil && down(treeMember(group, origin, a)) {
+			a = treeParentIdx(a, k)
+		}
+		if a == selfIdx {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TreeParent returns the node self forwards its aggregated relay ack to:
+// its first live static ancestor, or origin when the chain is exhausted.
+// Zero when self is the origin or outside the tree.
+func TreeParent(group Group, origin, self ProcID, k int, down func(ProcID) bool) ProcID {
+	if k < 1 {
+		return 0
+	}
+	selfIdx := treeIndex(group, origin, self)
+	if selfIdx < 0 {
+		return 0
+	}
+	a := treeParentIdx(selfIdx, k)
+	for a >= 0 {
+		p := treeMember(group, origin, a)
+		if down == nil || !down(p) {
+			return p
+		}
+		a = treeParentIdx(a, k)
+	}
+	return origin
+}
+
+// TreeSubtree returns the members of self's subtree (strict descendants in
+// the static tree — see the package note on why this equals the effective
+// subtree of a live node), excluding members reported down. This is the
+// coverage an interior node waits for before forwarding its aggregated
+// relay ack.
+func TreeSubtree(group Group, origin, self ProcID, k int, down func(ProcID) bool) Group {
+	if k < 1 {
+		return nil
+	}
+	selfIdx := treeIndex(group, origin, self)
+	if selfIdx == -2 {
+		return nil
+	}
+	var out Group
+	j := 0
+	for _, p := range group {
+		if p == origin {
+			continue
+		}
+		idx := j
+		j++
+		if idx == selfIdx || (down != nil && down(p)) {
+			continue
+		}
+		a := treeParentIdx(idx, k)
+		for a >= 0 && a != selfIdx {
+			a = treeParentIdx(a, k)
+		}
+		if a == selfIdx { // reaches −1 for the origin: every live member
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AppendProcIDs encodes ids (big-endian int32 each) into buf — the Args
+// payload of an OpRelayAck frame.
+func AppendProcIDs(buf []byte, ids []ProcID) []byte {
+	for _, p := range ids {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+	}
+	return buf
+}
+
+// DecodeProcIDs decodes an AppendProcIDs payload; trailing partial entries
+// are ignored.
+func DecodeProcIDs(buf []byte) []ProcID {
+	out := make([]ProcID, 0, len(buf)/4)
+	for len(buf) >= 4 {
+		out = append(out, ProcID(binary.BigEndian.Uint32(buf)))
+		buf = buf[4:]
+	}
+	return out
+}

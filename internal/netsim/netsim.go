@@ -65,6 +65,18 @@ type Stats struct {
 	Batches    int64 // OpBatch frames offered (each admitted and fault-rolled as one unit)
 }
 
+// EndpointStats counts one endpoint's traffic. Egress is the number of
+// frames the endpoint offered to the network toward OTHER processes —
+// self-deliveries are excluded, since a loopback push costs the sender
+// nothing on a real NIC — counted at admission, before fault rolls, so it
+// measures what the sender pays, not what the network lets through. Ingress
+// is the number of frames actually handed to the endpoint's handler. The
+// dissemination work (D17) keys its O(k)-egress assertion on these.
+type EndpointStats struct {
+	Egress  int64
+	Ingress int64
+}
+
 // Handler receives a delivered message. Each arrival is an independent
 // trigger: it runs on a pooled per-endpoint worker or a fresh goroutine,
 // never behind another arrival's blocked handler. The message is shared
@@ -209,6 +221,8 @@ type Endpoint struct {
 	idle   int
 	closed bool
 	mail   chan delivery
+
+	egress, ingress atomic.Int64
 }
 
 // Attach connects process id to the network with h as its delivery handler.
@@ -248,6 +262,11 @@ func (e *Endpoint) SetUp(up bool) {
 	e.mu.Lock()
 	e.up = up
 	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the endpoint's traffic counters.
+func (e *Endpoint) Stats() EndpointStats {
+	return EndpointStats{Egress: e.egress.Load(), Ingress: e.ingress.Load()}
 }
 
 // Up reports whether the endpoint is up.
@@ -417,6 +436,9 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 		n.mu.Unlock()
 		return
 	}
+	if to != from.id {
+		from.egress.Add(1)
+	}
 	a, ok := n.admitOne(from.id, to)
 	if ok {
 		n.addFlight(1)
@@ -427,7 +449,11 @@ func (n *Network) send(from *Endpoint, to msg.ProcID, m *msg.NetMsg) {
 	}
 	d := delivery{m: m}
 	if n.params.EncodeOnWire {
-		d = delivery{wire: m.Encode()}
+		if w := m.Wire(); w != nil {
+			d = delivery{wire: w} // relayed frame: forward the shared bytes (D17)
+		} else {
+			d = delivery{wire: m.Encode()}
+		}
 	}
 	n.transmit(a, d)
 }
@@ -453,6 +479,9 @@ func (n *Network) multicast(from *Endpoint, group msg.Group, m *msg.NetMsg) {
 		return
 	}
 	for _, to := range group {
+		if to != from.id {
+			from.egress.Add(1)
+		}
 		if a, ok := n.admitOne(from.id, to); ok {
 			plan = append(plan, a)
 		}
@@ -465,7 +494,11 @@ func (n *Network) multicast(from *Endpoint, group msg.Group, m *msg.NetMsg) {
 
 	d := delivery{m: m}
 	if n.params.EncodeOnWire {
-		d = delivery{wire: m.Encode()} // encode once for the whole group
+		if w := m.Wire(); w != nil {
+			d = delivery{wire: w} // relayed frame: forward the shared bytes (D17)
+		} else {
+			d = delivery{wire: m.Encode()} // encode once for the whole group
+		}
 	}
 	for _, a := range plan {
 		n.transmit(a, d)
@@ -599,5 +632,6 @@ func (n *Network) deliverTo(dest *Endpoint, d delivery) {
 		return
 	}
 	n.delivered.Add(1)
+	dest.ingress.Add(1)
 	h(m)
 }

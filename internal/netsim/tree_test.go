@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+)
+
+// TestMulticastEgressCounters pins the O(k) sender-egress claim of D17 with
+// the per-endpoint counters: a flat multicast to a g-member group costs the
+// sender g-1 egress frames, while a tree(k) dissemination costs the origin
+// exactly k and every relaying member at most k — and every non-origin
+// member still receives the frame exactly once.
+func TestMulticastEgressCounters(t *testing.T) {
+	const g, k = 16, 3
+	for _, wire := range []bool{false, true} {
+		t.Run(fmt.Sprintf("wire=%v", wire), func(t *testing.T) {
+			group := make(msg.Group, 0, g)
+			for i := 1; i <= g; i++ {
+				group = append(group, msg.ProcID(i))
+			}
+			origin := group[0]
+
+			// Flat: one multicast to the whole group, self excluded from egress.
+			n := New(clock.NewSim(), Params{EncodeOnWire: wire})
+			eps := make(map[msg.ProcID]*Endpoint, g)
+			for _, id := range group {
+				e, err := n.Attach(id, func(*msg.NetMsg) {})
+				if err != nil {
+					t.Fatal(err)
+				}
+				eps[id] = e
+			}
+			m := &msg.NetMsg{
+				Type: msg.OpCall, ID: 1, Client: origin, Op: 7,
+				Args: []byte("x"), Server: group, Sender: origin,
+			}
+			eps[origin].Multicast(group, m)
+			n.Quiesce()
+			if got := eps[origin].Stats().Egress; got != g-1 {
+				t.Fatalf("flat sender egress = %d, want g-1 = %d", got, g-1)
+			}
+			for _, id := range group {
+				if got := eps[id].Stats().Ingress; got != 1 {
+					t.Fatalf("flat member %d ingress = %d, want 1", id, got)
+				}
+			}
+			n.Stop()
+
+			// Tree(k): the origin pushes to its k children only; each member
+			// relays the shared frame to its own children.
+			n = New(clock.NewSim(), Params{EncodeOnWire: wire})
+			eps = make(map[msg.ProcID]*Endpoint, g)
+			for _, id := range group {
+				id := id
+				var ep *Endpoint
+				e, err := n.Attach(id, func(m *msg.NetMsg) {
+					if m.Relay == 0 {
+						return
+					}
+					ch := msg.TreeChildren(m.Server, m.Sender, id, int(m.Relay), nil)
+					if len(ch) > 0 {
+						ep.Multicast(ch, m)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ep = e
+				eps[id] = e
+			}
+			m = &msg.NetMsg{
+				Type: msg.OpCall, ID: 2, Client: origin, Op: 7,
+				Args: []byte("x"), Server: group, Sender: origin,
+			}
+			m.SetRelay(k)
+			eps[origin].Multicast(msg.TreeChildren(group, origin, origin, k, nil), m)
+			n.Quiesce()
+			if got := eps[origin].Stats().Egress; got != k {
+				t.Fatalf("tree origin egress = %d, want k = %d", got, k)
+			}
+			for _, id := range group {
+				st := eps[id].Stats()
+				if st.Egress > k {
+					t.Fatalf("tree member %d egress = %d, want <= k = %d", id, st.Egress, k)
+				}
+				wantIn := int64(1)
+				if id == origin {
+					wantIn = 0
+				}
+				if st.Ingress != wantIn {
+					t.Fatalf("tree member %d ingress = %d, want %d", id, st.Ingress, wantIn)
+				}
+			}
+			n.Stop()
+		})
+	}
+}

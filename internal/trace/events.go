@@ -56,11 +56,21 @@ const (
 	// about to dispatch sequentially in send order. Site is the receiver,
 	// From the sender; Op carries the batch size.
 	KBatchDelivered
+	// KRelay: a dissemination-tree node forwarded a frozen frame to its
+	// children (D17). Site is the relaying node, From the frame's origin;
+	// Op carries the number of children relayed to.
+	KRelay
+	// KReparent: a membership failure re-parented part of a dissemination
+	// tree — Site adopted orphaned members and re-delivered its window of
+	// in-flight frames to them (D17). From is the failed node; Op carries
+	// the number of adopted members.
+	KReparent
 )
 
 var kindNames = [...]string{"", "CALL_ISSUED", "CALL_DONE", "REPLY_ACCEPTED",
 	"EXEC_BEGIN", "EXEC_END", "REPLY_SENT", "DUP_DROPPED", "ORPHAN_KILLED",
-	"CRASH", "RECOVER", "RECONFIGURE", "BATCH_FLUSHED", "BATCH_DELIVERED"}
+	"CRASH", "RECOVER", "RECONFIGURE", "BATCH_FLUSHED", "BATCH_DELIVERED",
+	"RELAY", "REPARENT"}
 
 // String returns the event kind's name.
 func (k Kind) String() string {

@@ -97,6 +97,8 @@ type (
 	OrderMode = config.OrderMode
 	// OrphanMode selects the orphan-handling property.
 	OrphanMode = config.OrphanMode
+	// Dissemination selects how group multicasts fan out (D17).
+	Dissemination = config.Dissemination
 	// CollateFunc folds one server reply into the accumulated result.
 	CollateFunc = core.CollateFunc
 	// Checkpointable is server state Atomic Execution can snapshot.
@@ -150,6 +152,9 @@ const (
 	OrphanIgnore            = config.OrphanIgnore
 	OrphanAvoidInterference = config.OrphanAvoidInterference
 	OrphanTerminate         = config.OrphanTerminate
+
+	DissFlat = config.DissFlat
+	DissTree = config.DissTree
 )
 
 // NewWriter returns an argument packer with the given capacity hint.
@@ -492,6 +497,7 @@ func (s *System) Reconfigure(newCfg Config) error {
 	}
 	for _, t := range ups {
 		t.comp.Framework().SetFlushSize(newCfg.FlushSize)
+		t.comp.Framework().SetTreeFanout(newCfg.EffectiveFanout())
 	}
 	var oldCfg Config
 	for i, n := range nodes {
@@ -626,6 +632,7 @@ func (n *Node) start(isRecovery bool) error {
 		Membership: n.sys.membershipFor(n),
 		Trace:      n.sys.opts.Trace,
 		FlushSize:  n.config().FlushSize,
+		TreeFanout: n.config().EffectiveFanout(),
 	}, protos...)
 	if err != nil {
 		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
@@ -658,6 +665,11 @@ func (n *Node) start(isRecovery bool) error {
 
 // ID returns the node's process id.
 func (n *Node) ID() ProcID { return n.id }
+
+// Endpoint returns the node's attachment to the simulated network; its
+// per-endpoint Stats expose the egress/ingress counters the dissemination
+// experiments assert on (D17).
+func (n *Node) Endpoint() *netsim.Endpoint { return n.ep }
 
 // Config returns the node's current configuration (Reconfigure changes it).
 func (n *Node) Config() Config { return n.config() }
@@ -907,6 +919,7 @@ func (n *Node) Reconfigure(newCfg Config) error {
 		return fmt.Errorf("mrpc: node %d: %w", n.id, err)
 	}
 	fw.SetFlushSize(newCfg.FlushSize)
+	fw.SetTreeFanout(newCfg.EffectiveFanout())
 
 	n.mu.Lock()
 	n.cfg = newCfg
