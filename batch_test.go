@@ -54,7 +54,7 @@ func TestBatchFlushSizeOne(t *testing.T) {
 			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
 		}
 	}
-	if got := sys.Network().Stats().Batches; got != 0 {
+	if got := sys.Net().Stats().Batches; got != 0 {
 		t.Fatalf("FlushSize 1 produced %d batch frames, want 0", got)
 	}
 }
@@ -88,7 +88,7 @@ func TestBatchExactlyFull(t *testing.T) {
 	// The lane reached the cap on the third call: the batch must already
 	// be on the wire even though the pipeline section is still open.
 	sys.Quiesce()
-	if got := sys.Network().Stats().Batches; got < 1 {
+	if got := sys.Net().Stats().Batches; got < 1 {
 		t.Fatalf("full lane did not flush inside the pipeline: Batches = %d, want >= 1", got)
 	}
 	client.PipelineEnd()
@@ -143,7 +143,7 @@ func TestBatchOverflow(t *testing.T) {
 			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
 		}
 	}
-	if got := sys.Network().Stats().Batches; got < 2 {
+	if got := sys.Net().Stats().Batches; got < 2 {
 		t.Fatalf("overflowing 5 calls past FlushSize 2 produced %d batch frames, want >= 2", got)
 	}
 }
@@ -189,7 +189,7 @@ func TestBatchInterleavedWaitNoWait(t *testing.T) {
 	if status != StatusOK || string(reply) != "echo:nowait" {
 		t.Fatalf("no-wait call: status = %v reply = %q", status, reply)
 	}
-	if got := sys.Network().Stats().Batches; got < 1 {
+	if got := sys.Net().Stats().Batches; got < 1 {
 		t.Fatalf("interleaved calls produced %d batch frames, want >= 1", got)
 	}
 }
@@ -308,7 +308,7 @@ func TestReconfigureForcesUnflushedBatch(t *testing.T) {
 			t.Fatalf("call %d: reply = %q, want %q", i, reply, want)
 		}
 	}
-	if got := sys.Network().Stats().Batches; got < 1 {
+	if got := sys.Net().Stats().Batches; got < 1 {
 		t.Fatalf("forced flush produced %d batch frames, want >= 1", got)
 	}
 }

@@ -53,6 +53,17 @@ func main() {
 	}
 
 	if *bench != "" {
+		// The "tcp" label snapshots the TCP-transport benchmarks (call
+		// path, multicast fanout, framing) unless a regex was given.
+		benchReSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "benchre" {
+				benchReSet = true
+			}
+		})
+		if *bench == "tcp" && !benchReSet {
+			*benchRe = "TCP"
+		}
 		path, err := runBenchMode(*bench, *benchRe, *benchTime, *benchPkg, *benchN)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mrpcbench: %v\n", err)

@@ -18,8 +18,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"mrpc"
 	"mrpc/internal/check"
+	"mrpc/internal/clock"
 	"mrpc/internal/config"
+	"mrpc/internal/nettcp"
 )
 
 func main() {
@@ -31,20 +34,70 @@ func main() {
 		count  = flag.Int("n", 30, "number of scenarios for -smoke")
 		outDir = flag.String("out", ".", "directory for seed artifacts written on violation")
 		shrink = flag.Int("shrink", 40, "run budget for shrinking a violating scenario (0 disables)")
+		tport  = flag.String("transport", "sim", `substrate for -smoke/-sweep: "sim", or "tcp" to run fault-free scenarios over TCP loopback and require each digest to match its simulator replay`)
 	)
 	flag.Parse()
 
 	switch {
 	case *repro != "":
 		os.Exit(runRepro(*repro))
+	case *sweep && *tport == "tcp":
+		os.Exit(runCross(sweepScenarios(*seed), *outDir))
 	case *sweep:
 		os.Exit(runScenarios(sweepScenarios(*seed), *outDir, *shrink))
+	case *smoke && *tport == "tcp":
+		os.Exit(runCross(check.Generate(*seed, *count), *outDir))
 	case *smoke:
 		os.Exit(runScenarios(check.Generate(*seed, *count), *outDir, *shrink))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runCross executes every cross-transport-safe scenario twice — once on
+// the simulator, once over TCP loopback — and requires conforming runs
+// with identical digests: the real transport proving the seam against its
+// deterministic twin. Simulator-only scenarios (faults, partitions) are
+// skipped.
+func runCross(scs []check.Scenario, outDir string) int {
+	tcpFactory := func(clk clock.Clock) mrpc.Transport {
+		return nettcp.New(clk, nettcp.Options{})
+	}
+	fail, ran := 0, 0
+	for i, sc := range scs {
+		if !sc.CrossTransportSafe() {
+			continue
+		}
+		ran++
+		sim, err := check.Run(sc)
+		if err == nil && len(sim.Violations) == 0 {
+			var tcp *check.Result
+			tcp, err = check.RunOver(sc, tcpFactory)
+			switch {
+			case err != nil:
+			case len(tcp.Violations) > 0:
+				err = fmt.Errorf("tcp run: %d violation(s): %s", len(tcp.Violations), tcp.Violations[0])
+			case tcp.Digest != sim.Digest:
+				err = fmt.Errorf("digest diverges: sim %.12s tcp %.12s", sim.Digest, tcp.Digest)
+			}
+		} else if err == nil {
+			err = fmt.Errorf("sim run: %d violation(s): %s", len(sim.Violations), sim.Violations[0])
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %3d/%d %-20s %v\n", i+1, len(scs), sc.Name, err)
+			writeArtifact(outDir, sc)
+			fail++
+			continue
+		}
+		fmt.Printf("ok   %3d/%d %-20s sim=tcp digest %.12s\n", i+1, len(scs), sc.Name, sim.Digest)
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "mrpccheck: %d/%d cross-transport scenarios failed\n", fail, ran)
+		return 1
+	}
+	fmt.Printf("mrpccheck: %d cross-transport scenarios conform (digests match the simulator)\n", ran)
+	return 0
 }
 
 // sweepScenarios samples broadly enough that every enumerated configuration

@@ -136,7 +136,7 @@ func run(seed int64, calls int) error {
 		fmt.Printf("   replica %d: %d%s\n", id, counters[id].value(), note)
 	}
 	fmt.Printf("== client-observed sum of increments: %d\n", sum)
-	st := sys.Network().Stats()
+	st := sys.Net().Stats()
 	fmt.Printf("== network: sent=%d delivered=%d lost=%d duplicated=%d\n",
 		st.Sent, st.Delivered, st.Dropped, st.Duplicated)
 

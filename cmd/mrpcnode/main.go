@@ -1,0 +1,252 @@
+// Command mrpcnode runs one process of a group RPC deployment over the
+// TCP transport (internal/nettcp): every invocation gets the same static
+// peer map (id=host:port pairs) and plays one role in it. An id listed in
+// -servers serves the replicated app until it is signalled; any other id
+// runs a mixed wait/no-wait client workload against the server group and
+// exits 0 only if every call completed OK with a correct reply.
+//
+// A 3-member group plus one client on localhost:
+//
+//	P='1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103,100=127.0.0.1:7110'
+//	mrpcnode -id 1 -peers "$P" &
+//	mrpcnode -id 2 -peers "$P" &
+//	mrpcnode -id 3 -peers "$P" &
+//	mrpcnode -id 100 -peers "$P" -calls 60
+//
+// The default configuration is reliable + unique + FIFO-ordered with
+// asynchronous call semantics and 2-of-n acceptance, so the workload keeps
+// completing while one member is down or restarting: retransmission masks
+// the outage and acceptance is satisfied by the surviving members.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"mrpc"
+	"mrpc/internal/clock"
+	"mrpc/internal/msg"
+	"mrpc/internal/nettcp"
+	"mrpc/internal/proc"
+	"mrpc/internal/stub"
+)
+
+// app is the replicated service: an echo operation (reply correctness is
+// checked by the client) and a counter (exercises unique execution under
+// retransmission).
+type app struct {
+	reg *stub.Registry
+
+	mu  sync.Mutex
+	val int64
+
+	opEcho mrpc.OpID
+	opAdd  mrpc.OpID
+}
+
+func newApp() *app {
+	a := &app{reg: stub.NewRegistry()}
+	a.opEcho = a.reg.Register("echo", func(_ *proc.Thread, args []byte) []byte {
+		return args
+	})
+	a.opAdd = a.reg.Register("add", func(_ *proc.Thread, args []byte) []byte {
+		delta := stub.NewReader(args).Int64()
+		a.mu.Lock()
+		a.val += delta
+		v := a.val
+		a.mu.Unlock()
+		return stub.NewWriter(8).PutInt64(v).Bytes()
+	})
+	return a
+}
+
+func (a *app) Pop(th *proc.Thread, op msg.OpID, args []byte) []byte {
+	return a.reg.Pop(th, op, args)
+}
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "this process's id (must appear in -peers)")
+		peerSpec = flag.String("peers", "", "static peer map shared by every process: id=host:port,id=host:port,...")
+		servers  = flag.String("servers", "1,2,3", "ids forming the server group; an -id in this list serves, any other runs the client workload")
+		accept   = flag.Int("accept", 2, "acceptance limit k: calls complete after k member executions")
+		calls    = flag.Int("calls", 60, "client: number of calls in the workload")
+		interval = flag.Duration("interval", 20*time.Millisecond, "client: delay between calls (stretches the run across member restarts)")
+	)
+	flag.Parse()
+	if err := run(*id, *peerSpec, *servers, *accept, *calls, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "mrpcnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id int, peerSpec, serverSpec string, accept, calls int, interval time.Duration) error {
+	peers, err := parsePeers(peerSpec)
+	if err != nil {
+		return err
+	}
+	group, err := parseIDs(serverSpec)
+	if err != nil {
+		return fmt.Errorf("-servers: %w", err)
+	}
+	self := mrpc.ProcID(id)
+	if _, ok := peers[self]; !ok {
+		return fmt.Errorf("-id %d has no address in -peers", id)
+	}
+	for _, m := range group {
+		if _, ok := peers[m]; !ok {
+			return fmt.Errorf("server %d has no address in -peers", m)
+		}
+	}
+
+	cfg := mrpc.Config{
+		Call:            mrpc.CallAsynchronous,
+		Reliable:        true,
+		RetransTimeout:  10 * time.Millisecond,
+		Unique:          true,
+		Execution:       mrpc.ExecConcurrent,
+		Ordering:        mrpc.OrderFIFO,
+		Orphan:          mrpc.OrphanIgnore,
+		AcceptanceLimit: accept,
+	}
+
+	clk := clock.NewReal()
+	tr := nettcp.New(clk, nettcp.Options{Peers: peers})
+	sys := mrpc.NewSystem(mrpc.SystemOptions{Clock: clk, Transport: tr})
+	defer sys.Stop()
+
+	serving := false
+	for _, m := range group {
+		if m == self {
+			serving = true
+		}
+	}
+	if serving {
+		return serve(sys, tr, self, cfg)
+	}
+	return workload(sys, clk, self, group, cfg, calls, interval)
+}
+
+// serve runs one group member until SIGINT/SIGTERM.
+func serve(sys *mrpc.System, tr *nettcp.Transport, self mrpc.ProcID, cfg mrpc.Config) error {
+	if _, err := sys.AddServer(self, cfg, func() mrpc.App { return newApp() }); err != nil {
+		return err
+	}
+	fmt.Printf("mrpcnode: member %d serving on %s (%s)\n", self, tr.Addr(self), cfg)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("mrpcnode: member %d stopping\n", self)
+	return nil
+}
+
+// workload issues a mixed wait/no-wait call stream: two synchronous calls
+// (echo, whose reply is verified, then a counter add), then one
+// asynchronous echo collected later. Every call must return StatusOK.
+func workload(sys *mrpc.System, clk clock.Clock, self mrpc.ProcID,
+	members []mrpc.ProcID, cfg mrpc.Config, calls int, interval time.Duration) error {
+	n, err := sys.AddClient(self, cfg)
+	if err != nil {
+		return err
+	}
+	group := sys.Group(members...)
+	ops := newApp() // registered in the same order as the servers: same OpIDs
+
+	type pending struct {
+		id   mrpc.CallID
+		want byte
+	}
+	var async []pending
+	bad := 0
+	for i := 0; i < calls; i++ {
+		tag := byte(i + 1)
+		switch i % 3 {
+		case 0: // synchronous echo, reply checked
+			reply, status, err := n.Call(ops.opEcho, []byte{tag}, group)
+			if err != nil || status != mrpc.StatusOK || len(reply) != 1 || reply[0] != tag {
+				fmt.Fprintf(os.Stderr, "mrpcnode: call %d: status %v reply %v err %v\n",
+					i, status, reply, err)
+				bad++
+			}
+		case 1: // synchronous counter add
+			args := stub.NewWriter(8).PutInt64(1).Bytes()
+			if _, status, err := n.Call(ops.opAdd, args, group); err != nil || status != mrpc.StatusOK {
+				fmt.Fprintf(os.Stderr, "mrpcnode: call %d: status %v err %v\n", i, status, err)
+				bad++
+			}
+		case 2: // no-wait echo, collected after the issue loop
+			id, err := n.CallAsync(ops.opEcho, []byte{tag}, group)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrpcnode: call %d: %v\n", i, err)
+				bad++
+				break
+			}
+			async = append(async, pending{id: id, want: tag})
+		}
+		if interval > 0 {
+			clk.Sleep(interval)
+		}
+	}
+	for _, p := range async {
+		reply, status, err := n.Collect(p.id)
+		if err != nil || status != mrpc.StatusOK || len(reply) != 1 || reply[0] != p.want {
+			fmt.Fprintf(os.Stderr, "mrpcnode: collect %d: status %v reply %v err %v\n",
+				p.id, status, reply, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d of %d calls failed", bad, calls)
+	}
+	fmt.Printf("mrpcnode: client %d: %d calls OK (%d collected asynchronously)\n",
+		self, calls, len(async))
+	return nil
+}
+
+// parsePeers parses "1=127.0.0.1:7101,2=host:port,..." into a peer map.
+func parsePeers(spec string) (map[mrpc.ProcID]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-peers is required (id=host:port,...)")
+	}
+	peers := make(map[mrpc.ProcID]string)
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-peers: %q is not id=host:port", part)
+		}
+		v, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("-peers: bad id %q: %w", id, err)
+		}
+		if _, dup := peers[mrpc.ProcID(v)]; dup {
+			return nil, fmt.Errorf("-peers: id %d listed twice", v)
+		}
+		peers[mrpc.ProcID(v)] = addr
+	}
+	return peers, nil
+}
+
+// parseIDs parses "1,2,3" into a sorted id list.
+func parseIDs(spec string) ([]mrpc.ProcID, error) {
+	var ids []mrpc.ProcID
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q: %w", part, err)
+		}
+		ids = append(ids, mrpc.ProcID(v))
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty id list")
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mrpc"
+)
+
+// TestParsePeers pins the flag grammar.
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("1=127.0.0.1:7101, 2=h:2,100=h:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[1] != "127.0.0.1:7101" || peers[100] != "h:3" {
+		t.Fatalf("parsed %v", peers)
+	}
+	for _, bad := range []string{"", "1", "x=addr", "1=a,1=b"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+	ids, err := parseIDs("3, 1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Fatalf("parsed %v", ids)
+	}
+}
+
+// reserveAddrs picks n distinct listenable localhost addresses and
+// releases them; the gap before mrpcnode rebinds is the usual
+// ephemeral-port race, acceptably small for a test.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestMultiProcessGroup is the deployment acceptance test: it builds the
+// mrpcnode binary, runs a 3-member group as separate OS processes plus a
+// client issuing a mixed wait/no-wait workload over TCP localhost, kills
+// one member mid-run with SIGKILL and restarts it — and requires the
+// client to exit 0 with every call OK.
+func TestMultiProcessGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "mrpcnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addrs := reserveAddrs(t, 4)
+	var parts []string
+	for i, id := range []mrpc.ProcID{1, 2, 3, 100} {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, addrs[i]))
+	}
+	peers := strings.Join(parts, ",")
+
+	member := func(id int) *exec.Cmd {
+		cmd := exec.Command(bin, "-id", fmt.Sprint(id), "-peers", peers)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("member %d: %v", id, err)
+		}
+		return cmd
+	}
+	members := map[int]*exec.Cmd{1: member(1), 2: member(2), 3: member(3)}
+	defer func() {
+		for _, cmd := range members {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	client := exec.Command(bin, "-id", "100", "-peers", peers,
+		"-calls", "100", "-interval", "20ms")
+	out := &strings.Builder{}
+	client.Stdout = out
+	client.Stderr = out
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- client.Wait() }()
+
+	// Kill member 3 mid-workload, then bring a fresh incarnation back on
+	// the same address. The client keeps completing calls via the two
+	// surviving members (2-of-3 acceptance) and retransmission reattaches
+	// the returning one.
+	time.Sleep(600 * time.Millisecond)
+	members[3].Process.Kill()
+	members[3].Wait()
+	time.Sleep(600 * time.Millisecond)
+	members[3] = member(3)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("client failed: %v\n%s", err, out)
+		}
+	case <-time.After(60 * time.Second):
+		client.Process.Kill()
+		t.Fatalf("client hung past 60s\n%s", out)
+	}
+	if !strings.Contains(out.String(), "100 calls OK") {
+		t.Fatalf("client output missing success line:\n%s", out)
+	}
+}

@@ -75,7 +75,7 @@ func TestTreeDisseminationEndToEnd(t *testing.T) {
 	// The client sent each call to its 2 children, plus at most the odd
 	// retransmission — nowhere near the flat g-1 = 8 frames per call.
 	node, _ := sys.Node(100)
-	egress := node.Endpoint().Stats().Egress
+	egress := node.Link().Stats().Egress
 	if egress > int64(calls*(cfg.TreeFanout+2)) {
 		t.Fatalf("client egress = %d over %d calls, want ~k=%d per call (flat would be %d)",
 			egress, calls, cfg.TreeFanout, calls*(len(group)-1))

@@ -91,8 +91,8 @@ func run() error {
 		return err
 	}
 	// Alice's posts crawl to replica 3; Bob's arrive almost instantly.
-	sys.Network().SetLinkDelay(alice.ID(), 3, 8*time.Millisecond, 12*time.Millisecond)
-	sys.Network().SetLinkDelay(bob.ID(), 3, 100*time.Microsecond, 200*time.Microsecond)
+	sys.Sim().SetLinkDelay(alice.ID(), 3, 8*time.Millisecond, 12*time.Millisecond)
+	sys.Sim().SetLinkDelay(bob.ID(), 3, 100*time.Microsecond, 200*time.Microsecond)
 
 	post := func(c *mrpc.Node, text string) {
 		if _, status, err := c.Call(opPost, []byte(text), group); err != nil || status != mrpc.StatusOK {

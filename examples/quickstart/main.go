@@ -65,7 +65,7 @@ func run() error {
 			i, status, reply, time.Since(t0).Round(time.Microsecond))
 	}
 
-	st := sys.Network().Stats()
+	st := sys.Net().Stats()
 	fmt.Printf("\nnetwork: sent=%d delivered=%d lost=%d (loss masked by retransmission)\n",
 		st.Sent, st.Delivered, st.Dropped)
 	return nil

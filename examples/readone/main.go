@@ -64,7 +64,7 @@ func run() error {
 	// Replica i is (2i+1)ms away: replica 1 is local-ish, replica 5 remote.
 	for i, id := range group {
 		d := time.Duration(2*i+1) * time.Millisecond
-		sys.Network().SetLinkDelay(client.ID(), id, d, d)
+		sys.Sim().SetLinkDelay(client.ID(), id, d, d)
 	}
 
 	measure := func(label string) time.Duration {
@@ -94,7 +94,7 @@ func run() error {
 	}
 	for i, id := range group {
 		d := time.Duration(2*i+1) * time.Millisecond
-		sys.Network().SetLinkDelay(clientAll.ID(), id, d, d)
+		sys.Sim().SetLinkDelay(clientAll.ID(), id, d, d)
 	}
 	client = clientAll
 	all := measure("acceptance ALL:")
@@ -107,7 +107,7 @@ func run() error {
 		return err
 	}
 	for _, id := range group {
-		sys.Network().Partition(client.ID(), id, true)
+		sys.Sim().Partition(client.ID(), id, true)
 	}
 	args := mrpc.NewWriter(4).PutUint32(0).Bytes()
 	t0 := time.Now()

@@ -185,7 +185,7 @@ func run() error {
 	}
 	fmt.Printf("\nall %d replicas applied the identical %d-operation sequence (total order held)\n",
 		len(replicas), len(ops0))
-	st := sys.Network().Stats()
+	st := sys.Net().Stats()
 	fmt.Printf("network: sent=%d delivered=%d lost=%d duplicated=%d\n",
 		st.Sent, st.Delivered, st.Dropped, st.Duplicated)
 	return nil

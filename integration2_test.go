@@ -234,7 +234,7 @@ func TestPartitionHealingCompletesCall(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sys.Network().Partition(100, 1, true)
+	sys.Sim().Partition(100, 1, true)
 	done := make(chan mrpc.Status, 1)
 	go func() {
 		_, status, _ := client.Call(echo, []byte("x"), sys.Group(1))
@@ -245,7 +245,7 @@ func TestPartitionHealingCompletesCall(t *testing.T) {
 		t.Fatal("call completed across a partition")
 	case <-time.After(30 * time.Millisecond):
 	}
-	sys.Network().Partition(100, 1, false)
+	sys.Sim().Partition(100, 1, false)
 	select {
 	case status := <-done:
 		if status != mrpc.StatusOK {

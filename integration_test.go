@@ -439,7 +439,7 @@ func TestNodeAccessors(t *testing.T) {
 	if _, ok := sys.Node(99); ok {
 		t.Fatal("phantom node")
 	}
-	if sys.Store() == nil || sys.Clock() == nil || sys.Network() == nil {
+	if sys.Store() == nil || sys.Clock() == nil || sys.Sim() == nil {
 		t.Fatal("system accessors")
 	}
 }

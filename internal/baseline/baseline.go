@@ -16,8 +16,8 @@ import (
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
-	"mrpc/internal/netsim"
 	"mrpc/internal/proc"
+	"mrpc/internal/transport"
 )
 
 // Handler executes one operation at a baseline server.
@@ -27,7 +27,7 @@ type Handler func(op msg.OpID, args []byte) []byte
 // suppression (seen-call table, retained replies, ACK-based release).
 type Server struct {
 	id msg.ProcID
-	ep *netsim.Endpoint
+	ep transport.Endpoint
 	h  Handler
 
 	mu         sync.Mutex
@@ -35,8 +35,8 @@ type Server struct {
 	oldResults map[msg.CallKey][]byte
 }
 
-// NewServer attaches a baseline server to the network.
-func NewServer(net *netsim.Network, id msg.ProcID, h Handler) (*Server, error) {
+// NewServer attaches a baseline server to the transport.
+func NewServer(net transport.Transport, id msg.ProcID, h Handler) (*Server, error) {
 	s := &Server{
 		id:         id,
 		h:          h,
@@ -110,7 +110,7 @@ type pendingCall struct {
 // acknowledgement, k-of-n acceptance and last-reply collation.
 type Client struct {
 	id      msg.ProcID
-	ep      *netsim.Endpoint
+	ep      transport.Endpoint
 	clk     clock.Clock
 	retrans time.Duration
 
@@ -121,9 +121,9 @@ type Client struct {
 	loop *proc.Thread
 }
 
-// NewClient attaches a baseline client to the network. retrans is the
+// NewClient attaches a baseline client to the transport. retrans is the
 // retransmission period.
-func NewClient(net *netsim.Network, clk clock.Clock, id msg.ProcID, retrans time.Duration) (*Client, error) {
+func NewClient(net transport.Transport, clk clock.Clock, id msg.ProcID, retrans time.Duration) (*Client, error) {
 	c := &Client{
 		id:      id,
 		clk:     clk,

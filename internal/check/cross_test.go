@@ -1,0 +1,81 @@
+package check
+
+import (
+	"testing"
+
+	"mrpc"
+	"mrpc/internal/clock"
+	"mrpc/internal/nettcp"
+)
+
+func tcpFactory(clk clock.Clock) mrpc.Transport {
+	return nettcp.New(clk, nettcp.Options{})
+}
+
+// TestCrossTransportDigest is the seam's conformance proof: a fault-free
+// scenario run over real TCP loopback sockets must produce exactly the
+// digest the deterministic simulator produces — same terminal statuses,
+// same per-member exec sets. netsim stays the deterministic twin of the
+// real transport (ROADMAP).
+func TestCrossTransportDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket runs in -short mode")
+	}
+	ran := 0
+	for _, sc := range Generate(7, 60) {
+		if !sc.CrossTransportSafe() {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			sim, err := Run(sc)
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			if len(sim.Violations) > 0 {
+				t.Fatalf("sim run violates: %v", sim.Violations)
+			}
+			tcp, err := RunOver(sc, tcpFactory)
+			if err != nil {
+				t.Fatalf("tcp run: %v", err)
+			}
+			if len(tcp.Violations) > 0 {
+				t.Fatalf("tcp run violates: %v", tcp.Violations)
+			}
+			if sim.Digest != tcp.Digest {
+				t.Fatalf("digest diverges across transports:\n  sim %s\n  tcp %s", sim.Digest, tcp.Digest)
+			}
+		})
+		if ran++; ran >= 4 {
+			break
+		}
+	}
+	if ran == 0 {
+		t.Fatal("generator produced no cross-transport-safe scenario")
+	}
+}
+
+// TestRunOverRejectsSimOnlyScenarios pins the guard: partition steps and
+// fault parameters are simulator machinery and must not silently no-op on
+// a real transport.
+func TestRunOverRejectsSimOnlyScenarios(t *testing.T) {
+	lossy := Scenario{
+		Name: "lossy", Seed: 1, Servers: 2, LossPct: 10,
+		Config: SpecOf(mrpc.ExactlyOnce()),
+		Steps:  []Step{{Kind: StepCalls, Client: ClientID, N: 1, Wait: true}},
+	}
+	if _, err := RunOver(lossy, tcpFactory); err == nil {
+		t.Fatal("lossy scenario accepted on a real transport")
+	}
+	parted := Scenario{
+		Name: "parted", Seed: 1, Servers: 2,
+		Config: SpecOf(mrpc.ExactlyOnce()),
+		Steps: []Step{
+			{Kind: StepPartition, A: 1, B: 2},
+			{Kind: StepCalls, Client: ClientID, N: 1, Wait: true},
+		},
+	}
+	if _, err := RunOver(parted, tcpFactory); err == nil {
+		t.Fatal("partition scenario accepted on a real transport")
+	}
+}

@@ -48,13 +48,37 @@ func normalizeRun(c mrpc.Config) mrpc.Config {
 	return c
 }
 
-// Run executes one scenario and replays its trace through every applicable
-// oracle. The fault schedule is step-indexed (each step completes before
-// the next begins) and every random source is seeded from the scenario, so
-// a rerun reproduces the same digest.
-func Run(sc Scenario) (*Result, error) {
+// TransportFactory builds the substrate a conformance run attaches its
+// nodes to, using the run's clock. nil selects the simulator configured
+// from the scenario's fault parameters.
+type TransportFactory func(clk clock.Clock) mrpc.Transport
+
+// Run executes one scenario over the simulator and replays its trace
+// through every applicable oracle. The fault schedule is step-indexed
+// (each step completes before the next begins) and every random source is
+// seeded from the scenario, so a rerun reproduces the same digest.
+func Run(sc Scenario) (*Result, error) { return RunOver(sc, nil) }
+
+// RunOver executes one scenario over the substrate newTransport builds —
+// the cross-transport conformance entry point: a fault-free scenario's
+// digest is timing-independent (sorted terminal statuses, exec sets), so
+// it must agree between the simulator and a real transport. Scenarios
+// using simulator-only machinery (loss, duplication, delay, partitions)
+// are rejected when newTransport is non-nil; crash/recover steps are fine
+// (endpoint up/down is part of the seam).
+func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if newTransport != nil {
+		if sc.LossPct > 0 || sc.DupPct > 0 || sc.MaxDelayUS > 0 {
+			return nil, fmt.Errorf("check: scenario %s needs simulated faults; run it on the simulator", sc.Name)
+		}
+		for _, st := range sc.Steps {
+			if st.Kind == StepPartition || st.Kind == StepHeal {
+				return nil, fmt.Errorf("check: scenario %s partitions links; run it on the simulator", sc.Name)
+			}
+		}
 	}
 	timeline, err := sc.ConfigTimeline()
 	if err != nil {
@@ -70,7 +94,7 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	log := trace.NewLog()
-	sys := mrpc.NewSystem(mrpc.SystemOptions{
+	opts := mrpc.SystemOptions{
 		Net: mrpc.NetParams{
 			Seed:     sc.Seed,
 			LossProb: float64(sc.LossPct) / 100,
@@ -79,7 +103,12 @@ func Run(sc Scenario) (*Result, error) {
 		},
 		Membership: membership,
 		Trace:      log,
-	})
+	}
+	if newTransport != nil {
+		opts.Clock = clock.NewReal()
+		opts.Transport = newTransport(opts.Clock)
+	}
+	sys := mrpc.NewSystem(opts)
 	defer sys.Stop()
 	clk := sys.Clock()
 
@@ -121,11 +150,11 @@ func Run(sc Scenario) (*Result, error) {
 				workers = append(workers, w)
 			}
 		case StepPartition:
-			sys.Network().Partition(st.A, st.B, true)
+			sys.Sim().Partition(st.A, st.B, true)
 			blocked = append(blocked, [2]msg.ProcID{st.A, st.B})
 		case StepHeal:
 			for _, p := range blocked {
-				sys.Network().Partition(p[0], p[1], false)
+				sys.Sim().Partition(p[0], p[1], false)
 			}
 			blocked = nil
 		case StepCrash:

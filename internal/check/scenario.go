@@ -204,6 +204,24 @@ func (sc Scenario) Lossy() bool {
 	return false
 }
 
+// CrossTransportSafe reports whether the scenario's digest is comparable
+// across substrates: no simulated faults (loss, duplication, delay) and no
+// timing-sensitive steps — only call batches and reconfigurations. A
+// fault-free run completes every call OK and executes every call at every
+// member, so its digest is fully timing-independent and the simulator and
+// a real transport must produce the same one (mrpccheck -transport tcp).
+func (sc Scenario) CrossTransportSafe() bool {
+	if sc.LossPct > 0 || sc.DupPct > 0 || sc.MaxDelayUS > 0 {
+		return false
+	}
+	for _, st := range sc.Steps {
+		if st.Kind != StepCalls && st.Kind != StepReconfigure {
+			return false
+		}
+	}
+	return true
+}
+
 // Validate checks the scenario's structural sanity: known step kinds,
 // crash/recover pairing, call counts, and a convertible configuration. The
 // shrinker relies on it to discard broken reductions before running them.

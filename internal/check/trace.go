@@ -34,11 +34,11 @@ type siteInc struct {
 type Trace struct {
 	Events []trace.Event
 
-	reconfigs []int64                     // Seq of each KReconfigure marker
-	calls     map[msg.CallKey]*callInfo   // per-call lifecycle
-	callOrder []msg.CallKey               // issue order (Seq of KCallIssued)
+	reconfigs []int64                      // Seq of each KReconfigure marker
+	calls     map[msg.CallKey]*callInfo    // per-call lifecycle
+	callOrder []msg.CallKey                // issue order (Seq of KCallIssued)
 	execs     map[msg.ProcID][]trace.Event // exec-side events per site, Seq order
-	crashed   map[siteInc]bool            // site incarnations that crashed
+	crashed   map[siteInc]bool             // site incarnations that crashed
 	hadCrash  bool
 }
 

@@ -54,7 +54,7 @@ func acceptanceRun(seed int64, k int) *trace.Recorder {
 	}
 	for i, id := range group {
 		d := time.Duration(2*i+1) * time.Millisecond
-		sys.Network().SetLinkDelay(client.ID(), id, d, d)
+		sys.Sim().SetLinkDelay(client.ID(), id, d, d)
 	}
 
 	rec := trace.NewRecorder("latency")

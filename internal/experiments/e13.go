@@ -127,8 +127,8 @@ func causalRun(seed int64, mode config.OrderMode, rounds int) (violations, calls
 	// Asymmetric links make the hazard reliable: A's writes crawl toward
 	// replica 3 while B's reach it almost instantly, so without ordering
 	// B's causally-later write overtakes A's there nearly every round.
-	sys.Network().SetLinkDelay(clientA.ID(), 3, 6*time.Millisecond, 9*time.Millisecond)
-	sys.Network().SetLinkDelay(clientB.ID(), 3, 100*time.Microsecond, 200*time.Microsecond)
+	sys.Sim().SetLinkDelay(clientA.ID(), 3, 6*time.Millisecond, 9*time.Millisecond)
+	sys.Sim().SetLinkDelay(clientB.ID(), 3, 100*time.Microsecond, 200*time.Microsecond)
 
 	mustCall := func(c *mrpc.Node, op msg.OpID, args []byte, g mrpc.Group) []byte {
 		reply, status, err := c.Call(op, args, g)

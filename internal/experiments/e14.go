@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"runtime"
 	"time"
 
+	"mrpc"
 	"mrpc/internal/clock"
 	"mrpc/internal/config"
 	"mrpc/internal/msg"
-	"mrpc/internal/netsim"
 	"mrpc/internal/p2p"
 	"mrpc/internal/proc"
 )
@@ -20,10 +21,30 @@ func E14PointToPoint() *Report {
 	r := &Report{ID: "E14", Title: "§4.1 point-to-point specialization vs group composite (1 server)"}
 	const calls = 2000
 
-	compact := p2pCallCost(calls)
+	// Interleave the two measurements A/B/A/B and compare per-side minima:
+	// a single pass per side is at the mercy of scheduler and frequency
+	// drift between the two timing windows, which on a busy host is larger
+	// than the specialization gap being measured. Timing noise is strictly
+	// additive (preemption only ever lengthens a window), so the minimum
+	// over interleaved passes is the robust estimator of each side's true
+	// cost. (The bench snapshot runner interleaves whole-suite passes for
+	// the same reason.)
+	const passes = 5
 	cfg := config.ExactlyOncePreset()
 	cfg.RetransTimeout = 50 * time.Millisecond
-	composite := AblationCall(cfg, calls)
+	compactS := make([]time.Duration, 0, passes)
+	compositeS := make([]time.Duration, 0, passes)
+	for i := 0; i < passes; i++ {
+		// Collect garbage before each timing window (as testing.B does
+		// between benchmarks) so heap debt from earlier experiments is not
+		// charged to whichever side runs first.
+		runtime.GC()
+		compactS = append(compactS, p2pCallCost(calls))
+		runtime.GC()
+		compositeS = append(compositeS, AblationCall(cfg, calls))
+	}
+	compact := minDuration(compactS)
+	composite := minDuration(compositeS)
 
 	r.addf("%-38s %-12s", "implementation", "us/call")
 	r.addf("%-38s %-12.1f", "compact p2p (fused, exactly-once)", float64(compact.Nanoseconds())/1e3)
@@ -35,9 +56,20 @@ func E14PointToPoint() *Report {
 	return r
 }
 
+// minDuration returns the smallest of a non-empty sample set.
+func minDuration(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
 func p2pCallCost(calls int) time.Duration {
 	clk := clock.NewReal()
-	net := netsim.New(clk, netsim.Params{})
+	net := mrpc.NewSimNet(clk, mrpc.NetParams{})
 	defer net.Stop()
 
 	opts := p2p.Options{Reliable: true, Unique: true, RetransTimeout: 50 * time.Millisecond}

@@ -8,7 +8,6 @@ import (
 	"mrpc/internal/clock"
 	"mrpc/internal/config"
 	"mrpc/internal/msg"
-	"mrpc/internal/netsim"
 )
 
 // E8Monolithic measures the cost of configurability: the composite
@@ -39,7 +38,7 @@ func E8Monolithic() *Report {
 
 func monolithicCall(calls int) time.Duration {
 	clk := clock.NewReal()
-	net := netsim.New(clk, netsim.Params{})
+	net := mrpc.NewSimNet(clk, mrpc.NetParams{})
 	defer net.Stop()
 
 	_, err := baseline.NewServer(net, 1, func(_ msg.OpID, args []byte) []byte {
@@ -87,7 +86,7 @@ func E8GroupThroughput() *Report {
 
 func monolithicGroupCall(n, calls int) time.Duration {
 	clk := clock.NewReal()
-	net := netsim.New(clk, netsim.Params{})
+	net := mrpc.NewSimNet(clk, mrpc.NetParams{})
 	defer net.Stop()
 	ids := make([]msg.ProcID, n)
 	for i := range ids {

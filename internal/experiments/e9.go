@@ -65,6 +65,6 @@ func lossRun(seed int64, loss float64) (*trace.Recorder, float64) {
 		}
 		rec.Add(sys.Clock().Now().Sub(t0))
 	}
-	stats := sys.Network().Stats()
+	stats := sys.Net().Stats()
 	return rec, float64(stats.Sent) / float64(calls)
 }

@@ -194,7 +194,15 @@ func decode(buf []byte, shareArgs bool) (*NetMsg, error) {
 		off += nArgs
 		count := int(binary.BigEndian.Uint16(payload))
 		p := 2
-		m.Batch = make([]*NetMsg, 0, count)
+		// Clamp the capacity hint by what the payload could possibly hold
+		// (each sub-frame costs at least its 4-byte length prefix): a
+		// corrupt count must not drive allocation beyond the bytes that
+		// actually arrived.
+		capHint := count
+		if most := (len(payload) - p) / 4; capHint > most {
+			capHint = most
+		}
+		m.Batch = make([]*NetMsg, 0, capHint)
 		for i := 0; i < count; i++ {
 			if len(payload)-p < 4 {
 				return nil, fmt.Errorf("%w: truncated batch payload", ErrShortMessage)

@@ -7,6 +7,7 @@ import (
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
+	"mrpc/internal/transport"
 )
 
 // BenchmarkMulticastFanout measures the transport send+deliver path as the
@@ -95,7 +96,7 @@ func BenchmarkMulticastDissemination(b *testing.B) {
 					}
 					for _, id := range group {
 						id := id
-						var ep *Endpoint
+						var ep transport.Endpoint
 						h := func(*msg.NetMsg) {}
 						if tree {
 							h = func(m *msg.NetMsg) {

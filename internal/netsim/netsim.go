@@ -33,6 +33,16 @@ import (
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
+	"mrpc/internal/transport"
+)
+
+// netsim is one implementation of the transport seam; internal/nettcp is
+// the other. Code above the seam (the facade, core, experiments) holds
+// only the interfaces — simulator-only fault controls (Partition,
+// SetLinkDelay, Params) are reached through mrpc's System.Sim().
+var (
+	_ transport.Transport = (*Network)(nil)
+	_ transport.Endpoint  = (*Endpoint)(nil)
 )
 
 // Params configures the fault and delay model of a Network.
@@ -54,35 +64,22 @@ type Params struct {
 	EncodeOnWire bool
 }
 
-// Stats counts network-level events since the network was created.
-type Stats struct {
-	Sent       int64 // messages offered to the network (per destination)
-	Delivered  int64
-	Dropped    int64 // lost to injected omission failures
-	Duplicated int64
-	Partition  int64 // drops due to partitions
-	DownDrops  int64 // drops due to a crashed endpoint
-	Batches    int64 // OpBatch frames offered (each admitted and fault-rolled as one unit)
-}
+// Stats counts network-level events since the network was created. It is
+// the shared transport-seam stats type; the simulator never bumps
+// Reconnects (there is no connection to lose).
+type Stats = transport.Stats
 
-// EndpointStats counts one endpoint's traffic. Egress is the number of
-// frames the endpoint offered to the network toward OTHER processes —
-// self-deliveries are excluded, since a loopback push costs the sender
-// nothing on a real NIC — counted at admission, before fault rolls, so it
-// measures what the sender pays, not what the network lets through. Ingress
-// is the number of frames actually handed to the endpoint's handler. The
-// dissemination work (D17) keys its O(k)-egress assertion on these.
-type EndpointStats struct {
-	Egress  int64
-	Ingress int64
-}
+// EndpointStats counts one endpoint's traffic (see transport.EndpointStats
+// for the egress/ingress accounting rules the dissemination work relies
+// on).
+type EndpointStats = transport.EndpointStats
 
 // Handler receives a delivered message. Each arrival is an independent
 // trigger: it runs on a pooled per-endpoint worker or a fresh goroutine,
 // never behind another arrival's blocked handler. The message is shared
 // with other recipients of the same send and must be treated as read-only
 // (msg.NetMsg.Mutable gives a private copy).
-type Handler func(*msg.NetMsg)
+type Handler = transport.Handler
 
 type link struct{ a, b msg.ProcID }
 
@@ -227,7 +224,7 @@ type Endpoint struct {
 
 // Attach connects process id to the network with h as its delivery handler.
 // Attaching an id twice is an error.
-func (n *Network) Attach(id msg.ProcID, h Handler) (*Endpoint, error) {
+func (n *Network) Attach(id msg.ProcID, h Handler) (transport.Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.eps[id]; ok {

@@ -7,6 +7,7 @@ import (
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
+	"mrpc/internal/transport"
 )
 
 // collector accumulates delivered messages for one endpoint.
@@ -27,7 +28,7 @@ func (c *collector) count() int {
 	return len(c.msgs)
 }
 
-func attach(t *testing.T, n *Network, id msg.ProcID) (*Endpoint, *collector) {
+func attach(t *testing.T, n *Network, id msg.ProcID) (transport.Endpoint, *collector) {
 	t.Helper()
 	c := &collector{}
 	ep, err := n.Attach(id, c.handle)

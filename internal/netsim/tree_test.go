@@ -6,6 +6,7 @@ import (
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
+	"mrpc/internal/transport"
 )
 
 // TestMulticastEgressCounters pins the O(k) sender-egress claim of D17 with
@@ -25,7 +26,7 @@ func TestMulticastEgressCounters(t *testing.T) {
 
 			// Flat: one multicast to the whole group, self excluded from egress.
 			n := New(clock.NewSim(), Params{EncodeOnWire: wire})
-			eps := make(map[msg.ProcID]*Endpoint, g)
+			eps := make(map[msg.ProcID]transport.Endpoint, g)
 			for _, id := range group {
 				e, err := n.Attach(id, func(*msg.NetMsg) {})
 				if err != nil {
@@ -52,10 +53,10 @@ func TestMulticastEgressCounters(t *testing.T) {
 			// Tree(k): the origin pushes to its k children only; each member
 			// relays the shared frame to its own children.
 			n = New(clock.NewSim(), Params{EncodeOnWire: wire})
-			eps = make(map[msg.ProcID]*Endpoint, g)
+			eps = make(map[msg.ProcID]transport.Endpoint, g)
 			for _, id := range group {
 				id := id
-				var ep *Endpoint
+				var ep transport.Endpoint
 				e, err := n.Attach(id, func(m *msg.NetMsg) {
 					if m.Relay == 0 {
 						return

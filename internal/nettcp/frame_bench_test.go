@@ -1,0 +1,37 @@
+package nettcp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTCPFrame measures the framing layer alone — length-prefix
+// write plus read-and-allocate — without sockets, isolating the per-frame
+// overhead nettcp adds on top of the v1 wire encoding.
+func BenchmarkTCPFrame(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			wire := make([]byte, size)
+			var buf bytes.Buffer
+			w := bufio.NewWriter(&buf)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				w.Reset(&buf)
+				if err := writeFrame(w, wire); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				got, err := readFrame(&buf, defaultMaxFrame)
+				if err != nil || len(got) != size {
+					b.Fatalf("read %d bytes, err %v", len(got), err)
+				}
+			}
+		})
+	}
+}

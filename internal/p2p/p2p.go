@@ -18,8 +18,8 @@ import (
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
-	"mrpc/internal/netsim"
 	"mrpc/internal/proc"
+	"mrpc/internal/transport"
 )
 
 // Options selects the semantics of a point-to-point endpoint pair. The
@@ -44,7 +44,7 @@ type Handler func(th *proc.Thread, op msg.OpID, args []byte) []byte
 // Server is the compact point-to-point server.
 type Server struct {
 	id      msg.ProcID
-	ep      *netsim.Endpoint
+	ep      transport.Endpoint
 	handler Handler
 	unique  bool
 
@@ -54,8 +54,8 @@ type Server struct {
 	threads    *proc.Threads
 }
 
-// NewServer attaches a compact server for id to the network.
-func NewServer(net *netsim.Network, id msg.ProcID, opts Options, h Handler) (*Server, error) {
+// NewServer attaches a compact server for id to the transport.
+func NewServer(net transport.Transport, id msg.ProcID, opts Options, h Handler) (*Server, error) {
 	if h == nil {
 		return nil, fmt.Errorf("p2p: handler is required")
 	}
@@ -140,43 +140,50 @@ func (s *Server) reply(call *msg.NetMsg, res []byte) {
 	})
 }
 
+// p2pCall is one in-flight call record. Records are recycled through the
+// client's freelist: every completion path first dequeues the record from
+// the pending table under the client mutex, so each armed record has
+// exactly one completer — the done channel (capacity 1) carries exactly
+// one token per arming and is safely reusable, with no sync.Once and no
+// per-call allocation in steady state.
 type p2pCall struct {
 	op      msg.OpID
 	args    []byte
 	to      msg.ProcID
-	acked   bool
 	result  []byte
 	status  msg.Status
 	done    chan struct{}
-	once    sync.Once
 	expired clock.Timer
+	next    *p2pCall // freelist link
 }
 
+// complete finishes a dequeued record. The caller must be its sole owner
+// (having removed it from the pending table); nothing may touch the record
+// after the token is sent except the parked Call.
 func (c *p2pCall) complete(status msg.Status, result []byte) {
-	c.once.Do(func() {
-		c.status = status
-		c.result = result
-		close(c.done)
-	})
+	c.status = status
+	c.result = result
+	c.done <- struct{}{}
 }
 
 // Client is the compact point-to-point client.
 type Client struct {
 	id   msg.ProcID
-	ep   *netsim.Endpoint
+	ep   transport.Endpoint
 	clk  clock.Clock
 	opts Options
 
 	mu      sync.Mutex
 	nextID  msg.CallID
 	pending map[msg.CallID]*p2pCall
+	free    *p2pCall
 
 	// loop is the retransmission thread (nil when Reliable is off).
 	loop *proc.Thread
 }
 
-// NewClient attaches a compact client for id to the network.
-func NewClient(net *netsim.Network, clk clock.Clock, id msg.ProcID, opts Options) (*Client, error) {
+// NewClient attaches a compact client for id to the transport.
+func NewClient(net transport.Transport, clk clock.Clock, id msg.ProcID, opts Options) (*Client, error) {
 	if opts.RetransTimeout <= 0 {
 		opts.RetransTimeout = 20 * time.Millisecond
 	}
@@ -222,13 +229,15 @@ func (c *Client) Close() {
 // Call synchronously invokes op at the server and returns the result and
 // status (OK, TIMEOUT with Bounded, or ABORTED after Close).
 func (c *Client) Call(server msg.ProcID, op msg.OpID, args []byte) ([]byte, msg.Status) {
-	pc := &p2pCall{
-		op:   op,
-		args: args,
-		to:   server,
-		done: make(chan struct{}),
-	}
 	c.mu.Lock()
+	pc := c.free
+	if pc != nil {
+		c.free = pc.next
+		pc.next = nil
+	} else {
+		pc = &p2pCall{done: make(chan struct{}, 1)}
+	}
+	pc.op, pc.args, pc.to = op, args, server
 	id := c.nextID
 	c.nextID++
 	c.pending[id] = pc
@@ -236,7 +245,7 @@ func (c *Client) Call(server msg.ProcID, op msg.OpID, args []byte) ([]byte, msg.
 
 	if c.opts.Bounded {
 		pc.expired = c.clk.AfterFunc(c.opts.TimeBound, func() {
-			pc.complete(msg.StatusTimeout, nil)
+			c.expire(id)
 		})
 	}
 	c.ep.Push(server, c.buildCall(id, pc))
@@ -244,11 +253,30 @@ func (c *Client) Call(server msg.ProcID, op msg.OpID, args []byte) ([]byte, msg.
 	<-pc.done
 	if pc.expired != nil {
 		pc.expired.Stop()
+		pc.expired = nil
 	}
+	result, status := pc.result, pc.status
 	c.mu.Lock()
-	delete(c.pending, id)
+	pc.args, pc.result = nil, nil
+	pc.next = c.free
+	c.free = pc
 	c.mu.Unlock()
-	return pc.result, pc.status
+	return result, status
+}
+
+// expire times out call id if it is still pending. Dequeue-then-complete
+// under the mutex keeps the single-completer invariant: if the reply beat
+// the deadline, the record is gone and this is a no-op.
+func (c *Client) expire(id msg.CallID) {
+	c.mu.Lock()
+	pc, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		pc.complete(msg.StatusTimeout, nil)
+	}
 }
 
 func (c *Client) buildCall(id msg.CallID, pc *p2pCall) *msg.NetMsg {
@@ -277,7 +305,7 @@ func (c *Client) handle(m *msg.NetMsg) {
 	c.mu.Lock()
 	pc, ok := c.pending[m.ID]
 	if ok {
-		pc.acked = true
+		delete(c.pending, m.ID)
 	}
 	c.mu.Unlock()
 	if ok {
@@ -301,10 +329,10 @@ func (c *Client) retransmitLoop(th *proc.Thread) {
 		}
 		var out []resend
 		c.mu.Lock()
+		// Replies dequeue their record, so everything still pending is
+		// unanswered and due for retransmission.
 		for id, pc := range c.pending {
-			if !pc.acked {
-				out = append(out, resend{to: pc.to, m: c.buildCall(id, pc)})
-			}
+			out = append(out, resend{to: pc.to, m: c.buildCall(id, pc)})
 		}
 		c.mu.Unlock()
 		for _, rs := range out {

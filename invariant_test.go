@@ -90,7 +90,7 @@ func TestExactlyOnceInvariantUnderRandomFaults(t *testing.T) {
 			time.Sleep(20 * time.Millisecond)
 			sys.Quiesce()
 
-			dups := sys.Network().Stats().Duplicated
+			dups := sys.Net().Stats().Duplicated
 			if dups == 0 {
 				t.Logf("seed %d produced no duplicates; invariant still checked", seed)
 			}

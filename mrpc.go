@@ -65,6 +65,7 @@ import (
 	"mrpc/internal/stable"
 	"mrpc/internal/stub"
 	"mrpc/internal/trace"
+	"mrpc/internal/transport"
 )
 
 // NewTraceLog returns an empty structured trace log for
@@ -106,10 +107,16 @@ type (
 	// DeltaCheckpointable additionally supports incremental checkpoints
 	// (Config.AtomicDeltas).
 	DeltaCheckpointable = core.DeltaCheckpointable
+	// Transport is the communication substrate seam: the simulator
+	// (internal/netsim) and the TCP transport (internal/nettcp) both
+	// implement it (see internal/transport).
+	Transport = transport.Transport
+	// Link is one process's attachment point on a Transport.
+	Link = transport.Endpoint
 	// NetParams is the simulated network's fault and delay model.
 	NetParams = netsim.Params
-	// NetStats are the simulated network's counters.
-	NetStats = netsim.Stats
+	// NetStats are the transport counters (shared across substrates).
+	NetStats = transport.Stats
 	// TraceSink receives structured trace events (SystemOptions.Trace).
 	TraceSink = trace.Sink
 	// TraceEvent is one structured trace record.
@@ -208,11 +215,18 @@ const (
 	MembershipDetector
 )
 
-// SystemOptions configures a simulated distributed system.
+// SystemOptions configures a distributed system.
 type SystemOptions struct {
 	// Clock defaults to the real clock.
 	Clock clock.Clock
-	// Net is the network fault/delay model (default: perfect, zero delay).
+	// Transport is the communication substrate the system's nodes attach
+	// to. Default: a fresh simulated network built from Net — the only
+	// case in which System.Sim() is non-nil. Pass a nettcp transport (or
+	// any other implementation of the seam) to run the same composites
+	// over real sockets; Net is then ignored.
+	Transport Transport
+	// Net is the simulated network's fault/delay model (default: perfect,
+	// zero delay). Used only when Transport is nil.
 	Net NetParams
 	// Membership selects the membership service (default: none).
 	Membership MembershipMode
@@ -232,12 +246,14 @@ type SystemOptions struct {
 	Trace TraceSink
 }
 
-// System is a simulated distributed system: a network, a stable store, an
+// System is a distributed system: a transport, a stable store, an
 // optional membership service, and a set of nodes running configured
-// composite protocols.
+// composite protocols. The transport is held through the seam interface;
+// simulator-only fault controls are reached through Sim().
 type System struct {
 	clk    clock.Clock
-	net    *netsim.Network
+	net    Transport
+	sim    *netsim.Network // non-nil only when net is the simulator
 	store  *stable.Store
 	opts   SystemOptions
 	oracle *member.Oracle
@@ -262,10 +278,16 @@ func NewSystem(opts SystemOptions) *System {
 	}
 	s := &System{
 		clk:   opts.Clock,
-		net:   netsim.New(opts.Clock, opts.Net),
+		net:   opts.Transport,
 		store: stable.NewStore(opts.Clock, opts.StableWriteLatency),
 		opts:  opts,
 		nodes: make(map[ProcID]*Node),
+	}
+	if s.net == nil {
+		s.sim = netsim.New(opts.Clock, opts.Net)
+		s.net = s.sim
+	} else if sim, ok := s.net.(*netsim.Network); ok {
+		s.sim = sim
 	}
 	if opts.Membership == MembershipOracle {
 		s.oracle = member.NewOracle()
@@ -273,12 +295,37 @@ func NewSystem(opts SystemOptions) *System {
 	return s
 }
 
+// NewSimNet builds a standalone simulated network as a Transport — for
+// code that drives the substrate directly (baselines, benchmarks) without
+// a System around it and without importing the simulator package.
+func NewSimNet(clk clock.Clock, p NetParams) Transport { return netsim.New(clk, p) }
+
 // Group returns a normalized group; every id must already be a node.
 func (s *System) Group(ids ...ProcID) Group { return msg.NewGroup(ids...) }
 
-// Network returns the underlying simulated network (fault injection,
-// statistics).
-func (s *System) Network() *netsim.Network { return s.net }
+// Net returns the system's transport through the seam interface
+// (statistics, quiesce) regardless of which substrate is underneath.
+func (s *System) Net() Transport { return s.net }
+
+// Sim returns the underlying simulated network when the system runs on
+// one, and nil on a real transport. Fault injection (Partition,
+// SetLinkDelay) lives here, so code that needs the simulator says so:
+//
+//	if sim := sys.Sim(); sim != nil { sim.Partition(1, 2, true) }
+func (s *System) Sim() *netsim.Network { return s.sim }
+
+// Network returns the underlying simulated network.
+//
+// Deprecated: use Net for the transport-agnostic interface or Sim for
+// simulator-only fault controls. Network panics on a non-simulated
+// transport (it predates the transport seam and its callers assume fault
+// injection is available).
+func (s *System) Network() *netsim.Network {
+	if s.sim == nil {
+		panic("mrpc: Network() on a non-simulated transport; use Net() or Sim()")
+	}
+	return s.sim
+}
 
 // Store returns the shared stable storage.
 func (s *System) Store() *stable.Store { return s.store }
@@ -552,7 +599,7 @@ type Node struct {
 	sys    *System
 	id     ProcID
 	site   *proc.Site
-	ep     *netsim.Endpoint
+	ep     Link
 	newApp func() App
 	cell   *stable.Cell
 	cklog  *stable.Log
@@ -666,10 +713,19 @@ func (n *Node) start(isRecovery bool) error {
 // ID returns the node's process id.
 func (n *Node) ID() ProcID { return n.id }
 
-// Endpoint returns the node's attachment to the simulated network; its
-// per-endpoint Stats expose the egress/ingress counters the dissemination
-// experiments assert on (D17).
-func (n *Node) Endpoint() *netsim.Endpoint { return n.ep }
+// Link returns the node's attachment to the transport; its per-endpoint
+// Stats expose the egress/ingress counters the dissemination experiments
+// assert on (D17).
+func (n *Node) Link() Link { return n.ep }
+
+// Endpoint returns the node's attachment to the simulated network, or nil
+// on a non-simulated transport.
+//
+// Deprecated: use Link — the per-endpoint surface is transport-agnostic.
+func (n *Node) Endpoint() *netsim.Endpoint {
+	ep, _ := n.ep.(*netsim.Endpoint)
+	return ep
+}
 
 // Config returns the node's current configuration (Reconfigure changes it).
 func (n *Node) Config() Config { return n.config() }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# mrpcnode_smoke.sh: the multi-process deployment smoke test CI runs.
+#
+# Builds mrpcnode, starts a 3-member group as separate OS processes on
+# localhost TCP, runs a mixed wait/no-wait client workload against it,
+# kills one member with SIGKILL mid-run and restarts it. Fails on a
+# non-zero client exit or a hang (60s watchdog). The in-repo equivalent
+# is TestMultiProcessGroup (cmd/mrpcnode); this script exercises the same
+# path without the Go test harness in between.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/mrpcnode"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/mrpcnode || exit 1
+
+BASE=$(( 7100 + RANDOM % 500 ))
+PEERS="1=127.0.0.1:$((BASE)),2=127.0.0.1:$((BASE+1)),3=127.0.0.1:$((BASE+2)),100=127.0.0.1:$((BASE+3))"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null; done
+  wait 2>/dev/null
+  rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+"$BIN" -id 1 -peers "$PEERS" & pids+=($!)
+"$BIN" -id 2 -peers "$PEERS" & pids+=($!)
+"$BIN" -id 3 -peers "$PEERS" & S3=$!; pids+=($S3)
+sleep 0.5
+
+timeout 60 "$BIN" -id 100 -peers "$PEERS" -calls 100 -interval 20ms &
+CLIENT=$!
+
+# One member dies mid-workload and comes back: 2-of-3 acceptance keeps the
+# client completing, retransmission reattaches the fresh incarnation.
+sleep 0.6
+kill -9 "$S3"
+sleep 0.6
+"$BIN" -id 3 -peers "$PEERS" & pids+=($!)
+
+wait "$CLIENT"
+rc=$?
+if [ "$rc" -eq 124 ]; then
+  echo "mrpcnode_smoke: FAIL: client hung past the 60s watchdog" >&2
+  exit 1
+elif [ "$rc" -ne 0 ]; then
+  echo "mrpcnode_smoke: FAIL: client exited $rc" >&2
+  exit "$rc"
+fi
+echo "mrpcnode_smoke: ok (3-process group survived a member restart)"
