@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mrpc"
 	"mrpc/internal/check"
@@ -35,6 +36,7 @@ func main() {
 		outDir = flag.String("out", ".", "directory for seed artifacts written on violation")
 		shrink = flag.Int("shrink", 40, "run budget for shrinking a violating scenario (0 disables)")
 		tport  = flag.String("transport", "sim", `substrate for -smoke/-sweep: "sim", or "tcp" to run fault-free scenarios over TCP loopback and require each digest to match its simulator replay`)
+		tmpl   = flag.String("template", "", `only run scenarios of this template (name prefix, e.g. "churn" or "gray-slow"); generation oversamples until -n matches are found`)
 	)
 	flag.Parse()
 
@@ -42,17 +44,47 @@ func main() {
 	case *repro != "":
 		os.Exit(runRepro(*repro))
 	case *sweep && *tport == "tcp":
-		os.Exit(runCross(sweepScenarios(*seed), *outDir))
+		os.Exit(runCross(filterScenarios(sweepScenarios(*seed), *tmpl, 0), *outDir))
 	case *sweep:
-		os.Exit(runScenarios(sweepScenarios(*seed), *outDir, *shrink))
+		os.Exit(runScenarios(filterScenarios(sweepScenarios(*seed), *tmpl, 0), *outDir, *shrink))
 	case *smoke && *tport == "tcp":
-		os.Exit(runCross(check.Generate(*seed, *count), *outDir))
+		os.Exit(runCross(generateFiltered(*seed, *count, *tmpl), *outDir))
 	case *smoke:
-		os.Exit(runScenarios(check.Generate(*seed, *count), *outDir, *shrink))
+		os.Exit(runScenarios(generateFiltered(*seed, *count, *tmpl), *outDir, *shrink))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// filterScenarios keeps the scenarios whose template (name prefix) matches
+// tmpl; an empty tmpl keeps everything. A positive max truncates.
+func filterScenarios(scs []check.Scenario, tmpl string, max int) []check.Scenario {
+	if tmpl == "" {
+		return scs
+	}
+	out := scs[:0]
+	for _, sc := range scs {
+		if strings.HasPrefix(sc.Name, tmpl) {
+			out = append(out, sc)
+			if max > 0 && len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// generateFiltered samples until count scenarios of the requested template
+// are found (Generate's stream is deterministic, so oversampling keeps the
+// kept subsequence stable for a given seed).
+func generateFiltered(seed int64, count int, tmpl string) []check.Scenario {
+	if tmpl == "" {
+		return check.Generate(seed, count)
+	}
+	// The rarest templates fill ~1/15 of the stream; 40x oversampling finds
+	// count matches for any template that can host some configuration.
+	return filterScenarios(check.Generate(seed, 40*count), tmpl, count)
 }
 
 // runCross executes every cross-transport-safe scenario twice — once on

@@ -1,0 +1,103 @@
+package mrpc
+
+import (
+	"testing"
+	"time"
+
+	"mrpc/internal/trace"
+)
+
+// TestGraySlowMemberStallsWithoutSuspicion pins the defining property of a
+// gray failure (D19): a member that is slow — every message it sends or
+// receives delayed well past the normal round-trip, so calls demonstrably
+// stall on its lane — but not slow enough to trip the failure detector. The
+// detector must stay silent: suspicion is driven by the gap between
+// successive heartbeats, and a constant lag preserves their spacing. A
+// detector that reported such a member would turn a performance problem
+// into a spurious membership change.
+func TestGraySlowMemberStallsWithoutSuspicion(t *testing.T) {
+	const (
+		heartbeat = 3 * time.Millisecond
+		suspect   = 150 * time.Millisecond
+		grayLag   = 20 * time.Millisecond // well under the threshold
+	)
+	log := NewTraceLog()
+	sys := NewSystem(SystemOptions{
+		Membership:        MembershipDetector,
+		HeartbeatInterval: heartbeat,
+		SuspectAfter:      suspect,
+		Trace:             log,
+	})
+	defer sys.Stop()
+
+	// Accept-all acceptance: a call terminates only once every member has
+	// answered, so the gray member's lane bounds the call's latency.
+	cfg := ExactlyOnce()
+	cfg.AcceptanceLimit = AcceptAll
+
+	reg, echo := newEchoRegistry()
+	group := sys.Group(1, 2, 3)
+	for _, id := range group {
+		if _, err := sys.AddServer(id, cfg, func() App { return reg }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := sys.AddClient(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	call := func() time.Duration {
+		start := time.Now()
+		reply, status, err := client.Call(echo, []byte("hi"), group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != StatusOK {
+			t.Fatalf("status = %v, want OK", status)
+		}
+		if string(reply) != "echo:hi" {
+			t.Fatalf("reply = %q", reply)
+		}
+		return time.Since(start)
+	}
+
+	call() // warm up: fast path, all lanes healthy
+
+	// Member 2 turns gray: every message to or from it is delayed by a
+	// constant lag. Each call now stalls for at least one full lag (the
+	// request into the slow member, its reply back out) while the other
+	// two lanes finished long ago.
+	sys.Sim().SetGraySlow(2, grayLag)
+	stallStart := time.Now()
+	for i := 0; i < 3; i++ {
+		if d := call(); d < grayLag {
+			t.Fatalf("call %d took %v, want >= %v (gray lane must bound the call)", i, d, grayLag)
+		}
+	}
+	stalled := time.Since(stallStart)
+	sys.Sim().SetGraySlow(2, 0)
+
+	// The stall window spanned many heartbeat intervals and many suspicion
+	// checks — ample opportunity for a naive latency-triggered detector to
+	// misfire. Ours must not have: the trace carries no suspicion of
+	// anyone, and no live detector believes any peer is down.
+	if stalled < 3*grayLag {
+		t.Fatalf("stall window only %v; test did not exercise the gray period", stalled)
+	}
+	sys.Quiesce()
+	if n := countKind(log, trace.KSuspect); n != 0 {
+		t.Fatalf("detector reported %d suspicion(s) for a gray-slow member, want 0", n)
+	}
+	for _, id := range append(group, 100) {
+		n, ok := sys.Node(id)
+		if !ok {
+			t.Fatalf("node %d missing", id)
+		}
+		for _, peer := range group {
+			if peer != id && n.Detector() != nil && n.Detector().Down(peer) {
+				t.Fatalf("node %d believes %d is down", id, peer)
+			}
+		}
+	}
+}

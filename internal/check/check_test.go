@@ -62,6 +62,14 @@ func orphanKilled(site msg.ProcID, id msg.CallID) trace.Event {
 	return trace.Event{Kind: trace.KOrphanKilled, Site: site, SiteInc: 1, Client: client, ID: id}
 }
 
+func suspect(observer, who msg.ProcID) trace.Event {
+	return trace.Event{Kind: trace.KSuspect, Site: observer, SiteInc: 1, From: who}
+}
+
+func suspectClear(observer, who msg.ProcID) trace.Event {
+	return trace.Event{Kind: trace.KSuspectClear, Site: observer, SiteInc: 1, From: who}
+}
+
 // baseCfg is a valid configuration the cases mutate per property.
 func baseCfg(mut func(*config.Config)) config.Config {
 	c := config.Config{
@@ -268,6 +276,21 @@ func TestOracleSelfTests(t *testing.T) {
 			conforming: []trace.Event{begin(s1, k1), end(s1, k1), replySent(s1, k1)},
 			wantDetail: "after killing",
 		},
+		{
+			oracle: "no-false-suspicion",
+			profile: func() Profile {
+				p := prof(baseCfg(nil))
+				p.Gray = []msg.ProcID{s2}
+				return p
+			}(),
+			// s1's detector suspects the gray-slow member s2 and never
+			// clears the belief; the conforming twin is transiently wrong
+			// but recovers — that is the tolerance asynchronous detectors
+			// are granted (D19).
+			violating:  []trace.Event{suspect(s1, s2)},
+			conforming: []trace.Event{suspect(s1, s2), suspectClear(s1, s2)},
+			wantDetail: "stuck suspected",
+		},
 	}
 
 	for _, tc := range cases {
@@ -310,6 +333,7 @@ func TestEveryOracleHasSelfTest(t *testing.T) {
 		"serial-exec": true, "atomic-delivery": true, "fifo-order": true,
 		"total-order": true, "causal-order": true, "reply-dedup": true,
 		"collation-count": true, "orphan-interference": true, "orphan-terminate": true,
+		"no-false-suspicion": true,
 	}
 	for _, o := range Oracles() {
 		if !tested[o.Name] {
@@ -336,6 +360,7 @@ func TestOracleProperties(t *testing.T) {
 		"Acceptance/Collation",
 		"Interference Avoidance",
 		"Terminate Orphan",
+		"Membership (gray failure)",
 	}
 	have := map[string]bool{}
 	for _, o := range Oracles() {
@@ -363,6 +388,59 @@ func TestEvaluateApplicability(t *testing.T) {
 	p := prof(baseCfg(nil)) // no ordering promised
 	if vs := Evaluate(p, NewTrace(events)); len(vs) > 0 {
 		t.Fatalf("unordered profile flagged order-free trace: %v", vs)
+	}
+}
+
+// TestSameSetReorderGate pins the D19 extension of the D15 scoped limit:
+// the same-set oracle withdraws from synchronous-FIFO runs under a
+// reordering network exactly as it does under a lossy one — first-arrival
+// lane initialization (D10) lets a member that hears call 2 first judge
+// call 1 already served — while still applying to reordering runs of
+// order-free configurations.
+func TestSameSetReorderGate(t *testing.T) {
+	o := oracleByName(t, "same-set")
+	syncFIFO := baseCfg(func(c *config.Config) { c.Ordering = config.OrderFIFO })
+	tr := NewTrace(nil)
+
+	p := prof(syncFIFO)
+	if !o.Applies(p, tr) {
+		t.Fatal("same-set must apply to a clean sync-FIFO run")
+	}
+	p.Reordering = true
+	if o.Applies(p, tr) {
+		t.Fatal("same-set must withdraw from sync-FIFO under reordering")
+	}
+	p = prof(baseCfg(nil))
+	p.Reordering = true
+	if !o.Applies(p, tr) {
+		t.Fatal("same-set must still apply to order-free runs under reordering")
+	}
+}
+
+// TestNoFalseSuspicionScope pins the oracle's applicability: it demands
+// nothing of runs without gray members, and exempts crashy runs (where
+// suspicion of the gray member can be legitimate collateral).
+func TestNoFalseSuspicionScope(t *testing.T) {
+	o := oracleByName(t, "no-false-suspicion")
+	p := prof(baseCfg(nil))
+	if o.Applies(p, NewTrace(nil)) {
+		t.Fatal("oracle applied to a run without gray members")
+	}
+	p.Gray = []msg.ProcID{s2}
+	crashy := NewTrace(seqd([]trace.Event{
+		{Kind: trace.KCrash, Site: s1, SiteInc: 1},
+		suspect(s1, s2),
+	}))
+	if o.Applies(p, crashy) {
+		t.Fatal("oracle applied to a crashy run")
+	}
+	// Suspicion of a non-gray member never violates, stuck or not.
+	clean := NewTrace(seqd([]trace.Event{suspect(s2, s1)}))
+	if !o.Applies(p, clean) {
+		t.Fatal("oracle must apply to a crash-free gray run")
+	}
+	if vs := o.Check(p, clean); len(vs) > 0 {
+		t.Fatalf("suspicion of a non-gray member flagged: %v", vs)
 	}
 }
 

@@ -18,8 +18,9 @@ import (
 //     excluding calls issued by a client incarnation that crashed (whether
 //     such a call was admitted before the crash is a race);
 //   - the per-member executed-call sets, but only for runs with no crash,
-//     no timeout, and a network that never withholds messages — otherwise
-//     which members a lingering retransmission still reached is timing.
+//     no timeout, and a network that never withholds or reorders messages —
+//     otherwise which members a lingering retransmission still reached, or
+//     which call first opened a sync-FIFO lane (D10), is timing.
 func Digest(p Profile, t *Trace) string {
 	var lines []string
 	for _, k := range t.Calls() {
@@ -35,7 +36,7 @@ func Digest(p Profile, t *Trace) string {
 	}
 	sort.Strings(lines)
 
-	if !t.HadCrash() && !anyTimeout(t) && !p.Lossy {
+	if !t.HadCrash() && !anyTimeout(t) && !p.Lossy && !p.Reordering {
 		for _, site := range p.Group {
 			keys := t.ExecutedKeys(site)
 			sorted := make([]msg.CallKey, len(keys))

@@ -71,12 +71,16 @@ func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 		return nil, err
 	}
 	if newTransport != nil {
-		if sc.LossPct > 0 || sc.DupPct > 0 || sc.MaxDelayUS > 0 {
+		if sc.LossPct > 0 || sc.DupPct > 0 || sc.MaxDelayUS > 0 ||
+			sc.ReorderPct > 0 || len(sc.Wan) > 0 || sc.Detector != nil {
 			return nil, fmt.Errorf("check: scenario %s needs simulated faults; run it on the simulator", sc.Name)
 		}
 		for _, st := range sc.Steps {
-			if st.Kind == StepPartition || st.Kind == StepHeal {
+			switch st.Kind {
+			case StepPartition, StepHeal:
 				return nil, fmt.Errorf("check: scenario %s partitions links; run it on the simulator", sc.Name)
+			case StepGray, StepFlap:
+				return nil, fmt.Errorf("check: scenario %s uses adversarial profiles; run it on the simulator", sc.Name)
 			}
 		}
 	}
@@ -104,6 +108,27 @@ func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 		Membership: membership,
 		Trace:      log,
 	}
+	if sc.ReorderPct > 0 {
+		window, spread := sc.ReorderWindow, sc.ReorderSpreadUS
+		if window <= 0 {
+			window = 4
+		}
+		if spread <= 0 {
+			spread = 500
+		}
+		opts.Net.Reorder = mrpc.ReorderParams{
+			Prob:   float64(sc.ReorderPct) / 100,
+			Window: window,
+			Spread: time.Duration(spread) * time.Microsecond,
+		}
+	}
+	if sc.Detector != nil {
+		// A detector spec overrides the crash oracle: the run's membership
+		// view is the heartbeat detector's belief, crashes and all.
+		opts.Membership = mrpc.MembershipDetector
+		opts.HeartbeatInterval = time.Duration(sc.Detector.HeartbeatUS) * time.Microsecond
+		opts.SuspectAfter = time.Duration(sc.Detector.SuspectUS) * time.Microsecond
+	}
 	if newTransport != nil {
 		opts.Clock = clock.NewReal()
 		opts.Transport = newTransport(opts.Clock)
@@ -111,6 +136,16 @@ func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 	sys := mrpc.NewSystem(opts)
 	defer sys.Stop()
 	clk := sys.Clock()
+
+	for _, w := range sc.Wan {
+		sys.Sim().SetLinkProfile(w.From, w.To, mrpc.LinkProfile{
+			MinDelay:    time.Duration(w.MinUS) * time.Microsecond,
+			MaxDelay:    time.Duration(w.MaxUS) * time.Microsecond,
+			SpikeProb:   float64(w.SpikePct) / 100,
+			SpikeDelay:  time.Duration(w.SpikeUS) * time.Microsecond,
+			BytesPerSec: int64(w.KBps) * 1000,
+		})
+	}
 
 	members := make([]msg.ProcID, 0, sc.Servers)
 	for i := 1; i <= sc.Servers; i++ {
@@ -137,6 +172,7 @@ func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 	deadline := clk.Now().Add(runDeadline)
 	var workers []*workerHandle
 	var blocked [][2]msg.ProcID
+	var flaps []<-chan struct{}
 
 	for i, st := range sc.Steps {
 		switch st.Kind {
@@ -179,12 +215,37 @@ func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 			if err := sys.Reconfigure(normalizeRun(next)); err != nil {
 				return nil, fmt.Errorf("check: step %d: %w", i, err)
 			}
+		case StepGray:
+			d := time.Duration(st.DelayUS) * time.Microsecond
+			sys.Sim().SetGraySlow(st.Node, d)
+			k := trace.KGrayEnd
+			if d > 0 {
+				k = trace.KGrayStart
+			}
+			log.Record(trace.Event{Kind: k, Site: st.Node, Note: d.String()})
+		case StepFlap:
+			period := time.Duration(st.PeriodUS) * time.Microsecond
+			log.Record(trace.Event{Kind: trace.KFlap, Site: st.A, From: st.B,
+				Op: msg.OpID(st.Cycles), Note: period.String()})
+			done := sys.Sim().StartFlap(st.A, st.B, period, st.Cycles)
+			if st.Wait {
+				if !waitChan(clk, done, deadline) {
+					return nil, fmt.Errorf("check: step %d: flap did not complete", i)
+				}
+			} else {
+				flaps = append(flaps, done)
+			}
 		}
 	}
 
 	for _, w := range workers {
 		if !w.join(clk, deadline) {
 			return nil, fmt.Errorf("check: no-wait call batch did not complete")
+		}
+	}
+	for _, done := range flaps {
+		if !waitChan(clk, done, deadline) {
+			return nil, fmt.Errorf("check: flap cycle train did not complete")
 		}
 	}
 
@@ -195,9 +256,32 @@ func RunOver(sc Scenario, newTransport TransportFactory) (*Result, error) {
 		return nil, err
 	}
 
+	if sc.Detector != nil {
+		// Grace window: a transient suspicion raised near the end of the
+		// run (a scheduler stall under CPU contention can open a heartbeat
+		// gap) needs one more delayed heartbeat to clear. The no-false-
+		// suspicion oracle only faults beliefs still stuck when the trace
+		// is sealed, so sleep a full suspicion threshold plus the residual
+		// gray lag — enough for a fresh heartbeat round even if the stall
+		// that caused the suspicion bleeds into the grace window.
+		grace := time.Duration(sc.Detector.SuspectUS+3*sc.Detector.HeartbeatUS) * time.Microsecond
+		for _, st := range sc.Steps {
+			if st.Kind == StepGray {
+				grace += time.Duration(st.DelayUS) * time.Microsecond
+			}
+		}
+		clk.Sleep(grace)
+	}
+
 	events := log.Events()
 	t := NewTrace(events)
-	p := Profile{Configs: timeline, Group: group, Lossy: sc.Lossy()}
+	p := Profile{
+		Configs:    timeline,
+		Group:      group,
+		Lossy:      sc.Lossy(),
+		Reordering: sc.Reordering(),
+		Gray:       sc.GrayUnderThreshold(),
+	}
 	return &Result{
 		Scenario:   sc,
 		Profile:    p,
@@ -228,7 +312,20 @@ func settle(sys *mrpc.System, servers int, deadline time.Time) error {
 			return nil
 		}
 		if clk.Now().After(deadline) {
-			return fmt.Errorf("check: settle timed out with %d pending", pending)
+			detail := ""
+			for i := 1; i <= servers; i++ {
+				n, ok := sys.Node(msg.ProcID(i))
+				if !ok || n.Down() {
+					continue
+				}
+				if held := n.Composite().Framework().PendingServerCalls(); held > 0 {
+					detail += fmt.Sprintf(" node%d:held=%d", i, held)
+				}
+			}
+			if rc, ok := outstandingOf(sys, servers); ok && rc > 0 {
+				detail += fmt.Sprintf(" retrans=%d", rc)
+			}
+			return fmt.Errorf("check: settle timed out with %d pending%s", pending, detail)
 		}
 		clk.Sleep(time.Millisecond)
 	}
@@ -274,9 +371,14 @@ func startBatch(n *mrpc.Node, count int, group mrpc.Group) *workerHandle {
 
 // join waits for the batch to finish, polling against the run deadline.
 func (w *workerHandle) join(clk clock.Clock, deadline time.Time) bool {
+	return waitChan(clk, w.th.Done(), deadline)
+}
+
+// waitChan polls a completion channel against the run deadline.
+func waitChan(clk clock.Clock, done <-chan struct{}, deadline time.Time) bool {
 	for {
 		select {
-		case <-w.th.Done():
+		case <-done:
 			return true
 		default:
 		}

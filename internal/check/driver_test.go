@@ -1,6 +1,7 @@
 package check
 
 import (
+	"strings"
 	"testing"
 
 	"mrpc/internal/config"
@@ -102,6 +103,17 @@ func TestScenarioValidate(t *testing.T) {
 		}, true},
 		{"unknown kind", []Step{{Kind: "warp"}}, true},
 		{"reconfigure without target", []Step{{Kind: StepReconfigure}}, true},
+		{"gray and clear", []Step{
+			{Kind: StepGray, Node: 2, DelayUS: 10000},
+			{Kind: StepCalls, Client: ClientID, N: 1, Wait: true},
+			{Kind: StepGray, Node: 2},
+		}, false},
+		{"gray without node", []Step{{Kind: StepGray, DelayUS: 10000}}, true},
+		{"gray negative delay", []Step{{Kind: StepGray, Node: 2, DelayUS: -1}}, true},
+		{"flap", []Step{{Kind: StepFlap, A: ClientID, B: 2, PeriodUS: 5000, Cycles: 3}}, false},
+		{"flap self link", []Step{{Kind: StepFlap, A: 2, B: 2, PeriodUS: 5000, Cycles: 3}}, true},
+		{"flap period too short", []Step{{Kind: StepFlap, A: ClientID, B: 2, PeriodUS: 1, Cycles: 3}}, true},
+		{"flap zero cycles", []Step{{Kind: StepFlap, A: ClientID, B: 2, PeriodUS: 5000}}, true},
 	}
 	for _, tc := range cases {
 		sc := base
@@ -112,6 +124,117 @@ func TestScenarioValidate(t *testing.T) {
 		}
 		if !tc.bad && err != nil {
 			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+
+	ok := base
+	ok.Steps = []Step{{Kind: StepCalls, Client: ClientID, N: 1, Wait: true}}
+
+	wanSelf := ok
+	wanSelf.Wan = []WanLink{{From: 1, To: 1, MaxUS: 100}}
+	if wanSelf.Validate() == nil {
+		t.Error("self wan link validated")
+	}
+	wanBad := ok
+	wanBad.Wan = []WanLink{{From: ClientID, To: 1, MinUS: 500, MaxUS: 100}}
+	if wanBad.Validate() == nil {
+		t.Error("wan link with max < min validated")
+	}
+	detBad := ok
+	detBad.Detector = &DetectorSpec{HeartbeatUS: 5000, SuspectUS: 5000}
+	if detBad.Validate() == nil {
+		t.Error("detector with suspect <= heartbeat validated")
+	}
+	reorderBad := ok
+	reorderBad.ReorderPct = -5
+	if reorderBad.Validate() == nil {
+		t.Error("negative reorder probability validated")
+	}
+}
+
+// TestScenarioPredicates pins the profile-deriving helpers the oracles and
+// digest gate on: Lossy covers flaps, Reordering covers storms, delay, and
+// WAN jitter/spikes/bandwidth (but not fixed-latency links), and
+// GrayUnderThreshold only reports gray members a detector watches.
+func TestScenarioPredicates(t *testing.T) {
+	base := Scenario{Servers: 3}
+	flap := base
+	flap.Steps = []Step{{Kind: StepFlap, A: ClientID, B: 1, PeriodUS: 5000, Cycles: 2}}
+	if !flap.Lossy() {
+		t.Error("flap scenario not Lossy")
+	}
+	if base.Reordering() {
+		t.Error("clean scenario reported Reordering")
+	}
+	for name, sc := range map[string]Scenario{
+		"storm":     {ReorderPct: 10},
+		"delay":     {MaxDelayUS: 100},
+		"jitter":    {Wan: []WanLink{{From: 1, To: 2, MinUS: 10, MaxUS: 20}}},
+		"spikes":    {Wan: []WanLink{{From: 1, To: 2, SpikePct: 5, SpikeUS: 100}}},
+		"bandwidth": {Wan: []WanLink{{From: 1, To: 2, KBps: 100}}},
+	} {
+		if !sc.Reordering() {
+			t.Errorf("%s scenario not Reordering", name)
+		}
+	}
+	fixed := Scenario{Wan: []WanLink{{From: 1, To: 2, MinUS: 50, MaxUS: 50}}}
+	if fixed.Reordering() {
+		t.Error("fixed-latency wan link reported Reordering")
+	}
+
+	gray := Scenario{
+		Detector: &DetectorSpec{HeartbeatUS: 3000, SuspectUS: 60000},
+		Steps: []Step{
+			{Kind: StepGray, Node: 2, DelayUS: 10000},  // under threshold
+			{Kind: StepGray, Node: 3, DelayUS: 100000}, // over: a real failure
+		},
+	}
+	got := gray.GrayUnderThreshold()
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("GrayUnderThreshold = %v, want [2]", got)
+	}
+	gray.Detector = nil
+	if gray.GrayUnderThreshold() != nil {
+		t.Error("gray members reported without a detector")
+	}
+}
+
+// TestGenerateSamplesAdversarial checks the generator gives the D19
+// adversarial templates a healthy slice of the sampled stream (two slots
+// of fifteen per classic template, one each for the five adversarial
+// ones ≈ a third) and that every template actually appears across a
+// sweep-sized sample.
+func TestGenerateSamplesAdversarial(t *testing.T) {
+	templates := []string{"wan-asym", "reorder-storm", "gray-slow", "flap", "churn"}
+	isAdversarial := func(name string) string {
+		for _, tpl := range templates {
+			if strings.HasPrefix(name, tpl) {
+				return tpl
+			}
+		}
+		return ""
+	}
+
+	smoke := Generate(1, 30) // the default `mrpccheck -smoke` sample
+	adv := 0
+	for _, sc := range smoke {
+		if isAdversarial(sc.Name) != "" {
+			adv++
+		}
+	}
+	if adv < 5 || adv > 20 {
+		t.Fatalf("adversarial scenarios = %d of %d, want a healthy slice (~1/3)", adv, len(smoke))
+	}
+
+	seen := map[string]int{}
+	for _, sc := range Generate(2, 150) {
+		if tpl := isAdversarial(sc.Name); tpl != "" {
+			seen[tpl]++
+		}
+	}
+	for _, tpl := range templates {
+		if seen[tpl] == 0 {
+			t.Errorf("template %q never sampled in a sweep-sized stream", tpl)
 		}
 	}
 }

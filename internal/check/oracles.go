@@ -51,6 +51,7 @@ func Oracles() []Oracle {
 		collationCountOracle(),
 		orphanInterferenceOracle(),
 		orphanTerminateOracle(),
+		noFalseSuspicionOracle(),
 	}
 }
 
@@ -279,7 +280,9 @@ func boundedTerminationOracle() Oracle {
 // lane initialization (D10) lets a member that first hears a client
 // mid-sequence — because the network withheld the earlier call — judge
 // that call already served and discard its retransmission, so the member's
-// executed set legitimately misses it (DESIGN.md D15).
+// executed set legitimately misses it (DESIGN.md D15). A reordering
+// network erodes the same configurations the same way — the member can
+// simply hear call 2 before call 1 — so the gate covers both (D19).
 func sameSetOracle() Oracle {
 	const name = "same-set"
 	return Oracle{
@@ -290,7 +293,7 @@ func sameSetOracle() Oracle {
 				t.HadCrash() || anyTimeout(t) {
 				return false
 			}
-			if p.Lossy {
+			if p.Lossy || p.Reordering {
 				for _, c := range p.Configs {
 					if c.Ordering == config.OrderFIFO && c.Call == config.CallSynchronous {
 						return false
@@ -798,6 +801,63 @@ func orphanTerminateOracle() Oracle {
 								"site %d sent a reply for call %v after killing it as an orphan", site, e.Key()))
 						}
 					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// --- Gray failure: no false suspicion ----------------------------------------
+
+// noFalseSuspicionOracle checks the D19 gray-failure property: a member
+// that is merely gray-slow — every message delayed by less than the
+// detector's suspicion threshold — must not end the run on any observer's
+// suspect list. Heartbeat *gaps* stay at the send interval under a
+// constant lag, so an accurate detector never suspects it; an
+// asynchronous detector is allowed to be transiently wrong (a scheduler
+// stall can open a gap), but a KSuspect with no later KSuspectClear from
+// the same observer means the belief stuck: the gray member would be
+// excluded from acceptance forever despite functioning. Crashy runs are
+// exempt — there real failures race the gray window and suspicion of the
+// gray member can be legitimate collateral of partitioned heartbeats.
+func noFalseSuspicionOracle() Oracle {
+	const name = "no-false-suspicion"
+	return Oracle{
+		Name:     name,
+		Property: "Membership (gray failure)",
+		Applies: func(p Profile, t *Trace) bool {
+			return len(p.Gray) > 0 && !t.HadCrash()
+		},
+		Check: func(p Profile, t *Trace) []Violation {
+			gray := make(map[msg.ProcID]bool, len(p.Gray))
+			for _, g := range p.Gray {
+				gray[g] = true
+			}
+			type belief struct{ observer, suspect msg.ProcID }
+			stuck := make(map[belief]bool)
+			var order []belief
+			for _, e := range t.SuspectEvents() {
+				if !gray[e.From] {
+					continue
+				}
+				b := belief{e.Site, e.From}
+				switch e.Kind {
+				case trace.KSuspect:
+					if !stuck[b] {
+						stuck[b] = true
+						order = append(order, b)
+					}
+				case trace.KSuspectClear:
+					stuck[b] = false
+				}
+			}
+			var out []Violation
+			for _, b := range order {
+				if stuck[b] {
+					out = append(out, violation(name,
+						"observer %d left gray-slow member %d stuck suspected (no clear before run end)",
+						b.observer, b.suspect))
 				}
 			}
 			return out

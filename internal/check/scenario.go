@@ -159,6 +159,8 @@ const (
 	StepCrash       = "crash"       // crash Node
 	StepRecover     = "recover"     // recover Node
 	StepReconfigure = "reconfigure" // system-wide reconfiguration to To
+	StepGray        = "gray"        // make Node gray-slow by DelayUS (0 clears) — D19
+	StepFlap        = "flap"        // flap the A<->B link: Cycles split/heal cycles of PeriodUS
 )
 
 // Step is one entry of a scenario's schedule.
@@ -171,6 +173,33 @@ type Step struct {
 	B      msg.ProcID  `json:"b,omitempty"`
 	Node   msg.ProcID  `json:"node,omitempty"`
 	To     *ConfigSpec `json:"to,omitempty"`
+	// DelayUS is the gray-slow delay (StepGray; 0 clears the state).
+	DelayUS int `json:"delay_us,omitempty"`
+	// PeriodUS and Cycles script a partition flap (StepFlap). A flap step
+	// with Wait runs to completion before the next step; without Wait it
+	// races the following steps and is joined before the run settles.
+	PeriodUS int `json:"period_us,omitempty"`
+	Cycles   int `json:"cycles,omitempty"`
+}
+
+// WanLink is one directed adversarial link profile (D19): asymmetric
+// latency bounds, optional heavy-tail spikes, optional bandwidth cap.
+type WanLink struct {
+	From     msg.ProcID `json:"from"`
+	To       msg.ProcID `json:"to"`
+	MinUS    int        `json:"min_us,omitempty"`
+	MaxUS    int        `json:"max_us,omitempty"`
+	SpikePct int        `json:"spike_pct,omitempty"`
+	SpikeUS  int        `json:"spike_us,omitempty"`
+	KBps     int        `json:"kbps,omitempty"` // kilobytes per second
+}
+
+// DetectorSpec enables heartbeat failure detection (MembershipDetector)
+// for the run, replacing the crash oracle. Gray-slow scenarios use it: a
+// member delayed by less than SuspectUS must never be reported down.
+type DetectorSpec struct {
+	HeartbeatUS int `json:"heartbeat_us"`
+	SuspectUS   int `json:"suspect_us"`
 }
 
 // Scenario is one reproducible conformance run: a configuration, a network
@@ -184,7 +213,17 @@ type Scenario struct {
 	LossPct    int        `json:"loss_pct,omitempty"`
 	DupPct     int        `json:"dup_pct,omitempty"`
 	MaxDelayUS int        `json:"max_delay_us,omitempty"`
-	Steps      []Step     `json:"steps"`
+	// Adversarial network profiles (D19). ReorderPct arms bounded reorder
+	// storms: each storm scrambles up to ReorderWindow consecutive messages
+	// per link within ReorderSpreadUS. Wan installs per-directed-link
+	// latency/bandwidth profiles. Detector switches membership from the
+	// crash oracle to the heartbeat failure detector.
+	ReorderPct      int           `json:"reorder_pct,omitempty"`
+	ReorderWindow   int           `json:"reorder_window,omitempty"`
+	ReorderSpreadUS int           `json:"reorder_spread_us,omitempty"`
+	Wan             []WanLink     `json:"wan,omitempty"`
+	Detector        *DetectorSpec `json:"detector,omitempty"`
+	Steps           []Step        `json:"steps"`
 }
 
 // ClientID is the process id every generated scenario uses for its client.
@@ -197,11 +236,47 @@ func (sc Scenario) Lossy() bool {
 		return true
 	}
 	for _, st := range sc.Steps {
-		if st.Kind == StepPartition {
+		if st.Kind == StepPartition || st.Kind == StepFlap {
 			return true
 		}
 	}
 	return false
+}
+
+// Reordering reports whether the scenario's network can deliver messages
+// out of send order on a link: reorder storms, plain random delay, or any
+// WAN profile with jitter, spikes, or a bandwidth cap (different-size
+// messages then take different serialization delays and can overtake).
+// Oracles scoped to in-order substrates (the sync-FIFO same-set erosion,
+// D15/D19) gate on it the same way they gate on Lossy.
+func (sc Scenario) Reordering() bool {
+	if sc.ReorderPct > 0 || sc.MaxDelayUS > 0 {
+		return true
+	}
+	for _, w := range sc.Wan {
+		if w.MaxUS > w.MinUS || w.SpikePct > 0 || w.KBps > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// GrayUnderThreshold returns the nodes some gray step delays by less than
+// the detector's suspicion threshold — the members the no-false-suspicion
+// oracle insists are never *stuck* suspected. Empty without a Detector.
+func (sc Scenario) GrayUnderThreshold() []msg.ProcID {
+	if sc.Detector == nil {
+		return nil
+	}
+	seen := make(map[msg.ProcID]bool)
+	var out []msg.ProcID
+	for _, st := range sc.Steps {
+		if st.Kind == StepGray && st.DelayUS > 0 && st.DelayUS < sc.Detector.SuspectUS && !seen[st.Node] {
+			seen[st.Node] = true
+			out = append(out, st.Node)
+		}
+	}
+	return out
 }
 
 // CrossTransportSafe reports whether the scenario's digest is comparable
@@ -212,6 +287,11 @@ func (sc Scenario) Lossy() bool {
 // a real transport must produce the same one (mrpccheck -transport tcp).
 func (sc Scenario) CrossTransportSafe() bool {
 	if sc.LossPct > 0 || sc.DupPct > 0 || sc.MaxDelayUS > 0 {
+		return false
+	}
+	if sc.ReorderPct > 0 || len(sc.Wan) > 0 || sc.Detector != nil {
+		// Adversarial profiles are simulator features; the detector's
+		// suspicion timing is also substrate-dependent (D19).
 		return false
 	}
 	for _, st := range sc.Steps {
@@ -231,6 +311,23 @@ func (sc Scenario) Validate() error {
 	}
 	if _, err := sc.Config.Config(); err != nil {
 		return err
+	}
+	if sc.ReorderPct < 0 || sc.ReorderWindow < 0 || sc.ReorderSpreadUS < 0 {
+		return fmt.Errorf("check: negative reorder parameters")
+	}
+	for i, w := range sc.Wan {
+		if w.From == w.To {
+			return fmt.Errorf("check: wan link %d: self link %d->%d", i, w.From, w.To)
+		}
+		if w.MinUS < 0 || w.MaxUS < w.MinUS || w.SpikePct < 0 || w.SpikePct > 100 ||
+			w.SpikeUS < 0 || w.KBps < 0 {
+			return fmt.Errorf("check: wan link %d: bad profile %+v", i, w)
+		}
+	}
+	if d := sc.Detector; d != nil {
+		if d.HeartbeatUS < 1 || d.SuspectUS <= d.HeartbeatUS {
+			return fmt.Errorf("check: detector spec needs 0 < heartbeat < suspect, got %+v", *d)
+		}
 	}
 	down := make(map[msg.ProcID]bool)
 	for i, st := range sc.Steps {
@@ -259,6 +356,23 @@ func (sc Scenario) Validate() error {
 			}
 			if _, err := st.To.Config(); err != nil {
 				return err
+			}
+		case StepGray:
+			if st.Node == 0 {
+				return fmt.Errorf("check: step %d: gray step without a node", i)
+			}
+			if st.DelayUS < 0 {
+				return fmt.Errorf("check: step %d: negative gray delay", i)
+			}
+		case StepFlap:
+			if st.A == st.B {
+				return fmt.Errorf("check: step %d: flap of self link %d<->%d", i, st.A, st.B)
+			}
+			if st.PeriodUS < 2 {
+				return fmt.Errorf("check: step %d: flap period %dus too short", i, st.PeriodUS)
+			}
+			if st.Cycles < 1 {
+				return fmt.Errorf("check: step %d: flap with %d cycles", i, st.Cycles)
 			}
 		default:
 			return fmt.Errorf("check: step %d: unknown kind %q", i, st.Kind)
@@ -306,6 +420,21 @@ func (sc Scenario) ConfigTimeline() ([]config.Config, error) {
 //     the drain.
 //   - blackhole: full client partition under bounded termination — every
 //     call in the dark window must still terminate (TIMEOUT), then heal.
+//
+// Adversarial network templates (D19), sampled about a third of the time:
+//
+//   - wan-asym: asymmetric per-direction latency on every client link, one
+//     direction with heavy-tail spikes and one bandwidth-capped.
+//   - reorder-storm: bounded reorder storms scrambling windows of
+//     consecutive messages on every link.
+//   - gray-slow: a member delayed just under the failure detector's
+//     suspicion threshold — lanes stall, but it must never end up stuck on
+//     the suspect list.
+//   - flap: a scripted split/heal cycle train on the client link racing a
+//     no-wait batch.
+//   - churn: rolling or cascading member crash/recover cycles over a
+//     degraded network, biased toward tree dissemination (D17
+//     re-parenting).
 func Generate(masterSeed int64, n int) []Scenario {
 	rng := rand.New(rand.NewSource(masterSeed))
 	cfgs := config.Enumerate()
@@ -316,17 +445,32 @@ func Generate(masterSeed int64, n int) []Scenario {
 			sc Scenario
 			ok bool
 		)
-		switch rng.Intn(5) {
-		case 0:
-			sc, ok = faultyNetScenario(cfg, rng)
-		case 1:
-			sc, ok = crashRecoverScenario(cfg, rng)
-		case 2:
-			sc, ok = orphanScenario(cfg, rng)
-		case 3:
-			sc, ok = reconfigScenario(cfg, rng)
-		case 4:
-			sc, ok = blackholeScenario(cfg, rng)
+		// 15 slots: two per classic template, one per adversarial template,
+		// so adversarial profiles make up a third of the sampled stream.
+		switch pick := rng.Intn(15); pick {
+		case 10:
+			sc, ok = wanAsymScenario(cfg, rng)
+		case 11:
+			sc, ok = reorderStormScenario(cfg, rng)
+		case 12:
+			sc, ok = graySlowScenario(cfg, rng)
+		case 13:
+			sc, ok = flapScenario(cfg, rng)
+		case 14:
+			sc, ok = churnScenario(cfg, rng)
+		default:
+			switch pick / 2 {
+			case 0:
+				sc, ok = faultyNetScenario(cfg, rng)
+			case 1:
+				sc, ok = crashRecoverScenario(cfg, rng)
+			case 2:
+				sc, ok = orphanScenario(cfg, rng)
+			case 3:
+				sc, ok = reconfigScenario(cfg, rng)
+			case 4:
+				sc, ok = blackholeScenario(cfg, rng)
+			}
 		}
 		if !ok {
 			continue
@@ -534,4 +678,160 @@ func blackholeScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
 			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
 		},
 	}, true
+}
+
+// wanAsymScenario gives every client<->server link a WAN-like profile with
+// independently drawn per-direction latency bounds, then makes one
+// direction heavy-tailed (spikes) and one bandwidth-capped. No messages
+// are lost — every oracle that tolerates reordering still applies.
+func wanAsymScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	us := func(lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+	wan := make([]WanLink, 0, 6)
+	for s := 1; s <= 3; s++ {
+		wan = append(wan,
+			WanLink{From: ClientID, To: msg.ProcID(s), MinUS: us(50, 200), MaxUS: us(300, 900)},
+			WanLink{From: msg.ProcID(s), To: ClientID, MinUS: us(50, 200), MaxUS: us(300, 900)})
+	}
+	spiked := rng.Intn(len(wan))
+	wan[spiked].SpikePct = 20 + rng.Intn(21)
+	wan[spiked].SpikeUS = 2000 + rng.Intn(3001)
+	capped := rng.Intn(len(wan))
+	wan[capped].KBps = 200 + rng.Intn(801)
+	return Scenario{
+		Name:    "wan-asym",
+		Servers: 3,
+		Config:  SpecOf(cfg),
+		Wan:     wan,
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 3, Wait: true},
+			{Kind: StepCalls, Client: ClientID, N: 2},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		},
+	}, true
+}
+
+// reorderStormScenario arms bounded reorder storms on every link: with
+// the drawn probability a storm starts and the next window of consecutive
+// messages on that link is scrambled within the spread. Nothing is lost
+// or duplicated, so completion and acceptance semantics are unweakened;
+// order-sensitive oracles gate on Reordering().
+func reorderStormScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	return Scenario{
+		Name:            "reorder-storm",
+		Servers:         3,
+		Config:          SpecOf(cfg),
+		ReorderPct:      25 + rng.Intn(51),
+		ReorderWindow:   3 + rng.Intn(4),
+		ReorderSpreadUS: 200 + rng.Intn(601),
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 4, Wait: true},
+			{Kind: StepCalls, Client: ClientID, N: 3},
+			{Kind: StepCalls, Client: ClientID, N: 3, Wait: true},
+		},
+	}, true
+}
+
+// graySlowScenario runs a heartbeat failure detector and makes one member
+// gray-slow: every message in and out is delayed by far less than the
+// suspicion threshold. The member's lanes stall — calls waiting on it take
+// the delay — but heartbeat *gaps* stay at the interval, so the detector
+// must never leave it stuck on the suspect list (no-false-suspicion
+// oracle, D19).
+func graySlowScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	victim := nonLeader(cfg, 3, rng)
+	return Scenario{
+		Name:    "gray-slow",
+		Servers: 3,
+		Config:  SpecOf(cfg),
+		// Real-clock margins: heartbeats every 3ms, suspicion only after a
+		// 60ms silent gap, gray lag 8-15ms. A false suspicion needs the
+		// scheduler to stall heartbeats for 20 intervals.
+		Detector: &DetectorSpec{HeartbeatUS: 3000, SuspectUS: 60000},
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepGray, Node: victim, DelayUS: 8000 + rng.Intn(7001)},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepGray, Node: victim}, // DelayUS 0: clear
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		},
+	}, true
+}
+
+// flapScenario splits and heals the client<->victim link in a scripted
+// cycle train while a no-wait batch is in flight. Reliable communication
+// is required for the same reason as faulty-net: the flap withholds
+// messages, and only retransmission guarantees the racing batch drains.
+func flapScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	if !cfg.Reliable {
+		return Scenario{}, false
+	}
+	victim := nonLeader(cfg, 3, rng)
+	return Scenario{
+		Name:    "flap",
+		Servers: 3,
+		Config:  SpecOf(cfg),
+		Steps: []Step{
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+			{Kind: StepCalls, Client: ClientID, N: 3},
+			{Kind: StepFlap, A: ClientID, B: victim,
+				PeriodUS: 4000 + rng.Intn(6001), Cycles: 2 + rng.Intn(3), Wait: true},
+			{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+		},
+	}, true
+}
+
+// churnScenario layers membership churn — rolling recoveries or cascading
+// crashes — over a degraded network (reorder storms or random delay). Two
+// thirds of the samples use tree dissemination, so churn exercises D17
+// re-parenting with in-flight frames under adversarial delivery.
+//
+// Only unordered configurations host churn: a message delayed across the
+// crash/recover window can arrive at the rejoined member first and open
+// its hold-back lane (FIFO/causal, D10 first-arrival init) at a stale
+// position — later calls then wait forever for calls the client already
+// collected, since member rejoin has no ordering-state transfer (the
+// crash-recover gap of DESIGN.md D15, reached through delay instead of
+// loss; see D19). crash-recover keeps its ordered coverage because it
+// runs over an undegraded network, where nothing straggles across the
+// crash window.
+func churnScenario(cfg config.Config, rng *rand.Rand) (Scenario, bool) {
+	if cfg.Ordering != config.OrderNone {
+		return Scenario{}, false
+	}
+	sc := Scenario{Name: "churn", Servers: 3, Config: SpecOf(cfg)}
+	if rng.Intn(2) == 0 {
+		sc.ReorderPct = 15 + rng.Intn(21)
+		sc.ReorderWindow = 3
+		sc.ReorderSpreadUS = 200 + rng.Intn(401)
+	} else {
+		sc.MaxDelayUS = 300 + rng.Intn(501)
+	}
+	if rng.Intn(3) != 0 {
+		k := 2 + rng.Intn(2)
+		sc.Servers = k + 3
+		sc.Config.Diss, sc.Config.TreeK = "tree", k
+	}
+	v1 := msg.ProcID(1 + rng.Intn(3))
+	v2 := v1%3 + 1 // distinct from v1, still in 1..3
+	steps := []Step{{Kind: StepCalls, Client: ClientID, N: 2, Wait: true}}
+	if rng.Intn(2) == 0 {
+		// Rolling: one member down at a time, calls between each cycle.
+		for _, v := range []msg.ProcID{v1, v2} {
+			steps = append(steps,
+				Step{Kind: StepCrash, Node: v},
+				Step{Kind: StepCalls, Client: ClientID, N: 2, Wait: true},
+				Step{Kind: StepRecover, Node: v},
+				Step{Kind: StepCalls, Client: ClientID, N: 2, Wait: true})
+		}
+	} else {
+		// Cascading: overlapping down windows, recovered in reverse order.
+		steps = append(steps,
+			Step{Kind: StepCrash, Node: v1},
+			Step{Kind: StepCrash, Node: v2},
+			Step{Kind: StepRecover, Node: v2},
+			Step{Kind: StepRecover, Node: v1},
+			Step{Kind: StepCalls, Client: ClientID, N: 2, Wait: true})
+	}
+	sc.Steps = steps
+	return sc, true
 }

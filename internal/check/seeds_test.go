@@ -27,6 +27,17 @@ import (
 //     reconfiguration (attaching FIFO order spans call lifetimes, so
 //     admission must quiesce first), and a member then crashes and recovers
 //     across the configuration boundary.
+//
+//   - gray-slow-member: a heartbeat failure detector watches the group
+//     while member 2 turns gray-slow (every message delayed 12ms, a fifth
+//     of the 60ms suspicion threshold) under accept-all acceptance — every
+//     call stalls on the slow lane, yet the detector must leave no stuck
+//     suspicion and every call completes OK (D19).
+//
+//   - flap-during-reconfigure: a scripted split/heal cycle train on the
+//     client's link to member 1 races a no-wait batch AND a drain-class
+//     none→FIFO reconfiguration — admission's quiesce and the reliable
+//     layer's retransmissions both thread the flapping window (D19).
 func TestGoldenSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden seeds skipped in -short mode")

@@ -2,7 +2,8 @@ package check
 
 // Shrink minimizes a violating scenario: it repeatedly tries dropping
 // schedule steps (crash/recover pairs as a unit when dropping one alone is
-// invalid) and halving call batches, keeping any reduction that still
+// invalid), halving call batches, halving flap cycle trains, and clearing
+// the adversarial network profile fields, keeping any reduction that still
 // violates, until no single reduction helps or the run budget is spent.
 // It returns the smallest violating scenario found and its result; if the
 // input does not violate (or fails to run), it is returned unchanged.
@@ -50,15 +51,65 @@ func Shrink(sc Scenario, budget int) (Scenario, *Result) {
 			continue
 		}
 
-		// Halve a call batch.
+		// Halve a call batch or a flap cycle train.
 		for i := 0; i < len(best.Steps) && budget > 0; i++ {
 			st := best.Steps[i]
-			if st.Kind != StepCalls || st.N <= 1 {
+			var cand Scenario
+			switch {
+			case st.Kind == StepCalls && st.N > 1:
+				cand = best
+				cand.Steps = append([]Step(nil), best.Steps...)
+				cand.Steps[i].N = st.N / 2
+			case st.Kind == StepFlap && st.Cycles > 1:
+				cand = best
+				cand.Steps = append([]Step(nil), best.Steps...)
+				cand.Steps[i].Cycles = st.Cycles / 2
+			default:
 				continue
+			}
+			budget--
+			if try(cand) {
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+
+		// Strip one adversarial profile dimension: if the violation does not
+		// need reordering, a WAN topology, or the failure detector, drop it.
+		for _, reduce := range []func(*Scenario) bool{
+			func(s *Scenario) bool {
+				if s.ReorderPct == 0 {
+					return false
+				}
+				s.ReorderPct, s.ReorderWindow, s.ReorderSpreadUS = 0, 0, 0
+				return true
+			},
+			func(s *Scenario) bool {
+				if len(s.Wan) == 0 {
+					return false
+				}
+				s.Wan = nil
+				return true
+			},
+			func(s *Scenario) bool {
+				if s.Detector == nil {
+					return false
+				}
+				s.Detector = nil
+				return true
+			},
+		} {
+			if budget <= 0 {
+				break
 			}
 			cand := best
 			cand.Steps = append([]Step(nil), best.Steps...)
-			cand.Steps[i].N = st.N / 2
+			if !reduce(&cand) {
+				continue
+			}
 			budget--
 			if try(cand) {
 				improved = true

@@ -40,6 +40,7 @@ type Trace struct {
 	execs     map[msg.ProcID][]trace.Event // exec-side events per site, Seq order
 	crashed   map[siteInc]bool             // site incarnations that crashed
 	hadCrash  bool
+	suspects  []trace.Event // KSuspect and KSuspectClear, Seq order
 }
 
 // NewTrace indexes events (which must be in Seq order, as produced by
@@ -78,6 +79,8 @@ func NewTrace(events []trace.Event) *Trace {
 		case trace.KCrash:
 			t.crashed[siteInc{e.Site, e.SiteInc}] = true
 			t.hadCrash = true
+		case trace.KSuspect, trace.KSuspectClear:
+			t.suspects = append(t.suspects, e)
 		}
 	}
 	return t
@@ -120,6 +123,10 @@ func (t *Trace) Sites() []msg.ProcID {
 // SiteEvents returns a site's execution-side events in Seq order.
 func (t *Trace) SiteEvents(site msg.ProcID) []trace.Event { return t.execs[site] }
 
+// SuspectEvents returns the failure-detector belief events (KSuspect and
+// KSuspectClear) in Seq order. Empty for runs without a detector.
+func (t *Trace) SuspectEvents() []trace.Event { return t.suspects }
+
 // ExecutedKeys returns the first-occurrence-deduplicated sequence of call
 // keys whose execution began at site, in Seq order.
 func (t *Trace) ExecutedKeys(site msg.ProcID) []msg.CallKey {
@@ -146,9 +153,18 @@ type Profile struct {
 	// Group is the server group called by every workload call.
 	Group msg.Group
 	// Lossy reports whether the network could drop messages (loss
-	// probability or partitions): without reliable communication,
+	// probability, partitions, or flaps): without reliable communication,
 	// completion cannot be demanded of such a run.
 	Lossy bool
+	// Reordering reports whether the network could deliver out of send
+	// order (reorder storms, random delay, WAN jitter/spikes/bandwidth).
+	// It weakens the same sync-FIFO same-set guarantee loss does (D19).
+	Reordering bool
+	// Gray lists members the run made gray-slow by less than the failure
+	// detector's suspicion threshold: the no-false-suspicion oracle
+	// demands none of them is left stuck suspected. Empty without a
+	// detector.
+	Gray []msg.ProcID
 }
 
 // ConfigAt returns the configuration active when the given event was

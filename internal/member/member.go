@@ -16,6 +16,7 @@
 package member
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -254,11 +255,55 @@ func (d *Detector) Observe(p msg.ProcID) {
 	}
 }
 
+// AddPeer begins monitoring (and heartbeating) p. The peer counts as
+// freshly heard, so it gets a full SuspectAfter window before it can be
+// suspected. Adding self or an already-monitored peer is a no-op. The
+// composite layer uses this to tell running detectors about late joiners:
+// without it the first node of a group would heartbeat to nobody and the
+// rest of the group would eventually — wrongly — suspect it.
+func (d *Detector) AddPeer(p msg.ProcID) {
+	if p == d.self {
+		return
+	}
+	d.mu.Lock()
+	if _, monitored := d.peers[p]; !monitored {
+		d.peers[p] = d.clk.Now()
+	}
+	d.mu.Unlock()
+}
+
 // Down implements Service.
 func (d *Detector) Down(p msg.ProcID) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.down[p]
+}
+
+// Suspected returns the peers currently considered failed, sorted by id.
+// Tests and operators use it to audit the detector's beliefs against
+// ground truth — in particular that a gray-slow member (delayed, but
+// heartbeating steadily) is never on this list.
+func (d *Detector) Suspected() []msg.ProcID {
+	d.mu.Lock()
+	out := make([]msg.ProcID, 0, len(d.down))
+	for p := range d.down {
+		out = append(out, p)
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LastHeard returns when the detector last heard from p, and whether p is
+// monitored at all. The gap between successive heartbeats — not their
+// absolute latency — is what drives suspicion: a member whose every
+// message is delayed by a constant gray-slow lag still shows ~Interval
+// spacing and is never declared down.
+func (d *Detector) LastHeard(p msg.ProcID) (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.peers[p]
+	return t, ok
 }
 
 // Subscribe implements Service.

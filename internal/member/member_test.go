@@ -186,3 +186,85 @@ func TestDetectorStopHaltsTicks(t *testing.T) {
 		t.Fatalf("heartbeats after Stop: %d -> %d", before, got)
 	}
 }
+
+// TestDetectorToleratesGraySlowPeer pins the property the adversarial
+// gray-slow profile (D19) exploits: suspicion is driven by the gap between
+// successive heartbeats, not their absolute latency. A peer whose every
+// message arrives a constant lag late — even a lag close to the suspicion
+// threshold — still shows ~interval spacing and is never declared down.
+func TestDetectorToleratesGraySlowPeer(t *testing.T) {
+	const (
+		interval = 10 * time.Millisecond
+		suspect  = 45 * time.Millisecond
+		lag      = 40 * time.Millisecond // just under the threshold
+	)
+	h := newDetectorHarness([]msg.ProcID{2, 3}, interval, suspect)
+	h.det.Start()
+	defer h.det.Stop()
+
+	// Both peers heartbeat every interval; peer 2's arrive `lag` late.
+	// Observed arrival times: peer 3 at t, peer 2 at t+lag — so between
+	// consecutive observations of 2 the gap is still exactly `interval`.
+	for tick := 0; tick < 20; tick++ {
+		h.clk.Advance(interval)
+		h.det.Observe(3)
+		h.det.Observe(2) // the delayed copy of an older heartbeat
+	}
+	if got := h.det.Suspected(); len(got) != 0 {
+		t.Fatalf("gray-slow peer suspected: %v", got)
+	}
+	if log := h.changeLog(); len(log) != 0 {
+		t.Fatalf("changes = %v, want none for a delayed but steady peer", log)
+	}
+	if _, ok := h.det.LastHeard(2); !ok {
+		t.Fatal("peer 2 not monitored")
+	}
+
+	// Sanity check the contrast: once the gray peer's messages stop
+	// entirely, the same detector does suspect it.
+	for tick := 0; tick < 10; tick++ {
+		h.clk.Advance(interval)
+		h.det.Observe(3)
+	}
+	if got := h.det.Suspected(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Suspected() = %v, want [2]", got)
+	}
+}
+
+// TestDetectorAddPeer pins the late-joiner contract: a peer added after
+// Start is heartbeated from the next tick, gets a full SuspectAfter window
+// before it can be suspected, and is suspected once it stays silent. The
+// composite layer relies on this when nodes join an already-running group —
+// the first node of a group would otherwise heartbeat to nobody and end up
+// wrongly suspected by everyone that joined after it.
+func TestDetectorAddPeer(t *testing.T) {
+	h := newDetectorHarness([]msg.ProcID{2}, 10*time.Millisecond, 25*time.Millisecond)
+	h.det.Start()
+	defer h.det.Stop()
+
+	h.clk.Advance(40 * time.Millisecond) // peer 3 does not exist yet
+	if got := h.sentTo(3); got != 0 {
+		t.Fatalf("heartbeats to unknown peer: %d", got)
+	}
+	h.det.AddPeer(3)
+	h.det.AddPeer(3) // idempotent
+	h.det.AddPeer(1) // self: no-op
+	if _, ok := h.det.LastHeard(3); !ok {
+		t.Fatal("added peer not monitored")
+	}
+	h.det.Observe(2)
+	h.clk.Advance(20 * time.Millisecond) // inside 3's fresh suspicion window
+	if got := h.sentTo(3); got == 0 {
+		t.Fatal("added peer not heartbeated")
+	}
+	if got := h.sentTo(1); got != 0 {
+		t.Fatalf("detector heartbeats itself after AddPeer: %d", got)
+	}
+	if h.det.Down(3) {
+		t.Fatal("added peer suspected inside its fresh window")
+	}
+	h.clk.Advance(20 * time.Millisecond) // now past it, still silent
+	if !h.det.Down(3) {
+		t.Fatal("silent added peer not suspected")
+	}
+}

@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"mrpc/internal/clock"
 	"mrpc/internal/msg"
@@ -160,5 +162,207 @@ func TestDeterminismUnderOneWayPartition(t *testing.T) {
 	}
 	if stOpen.Partition != 0 {
 		t.Fatalf("unexpected partition drops in open run: %d", stOpen.Partition)
+	}
+}
+
+// deliveryOrder drains every pending sim-clock timer one deadline at a
+// time, waiting for each batch of fired deliveries to land (across all the
+// given collectors) before firing the next, so each collector's recorded
+// order IS the delivery schedule of its endpoint. It returns the first
+// collector's order.
+func deliveryOrder(clk *clock.Sim, cs ...*collector) []msg.CallID {
+	count := func() int {
+		total := 0
+		for _, c := range cs {
+			total += c.count()
+		}
+		return total
+	}
+	total := count()
+	pending := clk.PendingTimers()
+	for pending > 0 {
+		clk.AdvanceToNext()
+		now := clk.PendingTimers()
+		total += pending - now
+		pending = now
+		for count() < total {
+			runtime.Gosched()
+		}
+	}
+	c := cs[0]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]msg.CallID, len(c.msgs))
+	for i, m := range c.msgs {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// TestReorderScheduleDeterminism extends the link-independence guarantee
+// to reordering storms: identical seeds produce identical delivery
+// schedules (not just identical drop/dup decisions), and a storm on one
+// link does not shift another link's schedule.
+func TestReorderScheduleDeterminism(t *testing.T) {
+	params := Params{Seed: 21, MinDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		Reorder: ReorderParams{Prob: 1, Window: 1 << 20, Spread: 5 * time.Millisecond}}
+
+	run := func(withNoise bool) []msg.CallID {
+		clk := clock.NewSim()
+		n := New(clk, params)
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		_, cb := attach(t, n, 2)
+		_, c3 := attach(t, n, 3)
+		for i := 0; i < 60; i++ {
+			a.Push(2, call(msg.CallID(i)))
+			if withNoise {
+				a.Push(3, call(msg.CallID(1000+i)))
+			}
+		}
+		order := deliveryOrder(clk, cb, c3)
+		n.Quiesce()
+		return order
+	}
+
+	o1, o2 := run(false), run(false)
+	if len(o1) != 60 {
+		t.Fatalf("delivered %d of 60", len(o1))
+	}
+	if !slicesEqual(o1, o2) {
+		t.Fatalf("same seed, different delivery schedule:\n%v\n%v", o1, o2)
+	}
+	sorted := true
+	for i := 1; i < len(o1); i++ {
+		if o1[i] < o1[i-1] {
+			sorted = false
+		}
+	}
+	if sorted {
+		t.Fatal("storm did not permute the delivery schedule")
+	}
+	if noisy := run(true); !slicesEqual(o1, noisy) {
+		t.Fatalf("storm traffic on 1→3 shifted link 1→2's schedule:\n%v\n%v", o1, noisy)
+	}
+}
+
+func slicesEqual(a, b []msg.CallID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFlapScheduleDeterminism scripts a flapping partition on the sim
+// clock: the set of messages that pass, the partition-drop count and the
+// cycle count are exact functions of the schedule.
+func TestFlapScheduleDeterminism(t *testing.T) {
+	run := func() (delivered map[msg.CallID]int, st Stats) {
+		clk := clock.NewSim()
+		n := New(clk, Params{})
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		_, cb := attach(t, n, 2)
+		done := n.StartFlap(1, 2, 10*time.Millisecond, 3)
+		// Pushes every 2.5ms across three 10ms cycles: blocked halves are
+		// [0,5), [10,15), [20,25); healed halves the other four windows.
+		for i := 0; i < 12; i++ {
+			a.Push(2, call(msg.CallID(i)))
+			n.Quiesce() // zero-delay deliveries land before the clock moves
+			clk.Advance(2500 * time.Microsecond)
+		}
+		for clk.PendingTimers() > 0 {
+			clk.AdvanceToNext()
+		}
+		<-done
+		n.Quiesce()
+		return outcomes(cb), n.Stats()
+	}
+	o1, st1 := run()
+	o2, st2 := run()
+	if st1 != st2 || !sameOutcomes(o1, o2) {
+		t.Fatalf("same flap script, different outcome: %+v vs %+v", st1, st2)
+	}
+	if st1.FlapCycles != 3 {
+		t.Fatalf("flap cycles = %d, want 3", st1.FlapCycles)
+	}
+	if st1.Partition != 6 {
+		t.Fatalf("partition drops = %d, want 6 (pushes landing in blocked halves)", st1.Partition)
+	}
+	for _, id := range []msg.CallID{2, 3, 6, 7, 10, 11} {
+		if o1[id] != 1 {
+			t.Fatalf("push %d fell in a healed half but was not delivered: %v", id, o1)
+		}
+	}
+	for _, id := range []msg.CallID{0, 1, 4, 5, 8, 9} {
+		if o1[id] != 0 {
+			t.Fatalf("push %d fell in a blocked half but was delivered: %v", id, o1)
+		}
+	}
+}
+
+// TestFlapDoesNotPerturbOtherLinks extends TestLinkFaultIndependence to
+// flap cycles: flapping 1↔2 must not consume randomness on — or otherwise
+// perturb — the fault sequence of 1→3.
+func TestFlapDoesNotPerturbOtherLinks(t *testing.T) {
+	run := func(flap bool) map[msg.CallID]int {
+		n := New(clock.NewReal(), Params{Seed: 31, LossProb: 0.3, DupProb: 0.2})
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		attach(t, n, 2)
+		_, cc := attach(t, n, 3)
+		var done <-chan struct{}
+		if flap {
+			done = n.StartFlap(1, 2, 2*time.Millisecond, 3)
+		}
+		for i := 0; i < 200; i++ {
+			a.Push(2, call(msg.CallID(i)))
+			a.Push(3, call(msg.CallID(1000+i)))
+		}
+		if flap {
+			<-done
+		}
+		n.Quiesce()
+		return outcomes(cc)
+	}
+	quiet := run(false)
+	flappy := run(true)
+	if !sameOutcomes(quiet, flappy) {
+		t.Fatal("flapping 1↔2 changed the fault sequence on 1→3")
+	}
+}
+
+// TestReorderFaultIndependence runs the original independence check with a
+// reordering storm in force: storm rolls come from the same per-link
+// stream, so cross-link isolation must survive them too.
+func TestReorderFaultIndependence(t *testing.T) {
+	params := Params{Seed: 17, LossProb: 0.2, DupProb: 0.1,
+		Reorder: ReorderParams{Prob: 0.2, Window: 4, Spread: time.Millisecond}}
+	run := func(withNoise bool) map[msg.CallID]int {
+		n := New(clock.NewReal(), params)
+		defer n.Stop()
+		a, _ := attach(t, n, 1)
+		_, cb := attach(t, n, 2)
+		attach(t, n, 3)
+		for i := 0; i < 300; i++ {
+			a.Push(2, call(msg.CallID(i)))
+			if withNoise {
+				a.Push(3, call(msg.CallID(1000+i)))
+			}
+		}
+		n.Quiesce()
+		return outcomes(cb)
+	}
+	o1, o2 := run(false), run(false)
+	if !sameOutcomes(o1, o2) {
+		t.Fatal("same seed, different decisions with storms in force")
+	}
+	if noisy := run(true); !sameOutcomes(o1, noisy) {
+		t.Fatal("storm traffic on 1→3 changed the fault sequence on 1→2")
 	}
 }

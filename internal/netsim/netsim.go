@@ -57,6 +57,9 @@ type Params struct {
 	LossProb float64
 	// DupProb is the probability a given delivery is duplicated once.
 	DupProb float64
+	// Reorder configures network-wide bounded reordering storms; a
+	// per-link LinkProfile.Reorder overrides it for that direction.
+	Reorder ReorderParams
 	// EncodeOnWire, when set, round-trips every message through the binary
 	// codec, exercising marshalling exactly as a byte transport would. The
 	// encode happens once per send; every delivery decodes from the shared
@@ -103,6 +106,9 @@ type linkDelay struct{ min, max time.Duration }
 type linkState struct {
 	mu  sync.Mutex
 	rng *rand.Rand
+	// storm is the number of remaining messages in the current reordering
+	// storm window (0 when no storm is active); see ReorderParams.
+	storm int
 }
 
 // linkSeed mixes the network seed with the directed link identity
@@ -124,6 +130,8 @@ type Network struct {
 	partitioned map[link]bool
 	oneWay      map[dirLink]bool
 	delays      map[link]linkDelay
+	profiles    map[dirLink]LinkProfile // adversarial per-direction profiles (D19)
+	gray        map[msg.ProcID]time.Duration
 	links       map[dirLink]*linkState // lazily created, only for links that roll
 	stopped     bool
 
@@ -139,6 +147,7 @@ type Network struct {
 	inflight int
 
 	sent, delivered, dropped, duplicated, partition, downDrops, batches atomic.Int64
+	reordered, spikes, grayDelays, flapCycles                           atomic.Int64
 }
 
 // addFlight records k admitted deliveries. Send paths call it while
@@ -181,6 +190,8 @@ func New(clk clock.Clock, p Params) *Network {
 		partitioned: make(map[link]bool),
 		oneWay:      make(map[dirLink]bool),
 		delays:      make(map[link]linkDelay),
+		profiles:    make(map[dirLink]LinkProfile),
+		gray:        make(map[msg.ProcID]time.Duration),
 		links:       make(map[dirLink]*linkState),
 	}
 	n.flightC.L = &n.flightMu
@@ -337,6 +348,10 @@ func (n *Network) Stats() Stats {
 		Partition:  n.partition.Load(),
 		DownDrops:  n.downDrops.Load(),
 		Batches:    n.batches.Load(),
+		Reordered:  n.reordered.Load(),
+		Spikes:     n.spikes.Load(),
+		GrayDelays: n.grayDelays.Load(),
+		FlapCycles: n.flapCycles.Load(),
 	}
 }
 
@@ -375,12 +390,16 @@ func (n *Network) Quiesce() {
 }
 
 // admitted is one destination that passed admission: its endpoint, the
-// delay bounds in force, and the link's fault state (nil when the link has
-// nothing to roll — no loss, no duplication, no delay jitter).
+// delay bounds in force, the adversarial-profile knobs resolved for the
+// direction, and the link's fault state (nil when the link has nothing to
+// roll — no loss, no duplication, no jitter, no spikes, no storms).
 type admitted struct {
-	dest *Endpoint
-	ls   *linkState
-	d    linkDelay
+	dest    *Endpoint
+	ls      *linkState
+	d       linkDelay
+	prof    LinkProfile   // zero value when the direction has no profile
+	reorder ReorderParams // profile override or Params.Reorder
+	gray    time.Duration // deterministic gray-slow delay (sender + receiver)
 }
 
 // admitOne performs the under-lock part of sending to one destination:
@@ -399,11 +418,20 @@ func (n *Network) admitOne(from, to msg.ProcID) (admitted, bool) {
 		return admitted{}, false
 	}
 	d := n.delays[linkKey(from, to)]
-	if d.max == 0 && d.min == 0 {
+	prof, hasProf := n.profiles[dirLink{from: from, to: to}]
+	if hasProf {
+		d = linkDelay{min: prof.MinDelay, max: prof.MaxDelay}
+	} else if d.max == 0 && d.min == 0 {
 		d = linkDelay{min: n.params.MinDelay, max: n.params.MaxDelay}
 	}
-	a := admitted{dest: dest, d: d}
-	if n.params.LossProb > 0 || n.params.DupProb > 0 || d.max > d.min {
+	reorder := n.params.Reorder
+	if prof.Reorder.active() {
+		reorder = prof.Reorder
+	}
+	a := admitted{dest: dest, d: d, prof: prof, reorder: reorder,
+		gray: n.gray[from] + n.gray[to]}
+	if n.params.LossProb > 0 || n.params.DupProb > 0 || d.max > d.min ||
+		prof.SpikeProb > 0 || reorder.active() {
 		k := dirLink{from: from, to: to}
 		ls, ok := n.links[k]
 		if !ok {
@@ -502,8 +530,11 @@ func (n *Network) multicast(from *Endpoint, group msg.Group, m *msg.NetMsg) {
 	}
 }
 
-// transmit rolls the link's faults (loss, duplication, delay) under the
-// link lock and schedules the surviving deliveries.
+// transmit rolls the link's faults under the link lock and schedules the
+// surviving deliveries. The roll order is fixed — loss, duplication,
+// jitter, spike, storm — and lost messages consume only the loss roll, so
+// a link's pseudo-random sequence depends only on its own traffic order
+// (the determinism contract the conformance harness shrinks against).
 func (n *Network) transmit(a admitted, d delivery) {
 	copies := 1
 	first, second := a.d.min, a.d.min
@@ -525,6 +556,29 @@ func (n *Network) transmit(a admitted, d delivery) {
 				second += time.Duration(rng.Int63n(int64(span) + 1))
 			}
 		}
+		if copies >= 1 && a.prof.SpikeProb > 0 {
+			if rng.Float64() < a.prof.SpikeProb {
+				first += a.prof.SpikeDelay
+				n.spikes.Add(1)
+			}
+			if copies == 2 && rng.Float64() < a.prof.SpikeProb {
+				second += a.prof.SpikeDelay
+				n.spikes.Add(1)
+			}
+		}
+		if copies >= 1 && a.reorder.active() {
+			if a.ls.storm == 0 && rng.Float64() < a.reorder.Prob {
+				a.ls.storm = a.reorder.Window
+			}
+			if a.ls.storm > 0 {
+				a.ls.storm-- // one slot per message, not per copy
+				n.reordered.Add(1)
+				first += time.Duration(rng.Int63n(int64(a.reorder.Spread) + 1))
+				if copies == 2 {
+					second += time.Duration(rng.Int63n(int64(a.reorder.Spread) + 1))
+				}
+			}
+		}
 		a.ls.mu.Unlock()
 	}
 	// Settle the admission-time count against the roll: a lost copy is
@@ -533,6 +587,18 @@ func (n *Network) transmit(a admitted, d delivery) {
 	if copies == 0 {
 		n.doneFlight()
 		return
+	}
+	// Deterministic additions draw no randomness: serialization time under
+	// a bandwidth cap, and the gray-slow delay of either end.
+	if a.prof.BytesPerSec > 0 {
+		ser := time.Duration(wireSize(d) * int64(time.Second) / a.prof.BytesPerSec)
+		first += ser
+		second += ser
+	}
+	if a.gray > 0 {
+		first += a.gray
+		second += a.gray
+		n.grayDelays.Add(1)
 	}
 	if copies == 2 {
 		n.addFlight(1)

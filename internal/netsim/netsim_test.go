@@ -347,3 +347,140 @@ func TestSetHandlerReplaces(t *testing.T) {
 		t.Fatalf("ID = %d", ep.ID())
 	}
 }
+
+func TestGraySlowDelaysBothDirections(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	b, _ := attach(t, n, 2)
+	done := make(chan time.Time, 1)
+	if _, err := n.Attach(3, func(*msg.NetMsg) { done <- time.Now() }); err != nil {
+		t.Fatal(err)
+	}
+
+	n.SetGraySlow(2, 15*time.Millisecond)
+	t0 := time.Now()
+	b.Push(3, call(1)) // egress of the gray endpoint
+	if d := (<-done).Sub(t0); d < 15*time.Millisecond {
+		t.Fatalf("gray egress delivered after %v, want >= 15ms", d)
+	}
+	a.Push(2, call(2)) // ingress of the gray endpoint
+	n.Quiesce()
+	if st := n.Stats(); st.GrayDelays != 2 {
+		t.Fatalf("gray delays = %d, want 2", st.GrayDelays)
+	}
+
+	// Traffic not touching the gray endpoint is unaffected, and clearing
+	// the state restores normal latency.
+	t0 = time.Now()
+	a.Push(3, call(3))
+	if d := (<-done).Sub(t0); d >= 15*time.Millisecond {
+		t.Fatalf("bystander link delayed %v by a gray endpoint", d)
+	}
+	n.SetGraySlow(2, 0)
+	a.Push(2, call(4))
+	n.Quiesce()
+	if st := n.Stats(); st.GrayDelays != 2 {
+		t.Fatalf("gray delays after clear = %d, want 2", st.GrayDelays)
+	}
+}
+
+func TestLinkProfileAsymmetric(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	done1 := make(chan time.Time, 1)
+	done2 := make(chan time.Time, 1)
+	e1, err := n.Attach(1, func(*msg.NetMsg) { done1 <- time.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := n.Attach(2, func(*msg.NetMsg) { done2 <- time.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profiles are directed: 2→1 is a slow downlink, 1→2 stays fast.
+	n.SetLinkProfile(2, 1, LinkProfile{MinDelay: 20 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+
+	t0 := time.Now()
+	e2.Push(1, call(1))
+	if d := (<-done1).Sub(t0); d < 20*time.Millisecond {
+		t.Fatalf("profiled direction delivered after %v, want >= 20ms", d)
+	}
+	t0 = time.Now()
+	e1.Push(2, call(2))
+	if d := (<-done2).Sub(t0); d >= 20*time.Millisecond {
+		t.Fatalf("unprofiled reverse direction delayed %v", d)
+	}
+}
+
+func TestLinkProfileBandwidth(t *testing.T) {
+	n := New(clock.NewReal(), Params{})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	done := make(chan time.Time, 1)
+	if _, err := n.Attach(2, func(*msg.NetMsg) { done <- time.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkProfile(1, 2, LinkProfile{BytesPerSec: 100_000})
+
+	m := call(1)
+	m.Args = make([]byte, 2000) // ≥ 2000 bytes on the wire → ≥ 20ms at 100kB/s
+	t0 := time.Now()
+	a.Push(2, m)
+	if d := (<-done).Sub(t0); d < 20*time.Millisecond {
+		t.Fatalf("2kB at 100kB/s delivered after %v, want >= 20ms", d)
+	}
+}
+
+func TestLinkProfileSpikes(t *testing.T) {
+	n := New(clock.NewReal(), Params{Seed: 5})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+	n.SetLinkProfile(1, 2, LinkProfile{SpikeProb: 0.5, SpikeDelay: time.Millisecond})
+
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		a.Push(2, call(msg.CallID(i)))
+	}
+	n.Quiesce()
+	if got := cb.count(); got != sent {
+		t.Fatalf("spikes lost messages: delivered %d of %d", got, sent)
+	}
+	st := n.Stats()
+	// Rough binomial bounds: 200 trials, p=0.5 → expect 100 ± 45.
+	if st.Spikes < 55 || st.Spikes > 145 {
+		t.Fatalf("spikes = %d of %d, far from 50%%", st.Spikes, sent)
+	}
+}
+
+func TestReorderStormPermutesWithinWindow(t *testing.T) {
+	n := New(clock.NewReal(), Params{Seed: 9,
+		Reorder: ReorderParams{Prob: 1, Window: 16, Spread: 30 * time.Millisecond}})
+	defer n.Stop()
+	a, _ := attach(t, n, 1)
+	_, cb := attach(t, n, 2)
+
+	const sent = 12
+	for i := 0; i < sent; i++ {
+		a.Push(2, call(msg.CallID(i)))
+	}
+	n.Quiesce()
+	if got := cb.count(); got != sent {
+		t.Fatalf("storm lost messages: delivered %d of %d", got, sent)
+	}
+	if st := n.Stats(); st.Reordered != sent {
+		t.Fatalf("reordered = %d, want %d", st.Reordered, sent)
+	}
+	cb.mu.Lock()
+	inversions := 0
+	for i := 1; i < len(cb.msgs); i++ {
+		if cb.msgs[i].ID < cb.msgs[i-1].ID {
+			inversions++
+		}
+	}
+	cb.mu.Unlock()
+	if inversions == 0 {
+		t.Fatal("a full-window storm with 30ms spread produced no inversions")
+	}
+}

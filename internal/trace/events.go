@@ -65,12 +65,34 @@ const (
 	// in-flight frames to them (D17). From is the failed node; Op carries
 	// the number of adopted members.
 	KReparent
+	// KGrayStart: the harness made a node gray-slow — alive, but with
+	// every ingress and egress delayed (D19). Site is the gray node; Note
+	// carries the delay. The node is NOT crashed: no KCrash accompanies
+	// this, which is precisely what the no-false-suspicion oracle leans
+	// on.
+	KGrayStart
+	// KGrayEnd: the harness cleared a node's gray-slow state.
+	KGrayEnd
+	// KFlap: the harness started a scripted partition flap — repeated
+	// split/heal cycles on one link (D19). Site and From are the link's
+	// two ends; Op carries the cycle count; Note the period. The link is
+	// healed again by the time the run settles.
+	KFlap
+	// KSuspect: a failure detector declared a peer down. Site is the
+	// observing node, From the suspect. This records the detector's
+	// *belief*; ground truth is the KCrash/KRecover lifecycle events, and
+	// the gap between the two is what gray failures exploit.
+	KSuspect
+	// KSuspectClear: a failure detector heard from a suspect again and
+	// reinstated it. Site is the observer, From the reinstated peer.
+	KSuspectClear
 )
 
 var kindNames = [...]string{"", "CALL_ISSUED", "CALL_DONE", "REPLY_ACCEPTED",
 	"EXEC_BEGIN", "EXEC_END", "REPLY_SENT", "DUP_DROPPED", "ORPHAN_KILLED",
 	"CRASH", "RECOVER", "RECONFIGURE", "BATCH_FLUSHED", "BATCH_DELIVERED",
-	"RELAY", "REPARENT"}
+	"RELAY", "REPARENT", "GRAY_START", "GRAY_END", "FLAP", "SUSPECT",
+	"SUSPECT_CLEAR"}
 
 // String returns the event kind's name.
 func (k Kind) String() string {

@@ -79,6 +79,11 @@ func TestKindString(t *testing.T) {
 		KCrash:         "CRASH",
 		KRecover:       "RECOVER",
 		KReconfigure:   "RECONFIGURE",
+		KGrayStart:     "GRAY_START",
+		KGrayEnd:       "GRAY_END",
+		KFlap:          "FLAP",
+		KSuspect:       "SUSPECT",
+		KSuspectClear:  "SUSPECT_CLEAR",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {

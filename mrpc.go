@@ -115,6 +115,11 @@ type (
 	Link = transport.Endpoint
 	// NetParams is the simulated network's fault and delay model.
 	NetParams = netsim.Params
+	// ReorderParams arms the simulator's bounded reorder storms (D19).
+	ReorderParams = netsim.ReorderParams
+	// LinkProfile is a per-directed-link adversarial profile — asymmetric
+	// latency, spikes, bandwidth — installed via System.Sim (D19).
+	LinkProfile = netsim.LinkProfile
 	// NetStats are the transport counters (shared across substrates).
 	NetStats = transport.Stats
 	// TraceSink receives structured trace events (SystemOptions.Trace).
@@ -568,9 +573,13 @@ func (s *System) membershipFor(n *Node) member.Service {
 		return s.oracle
 	case MembershipDetector:
 		peers := make([]ProcID, 0, 8)
+		others := make([]*Node, 0, 8)
 		s.mu.Lock()
-		for id := range s.nodes {
+		for id, other := range s.nodes {
 			peers = append(peers, id)
+			if other != n {
+				others = append(others, other)
+			}
 		}
 		s.mu.Unlock()
 		peers = append(peers, n.id)
@@ -583,9 +592,32 @@ func (s *System) membershipFor(n *Node) member.Service {
 					Inc:    n.site.Inc(),
 				})
 			})
+		// Record the detector's *beliefs* in the trace (KSuspect /
+		// KSuspectClear). Ground truth lives in KCrash/KRecover; the gap
+		// between the two streams is what the no-false-suspicion oracle
+		// and the gray-failure scenarios (D19) examine.
+		if sink := s.opts.Trace; sink != nil {
+			det.Subscribe(func(c member.Change) {
+				k := trace.KSuspect
+				if c.Kind == member.Recovery {
+					k = trace.KSuspectClear
+				}
+				sink.Record(TraceEvent{Kind: k, Site: n.id,
+					SiteInc: n.site.Inc(), From: c.Who})
+			})
+		}
 		n.mu.Lock()
 		n.detector = det
 		n.mu.Unlock()
+		// Detectors already running only know the nodes that existed when
+		// they started; tell each about this one so heartbeating is
+		// symmetric from the first round. (On a recovery the peer is
+		// already monitored and AddPeer is a no-op.)
+		for _, other := range others {
+			if d := other.currentDetector(); d != nil {
+				d.AddPeer(n.id)
+			}
+		}
 		return det
 	default:
 		return member.NewStatic()
@@ -717,6 +749,13 @@ func (n *Node) ID() ProcID { return n.id }
 // Stats expose the egress/ingress counters the dissemination experiments
 // assert on (D17).
 func (n *Node) Link() Link { return n.ep }
+
+// Detector returns the node's heartbeat failure detector, or nil unless the
+// system runs MembershipDetector (a crashed node also reports nil until it
+// recovers). Tests and operators use it to audit the detector's beliefs
+// against ground truth — in particular that a gray-slow member is never on
+// its Suspected list.
+func (n *Node) Detector() *member.Detector { return n.currentDetector() }
 
 // Endpoint returns the node's attachment to the simulated network, or nil
 // on a non-simulated transport.
